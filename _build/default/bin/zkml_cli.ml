@@ -1,0 +1,376 @@
+(* The zkml command-line interface — the "simple bash interface" of the
+   paper's Figure 3. Subcommands:
+
+     zkml models                     list the built-in model zoo
+     zkml stats MODEL                parameters / flops / layer count
+     zkml export MODEL FILE          write the textual model format
+     zkml optimize MODEL             run the layout optimizer, print the plan
+     zkml prove MODEL -o PROOF       compile + prove; write a proof file
+     zkml verify MODEL PROOF         recheck a proof file
+     zkml calibrate                  print the measured op-cost profile
+
+   MODEL is a zoo name (see `zkml models`) or a path to a .zkml file. *)
+
+module T = Zkml_tensor.Tensor
+module Fx = Zkml_fixed.Fixed
+module Zoo = Zkml_models.Zoo
+module Opt = Zkml_compiler.Optimizer
+module Spec = Zkml_compiler.Layout_spec
+module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Kzg = Zkml_commit.Kzg.Make (Sim61)
+module Ipa = Zkml_commit.Ipa.Make (Sim61)
+module Pipe_kzg = Zkml_compiler.Pipeline.Make (Kzg)
+module Pipe_ipa = Zkml_compiler.Pipeline.Make (Ipa)
+
+let srs_k = 15
+let kzg_params = lazy (Kzg.setup ~max_size:(1 lsl srs_k) ~seed:"zkml-cli")
+let ipa_params = lazy (Ipa.setup ~max_size:(1 lsl srs_k) ~seed:"zkml-cli")
+
+let load_model name =
+  if Sys.file_exists name then
+    let graph = Zkml_nn.Serialize.load name in
+    {
+      Zoo.name = Filename.remove_extension (Filename.basename name);
+      paper_name = name;
+      graph;
+      input_shapes =
+        (Zkml_nn.Graph.nodes graph |> Array.to_list
+        |> List.filter_map (fun (n : Zkml_nn.Graph.node) ->
+               match n.Zkml_nn.Graph.op with
+               | Zkml_nn.Op.Input { shape } -> Some shape
+               | _ -> None));
+      cfg = Zoo.default_cfg;
+      description = "loaded from " ^ name;
+    }
+  else Zoo.by_name name
+
+(* ------------------------------------------------------------------ *)
+(* commands *)
+
+let cmd_models () =
+  List.iter
+    (fun m ->
+      Printf.printf "%-12s %-24s %s\n" m.Zoo.name m.Zoo.paper_name
+        m.Zoo.description)
+    (Zoo.all ());
+  0
+
+let cmd_stats model =
+  let m = load_model model in
+  let st = Zkml_nn.Stats.compute m.Zoo.graph in
+  Printf.printf "model:       %s\n" m.Zoo.name;
+  Printf.printf "parameters:  %d\n" st.Zkml_nn.Stats.params;
+  Printf.printf "flops:       %d\n" st.Zkml_nn.Stats.flops;
+  Printf.printf "graph nodes: %d\n" st.Zkml_nn.Stats.num_nodes;
+  Printf.printf "fixed-point: scale 2^%d, table 2^%d\n"
+    m.Zoo.cfg.Fx.scale_bits m.Zoo.cfg.Fx.table_bits;
+  0
+
+let cmd_export model path =
+  let m = load_model model in
+  Zkml_nn.Serialize.save m.Zoo.graph path;
+  Printf.printf "wrote %s\n" path;
+  0
+
+let cmd_calibrate backend =
+  let times =
+    match backend with
+    | "ipa" -> Pipe_ipa.calibrated (Lazy.force ipa_params)
+    | _ -> Pipe_kzg.calibrated (Lazy.force kzg_params)
+  in
+  Printf.printf "backend %s op-cost profile (BenchmarkOperations):\n" backend;
+  List.iter
+    (fun (k, t) -> Printf.printf "  fft    2^%-2d %12.6f s\n" k t)
+    times.Zkml_compiler.Costmodel.fft;
+  List.iter
+    (fun (k, t) -> Printf.printf "  msm    2^%-2d %12.6f s\n" k t)
+    times.Zkml_compiler.Costmodel.msm;
+  List.iter
+    (fun (k, t) -> Printf.printf "  lookup 2^%-2d %12.6f s\n" k t)
+    times.Zkml_compiler.Costmodel.lookup;
+  Printf.printf "  field op    %12.3e s\n"
+    times.Zkml_compiler.Costmodel.field_op;
+  0
+
+let print_plan (plan : Opt.plan) =
+  Printf.printf "logical layout:   %s\n" (Spec.to_string plan.Opt.spec);
+  Printf.printf "advice columns:   %d\n" plan.Opt.ncols;
+  Printf.printf "rows:             2^%d (content %d)\n" plan.Opt.k
+    plan.Opt.summary.Zkml_compiler.Layouter.rows_content;
+  Printf.printf "lookups:          %d (over %d tables)\n"
+    plan.Opt.summary.Zkml_compiler.Layouter.lookup_count
+    plan.Opt.summary.Zkml_compiler.Layouter.tables;
+  Printf.printf "estimated cost:   %.3f s\n" plan.Opt.est_cost;
+  Printf.printf "estimated proof:  %d bytes\n" plan.Opt.est_size
+
+let cmd_optimize model backend objective =
+  let m = load_model model in
+  let objective =
+    if objective = "size" then Opt.Min_size else Opt.Min_time
+  in
+  let inputs = Zoo.sample_inputs m in
+  let qinputs = List.map (T.map (Fx.quantize m.Zoo.cfg)) inputs in
+  let exec = Zkml_nn.Quant_exec.run m.Zoo.cfg m.Zoo.graph ~inputs:qinputs in
+  let plan, stats =
+    match backend with
+    | "ipa" ->
+        let params = Lazy.force ipa_params in
+        Opt.optimize ~objective ~times:(Pipe_ipa.calibrated params)
+          ~backend:Zkml_compiler.Costmodel.Ipa ~group_bytes:Ipa.G.size_bytes
+          ~field_bytes:Zkml_ff.Fp61.size_bytes ~cfg:m.Zoo.cfg m.Zoo.graph exec
+    | _ ->
+        let params = Lazy.force kzg_params in
+        Opt.optimize ~objective ~times:(Pipe_kzg.calibrated params)
+          ~backend:Zkml_compiler.Costmodel.Kzg ~group_bytes:Kzg.G.size_bytes
+          ~field_bytes:Zkml_ff.Fp61.size_bytes ~cfg:m.Zoo.cfg m.Zoo.graph exec
+  in
+  Printf.printf "searched %d candidate layouts (%d invalid)\n"
+    stats.Opt.candidates stats.Opt.pruned_invalid;
+  print_plan plan;
+  0
+
+(* proof file format *)
+let write_proof_file path ~backend ~(m : Zoo.model) ~(plan : Opt.plan)
+    ~instance_ints ~proof_hex =
+  let oc = open_out path in
+  Printf.fprintf oc "zkml-proof v1\n";
+  Printf.fprintf oc "model %s\n" m.Zoo.name;
+  Printf.fprintf oc "backend %s\n" backend;
+  Printf.fprintf oc "spec %s\n" (Spec.to_string plan.Opt.spec);
+  Printf.fprintf oc "ncols %d\n" plan.Opt.ncols;
+  Printf.fprintf oc "k %d\n" plan.Opt.k;
+  Printf.fprintf oc "scale_bits %d\n" m.Zoo.cfg.Fx.scale_bits;
+  Printf.fprintf oc "table_bits %d\n" m.Zoo.cfg.Fx.table_bits;
+  Printf.fprintf oc "instance %s\n"
+    (String.concat ","
+       (List.map string_of_int (Array.to_list instance_ints)));
+  Printf.fprintf oc "proof %s\n" proof_hex;
+  close_out oc
+
+type proof_file = {
+  pf_backend : string;
+  pf_spec : Spec.t;
+  pf_ncols : int;
+  pf_k : int;
+  pf_cfg : Fx.config;
+  pf_instance : int array;
+  pf_proof : string;
+}
+
+let read_proof_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let fields =
+    List.filter_map
+      (fun line ->
+        match String.index_opt line ' ' with
+        | Some i ->
+            Some
+              ( String.sub line 0 i,
+                String.sub line (i + 1) (String.length line - i - 1) )
+        | None -> None)
+      (List.rev !lines)
+  in
+  let get k =
+    try List.assoc k fields
+    with Not_found -> failwith ("proof file missing field: " ^ k)
+  in
+  {
+    pf_backend = get "backend";
+    pf_spec = Spec.of_string (get "spec");
+    pf_ncols = int_of_string (get "ncols");
+    pf_k = int_of_string (get "k");
+    pf_cfg =
+      {
+        Fx.scale_bits = int_of_string (get "scale_bits");
+        table_bits = int_of_string (get "table_bits");
+      };
+    pf_instance =
+      (let s = get "instance" in
+       if s = "" then [||]
+       else
+         String.split_on_char ',' s |> List.map int_of_string |> Array.of_list);
+    pf_proof = Zkml_util.Bytes_util.of_hex (get "proof");
+  }
+
+let cmd_prove model backend out seed =
+  let m = load_model model in
+  let inputs = Zoo.sample_inputs ~seed:(Int64.of_int seed) m in
+  let instance_of_built (built : Zkml_compiler.Layouter.built) =
+    built.Zkml_compiler.Layouter.instance_col
+  in
+  (match backend with
+  | "ipa" ->
+      let params = Lazy.force ipa_params in
+      let r =
+        Pipe_ipa.run ~cfg:m.Zoo.cfg ~params m.Zoo.graph inputs
+          ~seed:(Int64.of_int seed)
+      in
+      if not r.Pipe_ipa.verified then failwith "self-verification failed";
+      let bytes = Pipe_ipa.Proto.proof_to_bytes r.Pipe_ipa.proof in
+      (* rebuild artifacts to recover the instance column *)
+      let qinputs = List.map (T.map (Fx.quantize m.Zoo.cfg)) inputs in
+      let exec = Zkml_nn.Quant_exec.run m.Zoo.cfg m.Zoo.graph ~inputs:qinputs in
+      let lowered =
+        Zkml_compiler.Lower.lower_with ~spec_fn:r.Pipe_ipa.plan.Opt.spec_fn
+          ~cfg:m.Zoo.cfg ~ncols:r.Pipe_ipa.plan.Opt.ncols ~counting:false
+          m.Zoo.graph exec
+      in
+      let built =
+        Zkml_compiler.Layouter.finalize lowered.Zkml_compiler.Lower.layouter
+          ~blinding:Opt.blinding ~k:r.Pipe_ipa.plan.Opt.k
+      in
+      write_proof_file out ~backend ~m ~plan:r.Pipe_ipa.plan
+        ~instance_ints:(instance_of_built built)
+        ~proof_hex:(Zkml_util.Bytes_util.to_hex bytes);
+      Printf.printf "proved %s with %s in %.2f s (%d B); wrote %s\n" m.Zoo.name
+        backend r.Pipe_ipa.prove_s r.Pipe_ipa.proof_bytes out
+  | _ ->
+      let params = Lazy.force kzg_params in
+      let r =
+        Pipe_kzg.run ~cfg:m.Zoo.cfg ~params m.Zoo.graph inputs
+          ~seed:(Int64.of_int seed)
+      in
+      if not r.Pipe_kzg.verified then failwith "self-verification failed";
+      let bytes = Pipe_kzg.Proto.proof_to_bytes r.Pipe_kzg.proof in
+      let qinputs = List.map (T.map (Fx.quantize m.Zoo.cfg)) inputs in
+      let exec = Zkml_nn.Quant_exec.run m.Zoo.cfg m.Zoo.graph ~inputs:qinputs in
+      let lowered =
+        Zkml_compiler.Lower.lower_with ~spec_fn:r.Pipe_kzg.plan.Opt.spec_fn
+          ~cfg:m.Zoo.cfg ~ncols:r.Pipe_kzg.plan.Opt.ncols ~counting:false
+          m.Zoo.graph exec
+      in
+      let built =
+        Zkml_compiler.Layouter.finalize lowered.Zkml_compiler.Lower.layouter
+          ~blinding:Opt.blinding ~k:r.Pipe_kzg.plan.Opt.k
+      in
+      write_proof_file out ~backend ~m ~plan:r.Pipe_kzg.plan
+        ~instance_ints:(instance_of_built built)
+        ~proof_hex:(Zkml_util.Bytes_util.to_hex bytes);
+      Printf.printf "proved %s with %s in %.2f s (%d B); wrote %s\n" m.Zoo.name
+        backend r.Pipe_kzg.prove_s r.Pipe_kzg.proof_bytes out);
+  0
+
+let cmd_verify model proof_path =
+  let m = load_model model in
+  let pf = read_proof_file proof_path in
+  let ok =
+    match pf.pf_backend with
+    | "ipa" ->
+        let params = Lazy.force ipa_params in
+        let keys =
+          Pipe_ipa.rebuild_keys params ~spec:pf.pf_spec ~ncols:pf.pf_ncols
+            ~k:pf.pf_k ~cfg:pf.pf_cfg m.Zoo.graph
+        in
+        Pipe_ipa.verify_bytes params keys ~instance_ints:pf.pf_instance
+          pf.pf_proof
+    | _ ->
+        let params = Lazy.force kzg_params in
+        let keys =
+          Pipe_kzg.rebuild_keys params ~spec:pf.pf_spec ~ncols:pf.pf_ncols
+            ~k:pf.pf_k ~cfg:pf.pf_cfg m.Zoo.graph
+        in
+        Pipe_kzg.verify_bytes params keys ~instance_ints:pf.pf_instance
+          pf.pf_proof
+  in
+  if ok then begin
+    Printf.printf "proof VERIFIED against model %s (%s backend)\n" m.Zoo.name
+      pf.pf_backend;
+    0
+  end
+  else begin
+    Printf.printf "proof REJECTED\n";
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner wiring *)
+
+open Cmdliner
+
+let model_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"MODEL" ~doc:"Zoo model name or path to a .zkml file.")
+
+let backend_arg =
+  Arg.(
+    value & opt string "kzg"
+    & info [ "backend" ] ~docv:"BACKEND" ~doc:"kzg or ipa.")
+
+let models_cmd =
+  Cmd.v (Cmd.info "models" ~doc:"List the built-in model zoo.")
+    Term.(const cmd_models $ const ())
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print parameters, flops and node count.")
+    Term.(const cmd_stats $ model_arg)
+
+let export_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Serialize a zoo model to the textual format.")
+    Term.(const cmd_export $ model_arg $ path)
+
+let calibrate_cmd =
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Benchmark FFT/MSM/lookup/field costs (cost-model inputs).")
+    Term.(const cmd_calibrate $ backend_arg)
+
+let optimize_cmd =
+  let objective =
+    Arg.(
+      value & opt string "time"
+      & info [ "objective" ] ~docv:"OBJ" ~doc:"time or size.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Run the circuit-layout optimizer (Algorithm 1).")
+    Term.(const cmd_optimize $ model_arg $ backend_arg $ objective)
+
+let prove_cmd =
+  let out =
+    Arg.(
+      value & opt string "proof.zkp"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Proof output file.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1234
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Input sampling seed.")
+  in
+  Cmd.v
+    (Cmd.info "prove" ~doc:"Compile, optimize, prove; write a proof file.")
+    Term.(const cmd_prove $ model_arg $ backend_arg $ out $ seed)
+
+let verify_cmd =
+  let proof =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"PROOF" ~doc:"Proof file from `zkml prove`.")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify a proof file against a model.")
+    Term.(const cmd_verify $ model_arg $ proof)
+
+let main =
+  Cmd.group
+    (Cmd.info "zkml" ~version:"1.0.0"
+       ~doc:"Optimizing compiler from ML models to ZK-SNARK circuits.")
+    [ models_cmd; stats_cmd; export_cmd; calibrate_cmd; optimize_cmd;
+      prove_cmd; verify_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/credit_score.ml: List Printf Zkml_commit Zkml_compiler Zkml_ec Zkml_ff Zkml_fixed Zkml_models Zkml_tensor

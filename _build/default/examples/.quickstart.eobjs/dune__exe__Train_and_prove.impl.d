@@ -1,0 +1,1 @@
+examples/train_and_prove.ml: Array Filename List Printf String Sys Zkml_commit Zkml_compiler Zkml_ec Zkml_ff Zkml_fixed Zkml_nn Zkml_tensor Zkml_util

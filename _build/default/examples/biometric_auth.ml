@@ -1,0 +1,92 @@
+(* Private biometric authentication (paper §2): a user proves that the
+   face embedding computed from a (attested-sensor) photo matches their
+   enrolled template, without revealing either the photo or the
+   recognition model. The embedding network runs inside the SNARK; the
+   match decision (a thresholded squared distance) is the only public
+   output.
+
+     dune exec examples/biometric_auth.exe *)
+
+module T = Zkml_tensor.Tensor
+module G = Zkml_nn.Graph
+module Group = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Scheme = Zkml_commit.Kzg.Make (Group)
+module Pipeline = Zkml_compiler.Pipeline.Make (Scheme)
+
+(* A small face-embedding CNN followed by the comparison against the
+   enrolled template, all inside one circuit. The enrolled template is
+   part of the (private) weights; the public output is the squared
+   distance to it. *)
+let embedding_model template =
+  let rng = Zkml_util.Rng.create 7001L in
+  let g = G.create "face-embed" in
+  let photo = G.input g [| 1; 8; 8; 1 |] in
+  let c1 =
+    G.relu g
+      (G.conv2d ~stride:2 ~padding:Zkml_nn.Op.Same g photo
+         (G.he_weight g rng [| 3; 3; 1; 4 |] ~label:"c1w")
+         (G.zero_weight g [| 4 |] ~label:"c1b"))
+  in
+  let f = G.flatten g c1 in
+  let embed =
+    G.activation g Zkml_nn.Op.Tanh
+      (G.fully_connected g f
+         (G.he_weight g rng [| 64; 4 |] ~label:"ew")
+         (G.zero_weight g [| 4 |] ~label:"eb"))
+  in
+  (* squared distance to the enrolled template *)
+  let template_w = G.weight g (T.of_array [| 1; 4 |] template) ~label:"template" in
+  let diff2 = G.squared_difference g embed template_w in
+  let dist = G.reduce_sum g ~axis:1 diff2 in
+  G.mark_output g dist;
+  g
+
+let () =
+  print_endline "=== private biometric authentication ===";
+  let params = Scheme.setup ~max_size:(1 lsl 12) ~seed:"biometric" in
+  let cfg = { Zkml_fixed.Fixed.scale_bits = 6; table_bits = 11 } in
+  (* enrollment: run the embedding on the user's reference photo (in the
+     clear, on the user's device) to fix the template *)
+  let reference_photo =
+    T.init [| 1; 8; 8; 1 |] (fun i -> 0.3 *. sin (float_of_int i *. 0.7))
+  in
+  let template = [| 0.0; 0.0; 0.0; 0.0 |] in
+  let enroll_graph = embedding_model template in
+  (* enroll with the fixed-point executor so the template matches the
+     circuit semantics exactly *)
+  let qref = T.map (Zkml_fixed.Fixed.quantize cfg) reference_photo in
+  let exec = Zkml_nn.Quant_exec.run cfg enroll_graph ~inputs:[ qref ] in
+  (* the embedding feeds the squared-difference three nodes before the
+     output (embed, template weight, diff^2, distance) *)
+  let embed_node = List.hd (G.outputs enroll_graph) - 3 in
+  let template =
+    Array.init 4 (fun i ->
+        Zkml_fixed.Fixed.dequantize cfg
+          (T.get_flat exec.Zkml_nn.Quant_exec.values.(embed_node) i))
+  in
+  let g = embedding_model template in
+  let attempt name photo threshold =
+    let result = Pipeline.run ~cfg ~params g [ photo ] in
+    assert result.Pipeline.verified;
+    let dist =
+      match result.Pipeline.outputs with
+      | [ out ] -> Zkml_fixed.Fixed.dequantize cfg (T.get_flat out 0)
+      | _ -> assert false
+    in
+    Printf.printf
+      "  %-18s distance %.4f -> %s (proof %d B, %.2f s; photo stays private)\n"
+      name dist
+      (if dist < threshold then "ACCEPTED" else "REJECTED")
+      result.Pipeline.proof_bytes result.Pipeline.prove_s
+  in
+  (* the same person: a slightly noisy retake of the reference photo *)
+  let genuine =
+    T.init [| 1; 8; 8; 1 |] (fun i ->
+        (0.3 *. sin (float_of_int i *. 0.7)) +. 0.002)
+  in
+  (* an impostor photo *)
+  let impostor =
+    T.init [| 1; 8; 8; 1 |] (fun i -> 0.4 *. cos (float_of_int i *. 1.3))
+  in
+  attempt "genuine retake" genuine 0.1;
+  attempt "impostor" impostor 0.1

@@ -1,0 +1,63 @@
+(* Quickstart: define a tiny model, compile it to a circuit with the
+   optimizer, produce a ZK-SNARK of its inference, and verify it.
+
+     dune exec examples/quickstart.exe *)
+
+module T = Zkml_tensor.Tensor
+module G = Zkml_nn.Graph
+
+(* Pick a backend: the KZG commitment scheme over the fast simulated
+   group. Swap [Zkml_ec.Pallas] in for real elliptic-curve arithmetic,
+   or [Zkml_commit.Ipa.Make] for the transparent (no-trusted-setup)
+   backend. *)
+module Group = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Scheme = Zkml_commit.Kzg.Make (Group)
+module Pipeline = Zkml_compiler.Pipeline.Make (Scheme)
+
+let () =
+  (* 1. Build a model: a two-layer MLP with ReLU and softmax. In a real
+     deployment this would be loaded from a file via Zkml_nn.Serialize. *)
+  let rng = Zkml_util.Rng.create 2024L in
+  let g = G.create "quickstart" in
+  let x = G.input g [| 1; 4 |] in
+  let h =
+    G.relu g
+      (G.fully_connected g x
+         (G.he_weight g rng [| 4; 8 |] ~label:"w1")
+         (G.zero_weight g [| 8 |] ~label:"b1"))
+  in
+  let logits =
+    G.fully_connected g h
+      (G.he_weight g rng [| 8; 3 |] ~label:"w2")
+      (G.zero_weight g [| 3 |] ~label:"b2")
+  in
+  let probs = G.softmax g logits in
+  G.mark_output g probs;
+
+  (* 2. One-time setup for circuits of up to 2^12 rows. *)
+  let params = Scheme.setup ~max_size:(1 lsl 12) ~seed:"quickstart" in
+
+  (* 3. Compile + optimize + prove + verify in one call. *)
+  let input = T.of_array [| 1; 4 |] [| 0.9; -0.3; 0.1; 0.5 |] in
+  let result = Pipeline.run ~params g [ input ] in
+
+  Printf.printf "layout:      %s, %d columns, 2^%d rows\n"
+    (Zkml_compiler.Layout_spec.to_string result.Pipeline.plan.Zkml_compiler.Optimizer.spec)
+    result.Pipeline.plan.Zkml_compiler.Optimizer.ncols
+    result.Pipeline.plan.Zkml_compiler.Optimizer.k;
+  Printf.printf "optimize:    %.3f s\n" result.Pipeline.optimize_s;
+  Printf.printf "keygen:      %.3f s\n" result.Pipeline.keygen_s;
+  Printf.printf "prove:       %.3f s\n" result.Pipeline.prove_s;
+  Printf.printf "verify:      %.4f s -> %b\n" result.Pipeline.verify_s
+    result.Pipeline.verified;
+  Printf.printf "proof size:  %d bytes\n" result.Pipeline.proof_bytes;
+  (match result.Pipeline.outputs with
+  | [ out ] ->
+      let cfg = Zkml_fixed.Fixed.default in
+      Printf.printf "public model output (class probabilities): ";
+      T.iteri
+        (fun _ v -> Printf.printf "%.3f " (Zkml_fixed.Fixed.dequantize cfg v))
+        out;
+      print_newline ()
+  | _ -> ());
+  if not result.Pipeline.verified then exit 1

@@ -1,0 +1,70 @@
+(* Full lifecycle: train a CNN on a synthetic dataset, measure FP32 vs
+   fixed-point (circuit) accuracy (the paper's Table 8 quantity), save
+   and reload the model through the textual format (the tflite
+   substitute), then produce and verify a ZK-SNARK for one inference.
+
+     dune exec examples/train_and_prove.exe *)
+
+module T = Zkml_tensor.Tensor
+module G = Zkml_nn.Graph
+module Fx = Zkml_fixed.Fixed
+module Group = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Scheme = Zkml_commit.Kzg.Make (Group)
+module Pipeline = Zkml_compiler.Pipeline.Make (Scheme)
+
+let () =
+  print_endline "=== train -> quantize -> serialize -> prove ===";
+  let rng = Zkml_util.Rng.create 99L in
+  let data =
+    Zkml_nn.Dataset.classification ~seed:3L ~num_classes:3 ~h:8 ~w:8 ~c:1
+      ~train_per_class:40 ~test_per_class:20 ~noise:0.15
+  in
+  (* a small CNN classifier *)
+  let g = G.create "trained-cnn" in
+  let x = G.input g [| 1; 8; 8; 1 |] in
+  let c =
+    G.relu g
+      (G.conv2d ~padding:Zkml_nn.Op.Same g x
+         (G.he_weight g rng [| 3; 3; 1; 4 |] ~label:"cw")
+         (G.zero_weight g [| 4 |] ~label:"cb"))
+  in
+  let p = G.avg_pool2d g ~size:2 c in
+  let f = G.flatten g p in
+  let y =
+    G.fully_connected g f
+      (G.he_weight g rng [| 64; 3 |] ~label:"fw")
+      (G.zero_weight g [| 3 |] ~label:"fb")
+  in
+  G.mark_output g y;
+  let losses =
+    Zkml_nn.Train.sgd g ~data:data.Zkml_nn.Dataset.train ~epochs:5 ~lr:0.03 ~rng
+  in
+  Printf.printf "training loss per epoch: %s\n"
+    (String.concat " " (List.map (Printf.sprintf "%.3f") losses));
+  let facc = Zkml_nn.Train.float_accuracy g data.Zkml_nn.Dataset.test in
+  let cfg = { Fx.scale_bits = 6; table_bits = 12 } in
+  let qacc = Zkml_nn.Train.quant_accuracy cfg g data.Zkml_nn.Dataset.test in
+  Printf.printf "fp32 accuracy %.1f%%, circuit (fixed-point) accuracy %.1f%%\n"
+    (100. *. facc) (100. *. qacc);
+  (* round-trip through the model format *)
+  let path = Filename.temp_file "zkml-model" ".zkml" in
+  Zkml_nn.Serialize.save g path;
+  let g = Zkml_nn.Serialize.load path in
+  Sys.remove path;
+  print_endline "model serialized and reloaded";
+  (* prove one inference of the reloaded model *)
+  let params = Scheme.setup ~max_size:(1 lsl 13) ~seed:"train-example" in
+  let sample = data.Zkml_nn.Dataset.test.(0) in
+  let result = Pipeline.run ~cfg ~params g [ sample.Zkml_nn.Dataset.image ] in
+  Printf.printf
+    "proved inference on a test image: verified %b, %d B proof, %.2f s prove / %.4f s verify\n"
+    result.Pipeline.verified result.Pipeline.proof_bytes result.Pipeline.prove_s
+    result.Pipeline.verify_s;
+  (match result.Pipeline.outputs with
+  | [ out ] ->
+      let best = ref 0 in
+      T.iteri (fun i v -> if v > T.get_flat out !best then best := i) out;
+      Printf.printf "predicted class %d (true class %d)\n" !best
+        sample.Zkml_nn.Dataset.label
+  | _ -> ());
+  if not result.Pipeline.verified then exit 1

@@ -1,0 +1,1 @@
+lib/baselines/baseline.ml: Zkml_compiler Zkml_fixed

@@ -1,0 +1,39 @@
+(** Prior-work-style baseline compilers (Table 9's comparison targets).
+
+    zkCNN / vCNN / ZEN compile CNNs with a fixed circuit shape: no
+    layout search, bit-decomposed ReLU instead of lookup tables, plain
+    dot products with separate accumulation, and one fixed (narrow)
+    column count. We reproduce that *style* inside our own framework so
+    the comparison isolates exactly what the paper claims: the gains
+    come from ZKML's gadget diversity and its layout optimizer, not from
+    a different proving stack (see DESIGN.md "Substitutions"). *)
+
+type kind =
+  | Bitdecomp_style
+      (** ZEN/vCNN-style: bit-decomposition for non-linearities *)
+  | Lookup_fixed_style
+      (** zkCNN-style: lookup activations but no layout search *)
+
+let spec_of = function
+  | Bitdecomp_style ->
+      {
+        Zkml_compiler.Layout_spec.linear = Zkml_compiler.Layout_spec.Dot_plain;
+        relu = Zkml_compiler.Layout_spec.Bitdecomp_relu;
+        arith = Zkml_compiler.Layout_spec.Via_dot;
+      }
+  | Lookup_fixed_style ->
+      {
+        Zkml_compiler.Layout_spec.linear = Zkml_compiler.Layout_spec.Dot_plain;
+        relu = Zkml_compiler.Layout_spec.Lookup_relu;
+        arith = Zkml_compiler.Layout_spec.Via_dot;
+      }
+
+(** The fixed column count used by the baseline circuits. Bit
+    decomposition needs rows wide enough for table_bits + 2 cells. *)
+let fixed_ncols ~cfg = function
+  | Bitdecomp_style -> max 12 (cfg.Zkml_fixed.Fixed.table_bits + 2)
+  | Lookup_fixed_style -> 12
+
+let name = function
+  | Bitdecomp_style -> "vCNN/ZEN-style (bit-decomposition, fixed layout)"
+  | Lookup_fixed_style -> "zkCNN-style (fixed layout)"

@@ -1,0 +1,1 @@
+lib/commit/ipa.ml: Array Buffer Scheme_intf String Zkml_ec Zkml_transcript

@@ -1,0 +1,1 @@
+lib/commit/kzg.ml: Array Scheme_intf String Zkml_ec Zkml_poly Zkml_util

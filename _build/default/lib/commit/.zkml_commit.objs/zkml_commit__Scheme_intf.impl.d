@@ -1,0 +1,1 @@
+lib/commit/scheme_intf.ml: Zkml_ec Zkml_transcript

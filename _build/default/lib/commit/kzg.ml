@@ -1,0 +1,75 @@
+(* KZG polynomial commitments [Kate-Zaverucha-Goldberg 2010].
+
+   The SRS is (G, tau G, tau^2 G, ...). The standard scheme checks the
+   opening with one pairing equation; our group backends have no pairing,
+   so verification is *designated-verifier*: the verifier holds tau and
+   checks  C - v*G == (tau - z) * W  directly in the group. This is the
+   same equation the pairing would verify in the exponent, so prover
+   work, proof bytes and completeness/soundness structure are identical;
+   only public verifiability is lost (documented in DESIGN.md). *)
+
+module Make (G : Zkml_ec.Group_intf.S) :
+  Scheme_intf.S with module G = G = struct
+  module G = G
+  module F = G.Scalar
+  module P = Zkml_poly.Polynomial.Make (F)
+
+  type params = {
+    srs : G.t array;
+    trapdoor : F.t;  (* designated-verifier secret *)
+  }
+
+  type proof = G.t
+
+  let name = "kzg"
+
+  let setup ~max_size ~seed =
+    (* The trusted-setup ceremony is simulated in-process: tau is derived
+       from the seed, powers are computed, and tau is retained for the
+       designated-verifier check. *)
+    let rng =
+      Zkml_util.Rng.create
+        (Zkml_util.Bytes_util.int64_of_le
+           (Zkml_util.Sha256.digest ("zkml-kzg-setup:" ^ seed))
+           0)
+    in
+    let tau = F.random rng in
+    let srs = Array.make max_size G.generator in
+    for i = 1 to max_size - 1 do
+      srs.(i) <- G.mul srs.(i - 1) tau
+    done;
+    { srs; trapdoor = tau }
+
+  let max_size t = Array.length t.srs
+
+  module M = Zkml_ec.Msm.Make (G)
+
+  let commit t coeffs =
+    if Array.length coeffs > Array.length t.srs then
+      invalid_arg "Kzg.commit: polynomial too large for SRS";
+    M.msm (Array.sub t.srs 0 (Array.length coeffs)) coeffs
+
+  let add_commitment = G.add
+  let scale_commitment = G.mul
+
+  let open_at t _transcript coeffs z =
+    let v = P.eval coeffs z in
+    let shifted = Array.copy coeffs in
+    if Array.length shifted = 0 then (v, G.zero)
+    else begin
+      shifted.(0) <- F.sub shifted.(0) v;
+      let w = P.div_by_linear shifted z in
+      (v, commit t w)
+    end
+
+  let verify t _transcript c ~point ~value w =
+    (* C - v*G == (tau - z) * W *)
+    let lhs = G.sub c (G.mul G.generator value) in
+    let rhs = G.mul w (F.sub t.trapdoor point) in
+    G.equal lhs rhs
+
+  let proof_to_bytes w = G.to_bytes w
+
+  let read_proof _t s ~pos =
+    (G.of_bytes_exn (String.sub s pos G.size_bytes), pos + G.size_bytes)
+end

@@ -1,0 +1,52 @@
+(** Signature of polynomial commitment schemes (PCS). The Plonkish prover
+    is functorized over this so the KZG and IPA backends of the paper
+    (Tables 6 vs 7) share all circuit code.
+
+    Both schemes are linearly homomorphic; the prover batches openings at
+    a common point by random linear combination using {!S.scale_commitment}
+    and {!S.add_commitment} before calling {!S.open_at} once per point. *)
+
+module type S = sig
+  module G : Zkml_ec.Group_intf.S
+
+  type params
+  type proof
+
+  val name : string
+
+  val setup : max_size:int -> seed:string -> params
+  (** Supports committing to polynomials with up to [max_size]
+      coefficients. *)
+
+  val max_size : params -> int
+
+  val commit : params -> G.Scalar.t array -> G.t
+  (** Commit to a coefficient vector (length <= [max_size params]). *)
+
+  val add_commitment : G.t -> G.t -> G.t
+  val scale_commitment : G.t -> G.Scalar.t -> G.t
+
+  val open_at :
+    params ->
+    Zkml_transcript.Transcript.t ->
+    G.Scalar.t array ->
+    G.Scalar.t ->
+    G.Scalar.t * proof
+  (** [open_at params transcript coeffs z] evaluates the polynomial at
+      [z] and produces an opening proof. *)
+
+  val verify :
+    params ->
+    Zkml_transcript.Transcript.t ->
+    G.t ->
+    point:G.Scalar.t ->
+    value:G.Scalar.t ->
+    proof ->
+    bool
+
+  val proof_to_bytes : proof -> string
+
+  val read_proof : params -> string -> pos:int -> proof * int
+  (** Parse a proof back out of a byte string starting at [pos];
+      returns the proof and the position just past it. *)
+end

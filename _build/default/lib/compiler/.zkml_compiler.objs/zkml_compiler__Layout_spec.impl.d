@@ -1,0 +1,1 @@
+lib/compiler/layout_spec.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/compiler/layouter.ml: Array Hashtbl List Printf Zkml_fixed Zkml_plonkish Zkml_util

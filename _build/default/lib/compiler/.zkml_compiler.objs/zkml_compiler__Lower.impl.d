@@ -1,0 +1,1 @@
+lib/compiler/lower.ml: Array Hashtbl Layout_spec Layouter List Printf Zkml_fixed Zkml_nn Zkml_plonkish Zkml_tensor

@@ -1,0 +1,1 @@
+lib/compiler/optimizer.ml: Array Costmodel Layout_spec Layouter List Lower Zkml_nn

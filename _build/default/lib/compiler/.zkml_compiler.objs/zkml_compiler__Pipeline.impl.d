@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Array Costmodel Hashtbl Layouter List Lower Optimizer Printf Zkml_commit Zkml_ec Zkml_fixed Zkml_nn Zkml_plonkish Zkml_tensor Zkml_util

@@ -1,0 +1,75 @@
+(** Logical circuit layouts (§7.2): which gadget implementation each
+    layer class uses. The optimizer's pruned search enforces one choice
+    per layer class across the whole model (the paper's heuristic); the
+    non-pruned search (Table 12) relaxes this to per-layer choices. *)
+
+type linear_impl =
+  | Dot_bias  (** dot-product rows carrying the accumulator in the bias slot *)
+  | Dot_plain  (** plain dot rows plus separate sum/accumulate rows *)
+
+type relu_impl =
+  | Lookup_relu  (** two cells per value via a lookup table *)
+  | Bitdecomp_relu
+      (** full bit decomposition with polynomial constraints (prior-work
+          style; needs wide rows) *)
+
+type arith_impl =
+  | Custom_arith  (** dedicated packed constraints per operation *)
+  | Via_dot  (** repurpose the dot-product gadget (§5.1) *)
+
+type t = { linear : linear_impl; relu : relu_impl; arith : arith_impl }
+
+let default = { linear = Dot_bias; relu = Lookup_relu; arith = Custom_arith }
+
+let all =
+  List.concat_map
+    (fun linear ->
+      List.concat_map
+        (fun relu ->
+          List.map (fun arith -> { linear; relu; arith }) [ Custom_arith; Via_dot ])
+        [ Lookup_relu; Bitdecomp_relu ])
+    [ Dot_bias; Dot_plain ]
+
+(** The restricted menu for the Table 11 ablation ("fixed set of
+    gadgets"): a single, prior-work-style implementation per layer class
+    (plain dots, bit-decomposed ReLU, everything else through the dot
+    gadget). *)
+let fixed_gadgets =
+  [ { linear = Dot_plain; relu = Bitdecomp_relu; arith = Via_dot } ]
+
+let to_string t =
+  Printf.sprintf "linear=%s relu=%s arith=%s"
+    (match t.linear with Dot_bias -> "dot_bias" | Dot_plain -> "dot_plain")
+    (match t.relu with Lookup_relu -> "lookup" | Bitdecomp_relu -> "bitdecomp")
+    (match t.arith with Custom_arith -> "custom" | Via_dot -> "via_dot")
+
+let of_string s =
+  let assoc =
+    List.filter_map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | Some i ->
+            Some
+              ( String.sub tok 0 i,
+                String.sub tok (i + 1) (String.length tok - i - 1) )
+        | None -> None)
+      (String.split_on_char ' ' s)
+  in
+  let get k = try List.assoc k assoc with Not_found -> invalid_arg ("Layout_spec.of_string: missing " ^ k) in
+  {
+    linear =
+      (match get "linear" with
+      | "dot_bias" -> Dot_bias
+      | "dot_plain" -> Dot_plain
+      | v -> invalid_arg ("Layout_spec.of_string: linear " ^ v));
+    relu =
+      (match get "relu" with
+      | "lookup" -> Lookup_relu
+      | "bitdecomp" -> Bitdecomp_relu
+      | v -> invalid_arg ("Layout_spec.of_string: relu " ^ v));
+    arith =
+      (match get "arith" with
+      | "custom" -> Custom_arith
+      | "via_dot" -> Via_dot
+      | v -> invalid_arg ("Layout_spec.of_string: arith " ^ v));
+  }

@@ -1,0 +1,312 @@
+(** The circuit layouter: packs gadget instances into grid rows for a
+    given number of advice columns. One code path serves both the
+    optimizer's row-exact circuit simulation (§7.3 — [counting = true],
+    values and copies are not recorded) and the final circuit
+    construction, so the simulated row counts are exact by construction.
+
+    Everything here is field-independent ([int] values and [int]
+    expression constants); the pipeline maps into the field at the end.
+    Layout conventions per gadget are documented on their [emit_]
+    functions in {!Lower}. *)
+
+module Fx = Zkml_fixed.Fixed
+module C = Zkml_plonkish.Circuit
+module E = Zkml_plonkish.Expr
+module Vec = Zkml_util.Vec
+
+exception Layout_invalid of string
+
+(** Reference to a grid cell holding a value. *)
+type cref =
+  | Adv of int * int  (** advice (col, row) *)
+  | Fix of int * int  (** fixed constants (col, row) *)
+
+type fixed_content =
+  | Selector of int list ref  (** rows where the selector is 1 *)
+  | Table_col of int array
+  | Constants
+
+type t = {
+  ncols : int;
+  cfg : Fx.config;
+  counting : bool;
+  advice : int Vec.t array;
+  mutable nrows : int;
+  open_lanes : (string, int * int ref) Hashtbl.t;
+  mutable num_fixed : int;
+  fixed_meta : (int * fixed_content) Vec.t;  (* (is_selector as 0/1 via content) *)
+  selector_cols : (string, int) Hashtbl.t;
+  table_cols : (string, int) Hashtbl.t;  (* first column of the table *)
+  mutable gates : int C.gate list;  (* reverse order *)
+  mutable lookups : int C.lookup list;
+  mutable num_lookup_tables : int;
+  mutable copies : (cref * cref) list;
+  instance : int Vec.t;
+  mutable instance_copies : (cref * int) list;  (* cell = instance row *)
+  constants : (int, int) Hashtbl.t;  (* value -> row in constants column *)
+  const_values : int Vec.t;
+}
+
+let create ~ncols ~cfg ~counting =
+  if ncols < 4 then raise (Layout_invalid "need at least 4 advice columns");
+  let t =
+    {
+      ncols;
+      cfg;
+      counting;
+      advice = Array.init ncols (fun _ -> Vec.create 0);
+      nrows = 0;
+      open_lanes = Hashtbl.create 16;
+      num_fixed = 0;
+      fixed_meta = Vec.create (0, Constants);
+      selector_cols = Hashtbl.create 16;
+      table_cols = Hashtbl.create 16;
+      gates = [];
+      lookups = [];
+      num_lookup_tables = 0;
+      copies = [];
+      instance = Vec.create 0;
+      instance_copies = [];
+      constants = Hashtbl.create 16;
+      const_values = Vec.create 0;
+    }
+  in
+  (* column 0 is the shared constants column *)
+  Vec.push t.fixed_meta (0, Constants);
+  t.num_fixed <- 1;
+  ignore (Hashtbl.add t.constants 0 0);
+  Vec.push t.const_values 0;
+  t
+
+let sf t = Fx.sf t.cfg
+
+(** Row index of a shared constant in the constants column. *)
+let constant t v =
+  match Hashtbl.find_opt t.constants v with
+  | Some row -> row
+  | None ->
+      let row = Vec.length t.const_values in
+      Vec.push t.const_values v;
+      Hashtbl.add t.constants v row;
+      row
+
+let constant_cell t v = Fix (0, constant t v)
+
+let new_selector t kind =
+  let col = t.num_fixed in
+  t.num_fixed <- col + 1;
+  Vec.push t.fixed_meta (1, Selector (ref []));
+  Hashtbl.add t.selector_cols kind col;
+  col
+
+let new_table t key cols =
+  let first = t.num_fixed in
+  Array.iter
+    (fun content ->
+      Vec.push t.fixed_meta (0, Table_col content);
+      t.num_fixed <- t.num_fixed + 1)
+    cols;
+  Hashtbl.add t.table_cols key first;
+  t.num_lookup_tables <- t.num_lookup_tables + 1;
+  first
+
+let add_gate t name polys = t.gates <- { C.gate_name = name; polys } :: t.gates
+
+let add_lookup t name inputs tables =
+  t.lookups <- { C.lookup_name = name; inputs; tables } :: t.lookups
+
+(** Allocate a lane of [width] cells for gadget [kind]. On the kind's
+    first use, [register sel_col lanes] must install its gates, lookups
+    and tables. When a fresh row is opened, [prefill ~row ~base] is
+    called once per lane so that unused lanes hold values satisfying the
+    kind's constraints (the selector covers the whole row). Returns
+    [(row, base_col)]. *)
+let alloc_lane ?(prefill = fun ~row:_ ~base:_ -> ()) t ~kind ~width ~register =
+  if width > t.ncols then
+    raise (Layout_invalid (Printf.sprintf "%s needs %d columns" kind width));
+  let lanes = t.ncols / width in
+  let sel_col =
+    match Hashtbl.find_opt t.selector_cols kind with
+    | Some c -> c
+    | None ->
+        let c = new_selector t kind in
+        register c lanes;
+        c
+  in
+  let row, lane =
+    match Hashtbl.find_opt t.open_lanes kind with
+    | Some (row, used) when !used < lanes ->
+        let l = !used in
+        incr used;
+        (row, l)
+    | _ ->
+        let row = t.nrows in
+        t.nrows <- row + 1;
+        Hashtbl.replace t.open_lanes kind (row, ref 1);
+        (match Vec.get t.fixed_meta sel_col with
+        | _, Selector rows -> rows := row :: !rows
+        | _ -> assert false);
+        if not t.counting then
+          for l = 0 to lanes - 1 do
+            prefill ~row ~base:(l * width)
+          done;
+        (row, 0)
+  in
+  (row, lane * width)
+
+(** Write a freshly computed value into an advice cell. *)
+let put t ~row ~col ~value =
+  if not t.counting then Vec.set t.advice.(col) row value;
+  Adv (col, row)
+
+(** Write an operand: the value plus, when it already lives in a cell, a
+    copy constraint tying the two cells together. *)
+let put_operand t ~row ~col (value, source) =
+  let cell = put t ~row ~col ~value in
+  (if not t.counting then
+     match source with
+     | Some src -> t.copies <- (cell, src) :: t.copies
+     | None -> ());
+  cell
+
+(** Append a public value to the instance column, copy-tied to [cell]. *)
+let expose t cell value =
+  let irow = Vec.length t.instance in
+  Vec.push t.instance value;
+  if not t.counting then t.instance_copies <- (cell, irow) :: t.instance_copies
+
+(** {1 Finalization} *)
+
+type built = {
+  circuit : int C.t;
+  fixed : int array array;
+  advice : int array array;
+  instance_col : int array;
+  rows_content : int;
+  table_rows : int;
+  copies_count : int;
+}
+
+let ceil_log2 x =
+  let rec go k = if 1 lsl k >= x then k else go (k + 1) in
+  go 0
+
+let table_rows t =
+  let m = ref (Vec.length t.const_values) in
+  for i = 0 to Vec.length t.fixed_meta - 1 do
+    match Vec.get t.fixed_meta i with
+    | _, Table_col c -> m := max !m (Array.length c)
+    | _ -> ()
+  done;
+  !m
+
+(** Smallest k whose 2^k rows hold the content, the tables, the public
+    values and the blinding region (the paper's FindOptimalK). *)
+let optimal_k t ~blinding =
+  let needed = max t.nrows (max (table_rows t) (Vec.length t.instance)) in
+  ceil_log2 (needed + blinding + 1)
+
+let finalize t ~blinding ~k =
+  let n = 1 lsl k in
+  let u = n - blinding - 1 in
+  if max t.nrows (max (table_rows t) (Vec.length t.instance)) > u then
+    raise (Layout_invalid "content does not fit in 2^k rows");
+  let fixed =
+    Array.init t.num_fixed (fun i ->
+        match Vec.get t.fixed_meta i with
+        | _, Constants -> Vec.to_padded_array t.const_values n
+        | _, Selector rows ->
+            let col = Array.make n 0 in
+            List.iter (fun r -> col.(r) <- 1) !rows;
+            col
+        | _, Table_col content ->
+            let col = Array.make n 0 in
+            Array.blit content 0 col 0 (Array.length content);
+            (* pad with the last real entry so padding rows do not add a
+               spurious (0, 0, ...) tuple to the table *)
+            let last = content.(Array.length content - 1) in
+            for r = Array.length content to n - 1 do
+              col.(r) <- last
+            done;
+            col)
+  in
+  let advice = Array.map (fun v -> Vec.to_padded_array v n) t.advice in
+  let instance_col = Vec.to_padded_array t.instance n in
+  let col_of = function
+    | Adv (c, _) -> C.Col_advice c
+    | Fix (c, _) -> C.Col_fixed c
+  in
+  let row_of = function Adv (_, r) -> r | Fix (_, r) -> r in
+  let copies =
+    List.map
+      (fun (a, b) -> ((col_of a, row_of a), (col_of b, row_of b)))
+      t.copies
+    @ List.map
+        (fun (cell, irow) ->
+          ((col_of cell, row_of cell), (C.Col_instance 0, irow)))
+        t.instance_copies
+  in
+  let is_selector =
+    Array.init t.num_fixed (fun i -> fst (Vec.get t.fixed_meta i) = 1)
+  in
+  let circuit : int C.t =
+    {
+      C.k;
+      num_fixed = t.num_fixed;
+      is_selector;
+      advice_phases = Array.make t.ncols 0;
+      num_instance = 1;
+      num_challenges = 0;
+      gates = List.rev t.gates;
+      lookups = List.rev t.lookups;
+      copies;
+      blinding;
+    }
+  in
+  {
+    circuit;
+    fixed;
+    advice;
+    instance_col;
+    rows_content = t.nrows;
+    table_rows = table_rows t;
+    copies_count = List.length copies;
+  }
+
+(** Layout statistics for cost estimation, available in counting mode
+    (before any k is chosen). *)
+type summary = {
+  rows_content : int;
+  tables : int;
+  lookup_count : int;
+  advice_cols : int;
+  fixed_cols : int;
+  selector_cols_count : int;
+  gate_count : int;
+  max_gate_degree : int;
+  table_rows_needed : int;
+}
+
+let summary t =
+  let max_deg =
+    List.fold_left
+      (fun acc (g : int C.gate) ->
+        List.fold_left (fun a p -> max a (E.degree p)) acc g.polys)
+      3 t.gates
+  in
+  let max_deg =
+    List.fold_left
+      (fun acc (l : int C.lookup) -> max acc (C.lookup_degree l))
+      max_deg t.lookups
+  in
+  {
+    rows_content = t.nrows;
+    tables = t.num_lookup_tables;
+    lookup_count = List.length t.lookups;
+    advice_cols = t.ncols;
+    fixed_cols = t.num_fixed;
+    selector_cols_count = Hashtbl.length t.selector_cols;
+    gate_count = List.length t.gates;
+    max_gate_degree = max_deg;
+    table_rows_needed = table_rows t;
+  }

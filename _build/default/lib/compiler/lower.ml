@@ -1,0 +1,931 @@
+(** Graph-to-circuit lowering: walks the dataflow graph, consuming the
+    fixed-point executor's values, and emits gadget rows through the
+    {!Layouter}. Implements the paper's gadget library (§5) and the
+    layer compositions (§6), parameterized by the logical layout choices
+    in {!Layout_spec}.
+
+    Layout conventions (base column [b] inside a lane):
+    - dot (plain):      x_1..x_m | y_1..y_m | z        (m = (ncols-1)/2)
+    - dot (bias):       x_1..x_m | y_1..y_m | b | z    (m = (ncols-2)/2)
+    - sum:              x_1..x_{ncols-1} | z
+    - add/sub lanes:    a | b | c          with  c = a +- b
+    - mul/sqdiff lanes: a | b | p
+    - square/neg/acts:  a | p
+    - divround lanes:   a | q | r          (q = Round(a / c), c fixed)
+    - vardiv lanes:     a | b | y | r      (y = Round(a*SF / b))
+    - max/min lanes:    a | b | c          plus two range lookups
+    - bit-decomposed ReLU: x | y | b_0..b_{tb-1} *)
+
+module T = Zkml_tensor.Tensor
+module Fx = Zkml_fixed.Fixed
+module E = Zkml_plonkish.Expr
+module L = Layouter
+
+exception Unsupported of string
+
+(** An operand: its integer value plus where it lives (if anywhere). *)
+type opnd = {
+  v : int;
+  slot : L.cref option ref option;
+      (** shared cell slot of a tensor element; filled at first use *)
+  cell : L.cref option;  (** direct cell (gadget intermediate / constant) *)
+}
+
+let of_cell v cell = { v; cell = Some cell; slot = None }
+let fresh v = { v; cell = None; slot = None }
+
+let const_opnd ly c = { v = c; cell = Some (L.constant_cell ly c); slot = None }
+
+(** Place an operand at (row, col): writes the value and adds the copy
+    constraint against its existing cell, or claims the slot. *)
+let place ly ~row ~col o =
+  match o.cell with
+  | Some c -> ignore (L.put_operand ly ~row ~col (o.v, Some c))
+  | None -> (
+      match o.slot with
+      | None -> ignore (L.put ly ~row ~col ~value:o.v)
+      | Some slot -> (
+          match !slot with
+          | Some c -> ignore (L.put_operand ly ~row ~col (o.v, Some c))
+          | None ->
+              let cell = L.put ly ~row ~col ~value:o.v in
+              slot := Some cell))
+
+(** Write a gadget output cell. *)
+let output ly ~row ~col v = of_cell v (L.put ly ~row ~col ~value:v)
+
+let sel col = E.fixed col
+let adv = E.advice
+
+(* ------------------------------------------------------------------ *)
+(* Tables *)
+
+let range_table ly =
+  match Hashtbl.find_opt ly.L.table_cols "range" with
+  | Some c -> c
+  | None ->
+      let n = Fx.table_size ly.L.cfg in
+      L.new_table ly "range" [| Array.init n (fun i -> i) |]
+
+let act_table ly name fn =
+  let key = "act_" ^ name in
+  match Hashtbl.find_opt ly.L.table_cols key with
+  | Some c -> c
+  | None ->
+      let lo = Fx.table_min ly.L.cfg and hi = Fx.table_max ly.L.cfg in
+      let n = hi - lo + 1 in
+      let t_in = Array.init n (fun i -> lo + i) in
+      let t_out = Array.init n (fun i -> Fx.apply_real ly.L.cfg fn (lo + i)) in
+      L.new_table ly key [| t_in; t_out |]
+
+(* A range lookup on an input expression gated by selector s. *)
+let add_range_lookup ly ~name ~s expr =
+  let rcol = range_table ly in
+  L.add_lookup ly name [ E.Mul (s, expr) ] [ E.fixed rcol ]
+
+(* ------------------------------------------------------------------ *)
+(* Core gadgets *)
+
+(** Sum of a list of operands: z = sum x_i, chunked into rows of
+    ncols - 1 addends (paper §5.2 "Sum"). *)
+let rec emit_sum ly (xs : opnd list) : opnd =
+  match xs with
+  | [] -> const_opnd ly 0
+  | [ x ] -> x
+  | xs ->
+      let width = ly.L.ncols in
+      let m = width - 1 in
+      let register s_col _lanes =
+        let s = sel s_col in
+        let terms = List.init m (fun i -> adv i) in
+        let total = List.fold_left (fun acc t -> E.Add (acc, t)) (E.Const 0) terms in
+        L.add_gate ly "sum" [ E.Mul (s, E.Sub (adv m, total)) ]
+      in
+      let rec chunks acc = function
+        | [] -> List.rev acc
+        | xs ->
+            let rec take k = function
+              | [] -> ([], [])
+              | x :: rest when k > 0 ->
+                  let taken, remain = take (k - 1) rest in
+                  (x :: taken, remain)
+              | rest -> ([], rest)
+            in
+            let taken, remain = take m xs in
+            chunks (taken :: acc) remain
+      in
+      let partials =
+        List.map
+          (fun chunk ->
+            let row, base = L.alloc_lane ly ~kind:"sum" ~width ~register in
+            List.iteri (fun i x -> place ly ~row ~col:(base + i) x) chunk;
+            let v = List.fold_left (fun acc x -> acc + x.v) 0 chunk in
+            output ly ~row ~col:(base + m) v)
+          (chunks [] xs)
+      in
+      emit_sum ly partials
+
+(** Plain dot product (paper §5.2): z = sum x_i * y_i, chunked; partial
+    results combined with the sum gadget. *)
+let emit_dot_plain ly (pairs : (opnd * opnd) list) : opnd =
+  let width = ly.L.ncols in
+  let m = (width - 1) / 2 in
+  if m < 1 then raise (L.Layout_invalid "dot needs >= 3 columns");
+  let register s_col _lanes =
+    let s = sel s_col in
+    let prods = List.init m (fun i -> E.Mul (adv i, adv (m + i))) in
+    let total = List.fold_left (fun acc t -> E.Add (acc, t)) (E.Const 0) prods in
+    L.add_gate ly "dot_plain" [ E.Mul (s, E.Sub (adv (2 * m), total)) ]
+  in
+  let rec chunks acc = function
+    | [] -> List.rev acc
+    | ps ->
+        let rec take k = function
+          | [] -> ([], [])
+          | p :: rest when k > 0 ->
+              let t, r = take (k - 1) rest in
+              (p :: t, r)
+          | rest -> ([], rest)
+        in
+        let t, r = take m ps in
+        chunks (t :: acc) r
+  in
+  let partials =
+    List.map
+      (fun chunk ->
+        let row, base = L.alloc_lane ly ~kind:"dot_plain" ~width ~register in
+        List.iteri
+          (fun i (x, y) ->
+            place ly ~row ~col:(base + i) x;
+            place ly ~row ~col:(base + m + i) y)
+          chunk;
+        let v = List.fold_left (fun acc (x, y) -> acc + (x.v * y.v)) 0 chunk in
+        output ly ~row ~col:(base + (2 * m)) v)
+      (chunks [] pairs)
+  in
+  emit_sum ly partials
+
+(** Dot product with bias accumulation (paper §5.2 "Dot product with
+    bias"): the first row seeds the accumulator with SF * bias, each
+    following row carries the previous partial in the bias slot, so no
+    separate sum gadget is needed. *)
+let emit_dot_bias ly (pairs : (opnd * opnd) list) (bias : opnd) : opnd =
+  let width = ly.L.ncols in
+  let m = (width - 2) / 2 in
+  if m < 1 then raise (L.Layout_invalid "dot_bias needs >= 4 columns");
+  let sf = L.sf ly in
+  let register_first s_col _ =
+    let s = sel s_col in
+    let prods = List.init m (fun i -> E.Mul (adv i, adv (m + i))) in
+    let total = List.fold_left (fun acc t -> E.Add (acc, t)) (E.Const 0) prods in
+    L.add_gate ly "dot_bias_first"
+      [ E.Mul
+          (s, E.Sub (adv ((2 * m) + 1), E.Add (E.Scaled (adv (2 * m), sf), total)))
+      ]
+  in
+  let register_acc s_col _ =
+    let s = sel s_col in
+    let prods = List.init m (fun i -> E.Mul (adv i, adv (m + i))) in
+    let total = List.fold_left (fun acc t -> E.Add (acc, t)) (E.Const 0) prods in
+    L.add_gate ly "dot_bias_acc"
+      [ E.Mul (s, E.Sub (adv ((2 * m) + 1), E.Add (adv (2 * m), total))) ]
+  in
+  let rec chunks acc = function
+    | [] -> List.rev acc
+    | ps ->
+        let rec take k = function
+          | [] -> ([], [])
+          | p :: rest when k > 0 ->
+              let t, r = take (k - 1) rest in
+              (p :: t, r)
+          | rest -> ([], rest)
+        in
+        let t, r = take m ps in
+        chunks (t :: acc) r
+  in
+  let emit_row ~kind ~register carry chunk =
+    let row, base = L.alloc_lane ly ~kind ~width ~register in
+    List.iteri
+      (fun i (x, y) ->
+        place ly ~row ~col:(base + i) x;
+        place ly ~row ~col:(base + m + i) y)
+      chunk;
+    place ly ~row ~col:(base + (2 * m)) carry;
+    let prod = List.fold_left (fun acc (x, y) -> acc + (x.v * y.v)) 0 chunk in
+    let v =
+      match kind with
+      | "dot_bias_first" -> (carry.v * sf) + prod
+      | _ -> carry.v + prod
+    in
+    output ly ~row ~col:(base + (2 * m) + 1) v
+  in
+  match chunks [] pairs with
+  | [] ->
+      (* no products: accumulator is just SF * bias; use one first-row *)
+      emit_row ~kind:"dot_bias_first" ~register:register_first bias []
+  | first :: rest ->
+      let acc = ref (emit_row ~kind:"dot_bias_first" ~register:register_first bias first) in
+      List.iter
+        (fun chunk ->
+          acc := emit_row ~kind:"dot_bias_acc" ~register:register_acc !acc chunk)
+        rest;
+      !acc
+
+(** Rounded division by a positive constant (rescaling; paper §5.1):
+    q = floor((2a + c) / 2c), constrained by 2a + c = 2c q + r with two
+    range lookups bounding r in [0, 2c). *)
+let emit_divround ly (x : opnd) ~divisor : opnd =
+  assert (divisor > 0);
+  let kind = Printf.sprintf "divround_%d" divisor in
+  let width = 3 in
+  let register s_col lanes =
+    let s = sel s_col in
+    let polys =
+      List.init lanes (fun j ->
+          let b = j * width in
+          E.Mul
+            ( s,
+              E.Sub
+                ( E.Add (E.Scaled (adv b, 2), E.Const divisor),
+                  E.Add (E.Scaled (adv (b + 1), 2 * divisor), adv (b + 2)) ) ))
+    in
+    L.add_gate ly kind polys;
+    for j = 0 to lanes - 1 do
+      let b = j * width in
+      add_range_lookup ly ~name:(kind ^ "-r") ~s (adv (b + 2));
+      add_range_lookup ly ~name:(kind ^ "-rhi") ~s
+        (E.Sub (E.Const ((2 * divisor) - 1), adv (b + 2)))
+    done
+  in
+  (* unused lanes must satisfy 2a + c = 2c q + r: a=0, q=0 forces r=c *)
+  let prefill ~row ~base =
+    ignore (L.put ly ~row ~col:(base + 2) ~value:divisor)
+  in
+  let row, base = L.alloc_lane ly ~kind ~width ~register ~prefill in
+  place ly ~row ~col:base x;
+  let q = Fx.round_div x.v divisor in
+  let r = (2 * x.v) + divisor - (q * 2 * divisor) in
+  ignore (L.put ly ~row ~col:(base + 2) ~value:r);
+  output ly ~row ~col:(base + 1) q
+
+(** Variable division (paper §5.1): y = Round(a * SF / b) with b secret,
+    constrained by 2 SF a + b = 2 y b + r, r in [0, 2b). *)
+let emit_vardiv ly (num : opnd) (den : opnd) : opnd =
+  let sf = L.sf ly in
+  let kind = "vardiv" in
+  let width = 4 in
+  let register s_col lanes =
+    let s = sel s_col in
+    let polys =
+      List.init lanes (fun j ->
+          let b = j * width in
+          E.Mul
+            ( s,
+              E.Sub
+                ( E.Add (E.Scaled (adv b, 2 * sf), adv (b + 1)),
+                  E.Add
+                    ( E.Scaled (E.Mul (adv (b + 2), adv (b + 1)), 2),
+                      adv (b + 3) ) ) ))
+    in
+    L.add_gate ly kind polys;
+    for j = 0 to lanes - 1 do
+      let b = j * width in
+      add_range_lookup ly ~name:"vardiv-r" ~s (adv (b + 3));
+      add_range_lookup ly ~name:"vardiv-rhi" ~s
+        (E.Sub
+           (E.Sub (E.Scaled (adv (b + 1), 2), E.Const 1), adv (b + 3)))
+    done
+  in
+  (* unused lanes: a=0, b=1, y=0 forces r=1 and keeps 2b-1-r = 0 in range *)
+  let prefill ~row ~base =
+    ignore (L.put ly ~row ~col:(base + 1) ~value:1);
+    ignore (L.put ly ~row ~col:(base + 3) ~value:1)
+  in
+  let row, base = L.alloc_lane ly ~kind ~width ~register ~prefill in
+  place ly ~row ~col:base num;
+  place ly ~row ~col:(base + 1) den;
+  let d = max 1 den.v in
+  let y = Fx.round_div (num.v * sf) d in
+  let r = (2 * sf * num.v) + den.v - (2 * y * den.v) in
+  ignore (L.put ly ~row ~col:(base + 3) ~value:r);
+  output ly ~row ~col:(base + 2) y
+
+type binary_kind = Badd | Bsub | Bmul_raw | Bsqdiff_raw | Bmax | Bmin
+
+let binary_name = function
+  | Badd -> "add"
+  | Bsub -> "sub"
+  | Bmul_raw -> "mul_raw"
+  | Bsqdiff_raw -> "sqdiff_raw"
+  | Bmax -> "max"
+  | Bmin -> "min"
+
+(** Packed custom binary gadgets: lanes of (a, b, c). *)
+let emit_binary_custom ly kind (a : opnd) (b : opnd) : opnd =
+  let name = binary_name kind in
+  let width = 3 in
+  let register s_col lanes =
+    let s = sel s_col in
+    let polys =
+      List.init lanes (fun j ->
+          let base = j * width in
+          let a = adv base and b = adv (base + 1) and c = adv (base + 2) in
+          let body =
+            match kind with
+            | Badd -> E.Sub (c, E.Add (a, b))
+            | Bsub -> E.Sub (c, E.Sub (a, b))
+            | Bmul_raw -> E.Sub (c, E.Mul (a, b))
+            | Bsqdiff_raw -> E.Sub (c, E.Mul (E.Sub (a, b), E.Sub (a, b)))
+            | Bmax | Bmin -> E.Mul (E.Sub (c, a), E.Sub (c, b))
+          in
+          E.Mul (s, body))
+    in
+    L.add_gate ly name polys;
+    match kind with
+    | Bmax ->
+        for j = 0 to lanes - 1 do
+          let base = j * width in
+          add_range_lookup ly ~name:"max-ca" ~s
+            (E.Sub (adv (base + 2), adv base));
+          add_range_lookup ly ~name:"max-cb" ~s
+            (E.Sub (adv (base + 2), adv (base + 1)))
+        done
+    | Bmin ->
+        for j = 0 to lanes - 1 do
+          let base = j * width in
+          add_range_lookup ly ~name:"min-ac" ~s
+            (E.Sub (adv base, adv (base + 2)));
+          add_range_lookup ly ~name:"min-bc" ~s
+            (E.Sub (adv (base + 1), adv (base + 2)))
+        done
+    | _ -> ()
+  in
+  let row, base = L.alloc_lane ly ~kind:name ~width ~register in
+  place ly ~row ~col:base a;
+  place ly ~row ~col:(base + 1) b;
+  let v =
+    match kind with
+    | Badd -> a.v + b.v
+    | Bsub -> a.v - b.v
+    | Bmul_raw -> a.v * b.v
+    | Bsqdiff_raw -> (a.v - b.v) * (a.v - b.v)
+    | Bmax -> max a.v b.v
+    | Bmin -> min a.v b.v
+  in
+  output ly ~row ~col:(base + 2) v
+
+(** The via-dot alternatives (§5.1: "repurposing the dot product
+    gadget"): additions/multiplications expressed as tiny dot products. *)
+let emit_binary ly ~(spec : Layout_spec.t) kind a b =
+  match (spec.arith, kind) with
+  | Layout_spec.Custom_arith, _ | _, (Bmax | Bmin) ->
+      emit_binary_custom ly kind a b
+  | Layout_spec.Via_dot, Badd ->
+      emit_dot_plain ly [ (a, const_opnd ly 1); (b, const_opnd ly 1) ]
+  | Layout_spec.Via_dot, Bsub ->
+      emit_dot_plain ly [ (a, const_opnd ly 1); (b, const_opnd ly (-1)) ]
+  | Layout_spec.Via_dot, Bmul_raw -> emit_dot_plain ly [ (a, b) ]
+  | Layout_spec.Via_dot, Bsqdiff_raw ->
+      let d = emit_dot_plain ly [ (a, const_opnd ly 1); (b, const_opnd ly (-1)) ] in
+      emit_dot_plain ly [ (d, d) ]
+
+let emit_neg ly ~spec a =
+  emit_binary ly ~spec Bsub (const_opnd ly 0) a
+
+let emit_square ly ~(spec : Layout_spec.t) a =
+  match spec.arith with
+  | Layout_spec.Via_dot -> emit_dot_plain ly [ (a, a) ]
+  | Layout_spec.Custom_arith ->
+      let width = 2 in
+      let register s_col lanes =
+        let s = sel s_col in
+        let polys =
+          List.init lanes (fun j ->
+              let b = j * width in
+              E.Mul (s, E.Sub (adv (b + 1), E.Mul (adv b, adv b))))
+        in
+        L.add_gate ly "square_raw" polys
+      in
+      let row, base = L.alloc_lane ly ~kind:"square_raw" ~width ~register in
+      place ly ~row ~col:base a;
+      output ly ~row ~col:(base + 1) (a.v * a.v)
+
+(** Pointwise non-linearity via a two-column lookup table (paper §5.2
+    "ReLU" and §5.1 "pointwise non-linearities"). *)
+let emit_act_lookup ly name fn (x : opnd) : opnd =
+  let tcol = act_table ly name fn in
+  let kind = "act_" ^ name in
+  let width = 2 in
+  let d1 = Fx.apply_real ly.L.cfg fn 0 in
+  let register s_col lanes =
+    let s = sel s_col in
+    for j = 0 to lanes - 1 do
+      let b = j * width in
+      let gate e default =
+        E.Add (E.Mul (s, e), E.Mul (E.Sub (E.Const 1, s), E.Const default))
+      in
+      L.add_lookup ly kind
+        [ gate (adv b) 0; gate (adv (b + 1)) d1 ]
+        [ E.fixed tcol; E.fixed (tcol + 1) ]
+    done
+  in
+  (* unused lanes must hold a valid table pair: (0, f(0)) *)
+  let prefill ~row ~base =
+    ignore (L.put ly ~row ~col:(base + 1) ~value:d1)
+  in
+  let row, base = L.alloc_lane ly ~kind ~width ~register ~prefill in
+  place ly ~row ~col:base x;
+  if x.v < Fx.table_min ly.L.cfg || x.v > Fx.table_max ly.L.cfg then
+    raise
+      (Unsupported
+         (Printf.sprintf "%s input %d outside lookup range; increase table_bits"
+            name x.v));
+  output ly ~row ~col:(base + 1) (Fx.apply_real ly.L.cfg fn x.v)
+
+(** Bit-decomposition ReLU (§3's running example, the prior-work
+    representation): offset-binary decomposition plus a sign-bit
+    multiplication, no lookup tables. *)
+let emit_relu_bitdecomp ly (x : opnd) : opnd =
+  let tb = ly.L.cfg.Fx.table_bits in
+  let width = tb + 2 in
+  let kind = "relu_bits" in
+  let register s_col lanes =
+    let s = sel s_col in
+    let polys =
+      List.concat
+        (List.init lanes (fun j ->
+             let base = j * width in
+             let bit i = adv (base + 2 + i) in
+             let booleans =
+               List.init tb (fun i ->
+                   E.Mul (s, E.Mul (bit i, E.Sub (bit i, E.Const 1))))
+             in
+             let weighted =
+               List.init tb (fun i -> E.Scaled (bit i, 1 lsl i))
+             in
+             let total =
+               List.fold_left (fun acc t -> E.Add (acc, t)) (E.Const 0) weighted
+             in
+             let recompose =
+               E.Mul
+                 ( s,
+                   E.Sub (E.Add (adv base, E.Const (1 lsl (tb - 1))), total) )
+             in
+             let relu =
+               E.Mul (s, E.Sub (adv (base + 1), E.Mul (adv base, bit (tb - 1))))
+             in
+             booleans @ [ recompose; relu ]))
+    in
+    L.add_gate ly kind polys
+  in
+  (* unused lanes: x=0 has offset 2^(tb-1), i.e. only the sign bit set *)
+  let prefill ~row ~base =
+    ignore (L.put ly ~row ~col:(base + 2 + (tb - 1)) ~value:1)
+  in
+  let row, base = L.alloc_lane ly ~kind ~width ~register ~prefill in
+  place ly ~row ~col:base x;
+  let offset = x.v + (1 lsl (tb - 1)) in
+  if offset < 0 || offset >= 1 lsl tb then
+    raise
+      (Unsupported
+         (Printf.sprintf "bitdecomp relu input %d out of range" x.v));
+  for i = 0 to tb - 1 do
+    ignore (L.put ly ~row ~col:(base + 2 + i) ~value:((offset lsr i) land 1))
+  done;
+  output ly ~row ~col:(base + 1) (max 0 x.v)
+
+(** Maximum of a list via a tree of max gadgets (used by softmax and max
+    pooling). *)
+let rec emit_max_tree ly ~spec = function
+  | [] -> invalid_arg "emit_max_tree: empty"
+  | [ x ] -> x
+  | xs ->
+      let rec pair_up = function
+        | a :: b :: rest -> emit_binary ly ~spec Bmax a b :: pair_up rest
+        | [ a ] -> [ a ]
+        | [] -> []
+      in
+      emit_max_tree ly ~spec (pair_up xs)
+
+(* ------------------------------------------------------------------ *)
+(* Composite layers (§6) *)
+
+(** The paper's high-performance softmax (§6.1): subtract the row max,
+    scaled-exponential lookups, sum, then variable division with the
+    numerator pre-scaled by SF to avoid catastrophic rounding. *)
+let emit_softmax ly ~spec (xs : opnd list) : opnd list =
+  let m = emit_max_tree ly ~spec xs in
+  let shifted = List.map (fun x -> emit_binary ly ~spec Bsub x m) xs in
+  let exps =
+    List.map (fun s -> emit_act_lookup ly "exp" Fx.exp' s) shifted
+  in
+  let total = emit_sum ly exps in
+  List.map (fun e -> emit_vardiv ly e total) exps
+
+(** Linear-layer accumulation: pairs of (activation, weight) operands
+    plus an optional bias, rescaled back to single-scale at the end. *)
+let emit_linear ly ~(spec : Layout_spec.t) (pairs : (opnd * opnd) list)
+    ~(bias : opnd option) : opnd =
+  let sf = L.sf ly in
+  let acc =
+    match spec.linear with
+    | Layout_spec.Dot_bias ->
+        let b = match bias with Some b -> b | None -> const_opnd ly 0 in
+        emit_dot_bias ly pairs b
+    | Layout_spec.Dot_plain ->
+        let pairs =
+          match bias with
+          | Some b -> (b, const_opnd ly sf) :: pairs
+          | None -> pairs
+        in
+        emit_dot_plain ly pairs
+  in
+  emit_divround ly acc ~divisor:sf
+
+(** Elementwise multiply with rescale. *)
+let emit_mul ly ~spec a b =
+  emit_divround ly (emit_binary ly ~spec Bmul_raw a b) ~divisor:(L.sf ly)
+
+(* ------------------------------------------------------------------ *)
+(* Graph walk *)
+
+type lowered = {
+  layouter : L.t;
+  node_cells : L.cref option ref array array;  (** per node, flat *)
+}
+
+let zip_opnds values refs =
+  let data = T.data values and rdata = T.data refs in
+  T.of_array (T.shape values)
+    (Array.init (Array.length data) (fun i ->
+         { v = data.(i); slot = Some rdata.(i); cell = None }))
+
+(** Lower a whole graph. [exec] must come from {!Zkml_nn.Quant_exec.run}
+    on the same graph and inputs. *)
+let lower_with ~(spec_fn : int -> Layout_spec.t) ~cfg ~ncols ~counting graph
+    (exec : Zkml_nn.Quant_exec.t) : lowered =
+  let ly = L.create ~ncols ~cfg ~counting in
+  let nodes = Zkml_nn.Graph.nodes graph in
+  let num_nodes = Array.length nodes in
+  let node_cells = Array.make num_nodes [||] in
+  let zero_slot = ref (Some (L.constant_cell ly 0)) in
+  (* ref-tensor for a node (shared slots so views alias weights) *)
+  let ref_tensor id =
+    T.of_array (T.shape exec.Zkml_nn.Quant_exec.values.(id)) node_cells.(id)
+  in
+  let opnd_tensor id = zip_opnds exec.Zkml_nn.Quant_exec.values.(id) (ref_tensor id) in
+  let fresh_refs id =
+    node_cells.(id) <-
+      Array.init (T.numel exec.Zkml_nn.Quant_exec.values.(id)) (fun _ -> ref None)
+  in
+  let store_outputs id (outs : opnd array) =
+    (* passthrough outputs (no fresh cell) share the producer's slot so
+       aliasing and copy constraints survive no-op reductions *)
+    node_cells.(id) <-
+      Array.map
+        (fun o ->
+          match o.cell with
+          | Some c -> ref (Some c)
+          | None -> ( match o.slot with Some r -> r | None -> ref None))
+        outs
+  in
+  (* lower an elementwise / rowwise op producing one opnd per element *)
+  let sf = L.sf ly in
+  Array.iter
+    (fun (node : Zkml_nn.Graph.node) ->
+      let id = node.Zkml_nn.Graph.id in
+      let spec = spec_fn id in
+      let inp = node.Zkml_nn.Graph.inputs in
+      let values = exec.Zkml_nn.Quant_exec.values in
+      let out_numel = T.numel values.(id) in
+      match node.Zkml_nn.Graph.op with
+      | Zkml_nn.Op.Input _ ->
+          (* materialize inputs into packed rows and expose them publicly *)
+          fresh_refs id;
+          let register _ _ = () in
+          let vals = T.data values.(id) in
+          Array.iteri
+            (fun i v ->
+              let row, col = L.alloc_lane ly ~kind:"io_load" ~width:1 ~register in
+              let cell = L.put ly ~row ~col ~value:v in
+              node_cells.(id).(i) := Some cell;
+              L.expose ly cell v)
+            vals
+      | Zkml_nn.Op.Weight _ ->
+          (* weights materialize lazily at first use *)
+          fresh_refs id
+      | Zkml_nn.Op.Conv2d { stride; padding } ->
+          let x = opnd_tensor inp.(0)
+          and w = opnd_tensor inp.(1)
+          and b = opnd_tensor inp.(2) in
+          let b_wrapped = T.map (fun o -> (Some o, [])) b in
+          let sym =
+            Zkml_nn.Float_exec.conv2d_generic ~zero:(None, [])
+              ~madd:(fun (bias, pairs) a b -> (bias, (a, b) :: pairs))
+              ~stride ~padding x w b_wrapped
+          in
+          let outs =
+            Array.map
+              (fun (bias, pairs) -> emit_linear ly ~spec pairs ~bias)
+              (T.data sym)
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Depthwise_conv2d { stride; padding } ->
+          let x = opnd_tensor inp.(0)
+          and w = opnd_tensor inp.(1)
+          and b = opnd_tensor inp.(2) in
+          let b_wrapped = T.map (fun o -> (Some o, [])) b in
+          let sym =
+            Zkml_nn.Float_exec.depthwise_conv2d_generic ~zero:(None, [])
+              ~madd:(fun (bias, pairs) a b -> (bias, (a, b) :: pairs))
+              ~stride ~padding x w b_wrapped
+          in
+          let outs =
+            Array.map
+              (fun (bias, pairs) -> emit_linear ly ~spec pairs ~bias)
+              (T.data sym)
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Fully_connected ->
+          let x = opnd_tensor inp.(0)
+          and w = opnd_tensor inp.(1)
+          and b = opnd_tensor inp.(2) in
+          let sym =
+            Zkml_nn.Float_exec.batch_matmul_generic ~zero:[]
+              ~madd:(fun pairs a b -> (a, b) :: pairs)
+              ~transpose_b:false x w
+          in
+          let bdata = T.data b in
+          let nb = Array.length bdata in
+          let outs =
+            Array.mapi
+              (fun i pairs ->
+                emit_linear ly ~spec pairs ~bias:(Some bdata.(i mod nb)))
+              (T.data sym)
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Batch_matmul { transpose_b } ->
+          let a = opnd_tensor inp.(0) and b = opnd_tensor inp.(1) in
+          let sym =
+            Zkml_nn.Float_exec.batch_matmul_generic ~zero:[]
+              ~madd:(fun pairs x y -> (x, y) :: pairs)
+              ~transpose_b a b
+          in
+          let outs =
+            Array.map (fun pairs -> emit_linear ly ~spec pairs ~bias:None) (T.data sym)
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Avg_pool2d { size; stride } ->
+          let x = opnd_tensor inp.(0) in
+          let sym =
+            Zkml_nn.Float_exec.pool_generic
+              ~combine:(fun acc o -> o :: acc)
+              ~finalize:(fun acc _ -> acc)
+              ~init:[] ~size ~stride x
+          in
+          let outs =
+            Array.map
+              (fun window ->
+                let total = emit_sum ly window in
+                emit_divround ly total ~divisor:(List.length window))
+              (T.data sym)
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Max_pool2d { size; stride } ->
+          let x = opnd_tensor inp.(0) in
+          let sym =
+            Zkml_nn.Float_exec.pool_generic
+              ~combine:(fun acc o -> o :: acc)
+              ~finalize:(fun acc _ -> acc)
+              ~init:[] ~size ~stride x
+          in
+          let outs =
+            Array.map (fun w -> emit_max_tree ly ~spec w) (T.data sym)
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Global_avg_pool ->
+          let x = opnd_tensor inp.(0) in
+          let s = T.shape x in
+          let sym =
+            Zkml_nn.Float_exec.pool_generic
+              ~combine:(fun acc o -> o :: acc)
+              ~finalize:(fun acc _ -> acc)
+              ~init:[] ~size:s.(1) ~stride:s.(1) x
+          in
+          let outs =
+            Array.map
+              (fun window ->
+                let total = emit_sum ly window in
+                emit_divround ly total ~divisor:(List.length window))
+              (T.data sym)
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Add | Zkml_nn.Op.Sub | Zkml_nn.Op.Maximum | Zkml_nn.Op.Minimum
+        ->
+          let kind =
+            match node.Zkml_nn.Graph.op with
+            | Zkml_nn.Op.Add -> Badd
+            | Zkml_nn.Op.Sub -> Bsub
+            | Zkml_nn.Op.Maximum -> Bmax
+            | _ -> Bmin
+          in
+          let a = opnd_tensor inp.(0) and b = opnd_tensor inp.(1) in
+          let sym = Zkml_nn.Float_exec.broadcast2 (fun x y -> (x, y)) a b in
+          let outs =
+            Array.map (fun (x, y) -> emit_binary ly ~spec kind x y) (T.data sym)
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Mul ->
+          let a = opnd_tensor inp.(0) and b = opnd_tensor inp.(1) in
+          let sym = Zkml_nn.Float_exec.broadcast2 (fun x y -> (x, y)) a b in
+          let outs =
+            Array.map (fun (x, y) -> emit_mul ly ~spec x y) (T.data sym)
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Div ->
+          let a = opnd_tensor inp.(0) and b = opnd_tensor inp.(1) in
+          let sym = Zkml_nn.Float_exec.broadcast2 (fun x y -> (x, y)) a b in
+          let outs =
+            Array.map (fun (x, y) -> emit_vardiv ly x y) (T.data sym)
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Squared_difference ->
+          let a = opnd_tensor inp.(0) and b = opnd_tensor inp.(1) in
+          let sym = Zkml_nn.Float_exec.broadcast2 (fun x y -> (x, y)) a b in
+          let outs =
+            Array.map
+              (fun (x, y) ->
+                emit_divround ly (emit_binary ly ~spec Bsqdiff_raw x y) ~divisor:sf)
+              (T.data sym)
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Neg ->
+          let outs = Array.map (fun x -> emit_neg ly ~spec x) (T.data (opnd_tensor inp.(0))) in
+          store_outputs id outs
+      | Zkml_nn.Op.Square ->
+          let outs =
+            Array.map
+              (fun x -> emit_divround ly (emit_square ly ~spec x) ~divisor:sf)
+              (T.data (opnd_tensor inp.(0)))
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Reduce_sum { axis } ->
+          let x = opnd_tensor inp.(0) in
+          let sym =
+            Zkml_nn.Float_exec.reduce_generic
+              ~combine:(fun acc o -> o :: acc)
+              ~finalize:(fun acc _ -> acc)
+              ~init:[] ~axis x
+          in
+          let outs = Array.map (fun xs -> emit_sum ly xs) (T.data sym) in
+          store_outputs id outs
+      | Zkml_nn.Op.Reduce_mean { axis } ->
+          let x = opnd_tensor inp.(0) in
+          let xs_shape = T.shape x in
+          let d =
+            xs_shape.(Zkml_nn.Float_exec.normalize_axis (Array.length xs_shape) axis)
+          in
+          let sym =
+            Zkml_nn.Float_exec.reduce_generic
+              ~combine:(fun acc o -> o :: acc)
+              ~finalize:(fun acc _ -> acc)
+              ~init:[] ~axis x
+          in
+          let outs =
+            Array.map
+              (fun xs -> emit_divround ly (emit_sum ly xs) ~divisor:d)
+              (T.data sym)
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Reduce_max { axis } ->
+          let x = opnd_tensor inp.(0) in
+          let sym =
+            Zkml_nn.Float_exec.reduce_generic
+              ~combine:(fun acc o -> o :: acc)
+              ~finalize:(fun acc _ -> acc)
+              ~init:[] ~axis x
+          in
+          let outs = Array.map (fun xs -> emit_max_tree ly ~spec xs) (T.data sym) in
+          store_outputs id outs
+      | Zkml_nn.Op.Activation Zkml_nn.Op.Relu when spec.relu = Layout_spec.Bitdecomp_relu ->
+          let outs =
+            Array.map (fun x -> emit_relu_bitdecomp ly x) (T.data (opnd_tensor inp.(0)))
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Activation a ->
+          let name = Zkml_nn.Op.activation_name a in
+          let fn = Zkml_nn.Op.activation_fn a in
+          let outs =
+            Array.map
+              (fun x -> emit_act_lookup ly name fn x)
+              (T.data (opnd_tensor inp.(0)))
+          in
+          store_outputs id outs
+      | Zkml_nn.Op.Softmax ->
+          let x = opnd_tensor inp.(0) in
+          let s = T.shape x in
+          let d = s.(Array.length s - 1) in
+          let rows = T.numel x / d in
+          let data = T.data x in
+          let outs = Array.make out_numel (const_opnd ly 0) in
+          for r = 0 to rows - 1 do
+            let xs = List.init d (fun j -> data.((r * d) + j)) in
+            List.iteri
+              (fun j o -> outs.((r * d) + j) <- o)
+              (emit_softmax ly ~spec xs)
+          done;
+          store_outputs id outs
+      | Zkml_nn.Op.Layer_norm { eps } ->
+          let x = opnd_tensor inp.(0)
+          and gamma = opnd_tensor inp.(1)
+          and beta = opnd_tensor inp.(2) in
+          let s = T.shape x in
+          let d = s.(Array.length s - 1) in
+          let rows = T.numel x / d in
+          let data = T.data x in
+          let gdata = T.data gamma and bdata = T.data beta in
+          let eps_q = Fx.quantize cfg eps in
+          let outs = Array.make out_numel (const_opnd ly 0) in
+          for r = 0 to rows - 1 do
+            let xs = List.init d (fun j -> data.((r * d) + j)) in
+            let mean = emit_divround ly (emit_sum ly xs) ~divisor:d in
+            let devs = List.map (fun x -> emit_binary ly ~spec Bsub x mean) xs in
+            let sqs =
+              List.map
+                (fun dv -> emit_divround ly (emit_square ly ~spec dv) ~divisor:sf)
+                devs
+            in
+            let var = emit_divround ly (emit_sum ly sqs) ~divisor:d in
+            let var_eps = emit_binary ly ~spec Badd var (const_opnd ly eps_q) in
+            let inv = emit_act_lookup ly "rsqrt" Fx.rsqrt var_eps in
+            List.iteri
+              (fun j dv ->
+                let normalized = emit_mul ly ~spec dv inv in
+                let scaled = emit_mul ly ~spec normalized gdata.(j) in
+                outs.((r * d) + j) <- emit_binary ly ~spec Badd scaled bdata.(j))
+              devs
+          done;
+          store_outputs id outs
+      | Zkml_nn.Op.Batch_norm ->
+          let x = opnd_tensor inp.(0)
+          and scale = opnd_tensor inp.(1)
+          and shift = opnd_tensor inp.(2) in
+          let scaled =
+            Zkml_nn.Float_exec.broadcast2 (fun a b -> (a, b)) x scale
+          in
+          let partial =
+            T.map (fun (a, b) -> emit_mul ly ~spec a b) scaled
+          in
+          let final = Zkml_nn.Float_exec.broadcast2 (fun a b -> (a, b)) partial shift in
+          let outs = Array.map (fun (a, b) -> emit_binary ly ~spec Badd a b) (T.data final) in
+          store_outputs id outs
+      (* shape operations: free — just rearrange cell references *)
+      | Zkml_nn.Op.Reshape { shape } ->
+          node_cells.(id) <- T.data (T.reshape (ref_tensor inp.(0)) shape)
+      | Zkml_nn.Op.Transpose { perm } ->
+          node_cells.(id) <- T.data (T.transpose (ref_tensor inp.(0)) perm)
+      | Zkml_nn.Op.Concat { axis } ->
+          node_cells.(id) <-
+            T.data
+              (T.concat axis (Array.to_list (Array.map ref_tensor inp)))
+      | Zkml_nn.Op.Slice { starts; sizes } ->
+          node_cells.(id) <- T.data (T.slice (ref_tensor inp.(0)) ~starts ~sizes)
+      | Zkml_nn.Op.Pad { pads } ->
+          node_cells.(id) <-
+            T.data (T.pad (ref_tensor inp.(0)) ~pads ~value:zero_slot)
+      | Zkml_nn.Op.Flatten ->
+          let x = ref_tensor inp.(0) in
+          node_cells.(id) <- T.data (T.reshape x [| (T.shape x).(0); -1 |])
+      | Zkml_nn.Op.Squeeze _ | Zkml_nn.Op.Expand_dims _ ->
+          node_cells.(id) <- node_cells.(inp.(0))
+      | Zkml_nn.Op.Gather { indices; axis } ->
+          node_cells.(id) <-
+            T.data
+              (Zkml_nn.Float_exec.gather_generic ~indices ~axis
+                 (ref_tensor inp.(0))))
+    nodes;
+  (* expose outputs as public values *)
+  List.iter
+    (fun out_id ->
+      let vals = T.data exec.Zkml_nn.Quant_exec.values.(out_id) in
+      Array.iteri
+        (fun i slot ->
+          match !slot with
+          | Some cell -> L.expose ly cell vals.(i)
+          | None ->
+              (* output element never materialized (can happen for pure
+                 weight passthrough): load it now *)
+              let row, col =
+                L.alloc_lane ly ~kind:"io_load" ~width:1 ~register:(fun _ _ -> ())
+              in
+              let cell = L.put ly ~row ~col ~value:vals.(i) in
+              slot := Some cell;
+              L.expose ly cell vals.(i))
+        node_cells.(out_id))
+    (Zkml_nn.Graph.outputs graph);
+  { layouter = ly; node_cells }
+
+(** Lower with a single logical layout for every layer (the optimizer's
+    pruned search, §7.2). *)
+let lower ~spec ~cfg ~ncols ~counting graph exec =
+  lower_with ~spec_fn:(fun _ -> spec) ~cfg ~ncols ~counting graph exec

@@ -1,0 +1,138 @@
+(** The circuit-layout optimizer (Algorithm 1): enumerate logical
+    layouts, instantiate physical layouts across a column range via the
+    row-exact simulator, pick the cheapest by estimated cost. *)
+
+type objective = Min_time | Min_size
+
+type plan = {
+  spec : Layout_spec.t;
+  spec_fn : int -> Layout_spec.t;  (** per-node (= [spec] when pruned) *)
+  ncols : int;
+  k : int;
+  est_cost : float;
+  est_size : int;
+  summary : Layouter.summary;
+}
+
+type search_stats = { mutable candidates : int; mutable pruned_invalid : int }
+
+let blinding = 5
+
+let evaluate ?(k_max = max_int) ~times ~backend ~group_bytes ~field_bytes ~cfg
+    ~spec_fn graph exec ncols =
+  match
+    Lower.lower_with ~spec_fn ~cfg ~ncols ~counting:true graph exec
+  with
+  | exception Layouter.Layout_invalid _ -> None
+  | exception Lower.Unsupported _ -> None
+  | lowered ->
+      let ly = lowered.Lower.layouter in
+      let k = Layouter.optimal_k ly ~blinding in
+      if k > k_max then None
+      else
+      let summary = Layouter.summary ly in
+      let est_cost = Costmodel.estimate_time times ~backend ~k summary in
+      let est_size =
+        Costmodel.estimate_size ~backend ~k ~group_bytes ~field_bytes summary
+      in
+      Some (k, est_cost, est_size, summary)
+
+let better objective (cost, size) (cost', size') =
+  match objective with
+  | Min_time -> cost < cost'
+  | Min_size -> size < size' || (size = size' && cost < cost')
+
+(** Pruned search (the default, §7.2): one gadget choice per layer class
+    for the whole model; sweep the column count. *)
+let optimize ?(specs = Layout_spec.all) ?(ncols_min = 4) ?(ncols_max = 40)
+    ?(objective = Min_time) ?k_max ~times ~backend ~group_bytes ~field_bytes
+    ~cfg graph exec =
+  let stats = { candidates = 0; pruned_invalid = 0 } in
+  let best = ref None in
+  List.iter
+    (fun spec ->
+      for ncols = ncols_min to ncols_max do
+        stats.candidates <- stats.candidates + 1;
+        match
+          evaluate ?k_max ~times ~backend ~group_bytes ~field_bytes ~cfg
+            ~spec_fn:(fun _ -> spec) graph exec ncols
+        with
+        | None -> stats.pruned_invalid <- stats.pruned_invalid + 1
+        | Some (k, est_cost, est_size, summary) ->
+            let plan =
+              {
+                spec;
+                spec_fn = (fun _ -> spec);
+                ncols;
+                k;
+                est_cost;
+                est_size;
+                summary;
+              }
+            in
+            (match !best with
+            | None -> best := Some plan
+            | Some b ->
+                if better objective (est_cost, est_size) (b.est_cost, b.est_size)
+                then best := Some plan)
+      done)
+    specs;
+  match !best with
+  | Some plan -> (plan, stats)
+  | None -> failwith "Optimizer.optimize: no valid layout found"
+
+(** Non-pruned search (Table 12): per-layer gadget choices explored by
+    coordinate descent from the pruned optimum — strictly more
+    configurations are simulated, at higher optimizer cost. *)
+let optimize_unpruned ?(specs = Layout_spec.all) ?(ncols_min = 4)
+    ?(ncols_max = 40) ?(objective = Min_time) ?k_max ~times ~backend
+    ~group_bytes ~field_bytes ~cfg graph exec =
+  let (seed_plan : plan), stats =
+    optimize ~specs ~ncols_min ~ncols_max ~objective ?k_max ~times ~backend
+      ~group_bytes ~field_bytes ~cfg graph exec
+  in
+  let num_nodes = Zkml_nn.Graph.num_nodes graph in
+  let assignment = Array.make num_nodes seed_plan.spec in
+  let current = ref seed_plan in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for node = 0 to num_nodes - 1 do
+      List.iter
+        (fun candidate ->
+          if candidate <> assignment.(node) then begin
+            stats.candidates <- stats.candidates + 1;
+            let old = assignment.(node) in
+            assignment.(node) <- candidate;
+            (* snapshot so stored plans are immune to later mutation *)
+            let snapshot = Array.copy assignment in
+            let spec_fn i = snapshot.(i) in
+            match
+              evaluate ?k_max ~times ~backend ~group_bytes ~field_bytes ~cfg
+                ~spec_fn graph exec !current.ncols
+            with
+            | None ->
+                stats.pruned_invalid <- stats.pruned_invalid + 1;
+                assignment.(node) <- old
+            | Some (k, est_cost, est_size, summary) ->
+                if
+                  better objective (est_cost, est_size)
+                    (!current.est_cost, !current.est_size)
+                then begin
+                  current :=
+                    {
+                      !current with
+                      spec_fn;
+                      k;
+                      est_cost;
+                      est_size;
+                      summary;
+                    };
+                  improved := true
+                end
+                else assignment.(node) <- old
+          end)
+        specs
+    done
+  done;
+  (!current, stats)

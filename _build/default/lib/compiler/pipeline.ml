@@ -1,0 +1,223 @@
+(** End-to-end pipeline tying the compiler to the proving system:
+    quantize + execute, optimize the layout, build the circuit, keygen,
+    prove and verify — the "bash interface" layer of the paper's Figure
+    3, functorized over the commitment backend. *)
+
+module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
+  module Proto = Zkml_plonkish.Protocol.Make (Scheme)
+  module F = Proto.F
+  module P = Proto.P
+  module M = Zkml_ec.Msm.Make (Scheme.G)
+  module T = Zkml_tensor.Tensor
+  module Fx = Zkml_fixed.Fixed
+
+  let backend_name = Scheme.name
+
+  (* ------------------------------------------------------------------ *)
+  (* Hardware calibration (BenchmarkOperations, run once per backend) *)
+
+  let calibrate ?(ks = [ 8; 10; 12 ]) params =
+    let rng = Zkml_util.Rng.create 77L in
+    Costmodel.benchmark ~ks
+      ~fft_run:(fun k ->
+        let d = P.Domain.create k in
+        let a = Array.init (P.Domain.size d) (fun i -> F.of_int i) in
+        P.ntt d a)
+      ~msm_run:(fun k ->
+        let n = 1 lsl k in
+        let coeffs = Array.init n (fun i -> F.of_int (i + 1)) in
+        ignore (Scheme.commit params coeffs))
+      ~lookup_run:(fun k ->
+        let n = 1 lsl k in
+        let a = Array.init n (fun i -> F.of_int ((i * 7919) mod n)) in
+        Array.sort F.compare a)
+      ~field_run:(fun n ->
+        let x = ref (F.of_int 3) in
+        for _ = 1 to n do
+          x := F.add (F.mul !x !x) F.one
+        done;
+        ignore !x)
+      |> fun t ->
+      ignore rng;
+      t
+
+  let times_cache : (string, Costmodel.op_times) Hashtbl.t = Hashtbl.create 4
+
+  let calibrated params =
+    match Hashtbl.find_opt times_cache Scheme.name with
+    | Some t -> t
+    | None ->
+        let t = calibrate params in
+        Hashtbl.add times_cache Scheme.name t;
+        t
+
+  let backend = if Scheme.name = "kzg" then Costmodel.Kzg else Costmodel.Ipa
+
+  (* ------------------------------------------------------------------ *)
+  (* Build: turn a plan into field-typed circuit + witness *)
+
+  type artifacts = {
+    keys : Proto.keys;
+    advice : F.t array array;
+    instance : F.t array array;
+    plan : Optimizer.plan;
+    built : Layouter.built;
+  }
+
+  let to_field_circuit (c : int Zkml_plonkish.Circuit.t) : Proto.circuit =
+    {
+      Zkml_plonkish.Circuit.k = c.k;
+      num_fixed = c.num_fixed;
+      is_selector = c.is_selector;
+      advice_phases = c.advice_phases;
+      num_instance = c.num_instance;
+      num_challenges = c.num_challenges;
+      gates =
+        List.map
+          (fun (g : int Zkml_plonkish.Circuit.gate) ->
+            {
+              Zkml_plonkish.Circuit.gate_name = g.gate_name;
+              polys = List.map (Zkml_plonkish.Expr.map_const F.of_int) g.polys;
+            })
+          c.gates;
+      lookups =
+        List.map
+          (fun (l : int Zkml_plonkish.Circuit.lookup) ->
+            {
+              Zkml_plonkish.Circuit.lookup_name = l.lookup_name;
+              inputs = List.map (Zkml_plonkish.Expr.map_const F.of_int) l.inputs;
+              tables = List.map (Zkml_plonkish.Expr.map_const F.of_int) l.tables;
+            })
+          c.lookups;
+      copies = c.copies;
+      blinding = c.blinding;
+    }
+
+  let build params (plan : Optimizer.plan) ~cfg graph exec =
+    let lowered =
+      Lower.lower_with ~spec_fn:plan.Optimizer.spec_fn ~cfg
+        ~ncols:plan.Optimizer.ncols ~counting:false graph exec
+    in
+    let built =
+      Layouter.finalize lowered.Lower.layouter ~blinding:Optimizer.blinding
+        ~k:plan.Optimizer.k
+    in
+    let circuit = to_field_circuit built.Layouter.circuit in
+    let to_f = Array.map (fun col -> Array.map F.of_int col) in
+    let fixed = to_f built.Layouter.fixed in
+    let advice = to_f built.Layouter.advice in
+    let instance = [| Array.map F.of_int built.Layouter.instance_col |] in
+    let keys = Proto.keygen params circuit ~fixed in
+    { keys; advice; instance; plan; built }
+
+  let prove params artifacts ~rng =
+    Proto.prove params artifacts.keys ~instance:artifacts.instance
+      ~advice:(fun _ -> Array.map Array.copy artifacts.advice)
+      ~rng
+
+  let verify params artifacts proof =
+    Proto.verify params artifacts.keys ~instance:artifacts.instance proof
+
+  (* ------------------------------------------------------------------ *)
+  (* Verification from serialized artifacts (CLI support). The circuit
+     structure depends only on shapes and the plan, so a verifier can
+     rebuild the keys from the public model file without the witness. *)
+
+  let zero_inputs graph =
+    Zkml_nn.Graph.nodes graph |> Array.to_list
+    |> List.filter_map (fun (n : Zkml_nn.Graph.node) ->
+           match n.Zkml_nn.Graph.op with
+           | Zkml_nn.Op.Input { shape } -> Some (T.create shape 0)
+           | _ -> None)
+
+  (** Rebuild proving/verifying keys for a fixed physical layout using a
+      dummy (all-zero) execution: structure only, no witness. *)
+  let rebuild_keys params ~spec ~ncols ~k ~cfg graph =
+    let exec =
+      Zkml_nn.Quant_exec.run ~saturate:true cfg graph
+        ~inputs:(zero_inputs graph)
+    in
+    let lowered = Lower.lower ~spec ~cfg ~ncols ~counting:false graph exec in
+    let built =
+      Layouter.finalize lowered.Lower.layouter ~blinding:Optimizer.blinding ~k
+    in
+    let circuit = to_field_circuit built.Layouter.circuit in
+    let fixed =
+      Array.map (fun col -> Array.map F.of_int col) built.Layouter.fixed
+    in
+    Proto.keygen params circuit ~fixed
+
+  (** Verify serialized proof bytes against keys and the public values
+      (the instance column as centered integers). *)
+  let verify_bytes params keys ~instance_ints bytes =
+    let n = 1 lsl keys.Proto.circuit.Zkml_plonkish.Circuit.k in
+    if Array.length instance_ints > n then false
+    else begin
+      let col = Array.make n F.zero in
+      Array.iteri (fun i v -> col.(i) <- F.of_int v) instance_ints;
+      match Proto.proof_of_bytes params keys bytes with
+      | exception Invalid_argument _ -> false
+      | proof -> Proto.verify params keys ~instance:[| col |] proof
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* One-call convenience used by examples, tests and benches *)
+
+  type result = {
+    plan : Optimizer.plan;
+    proof : Proto.proof;
+    verified : bool;
+    proof_bytes : int;
+    optimize_s : float;
+    keygen_s : float;
+    prove_s : float;
+    verify_s : float;
+    outputs : int T.t list;  (** fixed-point model outputs *)
+  }
+
+  let required_srs_size plan =
+    (* quotient pieces are the largest committed polynomials: n each *)
+    1 lsl plan.Optimizer.k
+
+  let run ?(cfg = Fx.default) ?(objective = Optimizer.Min_time) ?specs
+      ?(ncols_min = 4) ?(ncols_max = 40) ?(seed = 42L) ~params graph inputs =
+    let qinputs = List.map (T.map (Fx.quantize cfg)) inputs in
+    let exec = Zkml_nn.Quant_exec.run cfg graph ~inputs:qinputs in
+    let times = calibrated params in
+    let k_max =
+      let rec lg n acc = if n <= 1 then acc else lg (n / 2) (acc + 1) in
+      lg (Scheme.max_size params) 0
+    in
+    let (plan, _), optimize_s =
+      Zkml_util.Timer.time (fun () ->
+          Optimizer.optimize ?specs ~ncols_min ~ncols_max ~objective ~k_max
+            ~times ~backend ~group_bytes:Scheme.G.size_bytes
+            ~field_bytes:F.size_bytes ~cfg graph exec)
+    in
+    if required_srs_size plan > Scheme.max_size params then
+      failwith
+        (Printf.sprintf
+           "SRS too small: circuit needs 2^%d rows, params support %d"
+           plan.Optimizer.k (Scheme.max_size params));
+    let artifacts, keygen_s =
+      Zkml_util.Timer.time (fun () -> build params plan ~cfg graph exec)
+    in
+    let rng = Zkml_util.Rng.create seed in
+    let proof, prove_s =
+      Zkml_util.Timer.time (fun () -> prove params artifacts ~rng)
+    in
+    let verified, verify_s =
+      Zkml_util.Timer.time (fun () -> verify params artifacts proof)
+    in
+    {
+      plan;
+      proof;
+      verified;
+      proof_bytes = Proto.proof_size_bytes proof;
+      optimize_s;
+      keygen_s;
+      prove_s;
+      verify_s;
+      outputs = Zkml_nn.Quant_exec.output_values exec graph;
+    }
+end

@@ -1,0 +1,1 @@
+lib/ec/group_intf.ml: Zkml_ff Zkml_util

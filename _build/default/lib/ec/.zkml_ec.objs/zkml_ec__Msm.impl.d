@@ -1,0 +1,1 @@
+lib/ec/msm.ml: Array Group_intf Int64

@@ -1,0 +1,1 @@
+lib/ec/pallas.ml: Array Bytes Char Int64 Printf String Zkml_ff Zkml_util

@@ -1,0 +1,1 @@
+lib/ec/simulated.ml: Array Group_intf Printf Zkml_ff Zkml_util

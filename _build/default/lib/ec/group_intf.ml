@@ -1,0 +1,41 @@
+(** Signature of prime-order groups used by the polynomial commitment
+    schemes. Two instantiations: {!Pallas} (a real elliptic curve, the
+    halo2 curve) and {!Simulated} (a structurally identical stand-in
+    whose discrete logs are known; see DESIGN.md for why this
+    substitution preserves the paper's experiments). *)
+
+module type S = sig
+  module Scalar : Zkml_ff.Field_intf.S
+
+  type t
+
+  val name : string
+  val zero : t
+  (** The identity element. *)
+
+  val generator : t
+  val add : t -> t -> t
+  val double : t -> t
+  val neg : t -> t
+  val sub : t -> t -> t
+
+  val mul : t -> Scalar.t -> t
+  (** Scalar multiplication. *)
+
+  val equal : t -> t -> bool
+  val is_zero : t -> bool
+
+  val size_bytes : int
+  val to_bytes : t -> string
+  (** Canonical serialization, [size_bytes] long. *)
+
+  val of_bytes_exn : string -> t
+  (** Inverse of {!to_bytes}; raises [Invalid_argument] on malformed or
+      off-curve input. *)
+
+  val derive_generators : string -> int -> t array
+  (** [derive_generators seed n] produces [n] independent generators
+      deterministically (hash-to-group); used for IPA parameter setup. *)
+
+  val random : Zkml_util.Rng.t -> t
+end

@@ -1,0 +1,65 @@
+(** Multi-scalar multiplication. MSMs dominate proving cost in halo2 (the
+    paper's cost model, §7.4, counts them explicitly), so we implement the
+    bucket (Pippenger) method with a size-dependent window. *)
+
+module Make (G : Group_intf.S) = struct
+  let naive points scalars =
+    let acc = ref G.zero in
+    Array.iteri (fun i p -> acc := G.add !acc (G.mul p scalars.(i))) points;
+    !acc
+
+  let scalar_bits = 64 * Array.length G.Scalar.modulus_limbs
+
+  let window_size n =
+    if n < 8 then 2
+    else if n < 32 then 4
+    else if n < 256 then 6
+    else if n < 4096 then 9
+    else 12
+
+  (* Extract c bits of the canonical scalar starting at bit position pos. *)
+  let digit limbs pos c =
+    let limb_idx = pos / 64 and off = pos mod 64 in
+    if limb_idx >= Array.length limbs then 0
+    else begin
+      let lo = Int64.shift_right_logical limbs.(limb_idx) off in
+      let v =
+        if off + c <= 64 || limb_idx + 1 >= Array.length limbs then lo
+        else
+          Int64.logor lo (Int64.shift_left limbs.(limb_idx + 1) (64 - off))
+      in
+      Int64.to_int (Int64.logand v (Int64.of_int ((1 lsl c) - 1)))
+    end
+
+  let pippenger points scalars =
+    let n = Array.length points in
+    assert (Array.length scalars = n);
+    if n = 0 then G.zero
+    else begin
+      let c = window_size n in
+      let limbs = Array.map G.Scalar.to_canonical_limbs scalars in
+      let windows = (scalar_bits + c - 1) / c in
+      let acc = ref G.zero in
+      for w = windows - 1 downto 0 do
+        for _ = 1 to c do
+          acc := G.double !acc
+        done;
+        let buckets = Array.make ((1 lsl c) - 1) G.zero in
+        for i = 0 to n - 1 do
+          let d = digit limbs.(i) (w * c) c in
+          if d <> 0 then buckets.(d - 1) <- G.add buckets.(d - 1) points.(i)
+        done;
+        let running = ref G.zero and sum = ref G.zero in
+        for b = Array.length buckets - 1 downto 0 do
+          running := G.add !running buckets.(b);
+          sum := G.add !sum !running
+        done;
+        acc := G.add !acc !sum
+      done;
+      !acc
+    end
+
+  let msm points scalars =
+    if Array.length points <= 4 then naive points scalars
+    else pippenger points scalars
+end

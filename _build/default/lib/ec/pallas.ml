@@ -1,0 +1,154 @@
+(* The Pallas curve: y^2 = x^3 + 5 over the Pasta base field, with scalar
+   field Pasta.Fq (the curve's prime group order). Points are kept in
+   Jacobian coordinates (X : Y : Z); the identity has Z = 0. *)
+
+module Fp = Zkml_ff.Pasta.Fp
+module Fp_extra = Zkml_ff.Field_extra.Make (Fp)
+module Scalar = Zkml_ff.Pasta.Fq
+
+type t = { x : Fp.t; y : Fp.t; z : Fp.t }
+
+let name = "pallas"
+let b_coeff = Fp.of_int 5
+let zero = { x = Fp.one; y = Fp.one; z = Fp.zero }
+let is_zero p = Fp.is_zero p.z
+
+(* The standard Pallas generator is (-1, 2). *)
+let generator = { x = Fp.neg Fp.one; y = Fp.of_int 2; z = Fp.one }
+
+let double p =
+  if is_zero p then p
+  else begin
+    (* dbl-2009-l (a = 0) *)
+    let a = Fp.square p.x in
+    let b = Fp.square p.y in
+    let c = Fp.square b in
+    let d =
+      let t = Fp.square (Fp.add p.x b) in
+      let t = Fp.sub (Fp.sub t a) c in
+      Fp.add t t
+    in
+    let e = Fp.add a (Fp.add a a) in
+    let f = Fp.square e in
+    let x3 = Fp.sub f (Fp.add d d) in
+    let eight_c =
+      let c2 = Fp.add c c in
+      let c4 = Fp.add c2 c2 in
+      Fp.add c4 c4
+    in
+    let y3 = Fp.sub (Fp.mul e (Fp.sub d x3)) eight_c in
+    let z3 = Fp.add (Fp.mul p.y p.z) (Fp.mul p.y p.z) in
+    { x = x3; y = y3; z = z3 }
+  end
+
+let add p q =
+  if is_zero p then q
+  else if is_zero q then p
+  else begin
+    (* add-2007-bl *)
+    let z1z1 = Fp.square p.z in
+    let z2z2 = Fp.square q.z in
+    let u1 = Fp.mul p.x z2z2 in
+    let u2 = Fp.mul q.x z1z1 in
+    let s1 = Fp.mul p.y (Fp.mul q.z z2z2) in
+    let s2 = Fp.mul q.y (Fp.mul p.z z1z1) in
+    if Fp.equal u1 u2 then
+      if Fp.equal s1 s2 then double p else zero
+    else begin
+      let h = Fp.sub u2 u1 in
+      let hh = Fp.square h in
+      let hhh = Fp.mul h hh in
+      let r = Fp.sub s2 s1 in
+      let v = Fp.mul u1 hh in
+      let x3 = Fp.sub (Fp.sub (Fp.square r) hhh) (Fp.add v v) in
+      let y3 = Fp.sub (Fp.mul r (Fp.sub v x3)) (Fp.mul s1 hhh) in
+      let z3 = Fp.mul (Fp.mul p.z q.z) h in
+      { x = x3; y = y3; z = z3 }
+    end
+  end
+
+let neg p = if is_zero p then p else { p with y = Fp.neg p.y }
+let sub p q = add p (neg q)
+
+let mul p s =
+  let limbs = Scalar.to_canonical_limbs s in
+  let acc = ref zero in
+  for i = Array.length limbs - 1 downto 0 do
+    for bit = 63 downto 0 do
+      acc := double !acc;
+      if Int64.logand (Int64.shift_right_logical limbs.(i) bit) 1L = 1L then
+        acc := add !acc p
+    done
+  done;
+  !acc
+
+let equal p q =
+  match (is_zero p, is_zero q) with
+  | true, true -> true
+  | true, false | false, true -> false
+  | false, false ->
+      let z1z1 = Fp.square p.z and z2z2 = Fp.square q.z in
+      Fp.equal (Fp.mul p.x z2z2) (Fp.mul q.x z1z1)
+      && Fp.equal
+           (Fp.mul p.y (Fp.mul q.z z2z2))
+           (Fp.mul q.y (Fp.mul p.z z1z1))
+
+let to_affine p =
+  if is_zero p then None
+  else begin
+    let zinv = Fp.inv p.z in
+    let zinv2 = Fp.square zinv in
+    Some (Fp.mul p.x zinv2, Fp.mul p.y (Fp.mul zinv zinv2))
+  end
+
+let size_bytes = 65
+
+let to_bytes p =
+  match to_affine p with
+  | None -> String.make size_bytes '\000'
+  | Some (x, y) -> "\001" ^ Fp.to_bytes x ^ Fp.to_bytes y
+
+let of_bytes_exn s =
+  if String.length s <> size_bytes then invalid_arg "Pallas.of_bytes_exn: length";
+  match s.[0] with
+  | '\000' -> zero
+  | '\001' ->
+      let x = Fp.of_bytes_exn (String.sub s 1 32) in
+      let y = Fp.of_bytes_exn (String.sub s 33 32) in
+      if not (Fp.equal (Fp.square y) (Fp.add (Fp.mul x (Fp.square x)) b_coeff))
+      then invalid_arg "Pallas.of_bytes_exn: point not on curve";
+      { x; y; z = Fp.one }
+  | _ -> invalid_arg "Pallas.of_bytes_exn: bad tag"
+
+let on_curve_affine x y =
+  Fp.equal (Fp.square y) (Fp.add (Fp.mul x (Fp.square x)) b_coeff)
+
+let of_affine_exn x y =
+  if not (on_curve_affine x y) then invalid_arg "Pallas.of_affine_exn";
+  { x; y; z = Fp.one }
+
+(* Deterministic hash-to-curve by try-and-increment over SHA-256 output. *)
+let derive_generators seed n =
+  let point_of_counter label i =
+    let rec attempt j =
+      let h =
+        Zkml_util.Sha256.digest
+          (Printf.sprintf "zkml-pallas-gen:%s:%d:%d" label i j)
+      in
+      (* 32 bytes -> candidate x: clear top two bits so it is < 2^254 < p *)
+      let bytes = Bytes.of_string h in
+      Bytes.set bytes 31
+        (Char.chr (Char.code (Bytes.get bytes 31) land 0x3f));
+      match Fp.of_bytes_exn (Bytes.to_string bytes) with
+      | exception Invalid_argument _ -> attempt (j + 1)
+      | x -> (
+          let rhs = Fp.add (Fp.mul x (Fp.square x)) b_coeff in
+          match Fp_extra.sqrt rhs with
+          | Some y when not (Fp.is_zero y) -> { x; y; z = Fp.one }
+          | _ -> attempt (j + 1))
+    in
+    attempt 0
+  in
+  Array.init n (point_of_counter seed)
+
+let random rng = mul generator (Scalar.random rng)

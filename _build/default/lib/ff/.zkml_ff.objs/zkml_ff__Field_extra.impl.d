@@ -1,0 +1,1 @@
+lib/ff/field_extra.ml: Array Field_intf Int64 Int64_arith

@@ -1,0 +1,1 @@
+lib/ff/field_intf.ml: Format Zkml_util

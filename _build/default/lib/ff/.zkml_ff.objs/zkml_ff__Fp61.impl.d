@@ -1,0 +1,1 @@
+lib/ff/fp61.ml: Array Format Int64 Int64_arith Printf String Zkml_util

@@ -1,0 +1,1 @@
+lib/ff/int64_arith.ml: Int64

@@ -1,0 +1,1 @@
+lib/ff/limb4.ml: Array Field_intf Format Int64 Int64_arith List Printf String Zkml_util

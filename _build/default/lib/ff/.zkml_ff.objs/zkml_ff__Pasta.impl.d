@@ -1,0 +1,1 @@
+lib/ff/pasta.ml: Limb4

@@ -1,0 +1,132 @@
+(** Derived field algorithms shared by all instantiations. *)
+
+module Make (F : Field_intf.S) = struct
+  (* (p - 1) / 2 as limbs, for the Euler criterion. *)
+  let half_order =
+    let limbs = Array.copy F.modulus_limbs in
+    limbs.(0) <- Int64.sub limbs.(0) 1L;
+    let n = Array.length limbs in
+    let r = Array.make n 0L in
+    for i = 0 to n - 1 do
+      let lo = Int64.shift_right_logical limbs.(i) 1 in
+      let hi =
+        if i < n - 1 then Int64.shift_left limbs.(i + 1) 63 else 0L
+      in
+      r.(i) <- Int64.logor lo hi
+    done;
+    r
+
+  let legendre x = F.pow_limbs x half_order
+
+  let is_square x = F.is_zero x || F.equal (legendre x) F.one
+
+  (* Tonelli-Shanks using the field's two-adicity; the multiplicative
+     generator is a quadratic non-residue because (p-1)/2 is not a
+     multiple of its order quotient. *)
+  let sqrt x =
+    if F.is_zero x then Some F.zero
+    else if not (is_square x) then None
+    else begin
+      let s = F.two_adicity in
+      (* q odd with p - 1 = q * 2^s: exponent limbs = (p-1) >> s. *)
+      let q_limbs =
+        let limbs = Array.copy F.modulus_limbs in
+        limbs.(0) <- Int64.sub limbs.(0) 1L;
+        let n = Array.length limbs in
+        let r = Array.copy limbs in
+        let words = s / 64 and bits = s mod 64 in
+        if words > 0 then begin
+          for i = 0 to n - 1 - words do
+            r.(i) <- r.(i + words)
+          done;
+          for i = n - words to n - 1 do
+            r.(i) <- 0L
+          done
+        end;
+        if bits > 0 then
+          for i = 0 to n - 1 do
+            let lo = Int64.shift_right_logical r.(i) bits in
+            let hi =
+              if i < n - 1 then Int64.shift_left r.(i + 1) (64 - bits)
+              else 0L
+            in
+            r.(i) <- Int64.logor lo hi
+          done;
+        r
+      in
+      let z = F.root_of_unity s in
+      (* x^((q+1)/2): compute t = x^q, r = x^((q+1)/2). *)
+      let q_plus_1_half =
+        (* (q+1)/2 = (q >> 1) + 1 since q odd *)
+        let n = Array.length q_limbs in
+        let r = Array.make n 0L in
+        for i = 0 to n - 1 do
+          let lo = Int64.shift_right_logical q_limbs.(i) 1 in
+          let hi =
+            if i < n - 1 then Int64.shift_left q_limbs.(i + 1) 63 else 0L
+          in
+          r.(i) <- Int64.logor lo hi
+        done;
+        let carry = ref 1L in
+        let i = ref 0 in
+        while !carry = 1L && !i < n do
+          let s', c = Int64_arith.addc r.(!i) 0L !carry in
+          r.(!i) <- s';
+          carry := c;
+          incr i
+        done;
+        r
+      in
+      let m = ref s in
+      let c = ref z in
+      let t = ref (F.pow_limbs x q_limbs) in
+      let r = ref (F.pow_limbs x q_plus_1_half) in
+      let result = ref None in
+      (try
+         while true do
+           if F.equal !t F.one then begin
+             result := Some !r;
+             raise Exit
+           end;
+           (* find least i with t^(2^i) = 1 *)
+           let i = ref 0 in
+           let tt = ref !t in
+           while not (F.equal !tt F.one) do
+             tt := F.square !tt;
+             incr i
+           done;
+           if !i = !m then raise Exit (* not a square; unreachable here *);
+           let b = ref !c in
+           for _ = 1 to !m - !i - 1 do
+             b := F.square !b
+           done;
+           m := !i;
+           c := F.square !b;
+           t := F.mul !t !c;
+           r := F.mul !r !b
+         done
+       with Exit -> ());
+      !result
+    end
+
+  (* Batch inversion (Montgomery's trick): inverts a non-empty array of
+     non-zero elements with a single field inversion. *)
+  let batch_inv xs =
+    let n = Array.length xs in
+    if n = 0 then [||]
+    else begin
+      let prefix = Array.make n F.one in
+      let acc = ref F.one in
+      for i = 0 to n - 1 do
+        prefix.(i) <- !acc;
+        acc := F.mul !acc xs.(i)
+      done;
+      let inv_all = ref (F.inv !acc) in
+      let out = Array.make n F.zero in
+      for i = n - 1 downto 0 do
+        out.(i) <- F.mul !inv_all prefix.(i);
+        inv_all := F.mul !inv_all xs.(i)
+      done;
+      out
+    end
+end

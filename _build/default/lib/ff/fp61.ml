@@ -1,0 +1,133 @@
+(* The NTT-friendly prime p = 29 * 2^57 + 1 = 0x3A00000000000001.
+
+   Elements are kept in Montgomery form (R = 2^64) inside a single
+   [int64]; all values satisfy 0 <= x < p < 2^62 so signed comparison is
+   safe after reduction. *)
+
+type t = int64
+
+let name = "fp61"
+let p = 0x3A00000000000001L
+let modulus_limbs = [| p |]
+let size_bytes = 8
+let two_adicity = 57
+
+let p_int = Int64.to_int p
+
+(* p' = -p^-1 mod 2^64 *)
+let p' = Int64_arith.neg_inv p
+
+let reduce_once x = if Int64.unsigned_compare x p >= 0 then Int64.sub x p else x
+
+let add a b = reduce_once (Int64.add a b)
+
+let sub a b = if Int64.unsigned_compare a b < 0 then Int64.sub (Int64.add a p) b else Int64.sub a b
+
+let neg a = if a = 0L then 0L else Int64.sub p a
+
+(* Montgomery reduction of a 128-bit product (hi, lo): returns
+   (hi*2^64 + lo) * 2^-64 mod p. *)
+let redc hi lo =
+  let m = Int64.mul lo p' in
+  let mp_hi, mp_lo = Int64_arith.umul m p in
+  let sum_lo = Int64.add lo mp_lo in
+  let carry = if Int64_arith.ult sum_lo lo then 1L else 0L in
+  (* lo + m*p has low 64 bits equal to zero by construction; the result is
+     the high half plus carry. hi < p and mp_hi < p so no overflow. *)
+  ignore sum_lo;
+  reduce_once (Int64.add hi (Int64.add mp_hi carry))
+
+let mul a b =
+  let hi, lo = Int64_arith.umul a b in
+  redc hi lo
+
+let square a = mul a a
+
+(* R mod p and R^2 mod p, computed by repeated modular doubling. *)
+let r_mod_p =
+  let x = ref 1L in
+  for _ = 1 to 64 do
+    x := reduce_once (Int64.add !x !x)
+  done;
+  !x
+
+let r2_mod_p =
+  let x = ref r_mod_p in
+  for _ = 1 to 64 do
+    x := reduce_once (Int64.add !x !x)
+  done;
+  !x
+
+let zero = 0L
+let one = r_mod_p
+
+let of_int64 x = mul (Int64.unsigned_rem x p) r2_mod_p
+
+let of_int x =
+  if x >= 0 then of_int64 (Int64.of_int x)
+  else neg (of_int64 (Int64.of_int (-x)))
+
+let to_canonical a = redc 0L a
+let to_canonical_limbs a = [| to_canonical a |]
+let equal (a : t) (b : t) = a = b
+let is_zero a = a = 0L
+let compare a b = Int64.unsigned_compare (to_canonical a) (to_canonical b)
+
+let pow_int base e =
+  assert (e >= 0);
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul acc base else acc in
+      go acc (square base) (e lsr 1)
+  in
+  go one base e
+
+let pow_limbs base limbs =
+  let acc = ref one and b = ref base in
+  Array.iter
+    (fun limb ->
+      let l = ref limb in
+      for _ = 1 to 64 do
+        if Int64.logand !l 1L = 1L then acc := mul !acc !b;
+        b := square !b;
+        l := Int64.shift_right_logical !l 1
+      done)
+    limbs;
+  !acc
+
+let inv a =
+  if is_zero a then raise Division_by_zero
+  else pow_limbs a [| Int64.sub p 2L |]
+
+let div a b = mul a (inv b)
+let generator = of_int 3
+
+let root_of_unity k =
+  if k > two_adicity || k < 0 then
+    invalid_arg "Fp61.root_of_unity: exceeds two-adicity";
+  (* g^((p-1) / 2^k); p - 1 = 29 * 2^57. *)
+  let e = Int64.to_int (Int64.shift_right_logical (Int64.sub p 1L) k) in
+  pow_int generator e
+
+let to_bytes a = Zkml_util.Bytes_util.int64_le (to_canonical a)
+
+let of_bytes_exn s =
+  if String.length s <> 8 then invalid_arg "Fp61.of_bytes_exn: length";
+  let x = Zkml_util.Bytes_util.int64_of_le s 0 in
+  if Int64.unsigned_compare x p >= 0 then
+    invalid_arg "Fp61.of_bytes_exn: not canonical";
+  mul x r2_mod_p
+
+let random rng =
+  let rec draw () =
+    let x =
+      Int64.logand (Zkml_util.Rng.next_int64 rng) 0x3FFFFFFFFFFFFFFFL
+    in
+    if Int64.unsigned_compare x p < 0 then x else draw ()
+  in
+  mul (draw ()) r2_mod_p
+
+let to_hex a = Printf.sprintf "%016Lx" (to_canonical a)
+let pp fmt a = Format.fprintf fmt "0x%s" (to_hex a)
+let _ = p_int

@@ -1,0 +1,228 @@
+(* Generic 256-bit prime field using 4 x 64-bit limbs (little-endian) in
+   Montgomery form with R = 2^256. Multiplication is the CIOS method.
+
+   The Montgomery constants (p', R mod p, R^2 mod p) are computed at
+   functor application time from the modulus alone, which avoids
+   hand-transcribed magic constants. *)
+
+module type PARAMS = sig
+  val name : string
+  val modulus : int64 array
+  val generator_int : int
+  val two_adicity : int
+end
+
+module Make (P : PARAMS) : Field_intf.S = struct
+  type t = int64 array (* always length 4, Montgomery form *)
+
+  let name = P.name
+  let modulus_limbs = Array.copy P.modulus
+  let size_bytes = 32
+  let two_adicity = P.two_adicity
+  let p = P.modulus
+  let p' = Int64_arith.neg_inv p.(0)
+
+  let cmp_raw a b =
+    let rec go i =
+      if i < 0 then 0
+      else
+        let c = Int64.unsigned_compare a.(i) b.(i) in
+        if c <> 0 then c else go (i - 1)
+    in
+    go 3
+
+  (* a - p into a fresh array; caller guarantees a >= p. *)
+  let sub_p a =
+    let r = Array.make 4 0L in
+    let borrow = ref 0L in
+    for i = 0 to 3 do
+      let d, b = Int64_arith.subb a.(i) p.(i) !borrow in
+      r.(i) <- d;
+      borrow := b
+    done;
+    r
+
+  let add a b =
+    let r = Array.make 4 0L in
+    let carry = ref 0L in
+    for i = 0 to 3 do
+      let s, c = Int64_arith.addc a.(i) b.(i) !carry in
+      r.(i) <- s;
+      carry := c
+    done;
+    if !carry = 1L || cmp_raw r p >= 0 then sub_p r else r
+
+  let sub a b =
+    let r = Array.make 4 0L in
+    let borrow = ref 0L in
+    for i = 0 to 3 do
+      let d, bw = Int64_arith.subb a.(i) b.(i) !borrow in
+      r.(i) <- d;
+      borrow := bw
+    done;
+    if !borrow = 1L then begin
+      let carry = ref 0L in
+      for i = 0 to 3 do
+        let s, c = Int64_arith.addc r.(i) p.(i) !carry in
+        r.(i) <- s;
+        carry := c
+      done
+    end;
+    r
+
+  let is_zero a = a.(0) = 0L && a.(1) = 0L && a.(2) = 0L && a.(3) = 0L
+  let equal a b = cmp_raw a b = 0
+  let zero = Array.make 4 0L
+  let neg a = if is_zero a then zero else sub zero a
+
+  (* CIOS Montgomery multiplication. *)
+  let mul a b =
+    let t = Array.make 6 0L in
+    for i = 0 to 3 do
+      (* t += a * b.(i) *)
+      let c = ref 0L in
+      for j = 0 to 3 do
+        let hi, lo = Int64_arith.umul a.(j) b.(i) in
+        let s1, c1 = Int64_arith.addc t.(j) lo 0L in
+        let s2, c2 = Int64_arith.addc s1 !c 0L in
+        t.(j) <- s2;
+        c := Int64.add hi (Int64.add c1 c2)
+      done;
+      let s, cy = Int64_arith.addc t.(4) !c 0L in
+      t.(4) <- s;
+      t.(5) <- cy;
+      (* reduce one limb *)
+      let m = Int64.mul t.(0) p' in
+      let hi0, lo0 = Int64_arith.umul m p.(0) in
+      let _, c0 = Int64_arith.addc t.(0) lo0 0L in
+      let c = ref (Int64.add hi0 c0) in
+      for j = 1 to 3 do
+        let hi, lo = Int64_arith.umul m p.(j) in
+        let s1, c1 = Int64_arith.addc t.(j) lo 0L in
+        let s2, c2 = Int64_arith.addc s1 !c 0L in
+        t.(j - 1) <- s2;
+        c := Int64.add hi (Int64.add c1 c2)
+      done;
+      let s, cy = Int64_arith.addc t.(4) !c 0L in
+      t.(3) <- s;
+      t.(4) <- Int64.add t.(5) cy
+    done;
+    let r = [| t.(0); t.(1); t.(2); t.(3) |] in
+    if t.(4) = 1L || cmp_raw r p >= 0 then sub_p r else r
+
+  let square a = mul a a
+
+  (* R mod p via 256 modular doublings of 1; R^2 via 256 more. *)
+  let double_mod a = add a a
+
+  let r_mod_p =
+    let x = ref [| 1L; 0L; 0L; 0L |] in
+    for _ = 1 to 256 do
+      x := double_mod !x
+    done;
+    !x
+
+  let r2_mod_p =
+    let x = ref r_mod_p in
+    for _ = 1 to 256 do
+      x := double_mod !x
+    done;
+    !x
+
+  let one = r_mod_p
+  let to_mont raw = mul raw r2_mod_p
+  let from_mont a = mul a [| 1L; 0L; 0L; 0L |]
+  let to_canonical_limbs a = from_mont a
+
+  let of_int64 x = to_mont [| x; 0L; 0L; 0L |]
+
+  let of_int x =
+    if x >= 0 then of_int64 (Int64.of_int x)
+    else neg (of_int64 (Int64.of_int (-x)))
+
+  let compare a b = cmp_raw (from_mont a) (from_mont b)
+
+  let pow_limbs base limbs =
+    let acc = ref one and b = ref base in
+    Array.iter
+      (fun limb ->
+        let l = ref limb in
+        for _ = 1 to 64 do
+          if Int64.logand !l 1L = 1L then acc := mul !acc !b;
+          b := square !b;
+          l := Int64.shift_right_logical !l 1
+        done)
+      limbs;
+    !acc
+
+  let pow_int base e =
+    assert (e >= 0);
+    pow_limbs base [| Int64.of_int e |]
+
+  (* p - 2 as limbs (p is odd and > 2 so only the low limb changes). *)
+  let p_minus_2 =
+    let r = Array.copy p in
+    r.(0) <- Int64.sub r.(0) 2L;
+    r
+
+  let inv a = if is_zero a then raise Division_by_zero else pow_limbs a p_minus_2
+  let div a b = mul a (inv b)
+  let generator = of_int P.generator_int
+
+  (* Multi-limb logical shift right by k bits. *)
+  let shift_right_limbs a k =
+    let r = Array.copy a in
+    let words = k / 64 and bits = k mod 64 in
+    if words > 0 then begin
+      for i = 0 to 3 - words do
+        r.(i) <- r.(i + words)
+      done;
+      for i = 4 - words to 3 do
+        r.(i) <- 0L
+      done
+    end;
+    if bits > 0 then
+      for i = 0 to 3 do
+        let lo = Int64.shift_right_logical r.(i) bits in
+        let hi =
+          if i < 3 then Int64.shift_left r.(i + 1) (64 - bits) else 0L
+        in
+        r.(i) <- Int64.logor lo hi
+      done;
+    r
+
+  let root_of_unity k =
+    if k > two_adicity || k < 0 then
+      invalid_arg (name ^ ".root_of_unity: exceeds two-adicity");
+    let pm1 = Array.copy p in
+    pm1.(0) <- Int64.sub pm1.(0) 1L;
+    pow_limbs generator (shift_right_limbs pm1 k)
+
+  let to_bytes a =
+    let raw = from_mont a in
+    String.concat "" (List.map Zkml_util.Bytes_util.int64_le (Array.to_list raw))
+
+  let of_bytes_exn s =
+    if String.length s <> 32 then invalid_arg (name ^ ".of_bytes_exn: length");
+    let raw =
+      Array.init 4 (fun i -> Zkml_util.Bytes_util.int64_of_le s (8 * i))
+    in
+    if cmp_raw raw p >= 0 then invalid_arg (name ^ ".of_bytes_exn: not canonical");
+    to_mont raw
+
+  let random rng =
+    let rec draw () =
+      let raw =
+        Array.init 4 (fun _ -> Zkml_util.Rng.next_int64 rng)
+      in
+      raw.(3) <- Int64.logand raw.(3) 0x3FFFFFFFFFFFFFFFL;
+      if cmp_raw raw p < 0 then raw else draw ()
+    in
+    to_mont (draw ())
+
+  let to_hex a =
+    let raw = from_mont a in
+    Printf.sprintf "%016Lx%016Lx%016Lx%016Lx" raw.(3) raw.(2) raw.(1) raw.(0)
+
+  let pp fmt a = Format.fprintf fmt "0x%s" (to_hex a)
+end

@@ -1,0 +1,1 @@
+lib/fixed/fixed.mli:

@@ -1,0 +1,81 @@
+(** Fixed-point arithmetic with a power-of-two scale factor. All tensor
+    values inside circuits are integers x representing the real number
+    x / 2^scale_bits (§4.1 of the paper: "we represent all values of the
+    tensors as fixed-point numbers, where ZKML chooses the scale
+    factor").
+
+    The definitions here are the single source of truth for rounding
+    semantics: the fixed-point executor, the gadget witness assignment
+    and the lookup-table contents all call into this module, which is
+    what makes the circuit output bit-identical to the executor
+    output. *)
+
+type config = {
+  scale_bits : int;  (** SF = 2^scale_bits *)
+  table_bits : int;
+      (** lookup-table inputs span [-2^(table_bits-1), 2^(table_bits-1));
+          also bounds the fixed-point precision of non-linearities *)
+}
+
+let default = { scale_bits = 6; table_bits = 11 }
+
+let sf cfg = 1 lsl cfg.scale_bits
+
+(** Rounded division exactly as the DivRound gadget constrains it:
+    q = floor((2 num + den) / (2 den)), i.e. round-half-up, valid for
+    negative numerators too (§5.1 "variable division"). Keeping the
+    executor and the circuit on one formula makes their outputs
+    bit-identical. *)
+let round_div num den =
+  assert (den > 0);
+  let n2 = (2 * num) + den and d2 = 2 * den in
+  if n2 >= 0 then n2 / d2 else -((-n2 + d2 - 1) / d2)
+
+let quantize cfg x = int_of_float (Float.round (x *. float_of_int (sf cfg)))
+let dequantize cfg q = float_of_int q /. float_of_int (sf cfg)
+
+(** Rescale a double-scale product (SF^2) back to single scale. *)
+let rescale cfg x = round_div x (sf cfg)
+
+(** Lookup tables hold [2^table_bits - 16] entries rather than a full
+    power of two: the circuit needs blinding rows below the table, and
+    shaving the extremes lets a table of precision [table_bits] fit in a
+    grid of only [2^table_bits] rows (one whole halving of the proving
+    domain for table-dominated circuits). *)
+let table_size cfg = (1 lsl cfg.table_bits) - 16
+
+let table_min cfg = -(table_size cfg / 2)
+let table_max cfg = (table_size cfg / 2) - 1
+
+(** Saturate into the representable lookup range. *)
+let clamp cfg x = max (table_min cfg) (min (table_max cfg) x)
+
+(** The fixed-point image of a real function, as stored in lookup
+    tables: input q (scale SF) -> round(f(q/SF) * SF). *)
+let apply_real cfg f q =
+  let y = f (dequantize cfg q) in
+  let scaled = y *. float_of_int (sf cfg) in
+  (* guard against overflow from e.g. exp *)
+  let bound = float_of_int max_int /. 4.0 in
+  let scaled = Float.max (-.bound) (Float.min bound scaled) in
+  int_of_float (Float.round scaled)
+
+(** {1 The non-linearities used by the supported layers} *)
+
+let relu x = if x > 0.0 then x else 0.0
+let relu6 x = Float.min 6.0 (relu x)
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+let tanh' = Float.tanh
+let elu ?(alpha = 1.0) x = if x >= 0.0 then x else alpha *. (exp x -. 1.0)
+
+let gelu x =
+  (* tanh approximation, as used by GPT-2 *)
+  0.5 *. x
+  *. (1.0 +. Float.tanh (0.7978845608028654 *. (x +. (0.044715 *. x *. x *. x))))
+
+let softplus x = log (1.0 +. exp x)
+let silu x = x *. sigmoid x
+let exp' = exp
+let rsqrt x = if x <= 0.0 then 0.0 else 1.0 /. sqrt x
+let sqrt' x = if x <= 0.0 then 0.0 else sqrt x
+let reciprocal x = if x = 0.0 then 0.0 else 1.0 /. x

@@ -1,0 +1,62 @@
+(** Fixed-point arithmetic with a power-of-two scale factor.
+
+    All tensor values inside circuits are integers [x] representing the
+    real number [x / 2^scale_bits] (§4.1 of the paper). This module is
+    the single source of truth for rounding semantics: the fixed-point
+    executor, the gadget witness assignment and the lookup-table
+    contents all call into it, which is what makes the circuit output
+    bit-identical to the executor output. *)
+
+type config = {
+  scale_bits : int;  (** SF = 2^scale_bits *)
+  table_bits : int;
+      (** lookup-table inputs span roughly
+          [\[-2^(table_bits-1), 2^(table_bits-1))]; bounds the
+          fixed-point precision of non-linearities (§5.1) *)
+}
+
+val default : config
+
+val sf : config -> int
+(** The scale factor [2^scale_bits]. *)
+
+val round_div : int -> int -> int
+(** [round_div num den] is [floor ((2 num + den) / (2 den))] — exactly
+    the quotient the DivRound gadget constrains, valid for negative
+    numerators. [den] must be positive. *)
+
+val quantize : config -> float -> int
+val dequantize : config -> int -> float
+
+val rescale : config -> int -> int
+(** Rescale a double-scale (SF^2) product back to single scale. *)
+
+val table_size : config -> int
+(** Number of lookup-table entries ([2^table_bits - 16]; the margin
+    leaves room for the blinding rows so the table fits in a grid of
+    [2^table_bits] rows). *)
+
+val table_min : config -> int
+val table_max : config -> int
+
+val clamp : config -> int -> int
+(** Saturate into the representable lookup range. *)
+
+val apply_real : config -> (float -> float) -> int -> int
+(** [apply_real cfg f q] is the fixed-point image of [f] as stored in
+    lookup tables: [round (f (q / SF) * SF)]. *)
+
+(** {1 Non-linearities used by the supported layers} *)
+
+val relu : float -> float
+val relu6 : float -> float
+val sigmoid : float -> float
+val tanh' : float -> float
+val elu : ?alpha:float -> float -> float
+val gelu : float -> float
+val softplus : float -> float
+val silu : float -> float
+val exp' : float -> float
+val rsqrt : float -> float
+val sqrt' : float -> float
+val reciprocal : float -> float

@@ -1,0 +1,1 @@
+lib/models/zoo.ml: List Zkml_fixed Zkml_nn Zkml_tensor Zkml_util

@@ -1,0 +1,1 @@
+lib/models/zoo.mli: Zkml_fixed Zkml_nn Zkml_tensor

@@ -1,0 +1,380 @@
+(** The model zoo: the eight architectures of the paper's evaluation
+    (Table 5), dimension-scaled to laptop-size circuits but structurally
+    faithful — each exercises the same layer classes as its full-size
+    counterpart (see DESIGN.md "Substitutions"). Weights are synthetic
+    (seeded He initialisation); the accuracy experiment (Table 8)
+    retrains the vision models on synthetic data instead. *)
+
+module T = Zkml_tensor.Tensor
+module G = Zkml_nn.Graph
+module Op = Zkml_nn.Op
+module Fx = Zkml_fixed.Fixed
+
+type model = {
+  name : string;
+  paper_name : string;
+  graph : G.t;
+  input_shapes : int array list;
+  cfg : Fx.config;
+  description : string;
+}
+
+let default_cfg = { Fx.scale_bits = 5; table_bits = 9 }
+
+let sample_inputs ?(seed = 1234L) m =
+  let rng = Zkml_util.Rng.create seed in
+  List.map
+    (fun shape ->
+      T.init shape (fun _ -> 0.4 *. Zkml_util.Rng.gaussian rng))
+    m.input_shapes
+
+(* He-initialised weights scaled down to keep fixed-point activations
+   inside the lookup range *)
+let w g rng shape label = G.he_weight g rng shape ~label
+let b0 g shape label = G.zero_weight g shape ~label
+
+(* ------------------------------------------------------------------ *)
+
+(** The paper's MNIST model: a minimal CNN (conv + pool + dense). *)
+let mnist () =
+  let rng = Zkml_util.Rng.create 101L in
+  let g = G.create "mnist" in
+  let x = G.input g [| 1; 8; 8; 1 |] in
+  let c1 = G.relu g (G.conv2d ~stride:1 ~padding:Op.Same g x (w g rng [| 3; 3; 1; 4 |] "c1w") (b0 g [| 4 |] "c1b")) in
+  let p1 = G.avg_pool2d g ~size:2 c1 in
+  let f = G.flatten g p1 in
+  let y = G.fully_connected g f (w g rng [| 64; 10 |] "fcw") (b0 g [| 10 |] "fcb") in
+  G.mark_output g y;
+  {
+    name = "mnist";
+    paper_name = "MNIST";
+    graph = g;
+    input_shapes = [ [| 1; 8; 8; 1 |] ];
+    cfg = default_cfg;
+    description = "minimal CNN (conv/pool/dense), paper's smallest model";
+  }
+
+let residual_block g rng x channels label =
+  let c1 =
+    G.relu g
+      (G.conv2d ~stride:1 ~padding:Op.Same g x
+         (w g rng [| 3; 3; channels; channels |] (label ^ "w1"))
+         (b0 g [| channels |] (label ^ "b1")))
+  in
+  let c2 =
+    G.conv2d ~stride:1 ~padding:Op.Same g c1
+      (w g rng [| 3; 3; channels; channels |] (label ^ "w2"))
+      (b0 g [| channels |] (label ^ "b2"))
+  in
+  G.relu g (G.add_ g c2 x)
+
+(** ResNet-18 style: initial conv, two residual blocks, global average
+    pooling, dense classifier. *)
+let resnet18 () =
+  let rng = Zkml_util.Rng.create 102L in
+  let g = G.create "resnet18" in
+  let x = G.input g [| 1; 8; 8; 1 |] in
+  let stem =
+    G.relu g
+      (G.conv2d ~stride:1 ~padding:Op.Same g x (w g rng [| 3; 3; 1; 4 |] "stemw")
+         (b0 g [| 4 |] "stemb"))
+  in
+  let r1 = residual_block g rng stem 4 "res1" in
+  let r2 = residual_block g rng r1 4 "res2" in
+  let p = G.global_avg_pool g r2 in
+  let f = G.flatten g p in
+  let y = G.fully_connected g f (w g rng [| 4; 10 |] "fcw") (b0 g [| 10 |] "fcb") in
+  G.mark_output g y;
+  {
+    name = "resnet18";
+    paper_name = "ResNet-18 (CIFAR-10)";
+    graph = g;
+    input_shapes = [ [| 1; 8; 8; 1 |] ];
+    cfg = default_cfg;
+    description = "residual CNN with identity skip connections";
+  }
+
+(** VGG-16 style: deep plain conv stacks with max pooling and a large
+    dense head — deliberately parameter-heavy, like the original. *)
+let vgg16 () =
+  let rng = Zkml_util.Rng.create 103L in
+  let g = G.create "vgg16" in
+  let x = G.input g [| 1; 8; 8; 1 |] in
+  let conv c_in c_out x label =
+    G.relu g
+      (G.conv2d ~stride:1 ~padding:Op.Same g x
+         (w g rng [| 3; 3; c_in; c_out |] (label ^ "w"))
+         (b0 g [| c_out |] (label ^ "b")))
+  in
+  let s1 = conv 1 4 x "c11" in
+  let s1 = conv 4 4 s1 "c12" in
+  let p1 = G.max_pool2d g ~size:2 s1 in
+  let s2 = conv 4 8 p1 "c21" in
+  let s2 = conv 8 8 s2 "c22" in
+  let p2 = G.max_pool2d g ~size:2 s2 in
+  let f = G.flatten g p2 in
+  let h =
+    G.relu g (G.fully_connected g f (w g rng [| 32; 16 |] "fc1w") (b0 g [| 16 |] "fc1b"))
+  in
+  let y = G.fully_connected g h (w g rng [| 16; 10 |] "fc2w") (b0 g [| 10 |] "fc2b") in
+  G.mark_output g y;
+  {
+    name = "vgg16";
+    paper_name = "VGG16 (CIFAR-10)";
+    graph = g;
+    input_shapes = [ [| 1; 8; 8; 1 |] ];
+    cfg = default_cfg;
+    description = "plain deep conv stacks with max pooling and dense head";
+  }
+
+let inverted_residual g rng x ~channels ~expansion label =
+  let mid = channels * expansion in
+  let expand =
+    G.activation g Op.Relu6
+      (G.conv2d ~stride:1 ~padding:Op.Same g x
+         (w g rng [| 1; 1; channels; mid |] (label ^ "ew"))
+         (b0 g [| mid |] (label ^ "eb")))
+  in
+  let dw =
+    G.activation g Op.Relu6
+      (G.depthwise_conv2d ~stride:1 ~padding:Op.Same g expand
+         (w g rng [| 3; 3; mid; 1 |] (label ^ "dw"))
+         (b0 g [| mid |] (label ^ "db")))
+  in
+  let project =
+    G.conv2d ~stride:1 ~padding:Op.Same g dw
+      (w g rng [| 1; 1; mid; channels |] (label ^ "pw"))
+      (b0 g [| channels |] (label ^ "pb"))
+  in
+  G.add_ g project x
+
+(** MobileNetV2 style: inverted residual bottlenecks with depthwise
+    convolutions and ReLU6. *)
+let mobilenet () =
+  let rng = Zkml_util.Rng.create 104L in
+  let g = G.create "mobilenet" in
+  let x = G.input g [| 1; 8; 8; 1 |] in
+  let stem =
+    G.activation g Op.Relu6
+      (G.conv2d ~stride:1 ~padding:Op.Same g x (w g rng [| 3; 3; 1; 4 |] "stemw")
+         (b0 g [| 4 |] "stemb"))
+  in
+  let b1 = inverted_residual g rng stem ~channels:4 ~expansion:2 "ir1" in
+  let b2 = inverted_residual g rng b1 ~channels:4 ~expansion:2 "ir2" in
+  let p = G.global_avg_pool g b2 in
+  let f = G.flatten g p in
+  let y = G.fully_connected g f (w g rng [| 4; 10 |] "fcw") (b0 g [| 10 |] "fcb") in
+  G.mark_output g y;
+  {
+    name = "mobilenet";
+    paper_name = "MobileNet (ImageNet)";
+    graph = g;
+    input_shapes = [ [| 1; 8; 8; 1 |] ];
+    cfg = default_cfg;
+    description = "inverted residuals with depthwise convs and ReLU6";
+  }
+
+(** DLRM style (Facebook deep recommender): bottom MLP over dense
+    features, static embedding gathers, pairwise dot-product feature
+    interactions, top MLP. *)
+let dlrm () =
+  let rng = Zkml_util.Rng.create 105L in
+  let g = G.create "dlrm" in
+  let dense = G.input g [| 1; 8 |] in
+  let bottom =
+    G.relu g
+      (G.fully_connected g dense (w g rng [| 8; 4 |] "botw") (b0 g [| 4 |] "botb"))
+  in
+  (* two embedding tables, looked up at fixed (public) indices *)
+  let table1 = w g rng [| 16; 4 |] "emb1" in
+  let table2 = w g rng [| 16; 4 |] "emb2" in
+  let e1 = G.gather g ~indices:[| 3 |] ~axis:0 table1 in
+  let e2 = G.gather g ~indices:[| 7 |] ~axis:0 table2 in
+  (* stack features: [3; 4] then pairwise interactions via matmul *)
+  let stacked = G.concat g ~axis:0 [ G.reshape g [| 1; 4 |] bottom; e1; e2 ] in
+  let inter = G.batch_matmul ~transpose_b:true g stacked stacked in
+  let flat_inter = G.reshape g [| 1; 9 |] inter in
+  let features = G.concat g ~axis:1 [ G.reshape g [| 1; 4 |] bottom; flat_inter ] in
+  let top =
+    G.relu g
+      (G.fully_connected g features (w g rng [| 13; 8 |] "topw") (b0 g [| 8 |] "topb"))
+  in
+  let y =
+    G.activation g Op.Sigmoid
+      (G.fully_connected g top (w g rng [| 8; 2 |] "outw") (b0 g [| 2 |] "outb"))
+  in
+  G.mark_output g y;
+  {
+    name = "dlrm";
+    paper_name = "DLRM";
+    graph = g;
+    input_shapes = [ [| 1; 8 |] ];
+    cfg = default_cfg;
+    description = "bottom MLP, embeddings, pairwise interactions, top MLP";
+  }
+
+let mask_block g rng x input_dim label =
+  (* MaskNet block: instance-guided mask (two-layer MLP) multiplied into
+     a linear projection of the input, then layer norm + relu *)
+  let mask_hidden =
+    G.relu g
+      (G.fully_connected g x
+         (w g rng [| input_dim; input_dim * 2 |] (label ^ "m1w"))
+         (b0 g [| input_dim * 2 |] (label ^ "m1b")))
+  in
+  let mask =
+    G.fully_connected g mask_hidden
+      (w g rng [| input_dim * 2; input_dim |] (label ^ "m2w"))
+      (b0 g [| input_dim |] (label ^ "m2b"))
+  in
+  let hidden =
+    G.fully_connected g x
+      (w g rng [| input_dim; input_dim |] (label ^ "hw"))
+      (b0 g [| input_dim |] (label ^ "hb"))
+  in
+  let masked = G.mul g hidden mask in
+  let gamma = G.weight g (T.create [| input_dim |] 1.0) ~label:(label ^ "g") in
+  let beta = G.weight g (T.create [| input_dim |] 0.0) ~label:(label ^ "be") in
+  G.relu g (G.layer_norm g masked gamma beta)
+
+(** Twitter's recommender (MaskNet): layer-normalised features through
+    serial instance-guided mask blocks. *)
+let twitter () =
+  let rng = Zkml_util.Rng.create 106L in
+  let g = G.create "twitter" in
+  let d = 12 in
+  let x = G.input g [| 1; d |] in
+  let gamma0 = G.weight g (T.create [| d |] 1.0) ~label:"ln0g" in
+  let beta0 = G.weight g (T.create [| d |] 0.0) ~label:"ln0b" in
+  let normed = G.layer_norm g x gamma0 beta0 in
+  let b1 = mask_block g rng normed d "blk1" in
+  let b2 = mask_block g rng b1 d "blk2" in
+  let y =
+    G.activation g Op.Sigmoid
+      (G.fully_connected g b2 (w g rng [| d; 1 |] "outw") (b0 g [| 1 |] "outb"))
+  in
+  G.mark_output g y;
+  {
+    name = "twitter";
+    paper_name = "Twitter (MaskNet)";
+    graph = g;
+    input_shapes = [ [| 1; d |] ];
+    cfg = default_cfg;
+    description = "MaskNet: layer norm + instance-guided mask blocks";
+  }
+
+let transformer_block g rng x ~seq ~d label =
+  let wq = w g rng [| d; d |] (label ^ "wq") in
+  let wk = w g rng [| d; d |] (label ^ "wk") in
+  let wv = w g rng [| d; d |] (label ^ "wv") in
+  let wo = w g rng [| d; d |] (label ^ "wo") in
+  let q = G.batch_matmul g x wq in
+  let k = G.batch_matmul g x wk in
+  let v = G.batch_matmul g x wv in
+  let scores = G.batch_matmul ~transpose_b:true g q k in
+  let attn = G.softmax g scores in
+  let ctx = G.batch_matmul g attn v in
+  let proj = G.batch_matmul g ctx wo in
+  let res1 = G.add_ g proj x in
+  let g1 = G.weight g (T.create [| d |] 1.0) ~label:(label ^ "ln1g") in
+  let b1 = G.weight g (T.create [| d |] 0.0) ~label:(label ^ "ln1b") in
+  let n1 = G.layer_norm g res1 g1 b1 in
+  (* feed-forward with GELU, expansion 2 *)
+  let w1 = w g rng [| d; d * 2 |] (label ^ "ff1") in
+  let w2 = w g rng [| d * 2; d |] (label ^ "ff2") in
+  let h =
+    G.activation g Op.Gelu
+      (G.add_ g (G.batch_matmul g n1 w1)
+         (G.weight g (T.create [| d * 2 |] 0.0) ~label:(label ^ "ffb1")))
+  in
+  let ff =
+    G.add_ g (G.batch_matmul g h w2)
+      (G.weight g (T.create [| d |] 0.0) ~label:(label ^ "ffb2"))
+  in
+  let res2 = G.add_ g ff n1 in
+  let g2 = G.weight g (T.create [| d |] 1.0) ~label:(label ^ "ln2g") in
+  let b2 = G.weight g (T.create [| d |] 0.0) ~label:(label ^ "ln2b") in
+  ignore seq;
+  G.layer_norm g res2 g2 b2
+
+(** Distilled GPT-2 style: token + position embeddings (static gathers),
+    two transformer blocks, tied unembedding. *)
+let gpt2 () =
+  let rng = Zkml_util.Rng.create 107L in
+  let g = G.create "gpt2" in
+  let vocab = 16 and seq = 3 and d = 4 in
+  (* the prompt token ids are public and baked into the gathers *)
+  let tokens = [| 5; 11; 2 |] in
+  let wte = w g rng [| vocab; d |] "wte" in
+  let wpe = w g rng [| seq; d |] "wpe" in
+  let tok_emb = G.gather g ~indices:tokens ~axis:0 wte in
+  let pos_emb = G.gather g ~indices:[| 0; 1; 2 |] ~axis:0 wpe in
+  let x0 = G.add_ g tok_emb pos_emb in
+  let x0 = G.expand_dims g ~axis:0 x0 in
+  (* a small learned perturbation input stands in for the private prompt
+     continuation embedding *)
+  let prompt = G.input g [| 1; seq; d |] in
+  let x0 = G.add_ g x0 prompt in
+  let x1 = transformer_block g rng x0 ~seq ~d "blk1" in
+  let x2 = transformer_block g rng x1 ~seq ~d "blk2" in
+  (* unembed the last position *)
+  let last = G.slice g ~starts:[| 0; seq - 1; 0 |] ~sizes:[| 1; 1; d |] x2 in
+  let last = G.reshape g [| 1; d |] last in
+  let logits = G.batch_matmul ~transpose_b:true g last wte in
+  G.mark_output g logits;
+  {
+    name = "gpt2";
+    paper_name = "GPT-2 (distilled)";
+    graph = g;
+    input_shapes = [ [| 1; seq; d |] ];
+    cfg = default_cfg;
+    description = "embeddings + 2 transformer blocks + tied unembedding";
+  }
+
+(** Small latent diffusion style: one denoising UNet step — timestep
+    embedding, down/up convolutions with a skip connection
+    (nearest-neighbour upsampling expressed as a free static gather). *)
+let diffusion () =
+  let rng = Zkml_util.Rng.create 108L in
+  let g = G.create "diffusion" in
+  let latent = G.input g [| 1; 8; 8; 1 |] in
+  (* timestep embedding broadcast-added to the latent *)
+  let temb = G.weight g (T.create [| 1 |] 0.1) ~label:"temb" in
+  let xt = G.add_ g latent temb in
+  let conv c_in c_out ?(stride = 1) x label =
+    G.activation g Op.Silu
+      (G.conv2d ~stride ~padding:Op.Same g x
+         (w g rng [| 3; 3; c_in; c_out |] (label ^ "w"))
+         (b0 g [| c_out |] (label ^ "b")))
+  in
+  let d1 = conv 1 4 xt "down1" in
+  let d2 = conv 4 4 ~stride:2 d1 "down2" in
+  let mid = conv 4 4 d2 "mid" in
+  (* nearest-neighbour 2x upsampling: duplicate rows then columns *)
+  let up_rows = G.gather g ~indices:[| 0; 0; 1; 1; 2; 2; 3; 3 |] ~axis:1 mid in
+  let up = G.gather g ~indices:[| 0; 0; 1; 1; 2; 2; 3; 3 |] ~axis:2 up_rows in
+  let skip = G.concat g ~axis:3 [ up; d1 ] in
+  let u1 = conv 8 4 skip "up1" in
+  let eps =
+    G.conv2d ~stride:1 ~padding:Op.Same g u1 (w g rng [| 3; 3; 4; 1 |] "outw")
+      (b0 g [| 1 |] "outb")
+  in
+  G.mark_output g eps;
+  {
+    name = "diffusion";
+    paper_name = "Diffusion";
+    graph = g;
+    input_shapes = [ [| 1; 8; 8; 1 |] ];
+    cfg = default_cfg;
+    description = "one UNet denoising step with skip connection";
+  }
+
+(** All eight models, smallest first (the Table 5/6/7 sweep order). *)
+let all () =
+  [ mnist (); dlrm (); twitter (); resnet18 (); mobilenet (); vgg16 ();
+    diffusion (); gpt2 () ]
+
+let by_name name =
+  match List.find_opt (fun m -> m.name = name) (all ()) with
+  | Some m -> m
+  | None -> invalid_arg ("Zoo.by_name: unknown model " ^ name)

@@ -1,0 +1,50 @@
+(** The model zoo: the eight architectures of the paper's evaluation
+    (Table 5), dimension-scaled to laptop-size circuits but structurally
+    faithful — each exercises the same layer classes as its full-size
+    counterpart (see DESIGN.md "Substitutions"). *)
+
+type model = {
+  name : string;  (** short id used by the CLI and benches *)
+  paper_name : string;  (** the row name in the paper's Table 5 *)
+  graph : Zkml_nn.Graph.t;
+  input_shapes : int array list;
+  cfg : Zkml_fixed.Fixed.config;
+  description : string;
+}
+
+val default_cfg : Zkml_fixed.Fixed.config
+
+val sample_inputs : ?seed:int64 -> model -> float Zkml_tensor.Tensor.t list
+(** Deterministic synthetic inputs of the right shapes. *)
+
+val mnist : unit -> model
+(** Minimal CNN (conv + pool + dense). *)
+
+val resnet18 : unit -> model
+(** Residual CNN with identity skip connections. *)
+
+val vgg16 : unit -> model
+(** Plain deep conv stacks with max pooling and a dense head. *)
+
+val mobilenet : unit -> model
+(** MobileNetV2-style inverted residuals with depthwise convs/ReLU6. *)
+
+val dlrm : unit -> model
+(** Facebook-style deep recommender: bottom MLP, embedding gathers,
+    pairwise dot interactions, top MLP. *)
+
+val twitter : unit -> model
+(** Twitter's MaskNet: layer-norm + instance-guided mask blocks. *)
+
+val gpt2 : unit -> model
+(** Distilled-GPT-2 style: embeddings, two transformer blocks
+    (attention + softmax + layer norm + GELU MLP), tied unembedding. *)
+
+val diffusion : unit -> model
+(** One UNet denoising step with a skip connection. *)
+
+val all : unit -> model list
+(** All eight models, smallest first (the Table 6/7 sweep order). *)
+
+val by_name : string -> model
+(** Raises [Invalid_argument] for unknown names. *)

@@ -1,0 +1,1 @@
+lib/nn/dataset.ml: Array Zkml_tensor Zkml_util

@@ -1,0 +1,1 @@
+lib/nn/float_exec.ml: Array Float Graph List Op Zkml_tensor

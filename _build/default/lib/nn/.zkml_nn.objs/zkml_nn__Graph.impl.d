@@ -1,0 +1,1 @@
+lib/nn/graph.ml: Array List Op Zkml_tensor Zkml_util

@@ -1,0 +1,1 @@
+lib/nn/graph.mli: Op Zkml_tensor Zkml_util

@@ -1,0 +1,1 @@
+lib/nn/op.ml: Zkml_fixed Zkml_tensor

@@ -1,0 +1,1 @@
+lib/nn/quant_exec.ml: Array Float_exec Graph List Op Printf Zkml_fixed Zkml_tensor

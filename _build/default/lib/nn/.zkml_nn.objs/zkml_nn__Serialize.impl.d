@@ -1,0 +1,1 @@
+lib/nn/serialize.ml: Array Buffer Graph List Op Printf String Zkml_tensor

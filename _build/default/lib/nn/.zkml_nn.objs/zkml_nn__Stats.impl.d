@@ -1,0 +1,1 @@
+lib/nn/stats.ml: Array Float_exec Graph List Op Zkml_tensor

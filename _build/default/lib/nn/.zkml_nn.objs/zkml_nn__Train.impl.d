@@ -1,0 +1,1 @@
+lib/nn/train.ml: Array Dataset Float Float_exec Graph List Op Quant_exec Zkml_fixed Zkml_tensor Zkml_util

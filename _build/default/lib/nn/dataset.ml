@@ -1,0 +1,72 @@
+(** Synthetic datasets. The container has no MNIST/CIFAR files, so the
+    accuracy experiments (paper Table 8) run on seeded synthetic
+    classification tasks: each class is a smooth random template image
+    and samples are noisy draws from it. This reproduces the quantity
+    Table 8 measures — the accuracy delta between FP32 execution and
+    fixed-point circuit execution of the same trained model. *)
+
+module T = Zkml_tensor.Tensor
+
+type sample = { image : float T.t; label : int }
+
+type t = { train : sample array; test : sample array; num_classes : int }
+
+(* smooth template: sum of a few random 2-D cosine modes *)
+let template rng ~h ~w ~c =
+  let modes =
+    Array.init 4 (fun _ ->
+        ( Zkml_util.Rng.float rng *. 3.0,
+          Zkml_util.Rng.float rng *. 3.0,
+          Zkml_util.Rng.float rng *. 6.28,
+          0.5 +. Zkml_util.Rng.float rng ))
+  in
+  T.init [| h; w; c |] (fun flat ->
+      let ch = flat mod c in
+      let j = flat / c mod w in
+      let i = flat / (c * w) in
+      let x = float_of_int i /. float_of_int h
+      and y = float_of_int j /. float_of_int w in
+      Array.fold_left
+        (fun acc (fx, fy, phase, amp) ->
+          acc
+          +. amp
+             *. cos ((6.28 *. ((fx *. x) +. (fy *. y))) +. phase +. float_of_int ch))
+        0.0 modes
+      /. 4.0)
+
+let classification ~seed ~num_classes ~h ~w ~c ~train_per_class
+    ~test_per_class ~noise =
+  let rng = Zkml_util.Rng.create seed in
+  let templates =
+    Array.init num_classes (fun _ -> template rng ~h ~w ~c)
+  in
+  let make_sample label =
+    let t = templates.(label) in
+    let image =
+      T.init [| 1; h; w; c |] (fun flat ->
+          T.get_flat t flat +. (noise *. Zkml_util.Rng.gaussian rng))
+    in
+    { image; label }
+  in
+  let make count =
+    Array.init (count * num_classes) (fun i -> make_sample (i mod num_classes))
+  in
+  { train = make train_per_class; test = make test_per_class; num_classes }
+
+(** Tabular dataset for the recommender-style models: dense features plus
+    a binary label from a random ground-truth MLP-ish rule. *)
+let tabular ~seed ~dim ~train ~test =
+  let rng = Zkml_util.Rng.create seed in
+  let w = Array.init dim (fun _ -> Zkml_util.Rng.gaussian rng) in
+  let make count =
+    Array.init count (fun _ ->
+        let x = Array.init dim (fun _ -> Zkml_util.Rng.gaussian rng) in
+        let score =
+          Array.fold_left ( +. ) 0.0 (Array.map2 (fun a b -> a *. b *. sin b) w x)
+        in
+        {
+          image = T.of_array [| 1; dim |] x;
+          label = (if score > 0.0 then 1 else 0);
+        })
+  in
+  { train = make train; test = make test; num_classes = 2 }

@@ -1,0 +1,379 @@
+(** Reference (FP32) executor. Defines the mathematical semantics of
+    every op; the fixed-point executor and the circuit must agree with
+    this up to quantization error (Table 8 measures exactly that gap). *)
+
+module T = Zkml_tensor.Tensor
+
+let conv_out_dim ~padding ~stride ~k in_dim =
+  match padding with
+  | Op.Same -> (in_dim + stride - 1) / stride
+  | Op.Valid -> ((in_dim - k) / stride) + 1
+
+let conv_pad ~padding ~stride ~k ~out in_dim =
+  match padding with
+  | Op.Same ->
+      let total = max 0 (((out - 1) * stride) + k - in_dim) in
+      (total / 2, total - (total / 2))
+  | Op.Valid -> (0, 0)
+
+let normalize_axis r axis = if axis < 0 then r + axis else axis
+
+(* NHWC convolution; f is the accumulation kernel so the fixed-point
+   executor can reuse the same loop with integer semantics. *)
+let conv2d_generic ~zero ~madd ~stride ~padding x w b =
+  let xs = T.shape x and ws = T.shape w in
+  let n = xs.(0) and h = xs.(1) and wi = xs.(2) and ic = xs.(3) in
+  let kh = ws.(0) and kw = ws.(1) and oc = ws.(3) in
+  assert (ws.(2) = ic);
+  let oh = conv_out_dim ~padding ~stride ~k:kh h in
+  let ow = conv_out_dim ~padding ~stride ~k:kw wi in
+  let ph, _ = conv_pad ~padding ~stride ~k:kh ~out:oh h in
+  let pw, _ = conv_pad ~padding ~stride ~k:kw ~out:ow wi in
+  let out = T.create [| n; oh; ow; oc |] zero in
+  for b' = 0 to n - 1 do
+    for i = 0 to oh - 1 do
+      for j = 0 to ow - 1 do
+        for o = 0 to oc - 1 do
+          let acc = ref (T.get b [| o |]) in
+          for ki = 0 to kh - 1 do
+            for kj = 0 to kw - 1 do
+              let si = (i * stride) + ki - ph and sj = (j * stride) + kj - pw in
+              if si >= 0 && si < h && sj >= 0 && sj < wi then
+                for c = 0 to ic - 1 do
+                  acc :=
+                    madd !acc
+                      (T.get x [| b'; si; sj; c |])
+                      (T.get w [| ki; kj; c; o |])
+                done
+            done
+          done;
+          T.set out [| b'; i; j; o |] !acc
+        done
+      done
+    done
+  done;
+  out
+
+let depthwise_conv2d_generic ~zero ~madd ~stride ~padding x w b =
+  let xs = T.shape x and ws = T.shape w in
+  let n = xs.(0) and h = xs.(1) and wi = xs.(2) and c = xs.(3) in
+  let kh = ws.(0) and kw = ws.(1) in
+  assert (ws.(2) = c);
+  let oh = conv_out_dim ~padding ~stride ~k:kh h in
+  let ow = conv_out_dim ~padding ~stride ~k:kw wi in
+  let ph, _ = conv_pad ~padding ~stride ~k:kh ~out:oh h in
+  let pw, _ = conv_pad ~padding ~stride ~k:kw ~out:ow wi in
+  let out = T.create [| n; oh; ow; c |] zero in
+  for b' = 0 to n - 1 do
+    for i = 0 to oh - 1 do
+      for j = 0 to ow - 1 do
+        for ch = 0 to c - 1 do
+          let acc = ref (T.get b [| ch |]) in
+          for ki = 0 to kh - 1 do
+            for kj = 0 to kw - 1 do
+              let si = (i * stride) + ki - ph and sj = (j * stride) + kj - pw in
+              if si >= 0 && si < h && sj >= 0 && sj < wi then
+                acc :=
+                  madd !acc
+                    (T.get x [| b'; si; sj; ch |])
+                    (T.get w [| ki; kj; ch; 0 |])
+            done
+          done;
+          T.set out [| b'; i; j; ch |] !acc
+        done
+      done
+    done
+  done;
+  out
+
+(* [.., m, k] x [.., k, n] batched matmul; b may also be rank 2. *)
+let batch_matmul_generic ~zero ~madd ~transpose_b a b =
+  let sa = T.shape a and sb = T.shape b in
+  let ra = Array.length sa and rb = Array.length sb in
+  let m = sa.(ra - 2) and k = sa.(ra - 1) in
+  let kb, n =
+    if transpose_b then (sb.(rb - 1), sb.(rb - 2)) else (sb.(rb - 2), sb.(rb - 1))
+  in
+  if k <> kb then invalid_arg "batch_matmul: inner dimension mismatch";
+  let batch = T.numel a / (m * k) in
+  let b_batched = rb > 2 in
+  if b_batched && T.numel b / (kb * n) <> batch then
+    invalid_arg "batch_matmul: batch mismatch";
+  let out_shape = Array.append (Array.sub sa 0 (ra - 2)) [| m; n |] in
+  let out = T.create out_shape zero in
+  for bt = 0 to batch - 1 do
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref zero in
+        for t = 0 to k - 1 do
+          let bv =
+            let base = if b_batched then bt * k * n else 0 in
+            if transpose_b then T.get_flat b (base + (j * k) + t)
+            else T.get_flat b (base + (t * n) + j)
+          in
+          acc := madd !acc (T.get_flat a ((bt * m * k) + (i * k) + t)) bv
+        done;
+        T.set_flat out ((bt * m * n) + (i * n) + j) !acc
+      done
+    done
+  done;
+  out
+
+let pool_generic ~combine ~finalize ~init ~size ~stride x =
+  let xs = T.shape x in
+  let n = xs.(0) and h = xs.(1) and w = xs.(2) and c = xs.(3) in
+  let oh = ((h - size) / stride) + 1 and ow = ((w - size) / stride) + 1 in
+  let out = T.create [| n; oh; ow; c |] init in
+  for b = 0 to n - 1 do
+    for i = 0 to oh - 1 do
+      for j = 0 to ow - 1 do
+        for ch = 0 to c - 1 do
+          let acc = ref init in
+          for ki = 0 to size - 1 do
+            for kj = 0 to size - 1 do
+              acc :=
+                combine !acc
+                  (T.get x [| b; (i * stride) + ki; (j * stride) + kj; ch |])
+            done
+          done;
+          T.set out [| b; i; j; ch |] (finalize !acc (size * size))
+        done
+      done
+    done
+  done;
+  out
+
+let reduce_generic ~combine ~finalize ~init ~axis x =
+  let xs = T.shape x in
+  let r = Array.length xs in
+  let axis = normalize_axis r axis in
+  let outer = ref 1 and inner = ref 1 in
+  for i = 0 to axis - 1 do
+    outer := !outer * xs.(i)
+  done;
+  for i = axis + 1 to r - 1 do
+    inner := !inner * xs.(i)
+  done;
+  let d = xs.(axis) in
+  let out_shape =
+    Array.of_list
+      (List.filteri (fun i _ -> i <> axis) (Array.to_list xs))
+  in
+  let out_shape = if Array.length out_shape = 0 then [| 1 |] else out_shape in
+  let out = T.create out_shape init in
+  for o = 0 to !outer - 1 do
+    for i = 0 to !inner - 1 do
+      let acc = ref init in
+      for j = 0 to d - 1 do
+        acc := combine !acc (T.get_flat x ((o * d * !inner) + (j * !inner) + i))
+      done;
+      T.set_flat out ((o * !inner) + i) (finalize !acc d)
+    done
+  done;
+  out
+
+(* elementwise with broadcasting of the second operand when it is a
+   vector matching the last axis, or a scalar *)
+let broadcast2 f a b =
+  if T.shape a = T.shape b then T.map2 f a b
+  else begin
+    let sb = T.shape b in
+    let nb = T.numel b in
+    let last = (T.shape a).(Array.length (T.shape a) - 1) in
+    if nb = 1 then T.map (fun x -> f x (T.get_flat b 0)) a
+    else if nb = last && (Array.length sb = 1 || T.numel b = nb) then
+      T.init (T.shape a) (fun i -> f (T.get_flat a i) (T.get_flat b (i mod last)))
+    else invalid_arg "broadcast2: incompatible shapes"
+  end
+
+let gather_generic ~indices ~axis x =
+  let xs = T.shape x in
+  let r = Array.length xs in
+  let axis = normalize_axis r axis in
+  let out_shape = Array.copy xs in
+  out_shape.(axis) <- Array.length indices;
+  let outer = ref 1 and inner = ref 1 in
+  for i = 0 to axis - 1 do
+    outer := !outer * xs.(i)
+  done;
+  for i = axis + 1 to r - 1 do
+    inner := !inner * xs.(i)
+  done;
+  let d = xs.(axis) in
+  let out = T.create out_shape (T.get_flat x 0) in
+  Array.iteri
+    (fun oi src ->
+      if src < 0 || src >= d then invalid_arg "gather: index out of range";
+      for o = 0 to !outer - 1 do
+        for i = 0 to !inner - 1 do
+          T.set_flat out
+            ((o * Array.length indices * !inner) + (oi * !inner) + i)
+            (T.get_flat x ((o * d * !inner) + (src * !inner) + i))
+        done
+      done)
+    indices;
+  out
+
+(** Run the graph; [inputs] are bound to [Input] nodes in id order.
+    Returns the value of every node. *)
+let run graph ~(inputs : float T.t list) : float T.t array
+    =
+  let nodes = Graph.nodes graph in
+  let values = Array.make (Array.length nodes) (T.create [| 1 |] 0.0) in
+  let remaining_inputs = ref inputs in
+  let v i = values.(i) in
+  Array.iter
+    (fun (node : Graph.node) ->
+      let inp = node.Graph.inputs in
+      let result =
+        match node.Graph.op with
+        | Op.Input { shape } -> (
+            match !remaining_inputs with
+            | t :: rest ->
+                if T.shape t <> shape then
+                  invalid_arg "Float_exec.run: input shape mismatch";
+                remaining_inputs := rest;
+                t
+            | [] -> invalid_arg "Float_exec.run: missing input")
+        | Op.Weight { tensor } -> tensor
+        | Op.Conv2d { stride; padding } ->
+            conv2d_generic ~zero:0.0
+              ~madd:(fun acc a b -> acc +. (a *. b))
+              ~stride ~padding (v inp.(0)) (v inp.(1)) (v inp.(2))
+        | Op.Depthwise_conv2d { stride; padding } ->
+            depthwise_conv2d_generic ~zero:0.0
+              ~madd:(fun acc a b -> acc +. (a *. b))
+              ~stride ~padding (v inp.(0)) (v inp.(1)) (v inp.(2))
+        | Op.Fully_connected ->
+            let x = v inp.(0) and w = v inp.(1) and b = v inp.(2) in
+            let y =
+              batch_matmul_generic ~zero:0.0
+                ~madd:(fun acc a b -> acc +. (a *. b))
+                ~transpose_b:false x w
+            in
+            broadcast2 ( +. ) y b
+        | Op.Batch_matmul { transpose_b } ->
+            batch_matmul_generic ~zero:0.0
+              ~madd:(fun acc a b -> acc +. (a *. b))
+              ~transpose_b (v inp.(0)) (v inp.(1))
+        | Op.Avg_pool2d { size; stride } ->
+            pool_generic
+              ~combine:( +. )
+              ~finalize:(fun acc count -> acc /. float_of_int count)
+              ~init:0.0 ~size ~stride (v inp.(0))
+        | Op.Max_pool2d { size; stride } ->
+            pool_generic ~combine:Float.max
+              ~finalize:(fun acc _ -> acc)
+              ~init:neg_infinity ~size ~stride (v inp.(0))
+        | Op.Global_avg_pool ->
+            let x = v inp.(0) in
+            let s = T.shape x in
+            pool_generic
+              ~combine:( +. )
+              ~finalize:(fun acc count -> acc /. float_of_int count)
+              ~init:0.0 ~size:s.(1) ~stride:s.(1) x
+        | Op.Add -> broadcast2 ( +. ) (v inp.(0)) (v inp.(1))
+        | Op.Sub -> broadcast2 ( -. ) (v inp.(0)) (v inp.(1))
+        | Op.Mul -> broadcast2 ( *. ) (v inp.(0)) (v inp.(1))
+        | Op.Div -> broadcast2 ( /. ) (v inp.(0)) (v inp.(1))
+        | Op.Squared_difference ->
+            broadcast2 (fun a b -> (a -. b) *. (a -. b)) (v inp.(0)) (v inp.(1))
+        | Op.Maximum -> broadcast2 Float.max (v inp.(0)) (v inp.(1))
+        | Op.Minimum -> broadcast2 Float.min (v inp.(0)) (v inp.(1))
+        | Op.Neg -> T.map (fun x -> -.x) (v inp.(0))
+        | Op.Square -> T.map (fun x -> x *. x) (v inp.(0))
+        | Op.Reduce_sum { axis } ->
+            reduce_generic ~combine:( +. )
+              ~finalize:(fun acc _ -> acc)
+              ~init:0.0 ~axis (v inp.(0))
+        | Op.Reduce_mean { axis } ->
+            reduce_generic ~combine:( +. )
+              ~finalize:(fun acc d -> acc /. float_of_int d)
+              ~init:0.0 ~axis (v inp.(0))
+        | Op.Reduce_max { axis } ->
+            reduce_generic ~combine:Float.max
+              ~finalize:(fun acc _ -> acc)
+              ~init:neg_infinity ~axis (v inp.(0))
+        | Op.Activation a -> T.map (Op.activation_fn a) (v inp.(0))
+        | Op.Softmax ->
+            let x = v inp.(0) in
+            let s = T.shape x in
+            let d = s.(Array.length s - 1) in
+            let out = T.copy x in
+            let rows = T.numel x / d in
+            for r = 0 to rows - 1 do
+              let m = ref neg_infinity in
+              for j = 0 to d - 1 do
+                m := Float.max !m (T.get_flat x ((r * d) + j))
+              done;
+              let sum = ref 0.0 in
+              for j = 0 to d - 1 do
+                let e = exp (T.get_flat x ((r * d) + j) -. !m) in
+                T.set_flat out ((r * d) + j) e;
+                sum := !sum +. e
+              done;
+              for j = 0 to d - 1 do
+                T.set_flat out ((r * d) + j) (T.get_flat out ((r * d) + j) /. !sum)
+              done
+            done;
+            out
+        | Op.Layer_norm { eps } ->
+            let x = v inp.(0) and gamma = v inp.(1) and beta = v inp.(2) in
+            let s = T.shape x in
+            let d = s.(Array.length s - 1) in
+            let out = T.copy x in
+            let rows = T.numel x / d in
+            for r = 0 to rows - 1 do
+              let mean = ref 0.0 in
+              for j = 0 to d - 1 do
+                mean := !mean +. T.get_flat x ((r * d) + j)
+              done;
+              let mean = !mean /. float_of_int d in
+              let var = ref 0.0 in
+              for j = 0 to d - 1 do
+                let dd = T.get_flat x ((r * d) + j) -. mean in
+                var := !var +. (dd *. dd)
+              done;
+              let var = !var /. float_of_int d in
+              let inv = 1.0 /. sqrt (var +. eps) in
+              for j = 0 to d - 1 do
+                let dd = T.get_flat x ((r * d) + j) -. mean in
+                T.set_flat out ((r * d) + j)
+                  ((dd *. inv *. T.get_flat gamma j) +. T.get_flat beta j)
+              done
+            done;
+            out
+        | Op.Batch_norm ->
+            let x = v inp.(0) and scale = v inp.(1) and shift = v inp.(2) in
+            broadcast2 ( +. ) (broadcast2 ( *. ) x scale) shift
+        | Op.Reshape { shape } -> T.reshape (v inp.(0)) shape
+        | Op.Transpose { perm } -> T.transpose (v inp.(0)) perm
+        | Op.Concat { axis } ->
+            T.concat axis (Array.to_list (Array.map v inp))
+        | Op.Slice { starts; sizes } -> T.slice (v inp.(0)) ~starts ~sizes
+        | Op.Pad { pads } -> T.pad (v inp.(0)) ~pads ~value:0.0
+        | Op.Flatten ->
+            let x = v inp.(0) in
+            T.reshape x [| (T.shape x).(0); -1 |]
+        | Op.Squeeze { axis } ->
+            let x = v inp.(0) in
+            let s = T.shape x in
+            let axis = normalize_axis (Array.length s) axis in
+            T.reshape x
+              (Array.of_list
+                 (List.filteri (fun i _ -> i <> axis) (Array.to_list s)))
+        | Op.Expand_dims { axis } ->
+            let x = v inp.(0) in
+            let s = Array.to_list (T.shape x) in
+            let rec insert i = function
+              | rest when i = 0 -> 1 :: rest
+              | [] -> [ 1 ]
+              | d :: rest -> d :: insert (i - 1) rest
+            in
+            T.reshape x (Array.of_list (insert axis s))
+        | Op.Gather { indices; axis } ->
+            gather_generic ~indices ~axis (v inp.(0))
+      in
+      values.(node.Graph.id) <- result)
+    nodes;
+  values

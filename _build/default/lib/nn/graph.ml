@@ -1,0 +1,107 @@
+(** Dataflow graph of operations: the compiler's input, playing the role
+    of the tflite model in the original system. Nodes are in topological
+    order by construction (a node's inputs always have smaller ids). *)
+
+module T = Zkml_tensor.Tensor
+
+type node = { id : int; op : Op.t; inputs : int array; label : string }
+
+type t = {
+  mutable nodes : node list;  (** reverse order *)
+  mutable count : int;
+  mutable outputs : int list;  (** reverse order *)
+  name : string;
+}
+
+let create name = { nodes = []; count = 0; outputs = []; name }
+let name g = g.name
+
+let add ?(label = "") g op inputs =
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= g.count then invalid_arg "Graph.add: bad input id")
+    inputs;
+  let id = g.count in
+  g.nodes <- { id; op; inputs; label } :: g.nodes;
+  g.count <- id + 1;
+  id
+
+let mark_output g id = g.outputs <- id :: g.outputs
+let nodes g = Array.of_list (List.rev g.nodes)
+let outputs g = List.rev g.outputs
+let node g id = List.nth (List.rev g.nodes) id
+let num_nodes g = g.count
+
+(** {1 Builder helpers} *)
+
+let input g shape = add g (Op.Input { shape }) [||] ~label:"input"
+let weight ?(label = "w") g tensor = add g (Op.Weight { tensor }) [||] ~label
+
+let weight_of_array g shape data ~label =
+  weight g (T.of_array shape data) ~label
+
+let conv2d ?(stride = 1) ?(padding = Op.Same) g x w b =
+  add g (Op.Conv2d { stride; padding }) [| x; w; b |]
+
+let depthwise_conv2d ?(stride = 1) ?(padding = Op.Same) g x w b =
+  add g (Op.Depthwise_conv2d { stride; padding }) [| x; w; b |]
+
+let fully_connected g x w b = add g Op.Fully_connected [| x; w; b |]
+
+let batch_matmul ?(transpose_b = false) g a b =
+  add g (Op.Batch_matmul { transpose_b }) [| a; b |]
+
+let avg_pool2d ?(stride = 0) g ~size x =
+  let stride = if stride = 0 then size else stride in
+  add g (Op.Avg_pool2d { size; stride }) [| x |]
+
+let max_pool2d ?(stride = 0) g ~size x =
+  let stride = if stride = 0 then size else stride in
+  add g (Op.Max_pool2d { size; stride }) [| x |]
+
+let global_avg_pool g x = add g Op.Global_avg_pool [| x |]
+let add_ g a b = add g Op.Add [| a; b |]
+let sub g a b = add g Op.Sub [| a; b |]
+let mul g a b = add g Op.Mul [| a; b |]
+let div g a b = add g Op.Div [| a; b |]
+let squared_difference g a b = add g Op.Squared_difference [| a; b |]
+let maximum g a b = add g Op.Maximum [| a; b |]
+let minimum g a b = add g Op.Minimum [| a; b |]
+let neg g a = add g Op.Neg [| a |]
+let square g a = add g Op.Square [| a |]
+let reduce_sum g ~axis x = add g (Op.Reduce_sum { axis }) [| x |]
+let reduce_mean g ~axis x = add g (Op.Reduce_mean { axis }) [| x |]
+let reduce_max g ~axis x = add g (Op.Reduce_max { axis }) [| x |]
+let activation g a x = add g (Op.Activation a) [| x |]
+let relu g x = activation g Op.Relu x
+let softmax g x = add g Op.Softmax [| x |]
+let layer_norm ?(eps = 1e-5) g x gamma beta =
+  add g (Op.Layer_norm { eps }) [| x; gamma; beta |]
+let batch_norm g x scale shift = add g Op.Batch_norm [| x; scale; shift |]
+let reshape g shape x = add g (Op.Reshape { shape }) [| x |]
+let transpose g perm x = add g (Op.Transpose { perm }) [| x |]
+let concat g ~axis xs = add g (Op.Concat { axis }) (Array.of_list xs)
+let slice g ~starts ~sizes x = add g (Op.Slice { starts; sizes }) [| x |]
+let pad g ~pads x = add g (Op.Pad { pads }) [| x |]
+let flatten g x = add g Op.Flatten [| x |]
+let squeeze g ~axis x = add g (Op.Squeeze { axis }) [| x |]
+let expand_dims g ~axis x = add g (Op.Expand_dims { axis }) [| x |]
+let gather g ~indices ~axis x = add g (Op.Gather { indices; axis }) [| x |]
+
+(** Random weight initialisers (He / Xavier style), deterministic via the
+    supplied rng. *)
+let he_weight g rng shape ~label =
+  let fan_in =
+    match Array.length shape with
+    | 1 -> shape.(0)
+    | 2 -> shape.(0)
+    | 4 -> shape.(0) * shape.(1) * shape.(2)
+    | _ -> T.numel_of_shape shape
+  in
+  let std = sqrt (2.0 /. float_of_int (max 1 fan_in)) in
+  let t =
+    T.init shape (fun _ -> Zkml_util.Rng.gaussian rng *. std)
+  in
+  weight g t ~label
+
+let zero_weight g shape ~label = weight g (T.create shape 0.0) ~label

@@ -1,0 +1,70 @@
+(** Dataflow graph of operations — the compiler's input, playing the
+    role of the tflite model in the original system. Nodes are in
+    topological order by construction (a node's inputs always have
+    smaller ids). Use {!Serialize} for the on-disk format and
+    {!Float_exec} / {!Quant_exec} to evaluate. *)
+
+type node = { id : int; op : Op.t; inputs : int array; label : string }
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+val add : ?label:string -> t -> Op.t -> int array -> int
+(** [add g op inputs] appends a node and returns its id. *)
+
+val mark_output : t -> int -> unit
+val nodes : t -> node array
+val outputs : t -> int list
+val node : t -> int -> node
+val num_nodes : t -> int
+
+(** {1 Builder helpers}
+
+    Each returns the new node's id. Image tensors are NHWC; weight
+    layouts are documented on the corresponding {!Op.t} constructor. *)
+
+val input : t -> int array -> int
+val weight : ?label:string -> t -> float Zkml_tensor.Tensor.t -> int
+val weight_of_array : t -> int array -> float array -> label:string -> int
+val conv2d : ?stride:int -> ?padding:Op.padding -> t -> int -> int -> int -> int
+val depthwise_conv2d :
+  ?stride:int -> ?padding:Op.padding -> t -> int -> int -> int -> int
+val fully_connected : t -> int -> int -> int -> int
+val batch_matmul : ?transpose_b:bool -> t -> int -> int -> int
+val avg_pool2d : ?stride:int -> t -> size:int -> int -> int
+val max_pool2d : ?stride:int -> t -> size:int -> int -> int
+val global_avg_pool : t -> int -> int
+val add_ : t -> int -> int -> int
+val sub : t -> int -> int -> int
+val mul : t -> int -> int -> int
+val div : t -> int -> int -> int
+val squared_difference : t -> int -> int -> int
+val maximum : t -> int -> int -> int
+val minimum : t -> int -> int -> int
+val neg : t -> int -> int
+val square : t -> int -> int
+val reduce_sum : t -> axis:int -> int -> int
+val reduce_mean : t -> axis:int -> int -> int
+val reduce_max : t -> axis:int -> int -> int
+val activation : t -> Op.activation -> int -> int
+val relu : t -> int -> int
+val softmax : t -> int -> int
+val layer_norm : ?eps:float -> t -> int -> int -> int -> int
+val batch_norm : t -> int -> int -> int -> int
+val reshape : t -> int array -> int -> int
+val transpose : t -> int array -> int -> int
+val concat : t -> axis:int -> int list -> int
+val slice : t -> starts:int array -> sizes:int array -> int -> int
+val pad : t -> pads:(int * int) array -> int -> int
+val flatten : t -> int -> int
+val squeeze : t -> axis:int -> int -> int
+val expand_dims : t -> axis:int -> int -> int
+val gather : t -> indices:int array -> axis:int -> int -> int
+
+val he_weight :
+  t -> Zkml_util.Rng.t -> int array -> label:string -> int
+(** Deterministic He-style random initialisation. *)
+
+val zero_weight : t -> int array -> label:string -> int

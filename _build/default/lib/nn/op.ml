@@ -1,0 +1,136 @@
+(** The operation (layer) vocabulary of the compiler. ZKML supports 43
+    layers (§6.1); the list below reproduces that coverage: linear
+    layers, arithmetic layers, activation layers, softmax, and the shape
+    operations that are free inside the circuit. *)
+
+type activation =
+  | Relu
+  | Relu6
+  | Elu of float  (** alpha *)
+  | Sigmoid
+  | Tanh
+  | Gelu
+  | Exp  (** scaled exponential, the softmax building block *)
+  | Softplus
+  | Silu
+  | Rsqrt
+  | Sqrt
+  | Reciprocal
+
+let activation_name = function
+  | Relu -> "relu"
+  | Relu6 -> "relu6"
+  | Elu _ -> "elu"
+  | Sigmoid -> "sigmoid"
+  | Tanh -> "tanh"
+  | Gelu -> "gelu"
+  | Exp -> "exp"
+  | Softplus -> "softplus"
+  | Silu -> "silu"
+  | Rsqrt -> "rsqrt"
+  | Sqrt -> "sqrt"
+  | Reciprocal -> "reciprocal"
+
+let activation_fn = function
+  | Relu -> Zkml_fixed.Fixed.relu
+  | Relu6 -> Zkml_fixed.Fixed.relu6
+  | Elu alpha -> Zkml_fixed.Fixed.elu ~alpha
+  | Sigmoid -> Zkml_fixed.Fixed.sigmoid
+  | Tanh -> Zkml_fixed.Fixed.tanh'
+  | Gelu -> Zkml_fixed.Fixed.gelu
+  | Exp -> Zkml_fixed.Fixed.exp'
+  | Softplus -> Zkml_fixed.Fixed.softplus
+  | Silu -> Zkml_fixed.Fixed.silu
+  | Rsqrt -> Zkml_fixed.Fixed.rsqrt
+  | Sqrt -> Zkml_fixed.Fixed.sqrt'
+  | Reciprocal -> Zkml_fixed.Fixed.reciprocal
+
+type padding = Same | Valid
+
+type t =
+  | Input of { shape : int array }
+  | Weight of { tensor : float Zkml_tensor.Tensor.t }
+  (* linear layers *)
+  | Conv2d of { stride : int; padding : padding }
+      (** inputs: x (NHWC), w (KhKwIcOc), bias (Oc) *)
+  | Depthwise_conv2d of { stride : int; padding : padding }
+      (** inputs: x (NHWC), w (KhKwC1), bias (C) *)
+  | Fully_connected  (** inputs: x (N,In), w (In,Out), bias (Out) *)
+  | Batch_matmul of { transpose_b : bool }
+  (* pooling *)
+  | Avg_pool2d of { size : int; stride : int }
+  | Max_pool2d of { size : int; stride : int }
+  | Global_avg_pool
+  (* arithmetic layers *)
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Squared_difference
+  | Maximum
+  | Minimum
+  | Neg
+  | Square
+  | Reduce_sum of { axis : int }
+  | Reduce_mean of { axis : int }
+  | Reduce_max of { axis : int }
+  (* activations and composites *)
+  | Activation of activation
+  | Softmax  (** along the last axis *)
+  | Layer_norm of { eps : float }  (** inputs: x, gamma, beta *)
+  | Batch_norm  (** inputs: x, scale, shift — pre-folded constants *)
+  (* shape operations: free in the circuit *)
+  | Reshape of { shape : int array }
+  | Transpose of { perm : int array }
+  | Concat of { axis : int }
+  | Slice of { starts : int array; sizes : int array }
+  | Pad of { pads : (int * int) array }
+  | Flatten
+  | Squeeze of { axis : int }
+  | Expand_dims of { axis : int }
+  | Gather of { indices : int array; axis : int }
+      (** static gather (embedding lookup with public indices) *)
+
+let name = function
+  | Input _ -> "input"
+  | Weight _ -> "weight"
+  | Conv2d _ -> "conv2d"
+  | Depthwise_conv2d _ -> "depthwise_conv2d"
+  | Fully_connected -> "fully_connected"
+  | Batch_matmul _ -> "batch_matmul"
+  | Avg_pool2d _ -> "avg_pool2d"
+  | Max_pool2d _ -> "max_pool2d"
+  | Global_avg_pool -> "global_avg_pool"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Squared_difference -> "squared_difference"
+  | Maximum -> "maximum"
+  | Minimum -> "minimum"
+  | Neg -> "neg"
+  | Square -> "square"
+  | Reduce_sum _ -> "reduce_sum"
+  | Reduce_mean _ -> "reduce_mean"
+  | Reduce_max _ -> "reduce_max"
+  | Activation a -> activation_name a
+  | Softmax -> "softmax"
+  | Layer_norm _ -> "layer_norm"
+  | Batch_norm -> "batch_norm"
+  | Reshape _ -> "reshape"
+  | Transpose _ -> "transpose"
+  | Concat _ -> "concat"
+  | Slice _ -> "slice"
+  | Pad _ -> "pad"
+  | Flatten -> "flatten"
+  | Squeeze _ -> "squeeze"
+  | Expand_dims _ -> "expand_dims"
+  | Gather _ -> "gather"
+
+(** Shape operations cost no circuit rows (tensors hold cell
+    references; §5.1 "Shape operations"). *)
+let is_shape_op = function
+  | Reshape _ | Transpose _ | Concat _ | Slice _ | Pad _ | Flatten
+  | Squeeze _ | Expand_dims _ | Gather _ ->
+      true
+  | _ -> false

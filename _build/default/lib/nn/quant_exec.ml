@@ -1,0 +1,236 @@
+(** Fixed-point executor. Runs the graph on integer tensors at scale
+    SF = 2^scale_bits with exactly the rounding and lookup semantics the
+    gadgets constrain, so the circuit witness can be read straight off
+    these values and the circuit output equals this executor's output
+    bit-for-bit.
+
+    If a non-linearity input falls outside the lookup-table range the
+    executor raises {!Out_of_range} by default (the paper's approach is
+    to pick the scale factor so that this cannot happen); passing
+    [~saturate:true] clamps instead, which is useful for executor-only
+    accuracy sweeps. *)
+
+module T = Zkml_tensor.Tensor
+module F = Zkml_fixed.Fixed
+
+exception Out_of_range of string
+
+type t = {
+  cfg : F.config;
+  values : int T.t array;  (** per node, at scale SF (weights too) *)
+}
+
+let madd_int acc a b = acc + (a * b)
+
+let table_input cfg ~saturate ~what x =
+  if x >= F.table_min cfg && x <= F.table_max cfg then x
+  else if saturate then F.clamp cfg x
+  else
+    raise
+      (Out_of_range
+         (Printf.sprintf "%s: value %d outside table range [%d, %d]" what x
+            (F.table_min cfg) (F.table_max cfg)))
+
+let quantize_tensor cfg t = T.map (F.quantize cfg) t
+
+(* rescale an SF^2-scaled accumulation back to SF *)
+let rescale cfg x = F.round_div x (F.sf cfg)
+
+let run ?(saturate = false) cfg graph ~(inputs : int T.t list) : t =
+  let sf = F.sf cfg in
+  let nodes = Graph.nodes graph in
+  let values = Array.make (Array.length nodes) (T.create [| 1 |] 0) in
+  let remaining_inputs = ref inputs in
+  let v i = values.(i) in
+  let act_value a x =
+    let x = table_input cfg ~saturate ~what:(Op.activation_name a) x in
+    F.apply_real cfg (Op.activation_fn a) x
+  in
+  Array.iter
+    (fun (node : Graph.node) ->
+      let inp = node.Graph.inputs in
+      let result =
+        match node.Graph.op with
+        | Op.Input { shape } -> (
+            match !remaining_inputs with
+            | t :: rest ->
+                if T.shape t <> shape then
+                  invalid_arg "Quant_exec.run: input shape mismatch";
+                remaining_inputs := rest;
+                t
+            | [] -> invalid_arg "Quant_exec.run: missing input")
+        | Op.Weight { tensor } -> quantize_tensor cfg tensor
+        | Op.Conv2d { stride; padding } ->
+            (* bias at SF lifted to SF^2 during accumulation *)
+            let b2 = T.map (fun b -> b * sf) (v inp.(2)) in
+            Float_exec.conv2d_generic ~zero:0 ~madd:madd_int ~stride ~padding
+              (v inp.(0)) (v inp.(1)) b2
+            |> T.map (rescale cfg)
+        | Op.Depthwise_conv2d { stride; padding } ->
+            let b2 = T.map (fun b -> b * sf) (v inp.(2)) in
+            Float_exec.depthwise_conv2d_generic ~zero:0 ~madd:madd_int ~stride
+              ~padding (v inp.(0)) (v inp.(1)) b2
+            |> T.map (rescale cfg)
+        | Op.Fully_connected ->
+            let y =
+              Float_exec.batch_matmul_generic ~zero:0 ~madd:madd_int
+                ~transpose_b:false (v inp.(0)) (v inp.(1))
+            in
+            let b2 = T.map (fun b -> b * sf) (v inp.(2)) in
+            Float_exec.broadcast2 ( + ) y b2 |> T.map (rescale cfg)
+        | Op.Batch_matmul { transpose_b } ->
+            Float_exec.batch_matmul_generic ~zero:0 ~madd:madd_int ~transpose_b
+              (v inp.(0)) (v inp.(1))
+            |> T.map (rescale cfg)
+        | Op.Avg_pool2d { size; stride } ->
+            Float_exec.pool_generic ~combine:( + )
+              ~finalize:(fun acc count -> F.round_div acc count)
+              ~init:0 ~size ~stride (v inp.(0))
+        | Op.Max_pool2d { size; stride } ->
+            Float_exec.pool_generic ~combine:max
+              ~finalize:(fun acc _ -> acc)
+              ~init:min_int ~size ~stride (v inp.(0))
+        | Op.Global_avg_pool ->
+            let x = v inp.(0) in
+            let s = T.shape x in
+            Float_exec.pool_generic ~combine:( + )
+              ~finalize:(fun acc count -> F.round_div acc count)
+              ~init:0 ~size:s.(1) ~stride:s.(1) x
+        | Op.Add -> Float_exec.broadcast2 ( + ) (v inp.(0)) (v inp.(1))
+        | Op.Sub -> Float_exec.broadcast2 ( - ) (v inp.(0)) (v inp.(1))
+        | Op.Mul ->
+            Float_exec.broadcast2 (fun a b -> rescale cfg (a * b)) (v inp.(0))
+              (v inp.(1))
+        | Op.Div ->
+            Float_exec.broadcast2
+              (fun a b ->
+                (* variable division gadget: round(a * SF / b), positive
+                   denominator *)
+                let b = max 1 b in
+                F.round_div (a * sf) b)
+              (v inp.(0)) (v inp.(1))
+        | Op.Squared_difference ->
+            Float_exec.broadcast2
+              (fun a b -> rescale cfg ((a - b) * (a - b)))
+              (v inp.(0)) (v inp.(1))
+        | Op.Maximum -> Float_exec.broadcast2 max (v inp.(0)) (v inp.(1))
+        | Op.Minimum -> Float_exec.broadcast2 min (v inp.(0)) (v inp.(1))
+        | Op.Neg -> T.map (fun x -> -x) (v inp.(0))
+        | Op.Square -> T.map (fun x -> rescale cfg (x * x)) (v inp.(0))
+        | Op.Reduce_sum { axis } ->
+            Float_exec.reduce_generic ~combine:( + )
+              ~finalize:(fun acc _ -> acc)
+              ~init:0 ~axis (v inp.(0))
+        | Op.Reduce_mean { axis } ->
+            Float_exec.reduce_generic ~combine:( + )
+              ~finalize:(fun acc d -> F.round_div acc d)
+              ~init:0 ~axis (v inp.(0))
+        | Op.Reduce_max { axis } ->
+            Float_exec.reduce_generic ~combine:max
+              ~finalize:(fun acc _ -> acc)
+              ~init:min_int ~axis (v inp.(0))
+        | Op.Activation a -> T.map (act_value a) (v inp.(0))
+        | Op.Softmax ->
+            (* the paper's high-performance softmax (§6.1): subtract the
+               max, scaled-exp via lookup, scale the numerator, variable
+               division *)
+            let x = v inp.(0) in
+            let s = T.shape x in
+            let d = s.(Array.length s - 1) in
+            let out = T.copy x in
+            let rows = T.numel x / d in
+            for r = 0 to rows - 1 do
+              let m = ref min_int in
+              for j = 0 to d - 1 do
+                m := max !m (T.get_flat x ((r * d) + j))
+              done;
+              let sum = ref 0 in
+              for j = 0 to d - 1 do
+                let shifted =
+                  table_input cfg ~saturate ~what:"softmax-exp"
+                    (T.get_flat x ((r * d) + j) - !m)
+                in
+                let e = F.apply_real cfg F.exp' shifted in
+                T.set_flat out ((r * d) + j) e;
+                sum := !sum + e
+              done;
+              for j = 0 to d - 1 do
+                T.set_flat out ((r * d) + j)
+                  (F.round_div (T.get_flat out ((r * d) + j) * sf) (max 1 !sum))
+              done
+            done;
+            out
+        | Op.Layer_norm { eps } ->
+            let x = v inp.(0) and gamma = v inp.(1) and beta = v inp.(2) in
+            let s = T.shape x in
+            let d = s.(Array.length s - 1) in
+            let out = T.copy x in
+            let rows = T.numel x / d in
+            let eps_q = F.quantize cfg eps in
+            for r = 0 to rows - 1 do
+              let total = ref 0 in
+              for j = 0 to d - 1 do
+                total := !total + T.get_flat x ((r * d) + j)
+              done;
+              let mean = F.round_div !total d in
+              let var_total = ref 0 in
+              for j = 0 to d - 1 do
+                let dd = T.get_flat x ((r * d) + j) - mean in
+                var_total := !var_total + rescale cfg (dd * dd)
+              done;
+              let var = F.round_div !var_total d in
+              let inv =
+                F.apply_real cfg F.rsqrt
+                  (table_input cfg ~saturate ~what:"layer_norm-rsqrt"
+                     (var + eps_q))
+              in
+              for j = 0 to d - 1 do
+                let dd = T.get_flat x ((r * d) + j) - mean in
+                let normalized = rescale cfg (dd * inv) in
+                T.set_flat out ((r * d) + j)
+                  (rescale cfg (normalized * T.get_flat gamma j)
+                  + T.get_flat beta j)
+              done
+            done;
+            out
+        | Op.Batch_norm ->
+            let x = v inp.(0) and scale = v inp.(1) and shift = v inp.(2) in
+            Float_exec.broadcast2 ( + )
+              (Float_exec.broadcast2 (fun a b -> rescale cfg (a * b)) x scale)
+              shift
+        | Op.Reshape { shape } -> T.reshape (v inp.(0)) shape
+        | Op.Transpose { perm } -> T.transpose (v inp.(0)) perm
+        | Op.Concat { axis } -> T.concat axis (Array.to_list (Array.map v inp))
+        | Op.Slice { starts; sizes } -> T.slice (v inp.(0)) ~starts ~sizes
+        | Op.Pad { pads } -> T.pad (v inp.(0)) ~pads ~value:0
+        | Op.Flatten ->
+            let x = v inp.(0) in
+            T.reshape x [| (T.shape x).(0); -1 |]
+        | Op.Squeeze { axis } ->
+            let x = v inp.(0) in
+            let s = T.shape x in
+            let axis = Float_exec.normalize_axis (Array.length s) axis in
+            T.reshape x
+              (Array.of_list
+                 (List.filteri (fun i _ -> i <> axis) (Array.to_list s)))
+        | Op.Expand_dims { axis } ->
+            let x = v inp.(0) in
+            let s = Array.to_list (T.shape x) in
+            let rec insert i = function
+              | rest when i = 0 -> 1 :: rest
+              | [] -> [ 1 ]
+              | dim :: rest -> dim :: insert (i - 1) rest
+            in
+            T.reshape x (Array.of_list (insert axis s))
+        | Op.Gather { indices; axis } ->
+            Float_exec.gather_generic ~indices ~axis (v inp.(0))
+      in
+      values.(node.Graph.id) <- result)
+    nodes;
+  { cfg; values }
+
+let output_values t graph =
+  List.map (fun id -> t.values.(id)) (Graph.outputs graph)
+
+let dequantized t graph =
+  List.map (T.map (F.dequantize t.cfg)) (output_values t graph)

@@ -1,0 +1,227 @@
+(** Textual model format — the stand-in for tflite flatbuffers (see
+    DESIGN.md). One line per node:
+
+      node <id> <op> in=<i,j,...> [attrs] [data]
+
+    Weight data is stored inline as "%h" hex floats for exact
+    round-tripping. *)
+
+module T = Zkml_tensor.Tensor
+
+let shape_str s = String.concat "," (List.map string_of_int (Array.to_list s))
+
+let parse_shape s =
+  if s = "" then [||]
+  else
+    String.split_on_char ',' s |> List.map int_of_string |> Array.of_list
+
+let pads_str pads =
+  String.concat ","
+    (List.concat_map (fun (a, b) -> [ string_of_int a; string_of_int b ])
+       (Array.to_list pads))
+
+let parse_pads s =
+  let parts = parse_shape s in
+  Array.init (Array.length parts / 2) (fun i -> (parts.(2 * i), parts.((2 * i) + 1)))
+
+let padding_str = function Op.Same -> "same" | Op.Valid -> "valid"
+
+let parse_padding = function
+  | "same" -> Op.Same
+  | "valid" -> Op.Valid
+  | s -> invalid_arg ("Serialize: bad padding " ^ s)
+
+let op_to_string (op : Op.t) =
+  match op with
+  | Input { shape } -> Printf.sprintf "input shape=%s" (shape_str shape)
+  | Weight { tensor } ->
+      let floats =
+        String.concat " "
+          (List.map (fun f -> Printf.sprintf "%h" f)
+             (Array.to_list (T.data tensor)))
+      in
+      Printf.sprintf "weight shape=%s data=%s" (shape_str (T.shape tensor)) floats
+  | Conv2d { stride; padding } ->
+      Printf.sprintf "conv2d stride=%d padding=%s" stride (padding_str padding)
+  | Depthwise_conv2d { stride; padding } ->
+      Printf.sprintf "depthwise_conv2d stride=%d padding=%s" stride
+        (padding_str padding)
+  | Fully_connected -> "fully_connected"
+  | Batch_matmul { transpose_b } ->
+      Printf.sprintf "batch_matmul transpose_b=%b" transpose_b
+  | Avg_pool2d { size; stride } ->
+      Printf.sprintf "avg_pool2d size=%d stride=%d" size stride
+  | Max_pool2d { size; stride } ->
+      Printf.sprintf "max_pool2d size=%d stride=%d" size stride
+  | Global_avg_pool -> "global_avg_pool"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Squared_difference -> "squared_difference"
+  | Maximum -> "maximum"
+  | Minimum -> "minimum"
+  | Neg -> "neg"
+  | Square -> "square"
+  | Reduce_sum { axis } -> Printf.sprintf "reduce_sum axis=%d" axis
+  | Reduce_mean { axis } -> Printf.sprintf "reduce_mean axis=%d" axis
+  | Reduce_max { axis } -> Printf.sprintf "reduce_max axis=%d" axis
+  | Activation (Elu alpha) -> Printf.sprintf "act_elu alpha=%h" alpha
+  | Activation a -> "act_" ^ Op.activation_name a
+  | Softmax -> "softmax"
+  | Layer_norm { eps } -> Printf.sprintf "layer_norm eps=%h" eps
+  | Batch_norm -> "batch_norm"
+  | Reshape { shape } -> Printf.sprintf "reshape shape=%s" (shape_str shape)
+  | Transpose { perm } -> Printf.sprintf "transpose perm=%s" (shape_str perm)
+  | Concat { axis } -> Printf.sprintf "concat axis=%d" axis
+  | Slice { starts; sizes } ->
+      Printf.sprintf "slice starts=%s sizes=%s" (shape_str starts)
+        (shape_str sizes)
+  | Pad { pads } -> Printf.sprintf "pad pads=%s" (pads_str pads)
+  | Flatten -> "flatten"
+  | Squeeze { axis } -> Printf.sprintf "squeeze axis=%d" axis
+  | Expand_dims { axis } -> Printf.sprintf "expand_dims axis=%d" axis
+  | Gather { indices; axis } ->
+      Printf.sprintf "gather axis=%d indices=%s" axis (shape_str indices)
+
+let activation_of_string = function
+  | "relu" -> Op.Relu
+  | "relu6" -> Op.Relu6
+  | "sigmoid" -> Op.Sigmoid
+  | "tanh" -> Op.Tanh
+  | "gelu" -> Op.Gelu
+  | "exp" -> Op.Exp
+  | "softplus" -> Op.Softplus
+  | "silu" -> Op.Silu
+  | "rsqrt" -> Op.Rsqrt
+  | "sqrt" -> Op.Sqrt
+  | "reciprocal" -> Op.Reciprocal
+  | s -> invalid_arg ("Serialize: unknown activation " ^ s)
+
+let parse_attrs tokens =
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+          Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+      | None -> None)
+    tokens
+
+let op_of_tokens = function
+  | [] -> invalid_arg "Serialize: empty op"
+  | opname :: rest -> (
+      let attrs = parse_attrs rest in
+      let attr k =
+        try List.assoc k attrs
+        with Not_found -> invalid_arg ("Serialize: missing attr " ^ k)
+      in
+      let iattr k = int_of_string (attr k) in
+      match opname with
+      | "input" -> Op.Input { shape = parse_shape (attr "shape") }
+      | "weight" ->
+          let shape = parse_shape (attr "shape") in
+          (* data floats follow the data= token *)
+          let rec collect = function
+            | [] -> []
+            | tok :: rest when String.length tok > 5 && String.sub tok 0 5 = "data=" ->
+                String.sub tok 5 (String.length tok - 5) :: rest
+            | _ :: rest -> collect rest
+          in
+          let floats = List.map float_of_string (collect rest) in
+          Op.Weight { tensor = T.of_array shape (Array.of_list floats) }
+      | "conv2d" ->
+          Op.Conv2d
+            { stride = iattr "stride"; padding = parse_padding (attr "padding") }
+      | "depthwise_conv2d" ->
+          Op.Depthwise_conv2d
+            { stride = iattr "stride"; padding = parse_padding (attr "padding") }
+      | "fully_connected" -> Op.Fully_connected
+      | "batch_matmul" ->
+          Op.Batch_matmul { transpose_b = bool_of_string (attr "transpose_b") }
+      | "avg_pool2d" -> Op.Avg_pool2d { size = iattr "size"; stride = iattr "stride" }
+      | "max_pool2d" -> Op.Max_pool2d { size = iattr "size"; stride = iattr "stride" }
+      | "global_avg_pool" -> Op.Global_avg_pool
+      | "add" -> Op.Add
+      | "sub" -> Op.Sub
+      | "mul" -> Op.Mul
+      | "div" -> Op.Div
+      | "squared_difference" -> Op.Squared_difference
+      | "maximum" -> Op.Maximum
+      | "minimum" -> Op.Minimum
+      | "neg" -> Op.Neg
+      | "square" -> Op.Square
+      | "reduce_sum" -> Op.Reduce_sum { axis = iattr "axis" }
+      | "reduce_mean" -> Op.Reduce_mean { axis = iattr "axis" }
+      | "reduce_max" -> Op.Reduce_max { axis = iattr "axis" }
+      | "act_elu" -> Op.Activation (Op.Elu (float_of_string (attr "alpha")))
+      | "softmax" -> Op.Softmax
+      | "layer_norm" -> Op.Layer_norm { eps = float_of_string (attr "eps") }
+      | "batch_norm" -> Op.Batch_norm
+      | "reshape" -> Op.Reshape { shape = parse_shape (attr "shape") }
+      | "transpose" -> Op.Transpose { perm = parse_shape (attr "perm") }
+      | "concat" -> Op.Concat { axis = iattr "axis" }
+      | "slice" ->
+          Op.Slice { starts = parse_shape (attr "starts"); sizes = parse_shape (attr "sizes") }
+      | "pad" -> Op.Pad { pads = parse_pads (attr "pads") }
+      | "flatten" -> Op.Flatten
+      | "squeeze" -> Op.Squeeze { axis = iattr "axis" }
+      | "expand_dims" -> Op.Expand_dims { axis = iattr "axis" }
+      | "gather" ->
+          Op.Gather { indices = parse_shape (attr "indices"); axis = iattr "axis" }
+      | s when String.length s > 4 && String.sub s 0 4 = "act_" ->
+          Op.Activation (activation_of_string (String.sub s 4 (String.length s - 4)))
+      | s -> invalid_arg ("Serialize: unknown op " ^ s))
+
+let to_string graph =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "zkml-model v1 %s\n" (Graph.name graph));
+  Array.iter
+    (fun (n : Graph.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %d in=%s %s\n" n.Graph.id
+           (shape_str n.Graph.inputs)
+           (op_to_string n.Graph.op)))
+    (Graph.nodes graph);
+  Buffer.add_string buf
+    (Printf.sprintf "outputs %s\n"
+       (String.concat "," (List.map string_of_int (Graph.outputs graph))));
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | [] -> invalid_arg "Serialize: empty model"
+  | header :: rest ->
+      let name =
+        match String.split_on_char ' ' header with
+        | "zkml-model" :: "v1" :: name :: _ -> name
+        | _ -> invalid_arg "Serialize: bad header"
+      in
+      let g = Graph.create name in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' (String.trim line) with
+          | [ "" ] | [] -> ()
+          | "node" :: _id :: ins :: op_tokens ->
+              let inputs =
+                if ins = "in=" then [||]
+                else parse_shape (String.sub ins 3 (String.length ins - 3))
+              in
+              ignore (Graph.add g (op_of_tokens op_tokens) inputs)
+          | "outputs" :: [ outs ] ->
+              Array.iter (Graph.mark_output g) (parse_shape outs)
+          | _ -> invalid_arg ("Serialize: bad line: " ^ line))
+        rest;
+      g
+
+let save graph path =
+  let oc = open_out path in
+  output_string oc (to_string graph);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

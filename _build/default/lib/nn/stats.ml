@@ -1,0 +1,52 @@
+(** Parameter and FLOP counting (paper Table 5). *)
+
+module T = Zkml_tensor.Tensor
+
+type t = { params : int; flops : int; num_nodes : int }
+
+let zero_inputs graph =
+  Graph.nodes graph
+  |> Array.to_list
+  |> List.filter_map (fun (n : Graph.node) ->
+         match n.Graph.op with
+         | Op.Input { shape } -> Some (T.create shape 0.0)
+         | _ -> None)
+
+let compute graph =
+  let nodes = Graph.nodes graph in
+  let values = Float_exec.run graph ~inputs:(zero_inputs graph) in
+  let out_numel id = T.numel values.(id) in
+  let in_shape (n : Graph.node) i = T.shape values.(n.Graph.inputs.(i)) in
+  let params = ref 0 and flops = ref 0 in
+  Array.iter
+    (fun (n : Graph.node) ->
+      match n.Graph.op with
+      | Op.Input _ -> ()
+      | Op.Weight { tensor } -> params := !params + T.numel tensor
+      | Op.Conv2d _ ->
+          let ws = in_shape n 1 in
+          flops := !flops + (out_numel n.id * 2 * ws.(0) * ws.(1) * ws.(2))
+      | Op.Depthwise_conv2d _ ->
+          let ws = in_shape n 1 in
+          flops := !flops + (out_numel n.id * 2 * ws.(0) * ws.(1))
+      | Op.Fully_connected | Op.Batch_matmul _ ->
+          let xs = in_shape n 0 in
+          let k = xs.(Array.length xs - 1) in
+          flops := !flops + (out_numel n.id * 2 * k)
+      | Op.Avg_pool2d { size; _ } | Op.Max_pool2d { size; _ } ->
+          flops := !flops + (out_numel n.id * size * size)
+      | Op.Global_avg_pool ->
+          flops := !flops + T.numel values.(n.inputs.(0))
+      | Op.Add | Op.Sub | Op.Mul | Op.Div | Op.Squared_difference | Op.Maximum
+      | Op.Minimum | Op.Neg | Op.Square | Op.Batch_norm ->
+          flops := !flops + out_numel n.id
+      | Op.Reduce_sum _ | Op.Reduce_mean _ | Op.Reduce_max _ ->
+          flops := !flops + T.numel values.(n.inputs.(0))
+      | Op.Activation _ -> flops := !flops + out_numel n.id
+      | Op.Softmax -> flops := !flops + (4 * out_numel n.id)
+      | Op.Layer_norm _ -> flops := !flops + (8 * out_numel n.id)
+      | Op.Reshape _ | Op.Transpose _ | Op.Concat _ | Op.Slice _ | Op.Pad _
+      | Op.Flatten | Op.Squeeze _ | Op.Expand_dims _ | Op.Gather _ ->
+          ())
+    nodes;
+  { params = !params; flops = !flops; num_nodes = Array.length nodes }

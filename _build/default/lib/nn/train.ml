@@ -1,0 +1,298 @@
+(** SGD training with reverse-mode differentiation over the graph.
+    Supports the layer set of the vision models used in the accuracy
+    experiment (Table 8): convolutions, fully-connected, pooling,
+    pointwise activations, residual additions and the shape ops. The
+    loss is softmax cross-entropy on the graph output (logits).
+
+    The paper's Table 2 lists "CNN training" as a ZKML capability; this
+    module is the substrate that produces genuinely trained weights for
+    the accuracy comparison. *)
+
+module T = Zkml_tensor.Tensor
+
+exception Unsupported of string
+
+let zeros_like t = T.create (T.shape t) 0.0
+
+(* derivative of a pointwise activation; analytic where cheap, central
+   difference otherwise *)
+let activation_deriv a x =
+  match a with
+  | Op.Relu -> if x > 0.0 then 1.0 else 0.0
+  | Op.Relu6 -> if x > 0.0 && x < 6.0 then 1.0 else 0.0
+  | Op.Sigmoid ->
+      let s = Zkml_fixed.Fixed.sigmoid x in
+      s *. (1.0 -. s)
+  | Op.Tanh ->
+      let t = Float.tanh x in
+      1.0 -. (t *. t)
+  | _ ->
+      let h = 1e-4 in
+      let f = Op.activation_fn a in
+      (f (x +. h) -. f (x -. h)) /. (2.0 *. h)
+
+(* reduce a gradient with the broadcast pattern of Float_exec.broadcast2's
+   second operand *)
+let reduce_broadcast_grad grad target =
+  if T.shape grad = T.shape target then grad
+  else begin
+    let nt = T.numel target in
+    let out = zeros_like target in
+    T.iteri (fun i g -> T.set_flat out (i mod nt) (T.get_flat out (i mod nt) +. g)) grad;
+    out
+  end
+
+let backward graph values ~out_grad =
+  let nodes = Graph.nodes graph in
+  let grads = Array.map zeros_like values in
+  (match Graph.outputs graph with
+  | [ out ] -> grads.(out) <- out_grad
+  | _ -> raise (Unsupported "training requires a single graph output"));
+  let add_grad id g =
+    grads.(id) <- T.map2 ( +. ) grads.(id) (T.reshape g (T.shape grads.(id)))
+  in
+  for idx = Array.length nodes - 1 downto 0 do
+    let node = nodes.(idx) in
+    let inp = node.Graph.inputs in
+    let dy = grads.(node.Graph.id) in
+    let x i = values.(inp.(i)) in
+    match node.Graph.op with
+    | Op.Input _ | Op.Weight _ -> ()
+    | Op.Fully_connected ->
+        let xv = x 0 and w = x 1 in
+        let xs = T.shape xv and ws = T.shape w in
+        let batch = xs.(0) and k = ws.(0) and n = ws.(1) in
+        let dx = zeros_like xv and dw = zeros_like w and db = zeros_like (x 2) in
+        for b = 0 to batch - 1 do
+          for j = 0 to n - 1 do
+            let g = T.get dy [| b; j |] in
+            T.set_flat db j (T.get_flat db j +. g);
+            for t = 0 to k - 1 do
+              T.set dx [| b; t |]
+                (T.get dx [| b; t |] +. (g *. T.get w [| t; j |]));
+              T.set dw [| t; j |]
+                (T.get dw [| t; j |] +. (g *. T.get xv [| b; t |]))
+            done
+          done
+        done;
+        add_grad inp.(0) dx;
+        add_grad inp.(1) dw;
+        add_grad inp.(2) db
+    | Op.Conv2d { stride; padding } ->
+        let xv = x 0 and w = x 1 in
+        let xs = T.shape xv and ws = T.shape w in
+        let n = xs.(0) and h = xs.(1) and wi = xs.(2) and ic = xs.(3) in
+        let kh = ws.(0) and kw = ws.(1) and oc = ws.(3) in
+        let os = T.shape dy in
+        let oh = os.(1) and ow = os.(2) in
+        let ph, _ = Float_exec.conv_pad ~padding ~stride ~k:kh ~out:oh h in
+        let pw, _ = Float_exec.conv_pad ~padding ~stride ~k:kw ~out:ow wi in
+        let dx = zeros_like xv and dw = zeros_like w and db = zeros_like (x 2) in
+        for b = 0 to n - 1 do
+          for i = 0 to oh - 1 do
+            for j = 0 to ow - 1 do
+              for o = 0 to oc - 1 do
+                let g = T.get dy [| b; i; j; o |] in
+                T.set_flat db o (T.get_flat db o +. g);
+                for ki = 0 to kh - 1 do
+                  for kj = 0 to kw - 1 do
+                    let si = (i * stride) + ki - ph
+                    and sj = (j * stride) + kj - pw in
+                    if si >= 0 && si < h && sj >= 0 && sj < wi then
+                      for c = 0 to ic - 1 do
+                        T.set dx [| b; si; sj; c |]
+                          (T.get dx [| b; si; sj; c |]
+                          +. (g *. T.get w [| ki; kj; c; o |]));
+                        T.set dw [| ki; kj; c; o |]
+                          (T.get dw [| ki; kj; c; o |]
+                          +. (g *. T.get xv [| b; si; sj; c |]))
+                      done
+                  done
+                done
+              done
+            done
+          done
+        done;
+        add_grad inp.(0) dx;
+        add_grad inp.(1) dw;
+        add_grad inp.(2) db
+    | Op.Avg_pool2d { size; stride } ->
+        let xv = x 0 in
+        let dx = zeros_like xv in
+        let os = T.shape dy in
+        let inv = 1.0 /. float_of_int (size * size) in
+        for b = 0 to os.(0) - 1 do
+          for i = 0 to os.(1) - 1 do
+            for j = 0 to os.(2) - 1 do
+              for c = 0 to os.(3) - 1 do
+                let g = T.get dy [| b; i; j; c |] *. inv in
+                for ki = 0 to size - 1 do
+                  for kj = 0 to size - 1 do
+                    let si = (i * stride) + ki and sj = (j * stride) + kj in
+                    T.set dx [| b; si; sj; c |] (T.get dx [| b; si; sj; c |] +. g)
+                  done
+                done
+              done
+            done
+          done
+        done;
+        add_grad inp.(0) dx
+    | Op.Max_pool2d { size; stride } ->
+        let xv = x 0 in
+        let dx = zeros_like xv in
+        let os = T.shape dy in
+        for b = 0 to os.(0) - 1 do
+          for i = 0 to os.(1) - 1 do
+            for j = 0 to os.(2) - 1 do
+              for c = 0 to os.(3) - 1 do
+                (* route to argmax *)
+                let best = ref neg_infinity and bi = ref 0 and bj = ref 0 in
+                for ki = 0 to size - 1 do
+                  for kj = 0 to size - 1 do
+                    let v = T.get xv [| b; (i * stride) + ki; (j * stride) + kj; c |] in
+                    if v > !best then begin
+                      best := v;
+                      bi := (i * stride) + ki;
+                      bj := (j * stride) + kj
+                    end
+                  done
+                done;
+                T.set dx [| b; !bi; !bj; c |]
+                  (T.get dx [| b; !bi; !bj; c |] +. T.get dy [| b; i; j; c |])
+              done
+            done
+          done
+        done;
+        add_grad inp.(0) dx
+    | Op.Global_avg_pool ->
+        let xv = x 0 in
+        let xs = T.shape xv in
+        let inv = 1.0 /. float_of_int (xs.(1) * xs.(2)) in
+        let dx =
+          T.init xs (fun flat ->
+              let c = flat mod xs.(3) in
+              let b = flat / (xs.(1) * xs.(2) * xs.(3)) in
+              T.get dy [| b; 0; 0; c |] *. inv)
+        in
+        add_grad inp.(0) dx
+    | Op.Add ->
+        add_grad inp.(0) (T.reshape dy (T.shape (x 0)));
+        add_grad inp.(1) (reduce_broadcast_grad dy (x 1))
+    | Op.Sub ->
+        add_grad inp.(0) (T.reshape dy (T.shape (x 0)));
+        add_grad inp.(1) (reduce_broadcast_grad (T.map (fun g -> -.g) dy) (x 1))
+    | Op.Mul ->
+        if T.shape (x 0) <> T.shape (x 1) then
+          raise (Unsupported "mul broadcast backward");
+        add_grad inp.(0) (T.map2 ( *. ) dy (x 1));
+        add_grad inp.(1) (T.map2 ( *. ) dy (x 0))
+    | Op.Batch_norm ->
+        let xv = x 0 in
+        add_grad inp.(0)
+          (T.init (T.shape xv) (fun i ->
+               T.get_flat dy i
+               *. T.get_flat (x 1) (i mod T.numel (x 1))));
+        add_grad inp.(1)
+          (reduce_broadcast_grad (T.map2 ( *. ) dy xv) (x 1));
+        add_grad inp.(2) (reduce_broadcast_grad dy (x 2))
+    | Op.Activation a ->
+        let xv = x 0 in
+        add_grad inp.(0)
+          (T.init (T.shape xv) (fun i ->
+               T.get_flat dy i *. activation_deriv a (T.get_flat xv i)))
+    | Op.Reshape _ | Op.Flatten | Op.Squeeze _ | Op.Expand_dims _ ->
+        add_grad inp.(0) (T.reshape dy (T.shape (x 0)))
+    | op -> raise (Unsupported (Op.name op))
+  done;
+  grads
+
+(** Softmax cross-entropy loss and its gradient w.r.t. the logits. *)
+let softmax_ce logits label =
+  let d = T.numel logits in
+  let m = T.fold Float.max neg_infinity logits in
+  let exps = T.map (fun x -> exp (x -. m)) logits in
+  let sum = T.fold ( +. ) 0.0 exps in
+  let loss = -.log (T.get_flat exps label /. sum) in
+  let grad =
+    T.init (T.shape logits) (fun i ->
+        (T.get_flat exps i /. sum) -. (if i = label then 1.0 else 0.0))
+  in
+  ignore d;
+  (loss, grad)
+
+(** In-place SGD over [epochs] passes of the training set. Returns the
+    average loss per epoch. *)
+let sgd graph ~(data : Dataset.sample array) ~epochs ~lr ~rng =
+  let nodes = Graph.nodes graph in
+  let weight_tensors =
+    Array.to_list nodes
+    |> List.filter_map (fun (n : Graph.node) ->
+           match n.Graph.op with
+           | Op.Weight { tensor } -> Some (n.Graph.id, tensor)
+           | _ -> None)
+  in
+  let losses = ref [] in
+  for _epoch = 1 to epochs do
+    (* shuffled pass *)
+    let order = Array.init (Array.length data) (fun i -> i) in
+    for i = Array.length order - 1 downto 1 do
+      let j = Zkml_util.Rng.int rng (i + 1) in
+      let t = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- t
+    done;
+    let total = ref 0.0 in
+    Array.iter
+      (fun i ->
+        let sample = data.(i) in
+        let values = Float_exec.run graph ~inputs:[ sample.Dataset.image ] in
+        let out =
+          match Graph.outputs graph with
+          | [ o ] -> values.(o)
+          | _ -> raise (Unsupported "single output required")
+        in
+        let loss, out_grad = softmax_ce out sample.Dataset.label in
+        total := !total +. loss;
+        let grads = backward graph values ~out_grad in
+        List.iter
+          (fun (id, tensor) ->
+            let g = grads.(id) in
+            T.iteri
+              (fun j gv -> T.set_flat tensor j (T.get_flat tensor j -. (lr *. gv)))
+              g)
+          weight_tensors)
+      order;
+    losses := (!total /. float_of_int (Array.length data)) :: !losses
+  done;
+  List.rev !losses
+
+let argmax t =
+  let best = ref 0 in
+  T.iteri (fun i v -> if v > T.get_flat t !best then best := i) t;
+  !best
+
+(** Classification accuracy of the FP32 executor. *)
+let float_accuracy graph (samples : Dataset.sample array) =
+  let correct = ref 0 in
+  Array.iter
+    (fun s ->
+      let values = Float_exec.run graph ~inputs:[ s.Dataset.image ] in
+      let out = values.(List.hd (Graph.outputs graph)) in
+      if argmax out = s.Dataset.label then incr correct)
+    samples;
+  float_of_int !correct /. float_of_int (Array.length samples)
+
+(** Classification accuracy of the fixed-point executor (the circuit
+    semantics). *)
+let quant_accuracy ?(saturate = true) cfg graph (samples : Dataset.sample array) =
+  let correct = ref 0 in
+  Array.iter
+    (fun s ->
+      let qin = T.map (Zkml_fixed.Fixed.quantize cfg) s.Dataset.image in
+      let result = Quant_exec.run ~saturate cfg graph ~inputs:[ qin ] in
+      let out = result.Quant_exec.values.(List.hd (Graph.outputs graph)) in
+      let best = ref 0 in
+      T.iteri (fun i v -> if v > T.get_flat out !best then best := i) out;
+      if !best = s.Dataset.label then incr correct)
+    samples;
+  float_of_int !correct /. float_of_int (Array.length samples)

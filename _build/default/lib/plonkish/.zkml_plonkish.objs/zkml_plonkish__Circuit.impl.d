@@ -1,0 +1,1 @@
+lib/plonkish/circuit.ml: Array Expr List

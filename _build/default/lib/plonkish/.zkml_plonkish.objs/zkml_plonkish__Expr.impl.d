@@ -1,0 +1,1 @@
+lib/plonkish/expr.ml:

@@ -1,0 +1,1 @@
+lib/plonkish/protocol.ml: Array Buffer Circuit Expr Hashtbl List Printf String Zkml_commit Zkml_ff Zkml_poly Zkml_transcript

@@ -1,0 +1,103 @@
+(** Circuit (constraint-system) description: a 2^k-row grid of fixed,
+    advice and instance columns constrained by single- or multi-row
+    custom gates, lookup arguments and copy (equality) constraints —
+    the Plonkish randomized AIR of Section 3 of the paper. *)
+
+type any_col = Col_fixed of int | Col_advice of int | Col_instance of int
+
+type 'f gate = {
+  gate_name : string;
+  polys : 'f Expr.t list;  (** each must evaluate to zero on every row *)
+}
+
+type 'f lookup = {
+  lookup_name : string;
+  inputs : 'f Expr.t list;
+  tables : 'f Expr.t list;
+      (** the tuple of [inputs] must appear as a row of the tuple of
+          [tables]; both lists have equal length *)
+}
+
+type copy = (any_col * int) * (any_col * int)
+
+type 'f t = {
+  k : int;  (** rows = 2^k *)
+  num_fixed : int;
+  is_selector : bool array;
+      (** per fixed column: is it a selector? (cost accounting only) *)
+  advice_phases : int array;
+      (** phase (0 or 1) per advice column; phase-1 columns may depend on
+          the challenges squeezed after phase 0 *)
+  num_instance : int;
+  num_challenges : int;
+  gates : 'f gate list;
+  lookups : 'f lookup list;
+  copies : copy list;
+  blinding : int;  (** rows reserved at the bottom for zero-knowledge *)
+}
+
+let n t = 1 lsl t.k
+let num_advice t = Array.length t.advice_phases
+
+(** Index of the "last" usable row u; rows 0..u-1 hold content, row u
+    anchors the grand-product boundary checks, rows u+1..2^k-1 are
+    blinding. *)
+let last_row t = n t - t.blinding - 1
+
+let usable_rows t = last_row t
+
+let gate_degree g = List.fold_left (fun acc p -> max acc (Expr.degree p)) 0 g.polys
+
+let lookup_degree l =
+  let deg es = List.fold_left (fun acc e -> max acc (Expr.degree e)) 0 es in
+  (* active * (Z(wX) (A'+b)(S'+g) - Z(X) (A+b)(S+g)) *)
+  1 + 1 + max (deg l.inputs + deg l.tables) 2
+
+(** Maximum constraint degree over the whole system (>= 3 so the
+    permutation argument can make progress). *)
+let max_degree t =
+  let d = List.fold_left (fun acc g -> max acc (gate_degree g)) 3 t.gates in
+  List.fold_left (fun acc l -> max acc (lookup_degree l)) d t.lookups
+
+(** Chunk width of the permutation argument, as in halo2: each grand
+    product covers [max_degree - 2] columns. *)
+let permutation_chunk t = max_degree t - 2
+
+(** Columns participating in the permutation argument, in a canonical
+    order derived from the copy constraints. *)
+let permutation_columns t =
+  let cols =
+    List.concat_map (fun ((c1, _), (c2, _)) -> [ c1; c2 ]) t.copies
+  in
+  List.sort_uniq compare cols |> Array.of_list
+
+(** Statistics consumed by the cost model (§7.4 of the paper). *)
+type stats = {
+  s_rows : int;
+  s_fixed : int;
+  s_selectors : int;
+  s_advice : int;
+  s_instance : int;
+  s_lookups : int;
+  s_perm_columns : int;
+  s_perm_chunks : int;
+  s_gates : int;
+  s_max_degree : int;
+}
+
+let stats t =
+  let perm_cols = Array.length (permutation_columns t) in
+  let chunk = permutation_chunk t in
+  {
+    s_rows = n t;
+    s_fixed = t.num_fixed;
+    s_selectors =
+      Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.is_selector;
+    s_advice = num_advice t;
+    s_instance = t.num_instance;
+    s_lookups = List.length t.lookups;
+    s_perm_columns = perm_cols;
+    s_perm_chunks = (if perm_cols = 0 then 0 else (perm_cols + chunk - 1) / chunk);
+    s_gates = List.length t.gates;
+    s_max_degree = max_degree t;
+  }

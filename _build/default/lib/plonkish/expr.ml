@@ -1,0 +1,75 @@
+(** Polynomial constraint expressions over the circuit grid.
+
+    An expression references cells of the current row (or, with a
+    non-zero rotation, of nearby rows — the paper's gadgets are
+    single-row, i.e. rotation 0, but multi-row rotations are supported
+    for the Table 13 ablation). Expressions are polymorphic in the field
+    element so the AST can be built without committing to a backend. *)
+
+type query = { col : int; rot : int }
+
+type 'f t =
+  | Const of 'f
+  | Fixed of query
+  | Advice of query
+  | Instance of query
+  | Challenge of int
+      (** A verifier challenge available after phase-0 advice is
+          committed (used for Freivalds' algorithm). Degree 0. *)
+  | Neg of 'f t
+  | Add of 'f t * 'f t
+  | Sub of 'f t * 'f t
+  | Mul of 'f t * 'f t
+  | Scaled of 'f t * 'f
+
+let fixed ?(rot = 0) col = Fixed { col; rot }
+let advice ?(rot = 0) col = Advice { col; rot }
+let instance ?(rot = 0) col = Instance { col; rot }
+
+let rec degree = function
+  | Const _ | Challenge _ -> 0
+  | Fixed _ | Advice _ | Instance _ -> 1
+  | Neg e | Scaled (e, _) -> degree e
+  | Add (a, b) | Sub (a, b) -> max (degree a) (degree b)
+  | Mul (a, b) -> degree a + degree b
+
+(** Fold over all queries, tagged by column kind. *)
+type kind = KFixed | KAdvice | KInstance
+
+let rec fold_queries f acc = function
+  | Const _ | Challenge _ -> acc
+  | Fixed q -> f acc KFixed q
+  | Advice q -> f acc KAdvice q
+  | Instance q -> f acc KInstance q
+  | Neg e | Scaled (e, _) -> fold_queries f acc e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) ->
+      fold_queries f (fold_queries f acc a) b
+
+(** Evaluate with callbacks supplying cell values and challenges. *)
+let eval ~fixed_at ~advice_at ~instance_at ~challenge ~add ~sub ~mul ~neg
+    ~scale expr =
+  let rec go = function
+    | Const c -> c
+    | Fixed q -> fixed_at q.col q.rot
+    | Advice q -> advice_at q.col q.rot
+    | Instance q -> instance_at q.col q.rot
+    | Challenge i -> challenge i
+    | Neg e -> neg (go e)
+    | Add (a, b) -> add (go a) (go b)
+    | Sub (a, b) -> sub (go a) (go b)
+    | Mul (a, b) -> mul (go a) (go b)
+    | Scaled (e, c) -> scale c (go e)
+  in
+  go expr
+
+let rec map_const f = function
+  | Const c -> Const (f c)
+  | Fixed q -> Fixed q
+  | Advice q -> Advice q
+  | Instance q -> Instance q
+  | Challenge i -> Challenge i
+  | Neg e -> Neg (map_const f e)
+  | Add (a, b) -> Add (map_const f a, map_const f b)
+  | Sub (a, b) -> Sub (map_const f a, map_const f b)
+  | Mul (a, b) -> Mul (map_const f a, map_const f b)
+  | Scaled (e, c) -> Scaled (map_const f e, f c)

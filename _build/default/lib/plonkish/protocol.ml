@@ -1,0 +1,1000 @@
+(** The proving protocol: keygen, prover and verifier for {!Circuit}
+    descriptions, functorized over the polynomial commitment scheme so
+    that the KZG and IPA backends (paper Tables 6 and 7) share all code.
+
+    The protocol follows halo2: commit advice (in phases, squeezing the
+    circuit challenges in between), run the permuted lookup argument and
+    the chunked permutation argument, combine every constraint with
+    powers of [y] into the quotient polynomial computed on an extended
+    coset, then evaluate everything at a random point [x] and batch the
+    openings per rotation. *)
+
+module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
+  module G = Scheme.G
+  module F = G.Scalar
+  module P = Zkml_poly.Polynomial.Make (F)
+  module Extra = Zkml_ff.Field_extra.Make (F)
+  module T = Zkml_transcript.Transcript
+  module Ch = Zkml_transcript.Transcript.Challenge (F)
+
+  type circuit = F.t Circuit.t
+
+  (* ------------------------------------------------------------------ *)
+  (* Keys *)
+
+  type keys = {
+    circuit : circuit;
+    domain : P.Domain.t;
+    fixed_values : F.t array array;
+    fixed_polys : F.t array array;
+    fixed_commits : G.t array;
+    perm_cols : Circuit.any_col array;
+    sigma_values : F.t array array;  (* per perm column: permuted labels *)
+    sigma_polys : F.t array array;
+    sigma_commits : G.t array;
+    deltas : F.t array;  (* identity coset shifts, delta^m per perm col *)
+    d_max : int;
+    ext_factor : int;
+    ext_domain : P.Domain.t;
+    n_chunks : int;
+    chunk : int;
+  }
+
+  let next_pow2 x =
+    let rec go k = if k >= x then k else go (2 * k) in
+    go 1
+
+  (* Union-find for copy-constraint equivalence classes. *)
+  let build_sigma (circuit : circuit) (perm_cols : Circuit.any_col array)
+      ~n ~omega ~deltas =
+    let m = Array.length perm_cols in
+    let col_index c =
+      let rec find i = if perm_cols.(i) = c then i else find (i + 1) in
+      find 0
+    in
+    let total = m * n in
+    let parent = Array.init total (fun i -> i) in
+    let rec find i = if parent.(i) = i then i else begin
+        let r = find parent.(i) in
+        parent.(i) <- r;
+        r
+      end
+    in
+    let union i j =
+      let ri = find i and rj = find j in
+      if ri <> rj then parent.(ri) <- rj
+    in
+    List.iter
+      (fun ((c1, r1), (c2, r2)) ->
+        union ((col_index c1 * n) + r1) ((col_index c2 * n) + r2))
+      circuit.Circuit.copies;
+    (* Collect members per class and rotate each cycle by one. *)
+    let classes = Hashtbl.create 64 in
+    for i = 0 to total - 1 do
+      let r = find i in
+      Hashtbl.replace classes r (i :: (try Hashtbl.find classes r with Not_found -> []))
+    done;
+    (* identity labels *)
+    let omega_pows = Array.make n F.one in
+    for r = 1 to n - 1 do
+      omega_pows.(r) <- F.mul omega_pows.(r - 1) omega
+    done;
+    let label cell =
+      let c = cell / n and r = cell mod n in
+      F.mul deltas.(c) omega_pows.(r)
+    in
+    let sigma = Array.init m (fun c -> Array.init n (fun r -> label ((c * n) + r))) in
+    Hashtbl.iter
+      (fun _ members ->
+        match members with
+        | [] | [ _ ] -> ()
+        | first :: _ ->
+            let arr = Array.of_list members in
+            let len = Array.length arr in
+            ignore first;
+            for i = 0 to len - 1 do
+              let cell = arr.(i) and next = arr.((i + 1) mod len) in
+              sigma.(cell / n).(cell mod n) <- label next
+            done)
+      classes;
+    sigma
+
+  let keygen scheme_params (circuit : circuit) ~(fixed : F.t array array) =
+    let n = Circuit.n circuit in
+    let domain = P.Domain.create circuit.k in
+    if Array.length fixed <> circuit.num_fixed then
+      invalid_arg "keygen: fixed column count mismatch";
+    Array.iter
+      (fun col ->
+        if Array.length col <> n then invalid_arg "keygen: fixed column length")
+      fixed;
+    let fixed_polys = Array.map (P.interpolate domain) fixed in
+    let fixed_commits = Array.map (Scheme.commit scheme_params) fixed_polys in
+    let perm_cols = Circuit.permutation_columns circuit in
+    let m = Array.length perm_cols in
+    let deltas = Array.make (max m 1) F.one in
+    for i = 1 to m - 1 do
+      deltas.(i) <- F.mul deltas.(i - 1) F.generator
+    done;
+    let sigma_values =
+      if m = 0 then [||]
+      else build_sigma circuit perm_cols ~n ~omega:domain.omega ~deltas
+    in
+    let sigma_polys = Array.map (P.interpolate domain) sigma_values in
+    let sigma_commits = Array.map (Scheme.commit scheme_params) sigma_polys in
+    let d_max = Circuit.max_degree circuit in
+    let chunk = Circuit.permutation_chunk circuit in
+    let n_chunks = if m = 0 then 0 else (m + chunk - 1) / chunk in
+    let ext_factor = next_pow2 d_max in
+    let ext_domain = P.Domain.create (circuit.k + (let rec lg x = if x <= 1 then 0 else 1 + lg (x / 2) in lg ext_factor)) in
+    {
+      circuit;
+      domain;
+      fixed_values = fixed;
+      fixed_polys;
+      fixed_commits;
+      perm_cols;
+      sigma_values;
+      sigma_polys;
+      sigma_commits;
+      deltas;
+      d_max;
+      ext_factor;
+      ext_domain;
+      n_chunks;
+      chunk;
+    }
+
+  (* ------------------------------------------------------------------ *)
+  (* Opening plan: which polynomial is opened at which rotation, in a
+     deterministic order shared by prover and verifier. *)
+
+  type source =
+    | Src_fixed of int
+    | Src_advice of int
+    | Src_sigma of int
+    | Src_perm_z of int
+    | Src_look_a of int
+    | Src_look_s of int
+    | Src_look_z of int
+    | Src_h of int
+
+  let column_rotations (circuit : circuit) =
+    (* per-kind map: column -> sorted rotation list (always includes 0) *)
+    let fixed_rots = Array.make circuit.num_fixed [ 0 ] in
+    let advice_rots = Array.make (Circuit.num_advice circuit) [ 0 ] in
+    let instance_rots = Array.make circuit.num_instance [ 0 ] in
+    let add arr (q : Expr.query) =
+      if not (List.mem q.rot arr.(q.col)) then arr.(q.col) <- q.rot :: arr.(q.col)
+    in
+    let visit e =
+      ignore
+        (Expr.fold_queries
+           (fun () kind q ->
+             (match kind with
+             | Expr.KFixed -> add fixed_rots q
+             | Expr.KAdvice -> add advice_rots q
+             | Expr.KInstance -> add instance_rots q);
+             ())
+           () e)
+    in
+    List.iter (fun g -> List.iter visit g.Circuit.polys) circuit.gates;
+    List.iter
+      (fun l ->
+        List.iter visit l.Circuit.inputs;
+        List.iter visit l.Circuit.tables)
+      circuit.lookups;
+    let sort a = Array.map (List.sort compare) a in
+    (sort fixed_rots, sort advice_rots, sort instance_rots)
+
+  let opening_plan keys =
+    let circuit = keys.circuit in
+    let fixed_rots, advice_rots, _ = column_rotations circuit in
+    let u = Circuit.last_row circuit in
+    let plan = ref [] in
+    let push src rot = plan := (src, rot) :: !plan in
+    Array.iteri (fun i rots -> List.iter (fun r -> push (Src_fixed i) r) rots) fixed_rots;
+    Array.iteri (fun i rots -> List.iter (fun r -> push (Src_advice i) r) rots) advice_rots;
+    Array.iteri (fun i _ -> push (Src_sigma i) 0) keys.sigma_polys;
+    for j = 0 to keys.n_chunks - 1 do
+      push (Src_perm_z j) 0;
+      push (Src_perm_z j) 1;
+      if j < keys.n_chunks - 1 then push (Src_perm_z j) u
+    done;
+    List.iteri
+      (fun li _ ->
+        push (Src_look_z li) 0;
+        push (Src_look_z li) 1;
+        push (Src_look_a li) 0;
+        push (Src_look_a li) (-1);
+        push (Src_look_s li) 0)
+      circuit.lookups;
+    for j = 0 to keys.ext_factor - 1 do
+      push (Src_h j) 0
+    done;
+    List.rev !plan
+
+  (* ------------------------------------------------------------------ *)
+  (* Shared constraint-term combination. The [ctx] callbacks abstract
+     whether we are on the extended coset (prover) or at the point x
+     (verifier); keeping this in one function guarantees the two sides
+     agree on the term order and formulas. *)
+
+  type ctx = {
+    c_fixed : int -> int -> F.t;
+    c_advice : int -> int -> F.t;
+    c_instance : int -> int -> F.t;
+    c_challenge : int -> F.t;
+    c_col : Circuit.any_col -> F.t;  (* at rotation 0 *)
+    c_sigma : int -> F.t;
+    c_perm_z : int -> [ `R0 | `R1 | `Ru ] -> F.t;
+    c_look : int -> [ `Z0 | `Z1 | `A0 | `Am1 | `S0 ] -> F.t;
+    c_l0 : F.t;
+    c_llast : F.t;
+    c_lblind : F.t;
+    c_point : F.t;  (* the evaluation point (coset point or x) *)
+  }
+
+  let eval_expr ctx e =
+    Expr.eval ~fixed_at:ctx.c_fixed ~advice_at:ctx.c_advice
+      ~instance_at:ctx.c_instance ~challenge:ctx.c_challenge ~add:F.add
+      ~sub:F.sub ~mul:F.mul ~neg:F.neg ~scale:F.mul e
+
+  let compress theta values =
+    List.fold_left (fun acc v -> F.add (F.mul acc theta) v) F.zero values
+
+  (* Chunked permutation column list. *)
+  let perm_chunks keys =
+    let m = Array.length keys.perm_cols in
+    let rec go start =
+      if start >= m then []
+      else begin
+        let len = min keys.chunk (m - start) in
+        Array.to_list (Array.init len (fun i -> start + i)) :: go (start + len)
+      end
+    in
+    go 0
+
+  let combine_terms keys ~beta ~gamma ~theta ~y ctx =
+    let circuit = keys.circuit in
+    let acc = ref F.zero in
+    let push v = acc := F.add (F.mul !acc y) v in
+    let active = F.sub F.one (F.add ctx.c_llast ctx.c_lblind) in
+    (* 1. custom gates *)
+    List.iter
+      (fun g -> List.iter (fun p -> push (eval_expr ctx p)) g.Circuit.polys)
+      circuit.gates;
+    (* 2. lookups *)
+    List.iteri
+      (fun li (l : F.t Circuit.lookup) ->
+        let a = compress theta (List.map (eval_expr ctx) l.inputs) in
+        let s = compress theta (List.map (eval_expr ctx) l.tables) in
+        let z0 = ctx.c_look li `Z0
+        and z1 = ctx.c_look li `Z1
+        and a'0 = ctx.c_look li `A0
+        and a'm1 = ctx.c_look li `Am1
+        and s'0 = ctx.c_look li `S0 in
+        push (F.mul ctx.c_l0 (F.sub z0 F.one));
+        push
+          (F.mul active
+             (F.sub
+                (F.mul z1 (F.mul (F.add a'0 beta) (F.add s'0 gamma)))
+                (F.mul z0 (F.mul (F.add a beta) (F.add s gamma)))));
+        push (F.mul ctx.c_llast (F.sub (F.square z0) z0));
+        push (F.mul ctx.c_l0 (F.sub a'0 s'0));
+        push (F.mul active (F.mul (F.sub a'0 s'0) (F.sub a'0 a'm1))))
+      circuit.lookups;
+    (* 3. permutation argument *)
+    if keys.n_chunks > 0 then begin
+      push (F.mul ctx.c_l0 (F.sub F.one (ctx.c_perm_z 0 `R0)));
+      for j = 1 to keys.n_chunks - 1 do
+        push
+          (F.mul ctx.c_l0
+             (F.sub (ctx.c_perm_z j `R0) (ctx.c_perm_z (j - 1) `Ru)))
+      done;
+      List.iteri
+        (fun j cols ->
+          let lhs = ref (ctx.c_perm_z j `R1) and rhs = ref (ctx.c_perm_z j `R0) in
+          List.iter
+            (fun m ->
+              let w = ctx.c_col keys.perm_cols.(m) in
+              lhs := F.mul !lhs (F.add w (F.add (F.mul beta (ctx.c_sigma m)) gamma));
+              rhs :=
+                F.mul !rhs
+                  (F.add w
+                     (F.add (F.mul (F.mul beta keys.deltas.(m)) ctx.c_point) gamma)))
+            cols;
+          push (F.mul active (F.sub !lhs !rhs)))
+        (perm_chunks keys);
+      let zl = ctx.c_perm_z (keys.n_chunks - 1) `R0 in
+      push (F.mul ctx.c_llast (F.sub (F.square zl) zl))
+    end;
+    !acc
+
+  (* ------------------------------------------------------------------ *)
+  (* Proof representation *)
+
+  type proof = {
+    adv_commits : G.t array;
+    look_a_commits : G.t array;
+    look_s_commits : G.t array;
+    perm_z_commits : G.t array;
+    look_z_commits : G.t array;
+    h_commits : G.t array;
+    evals : F.t array;  (* in opening_plan order *)
+    openings : Scheme.proof array;  (* per distinct rotation *)
+  }
+
+  let proof_to_bytes proof =
+    let buf = Buffer.create 4096 in
+    let add_commits cs = Array.iter (fun c -> Buffer.add_string buf (G.to_bytes c)) cs in
+    add_commits proof.adv_commits;
+    add_commits proof.look_a_commits;
+    add_commits proof.look_s_commits;
+    add_commits proof.perm_z_commits;
+    add_commits proof.look_z_commits;
+    add_commits proof.h_commits;
+    Array.iter (fun e -> Buffer.add_string buf (F.to_bytes e)) proof.evals;
+    Array.iter
+      (fun o -> Buffer.add_string buf (Scheme.proof_to_bytes o))
+      proof.openings;
+    Buffer.contents buf
+
+  let proof_size_bytes proof = String.length (proof_to_bytes proof)
+
+  (* ------------------------------------------------------------------ *)
+  (* Transcript bootstrap shared by prover and verifier *)
+
+  let init_transcript keys ~instance =
+    let t = T.create "zkml-plonkish" in
+    Array.iter
+      (fun c -> T.absorb_bytes t ~label:"fixed" (G.to_bytes c))
+      keys.fixed_commits;
+    Array.iter
+      (fun c -> T.absorb_bytes t ~label:"sigma" (G.to_bytes c))
+      keys.sigma_commits;
+    Array.iter (fun col -> Ch.absorb_scalars t ~label:"instance" (Array.to_list col)) instance;
+    t
+
+  (* Distinct rotations in plan order of first appearance. *)
+  let distinct_rotations plan =
+    List.fold_left
+      (fun acc (_, r) -> if List.mem r acc then acc else r :: acc)
+      [] plan
+    |> List.rev
+
+  (** Parse a proof produced by {!proof_to_bytes}; all counts are
+      derived from the verification keys. Raises [Invalid_argument] on
+      malformed input. *)
+  let proof_of_bytes scheme_params keys s =
+    let circuit = keys.circuit in
+    let num_adv = Circuit.num_advice circuit in
+    let num_lookups = List.length circuit.lookups in
+    let plan = opening_plan keys in
+    let pos = ref 0 in
+    let read_g () =
+      let g = G.of_bytes_exn (String.sub s !pos G.size_bytes) in
+      pos := !pos + G.size_bytes;
+      g
+    in
+    let read_f () =
+      let f = F.of_bytes_exn (String.sub s !pos F.size_bytes) in
+      pos := !pos + F.size_bytes;
+      f
+    in
+    let adv_commits = Array.init num_adv (fun _ -> read_g ()) in
+    let look_a_commits = Array.init num_lookups (fun _ -> read_g ()) in
+    let look_s_commits = Array.init num_lookups (fun _ -> read_g ()) in
+    let perm_z_commits = Array.init keys.n_chunks (fun _ -> read_g ()) in
+    let look_z_commits = Array.init num_lookups (fun _ -> read_g ()) in
+    let h_commits = Array.init keys.ext_factor (fun _ -> read_g ()) in
+    let evals = Array.init (List.length plan) (fun _ -> read_f ()) in
+    let openings =
+      Array.of_list
+        (List.map
+           (fun _ ->
+             let p, next = Scheme.read_proof scheme_params s ~pos:!pos in
+             pos := next;
+             p)
+           (distinct_rotations plan))
+    in
+    if !pos <> String.length s then
+      invalid_arg "proof_of_bytes: trailing bytes";
+    {
+      adv_commits;
+      look_a_commits;
+      look_s_commits;
+      perm_z_commits;
+      look_z_commits;
+      h_commits;
+      evals;
+      openings;
+    }
+
+
+  (* ------------------------------------------------------------------ *)
+  (* Prover *)
+
+  let rot_index ~ext_n ~factor i rot =
+    let j = (i + (rot * factor)) mod ext_n in
+    if j < 0 then j + ext_n else j
+
+  (* Indicator polynomial evaluations over the extended coset for a set
+     of rows. *)
+  let indicator_ext keys rows =
+    let n = P.Domain.size keys.domain in
+    let v = Array.make n F.zero in
+    List.iter (fun r -> v.(r) <- F.one) rows;
+    let coeffs = P.interpolate keys.domain v in
+    P.coset_ntt keys.ext_domain ~shift:F.generator coeffs
+
+  let prove scheme_params keys ~(instance : F.t array array)
+      ~(advice : F.t array -> F.t array array) ~rng =
+    let circuit = keys.circuit in
+    let n = Circuit.n circuit in
+    let u = Circuit.last_row circuit in
+    let transcript = init_transcript keys ~instance in
+    (* --- phase 0 advice --- *)
+    let advice0 = advice [||] in
+    let num_adv = Circuit.num_advice circuit in
+    if Array.length advice0 <> num_adv then
+      invalid_arg "prove: advice column count mismatch";
+    (* blinding rows *)
+    let blind_grid g =
+      Array.iter
+        (fun col ->
+          for r = u to n - 1 do
+            col.(r) <- F.random rng
+          done)
+        g
+    in
+    blind_grid advice0;
+    let adv_polys = Array.make num_adv [||] in
+    let adv_commits = Array.make num_adv G.zero in
+    let commit_phase ph grid =
+      for i = 0 to num_adv - 1 do
+        if circuit.advice_phases.(i) = ph then begin
+          adv_polys.(i) <- P.interpolate keys.domain grid.(i);
+          adv_commits.(i) <- Scheme.commit scheme_params adv_polys.(i);
+          T.absorb_bytes transcript ~label:"advice" (G.to_bytes adv_commits.(i))
+        end
+      done
+    in
+    commit_phase 0 advice0;
+    let challenges =
+      Array.init circuit.num_challenges (fun _ ->
+          Ch.squeeze_nonzero transcript ~label:"challenge")
+    in
+    let advice_grid =
+      if circuit.num_challenges = 0 && Array.for_all (fun p -> p = 0) circuit.advice_phases
+      then advice0
+      else begin
+        let g = advice challenges in
+        (* phase-0 columns must be reproduced identically: reuse the
+           blinded versions committed above; blind only phase-1 columns *)
+        for i = 0 to num_adv - 1 do
+          if circuit.advice_phases.(i) = 0 then g.(i) <- advice0.(i)
+          else
+            for r = u to n - 1 do
+              g.(i).(r) <- F.random rng
+            done
+        done;
+        g
+      end
+    in
+    if Array.exists (fun p -> p = 1) circuit.advice_phases then
+      commit_phase 1 advice_grid;
+    (* --- lookups: compress, permute, commit --- *)
+    let theta = Ch.squeeze_nonzero transcript ~label:"theta" in
+    let inst_cols = instance in
+    let cell_ctx row =
+      let at grid col rot =
+        let r = (row + rot) mod n in
+        let r = if r < 0 then r + n else r in
+        grid.(col).(r)
+      in
+      {
+        c_fixed = at keys.fixed_values;
+        c_advice = at advice_grid;
+        c_instance = at inst_cols;
+        c_challenge = (fun i -> challenges.(i));
+        c_col =
+          (function
+          | Circuit.Col_fixed i -> keys.fixed_values.(i).(row)
+          | Circuit.Col_advice i -> advice_grid.(i).(row)
+          | Circuit.Col_instance i -> inst_cols.(i).(row));
+        c_sigma = (fun _ -> F.zero);
+        c_perm_z = (fun _ _ -> F.zero);
+        c_look = (fun _ _ -> F.zero);
+        c_l0 = F.zero;
+        c_llast = F.zero;
+        c_lblind = F.zero;
+        c_point = F.zero;
+      }
+    in
+    let lookups = Array.of_list circuit.lookups in
+    let num_lookups = Array.length lookups in
+    let look_a = Array.make num_lookups [||] (* compressed inputs, n rows *)
+    and look_s = Array.make num_lookups [||]
+    and look_a' = Array.make num_lookups [||]
+    and look_s' = Array.make num_lookups [||] in
+    for li = 0 to num_lookups - 1 do
+      let l = lookups.(li) in
+      let a = Array.make n F.zero and s = Array.make n F.zero in
+      for row = 0 to n - 1 do
+        let ctx = cell_ctx row in
+        a.(row) <- compress theta (List.map (eval_expr ctx) l.Circuit.inputs);
+        s.(row) <- compress theta (List.map (eval_expr ctx) l.Circuit.tables)
+      done;
+      (* permute over usable rows 0..u-1 *)
+      let a_u = Array.sub a 0 u and s_u = Array.sub s 0 u in
+      let a_sorted = Array.copy a_u in
+      Array.sort F.compare a_sorted;
+      (* multiset of table values *)
+      let s_sorted = Array.copy s_u in
+      Array.sort F.compare s_sorted;
+      let s' = Array.make u F.zero in
+      let used = Array.make u false in
+      (* two-pointer: for each new value in a_sorted find it in s_sorted *)
+      let sp = ref 0 in
+      let fill_later = ref [] in
+      for i = 0 to u - 1 do
+        if i = 0 || not (F.equal a_sorted.(i) a_sorted.(i - 1)) then begin
+          (* advance sp to the first unused s equal to a_sorted.(i) *)
+          let rec seek j =
+            if j >= u then
+              invalid_arg
+                (Printf.sprintf "prove: lookup '%s' input not in table"
+                   l.Circuit.lookup_name)
+            else if (not used.(j)) && F.equal s_sorted.(j) a_sorted.(i) then j
+            else seek (j + 1)
+          in
+          let j = seek !sp in
+          sp := j;
+          used.(j) <- true;
+          s'.(i) <- s_sorted.(j)
+        end
+        else fill_later := i :: !fill_later
+      done;
+      (* fill remaining slots with unused table values *)
+      let unused = ref [] in
+      for j = u - 1 downto 0 do
+        if not used.(j) then unused := s_sorted.(j) :: !unused
+      done;
+      List.iter
+        (fun i ->
+          match !unused with
+          | v :: rest ->
+              s'.(i) <- v;
+              unused := rest
+          | [] -> assert false)
+        !fill_later;
+      let a_full = Array.make n F.zero and s_full = Array.make n F.zero in
+      Array.blit a_sorted 0 a_full 0 u;
+      Array.blit s' 0 s_full 0 u;
+      for r = u to n - 1 do
+        a_full.(r) <- F.random rng;
+        s_full.(r) <- F.random rng
+      done;
+      look_a.(li) <- a;
+      look_s.(li) <- s;
+      look_a'.(li) <- a_full;
+      look_s'.(li) <- s_full
+    done;
+    let look_a_polys = Array.map (P.interpolate keys.domain) look_a' in
+    let look_s_polys = Array.map (P.interpolate keys.domain) look_s' in
+    let look_a_commits = Array.map (Scheme.commit scheme_params) look_a_polys in
+    let look_s_commits = Array.map (Scheme.commit scheme_params) look_s_polys in
+    for li = 0 to num_lookups - 1 do
+      T.absorb_bytes transcript ~label:"look-a" (G.to_bytes look_a_commits.(li));
+      T.absorb_bytes transcript ~label:"look-s" (G.to_bytes look_s_commits.(li))
+    done;
+    let beta = Ch.squeeze_nonzero transcript ~label:"beta" in
+    let gamma = Ch.squeeze_nonzero transcript ~label:"gamma" in
+    (* --- permutation grand products --- *)
+    let omega_pows = Array.make n F.one in
+    for r = 1 to n - 1 do
+      omega_pows.(r) <- F.mul omega_pows.(r - 1) keys.domain.omega
+    done;
+    let col_value c row =
+      match c with
+      | Circuit.Col_fixed i -> keys.fixed_values.(i).(row)
+      | Circuit.Col_advice i -> advice_grid.(i).(row)
+      | Circuit.Col_instance i -> inst_cols.(i).(row)
+    in
+    let chunks = perm_chunks keys in
+    let perm_z = Array.make keys.n_chunks [||] in
+    let carry = ref F.one in
+    List.iteri
+      (fun j cols ->
+        let z = Array.make n F.zero in
+        z.(0) <- !carry;
+        (* denominators batched *)
+        let denoms = Array.make u F.one in
+        for row = 0 to u - 1 do
+          let d = ref F.one in
+          List.iter
+            (fun m ->
+              let w = col_value keys.perm_cols.(m) row in
+              d :=
+                F.mul !d
+                  (F.add w (F.add (F.mul beta keys.sigma_values.(m).(row)) gamma)))
+            cols;
+          denoms.(row) <- !d
+        done;
+        let inv_denoms = Extra.batch_inv denoms in
+        for row = 0 to u - 1 do
+          let num = ref F.one in
+          List.iter
+            (fun m ->
+              let w = col_value keys.perm_cols.(m) row in
+              num :=
+                F.mul !num
+                  (F.add w
+                     (F.add
+                        (F.mul (F.mul beta keys.deltas.(m)) omega_pows.(row))
+                        gamma)))
+            cols;
+          z.(row + 1) <- F.mul z.(row) (F.mul !num inv_denoms.(row))
+        done;
+        carry := z.(u);
+        for r = u + 1 to n - 1 do
+          z.(r) <- F.random rng
+        done;
+        perm_z.(j) <- z)
+      chunks;
+    (* --- lookup grand products --- *)
+    let look_z = Array.make num_lookups [||] in
+    for li = 0 to num_lookups - 1 do
+      let z = Array.make n F.zero in
+      z.(0) <- F.one;
+      let denoms =
+        Array.init u (fun row ->
+            F.mul
+              (F.add look_a'.(li).(row) beta)
+              (F.add look_s'.(li).(row) gamma))
+      in
+      let inv_denoms = Extra.batch_inv denoms in
+      for row = 0 to u - 1 do
+        let num =
+          F.mul (F.add look_a.(li).(row) beta) (F.add look_s.(li).(row) gamma)
+        in
+        z.(row + 1) <- F.mul z.(row) (F.mul num inv_denoms.(row))
+      done;
+      for r = u + 1 to n - 1 do
+        z.(r) <- F.random rng
+      done;
+      look_z.(li) <- z
+    done;
+    let perm_z_polys = Array.map (P.interpolate keys.domain) perm_z in
+    let look_z_polys = Array.map (P.interpolate keys.domain) look_z in
+    let perm_z_commits = Array.map (Scheme.commit scheme_params) perm_z_polys in
+    let look_z_commits = Array.map (Scheme.commit scheme_params) look_z_polys in
+    Array.iter
+      (fun c -> T.absorb_bytes transcript ~label:"perm-z" (G.to_bytes c))
+      perm_z_commits;
+    Array.iter
+      (fun c -> T.absorb_bytes transcript ~label:"look-z" (G.to_bytes c))
+      look_z_commits;
+    let y = Ch.squeeze_nonzero transcript ~label:"y" in
+    (* --- quotient on the extended coset --- *)
+    let ext_n = P.Domain.size keys.ext_domain in
+    let factor = keys.ext_factor in
+    let shift = F.generator in
+    let to_ext poly = P.coset_ntt keys.ext_domain ~shift poly in
+    let fixed_ext = Array.map to_ext keys.fixed_polys in
+    let adv_ext = Array.map to_ext adv_polys in
+    let inst_polys = Array.map (P.interpolate keys.domain) inst_cols in
+    let inst_ext = Array.map to_ext inst_polys in
+    let sigma_ext = Array.map to_ext keys.sigma_polys in
+    let perm_z_ext = Array.map to_ext perm_z_polys in
+    let look_z_ext = Array.map to_ext look_z_polys in
+    let look_a'_ext = Array.map to_ext look_a_polys in
+    let look_s'_ext = Array.map to_ext look_s_polys in
+    (* A and S (unpermuted, uncommitted) are expressions; evaluate their
+       compressed forms through the generic ctx below. *)
+    let l0_ext = indicator_ext keys [ 0 ] in
+    let llast_ext = indicator_ext keys [ u ] in
+    let lblind_ext =
+      indicator_ext keys (List.init (n - u - 1) (fun i -> u + 1 + i))
+    in
+    let coset_points =
+      let r = Array.make ext_n shift in
+      for i = 1 to ext_n - 1 do
+        r.(i) <- F.mul r.(i - 1) keys.ext_domain.omega
+      done;
+      r
+    in
+    let rot = rot_index ~ext_n ~factor in
+    let quotient_evals = Array.make ext_n F.zero in
+    for i = 0 to ext_n - 1 do
+      let ctx =
+        {
+          c_fixed = (fun col r -> fixed_ext.(col).(rot i r));
+          c_advice = (fun col r -> adv_ext.(col).(rot i r));
+          c_instance = (fun col r -> inst_ext.(col).(rot i r));
+          c_challenge = (fun idx -> challenges.(idx));
+          c_col =
+            (function
+            | Circuit.Col_fixed c -> fixed_ext.(c).(i)
+            | Circuit.Col_advice c -> adv_ext.(c).(i)
+            | Circuit.Col_instance c -> inst_ext.(c).(i));
+          c_sigma = (fun m -> sigma_ext.(m).(i));
+          c_perm_z =
+            (fun j r ->
+              match r with
+              | `R0 -> perm_z_ext.(j).(i)
+              | `R1 -> perm_z_ext.(j).(rot i 1)
+              | `Ru -> perm_z_ext.(j).(rot i u));
+          c_look =
+            (fun li what ->
+              match what with
+              | `Z0 -> look_z_ext.(li).(i)
+              | `Z1 -> look_z_ext.(li).(rot i 1)
+              | `A0 -> look_a'_ext.(li).(i)
+              | `Am1 -> look_a'_ext.(li).(rot i (-1))
+              | `S0 -> look_s'_ext.(li).(i));
+          c_l0 = l0_ext.(i);
+          c_llast = llast_ext.(i);
+          c_lblind = lblind_ext.(i);
+          c_point = coset_points.(i);
+        }
+      in
+      quotient_evals.(i) <- combine_terms keys ~beta ~gamma ~theta ~y ctx
+    done;
+    (* divide by Z_H(X) = X^n - 1 on the coset: the values cycle with
+       period [factor]. *)
+    let zh = Array.init factor (fun i -> F.sub (F.pow_int coset_points.(i) n) F.one) in
+    let zh_inv = Extra.batch_inv zh in
+    for i = 0 to ext_n - 1 do
+      quotient_evals.(i) <- F.mul quotient_evals.(i) zh_inv.(i mod factor)
+    done;
+    let h_coeffs = P.coset_intt keys.ext_domain ~shift quotient_evals in
+    let h_pieces =
+      Array.init factor (fun j ->
+          Array.sub h_coeffs (j * n) n)
+    in
+    let h_commits = Array.map (Scheme.commit scheme_params) h_pieces in
+    Array.iter
+      (fun c -> T.absorb_bytes transcript ~label:"h" (G.to_bytes c))
+      h_commits;
+    let x = Ch.squeeze_nonzero transcript ~label:"x" in
+    (* --- evaluations --- *)
+    let plan = opening_plan keys in
+    let poly_of_source = function
+      | Src_fixed i -> keys.fixed_polys.(i)
+      | Src_advice i -> adv_polys.(i)
+      | Src_sigma i -> keys.sigma_polys.(i)
+      | Src_perm_z j -> perm_z_polys.(j)
+      | Src_look_a li -> look_a_polys.(li)
+      | Src_look_s li -> look_s_polys.(li)
+      | Src_look_z li -> look_z_polys.(li)
+      | Src_h j -> h_pieces.(j)
+    in
+    let point_of_rot r =
+      F.mul x (if r >= 0 then F.pow_int keys.domain.omega r
+               else F.inv (F.pow_int keys.domain.omega (-r)))
+    in
+    let evals =
+      Array.of_list
+        (List.map (fun (src, r) -> P.eval (poly_of_source src) (point_of_rot r)) plan)
+    in
+    Ch.absorb_scalars transcript ~label:"evals" (Array.to_list evals);
+    (* --- multi-open: batch per distinct rotation --- *)
+    let v = Ch.squeeze_nonzero transcript ~label:"multiopen-v" in
+    let rotations = distinct_rotations plan in
+    let openings =
+      List.map
+        (fun rot_r ->
+          let group = List.filter (fun (_, r) -> r = rot_r) plan in
+          let combined = ref P.zero in
+          let vi = ref F.one in
+          List.iter
+            (fun (src, _) ->
+              combined := P.add !combined (P.scale !vi (poly_of_source src));
+              vi := F.mul !vi v)
+            group;
+          let _, pf =
+            Scheme.open_at scheme_params transcript !combined (point_of_rot rot_r)
+          in
+          pf)
+        rotations
+      |> Array.of_list
+    in
+    ignore x;
+    {
+      adv_commits;
+      look_a_commits;
+      look_s_commits;
+      perm_z_commits;
+      look_z_commits;
+      h_commits;
+      evals;
+      openings;
+    }
+
+  (* ------------------------------------------------------------------ *)
+  (* Verifier *)
+
+  let verify scheme_params keys ~(instance : F.t array array) proof =
+    let circuit = keys.circuit in
+    let n = Circuit.n circuit in
+    let u = Circuit.last_row circuit in
+    let transcript = init_transcript keys ~instance in
+    let num_adv = Circuit.num_advice circuit in
+    if Array.length proof.adv_commits <> num_adv then false
+    else begin
+      (* replay transcript *)
+      for i = 0 to num_adv - 1 do
+        if circuit.advice_phases.(i) = 0 then
+          T.absorb_bytes transcript ~label:"advice"
+            (G.to_bytes proof.adv_commits.(i))
+      done;
+      let challenges =
+        Array.init circuit.num_challenges (fun _ ->
+            Ch.squeeze_nonzero transcript ~label:"challenge")
+      in
+      if Array.exists (fun p -> p = 1) circuit.advice_phases then
+        for i = 0 to num_adv - 1 do
+          if circuit.advice_phases.(i) = 1 then
+            T.absorb_bytes transcript ~label:"advice"
+              (G.to_bytes proof.adv_commits.(i))
+        done;
+      let theta = Ch.squeeze_nonzero transcript ~label:"theta" in
+      let num_lookups = List.length circuit.lookups in
+      for li = 0 to num_lookups - 1 do
+        T.absorb_bytes transcript ~label:"look-a"
+          (G.to_bytes proof.look_a_commits.(li));
+        T.absorb_bytes transcript ~label:"look-s"
+          (G.to_bytes proof.look_s_commits.(li))
+      done;
+      let beta = Ch.squeeze_nonzero transcript ~label:"beta" in
+      let gamma = Ch.squeeze_nonzero transcript ~label:"gamma" in
+      Array.iter
+        (fun c -> T.absorb_bytes transcript ~label:"perm-z" (G.to_bytes c))
+        proof.perm_z_commits;
+      Array.iter
+        (fun c -> T.absorb_bytes transcript ~label:"look-z" (G.to_bytes c))
+        proof.look_z_commits;
+      let y = Ch.squeeze_nonzero transcript ~label:"y" in
+      Array.iter
+        (fun c -> T.absorb_bytes transcript ~label:"h" (G.to_bytes c))
+        proof.h_commits;
+      let x = Ch.squeeze_nonzero transcript ~label:"x" in
+      Ch.absorb_scalars transcript ~label:"evals" (Array.to_list proof.evals);
+      let v = Ch.squeeze_nonzero transcript ~label:"multiopen-v" in
+      (* eval lookup table: (source, rot) -> value *)
+      let plan = opening_plan keys in
+      if List.length plan <> Array.length proof.evals then false
+      else begin
+        let eval_map = Hashtbl.create 64 in
+        List.iteri
+          (fun i (src, r) -> Hashtbl.replace eval_map (src, r) proof.evals.(i))
+          plan;
+        let get src r =
+          match Hashtbl.find_opt eval_map (src, r) with
+          | Some vv -> vv
+          | None -> invalid_arg "verify: missing evaluation"
+        in
+        (* instance evaluations computed locally *)
+        let _, _, instance_rots = column_rotations circuit in
+        let inst_evals = Hashtbl.create 16 in
+        Array.iteri
+          (fun col rots ->
+            let poly = P.interpolate keys.domain instance.(col) in
+            List.iter
+              (fun r ->
+                let pt =
+                  F.mul x
+                    (if r >= 0 then F.pow_int keys.domain.omega r
+                     else F.inv (F.pow_int keys.domain.omega (-r)))
+                in
+                Hashtbl.replace inst_evals (col, r) (P.eval poly pt))
+              rots)
+          instance_rots;
+        (* Lagrange values at x *)
+        let l0 = P.Domain.eval_lagrange keys.domain 0 x in
+        let llast = P.Domain.eval_lagrange keys.domain u x in
+        let lblind =
+          let idx = List.init (n - u - 1) (fun i -> u + 1 + i) in
+          List.fold_left F.add F.zero
+            (P.Domain.eval_lagrange_many keys.domain idx x)
+        in
+        let ctx =
+          {
+            c_fixed = (fun col r -> get (Src_fixed col) r);
+            c_advice = (fun col r -> get (Src_advice col) r);
+            c_instance =
+              (fun col r ->
+                match Hashtbl.find_opt inst_evals (col, r) with
+                | Some vv -> vv
+                | None -> invalid_arg "verify: missing instance eval");
+            c_challenge = (fun i -> challenges.(i));
+            c_col =
+              (function
+              | Circuit.Col_fixed c -> get (Src_fixed c) 0
+              | Circuit.Col_advice c -> get (Src_advice c) 0
+              | Circuit.Col_instance c -> (
+                  match Hashtbl.find_opt inst_evals (c, 0) with
+                  | Some vv -> vv
+                  | None -> invalid_arg "verify: missing instance eval"));
+            c_sigma = (fun m -> get (Src_sigma m) 0);
+            c_perm_z =
+              (fun j r ->
+                match r with
+                | `R0 -> get (Src_perm_z j) 0
+                | `R1 -> get (Src_perm_z j) 1
+                | `Ru -> get (Src_perm_z j) u);
+            c_look =
+              (fun li what ->
+                match what with
+                | `Z0 -> get (Src_look_z li) 0
+                | `Z1 -> get (Src_look_z li) 1
+                | `A0 -> get (Src_look_a li) 0
+                | `Am1 -> get (Src_look_a li) (-1)
+                | `S0 -> get (Src_look_s li) 0);
+            c_l0 = l0;
+            c_llast = llast;
+            c_lblind = lblind;
+            c_point = x;
+          }
+        in
+        let expected = combine_terms keys ~beta ~gamma ~theta ~y ctx in
+        let xn = F.pow_int x n in
+        let h_at_x =
+          let acc = ref F.zero in
+          for j = keys.ext_factor - 1 downto 0 do
+            acc := F.add (F.mul !acc xn) (get (Src_h j) 0)
+          done;
+          !acc
+        in
+        let identity_ok =
+          F.equal expected (F.mul h_at_x (F.sub xn F.one))
+        in
+        if not identity_ok then false
+        else begin
+          (* verify batched openings *)
+          let commitment_of = function
+            | Src_fixed i -> keys.fixed_commits.(i)
+            | Src_advice i -> proof.adv_commits.(i)
+            | Src_sigma i -> keys.sigma_commits.(i)
+            | Src_perm_z j -> proof.perm_z_commits.(j)
+            | Src_look_a li -> proof.look_a_commits.(li)
+            | Src_look_s li -> proof.look_s_commits.(li)
+            | Src_look_z li -> proof.look_z_commits.(li)
+            | Src_h j -> proof.h_commits.(j)
+          in
+          let rotations = distinct_rotations plan in
+          if List.length rotations <> Array.length proof.openings then false
+          else begin
+            let ok = ref true in
+            List.iteri
+              (fun idx rot_r ->
+                let group = List.filter (fun (_, r) -> r = rot_r) plan in
+                let combined_c = ref G.zero and combined_e = ref F.zero in
+                let vi = ref F.one in
+                List.iter
+                  (fun (src, r) ->
+                    combined_c :=
+                      Scheme.add_commitment !combined_c
+                        (Scheme.scale_commitment (commitment_of src) !vi);
+                    combined_e := F.add !combined_e (F.mul (get src r) !vi);
+                    vi := F.mul !vi v)
+                  group;
+                let pt =
+                  F.mul x
+                    (if rot_r >= 0 then F.pow_int keys.domain.omega rot_r
+                     else F.inv (F.pow_int keys.domain.omega (-rot_r)))
+                in
+                if
+                  not
+                    (Scheme.verify scheme_params transcript !combined_c
+                       ~point:pt ~value:!combined_e proof.openings.(idx))
+                then ok := false)
+              rotations;
+            !ok
+          end
+        end
+      end
+    end
+end

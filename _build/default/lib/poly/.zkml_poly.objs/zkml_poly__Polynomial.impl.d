@@ -1,0 +1,1 @@
+lib/poly/polynomial.ml: Array List Zkml_ff

@@ -1,0 +1,234 @@
+(** Dense univariate polynomials and radix-2 NTT evaluation domains over a
+    prime field. This is the computational core of the Plonkish prover:
+    column polynomials live in coefficient form, constraint evaluation
+    happens on a low-degree extension (a coset of a larger subgroup), and
+    the quotient polynomial is recovered by inverse coset FFT. *)
+
+module Make (F : Zkml_ff.Field_intf.S) = struct
+  module Extra = Zkml_ff.Field_extra.Make (F)
+
+  (** {1 Evaluation domains} *)
+
+  module Domain = struct
+    type t = {
+      k : int;  (** log2 of the size *)
+      n : int;  (** 2^k *)
+      omega : F.t;  (** primitive n-th root of unity *)
+      omega_inv : F.t;
+      n_inv : F.t;
+    }
+
+    let create k =
+      if k < 0 || k > F.two_adicity then
+        invalid_arg "Domain.create: k exceeds field two-adicity";
+      let n = 1 lsl k in
+      let omega = F.root_of_unity k in
+      { k; n; omega; omega_inv = F.inv omega; n_inv = F.inv (F.of_int n) }
+
+    let size t = t.n
+
+    (** All n-th roots in order: 1, w, w^2, ... *)
+    let elements t =
+      let r = Array.make t.n F.one in
+      for i = 1 to t.n - 1 do
+        r.(i) <- F.mul r.(i - 1) t.omega
+      done;
+      r
+
+    (** x^n - 1 *)
+    let eval_vanishing t x = F.sub (F.pow_int x t.n) F.one
+
+    (** Lagrange basis polynomial l_i evaluated at an arbitrary point x
+        (assumed outside the domain):
+        l_i(x) = (w^i / n) * (x^n - 1) / (x - w^i). *)
+    let eval_lagrange t i x =
+      let wi = F.pow_int t.omega i in
+      let num = F.mul (F.mul wi t.n_inv) (eval_vanishing t x) in
+      F.div num (F.sub x wi)
+
+    (** Evaluations of several Lagrange basis polys at one point, sharing
+        a single batch inversion. *)
+    let eval_lagrange_many t indices x =
+      let wis = List.map (fun i -> F.pow_int t.omega i) indices in
+      let denoms = Array.of_list (List.map (fun wi -> F.sub x wi) wis) in
+      let invs = Extra.batch_inv denoms in
+      let z = eval_vanishing t x in
+      List.mapi
+        (fun j wi -> F.mul (F.mul (F.mul wi t.n_inv) z) invs.(j))
+        wis
+  end
+
+  (** {1 In-place NTT} *)
+
+  let bit_reverse_permute a =
+    let n = Array.length a in
+    let j = ref 0 in
+    for i = 1 to n - 1 do
+      let bit = ref (n lsr 1) in
+      while !j land !bit <> 0 do
+        j := !j lxor !bit;
+        bit := !bit lsr 1
+      done;
+      j := !j lor !bit;
+      if i < !j then begin
+        let t = a.(i) in
+        a.(i) <- a.(!j);
+        a.(!j) <- t
+      end
+    done
+
+  let ntt_with_root a root =
+    let n = Array.length a in
+    assert (n land (n - 1) = 0);
+    bit_reverse_permute a;
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let wlen = F.pow_int root (n / !len) in
+      let i = ref 0 in
+      while !i < n do
+        let w = ref F.one in
+        for j = 0 to half - 1 do
+          let u = a.(!i + j) and v = F.mul a.(!i + j + half) !w in
+          a.(!i + j) <- F.add u v;
+          a.(!i + j + half) <- F.sub u v;
+          w := F.mul !w wlen
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done
+
+  (** Forward NTT: coefficients -> evaluations over the domain, in place.
+      [Array.length a] must equal the domain size. *)
+  let ntt (d : Domain.t) a =
+    assert (Array.length a = d.n);
+    ntt_with_root a d.omega
+
+  (** Inverse NTT: evaluations -> coefficients, in place. *)
+  let intt (d : Domain.t) a =
+    assert (Array.length a = d.n);
+    ntt_with_root a d.omega_inv;
+    for i = 0 to d.n - 1 do
+      a.(i) <- F.mul a.(i) d.n_inv
+    done
+
+  (** Evaluate coefficient array [coeffs] (length <= d.n) on the coset
+      [shift * H]; returns a fresh array of evaluations. *)
+  let coset_ntt (d : Domain.t) ~shift coeffs =
+    assert (Array.length coeffs <= d.n);
+    let a = Array.make d.n F.zero in
+    let s = ref F.one in
+    for i = 0 to Array.length coeffs - 1 do
+      a.(i) <- F.mul coeffs.(i) !s;
+      s := F.mul !s shift
+    done;
+    ntt d a;
+    a
+
+  (** Inverse of {!coset_ntt}: evaluations on [shift * H] -> coefficients. *)
+  let coset_intt (d : Domain.t) ~shift evals =
+    assert (Array.length evals = d.n);
+    let a = Array.copy evals in
+    intt d a;
+    let shift_inv = F.inv shift in
+    let s = ref F.one in
+    for i = 0 to d.n - 1 do
+      a.(i) <- F.mul a.(i) !s;
+      s := F.mul !s shift_inv
+    done;
+    a
+
+  (** {1 Coefficient-form operations} *)
+
+  type t = F.t array
+  (** Coefficients, lowest degree first. Not necessarily normalized. *)
+
+  let degree p =
+    let rec go i = if i < 0 then -1 else if F.is_zero p.(i) then go (i - 1) else i in
+    go (Array.length p - 1)
+
+  let zero : t = [||]
+
+  let add p q =
+    let n = max (Array.length p) (Array.length q) in
+    Array.init n (fun i ->
+        let a = if i < Array.length p then p.(i) else F.zero in
+        let b = if i < Array.length q then q.(i) else F.zero in
+        F.add a b)
+
+  let sub p q =
+    let n = max (Array.length p) (Array.length q) in
+    Array.init n (fun i ->
+        let a = if i < Array.length p then p.(i) else F.zero in
+        let b = if i < Array.length q then q.(i) else F.zero in
+        F.sub a b)
+
+  let scale c p = Array.map (F.mul c) p
+
+  let mul p q =
+    let dp = degree p and dq = degree q in
+    if dp < 0 || dq < 0 then zero
+    else begin
+      let n = dp + dq + 1 in
+      if n <= 64 then begin
+        (* schoolbook for small products *)
+        let r = Array.make n F.zero in
+        for i = 0 to dp do
+          if not (F.is_zero p.(i)) then
+            for j = 0 to dq do
+              r.(i + j) <- F.add r.(i + j) (F.mul p.(i) q.(j))
+            done
+        done;
+        r
+      end
+      else begin
+        let k =
+          let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+          go 1
+        in
+        let d = Domain.create k in
+        let pa = Array.make d.n F.zero and qa = Array.make d.n F.zero in
+        Array.blit p 0 pa 0 (dp + 1);
+        Array.blit q 0 qa 0 (dq + 1);
+        ntt d pa;
+        ntt d qa;
+        for i = 0 to d.n - 1 do
+          pa.(i) <- F.mul pa.(i) qa.(i)
+        done;
+        intt d pa;
+        Array.sub pa 0 n
+      end
+    end
+
+  let eval p x =
+    let r = ref F.zero in
+    for i = Array.length p - 1 downto 0 do
+      r := F.add (F.mul !r x) p.(i)
+    done;
+    !r
+
+  (** Synthetic division by (X - z): returns the quotient; the remainder
+      (= p(z)) is discarded, so this is exact when p(z) = 0 and otherwise
+      implements the KZG witness polynomial (p(X) - p(z)) / (X - z). *)
+  let div_by_linear p z =
+    let n = Array.length p in
+    if n = 0 then zero
+    else begin
+      let q = Array.make (max 1 (n - 1)) F.zero in
+      let acc = ref F.zero in
+      for i = n - 1 downto 1 do
+        acc := F.add (F.mul !acc z) p.(i);
+        q.(i - 1) <- !acc
+      done;
+      q
+    end
+
+  (** Interpolate through the domain from evaluations (fresh array). *)
+  let interpolate (d : Domain.t) evals =
+    let a = Array.copy evals in
+    intt d a;
+    a
+
+  let random rng n = Array.init n (fun _ -> F.random rng)
+end

@@ -1,0 +1,186 @@
+(** Dense n-dimensional tensors in row-major order, generic in the
+    element type (used with [float] by the reference executor and the
+    trainer, and with [int] by the fixed-point executor and the circuit
+    layouter, where elements are fixed-point integers or cell ids). *)
+
+type 'a t = { shape : int array; data : 'a array }
+
+let numel_of_shape shape = Array.fold_left ( * ) 1 shape
+
+let create shape v = { shape = Array.copy shape; data = Array.make (numel_of_shape shape) v }
+
+let init shape f =
+  { shape = Array.copy shape; data = Array.init (numel_of_shape shape) f }
+
+let of_array shape data =
+  if numel_of_shape shape <> Array.length data then
+    invalid_arg "Tensor.of_array: shape/data mismatch";
+  { shape = Array.copy shape; data }
+
+let shape t = Array.copy t.shape
+let numel t = Array.length t.data
+let rank t = Array.length t.shape
+let data t = t.data
+
+let strides shape =
+  let n = Array.length shape in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * shape.(i + 1)
+  done;
+  s
+
+let flat_index shape idx =
+  let s = strides shape in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i j ->
+      if j < 0 || j >= shape.(i) then invalid_arg "Tensor: index out of bounds";
+      acc := !acc + (j * s.(i)))
+    idx;
+  !acc
+
+let get t idx = t.data.(flat_index t.shape idx)
+let set t idx v = t.data.(flat_index t.shape idx) <- v
+let get_flat t i = t.data.(i)
+let set_flat t i v = t.data.(i) <- v
+
+let reshape t new_shape =
+  (* one dimension may be -1 (inferred) *)
+  let known = Array.fold_left (fun acc d -> if d > 0 then acc * d else acc) 1 new_shape in
+  let inferred =
+    Array.map (fun d -> if d = -1 then numel t / known else d) new_shape
+  in
+  if numel_of_shape inferred <> numel t then
+    invalid_arg "Tensor.reshape: element count mismatch";
+  { shape = inferred; data = t.data }
+
+let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+let map f t = { shape = Array.copy t.shape; data = Array.map f t.data }
+
+let map2 f a b =
+  if a.shape <> b.shape then invalid_arg "Tensor.map2: shape mismatch";
+  { shape = Array.copy a.shape; data = Array.map2 f a.data b.data }
+
+let fold f acc t = Array.fold_left f acc t.data
+let iteri f t = Array.iteri f t.data
+
+(** Transpose by axis permutation, e.g. [transpose t [|1;0|]]. *)
+let transpose t perm =
+  let r = rank t in
+  if Array.length perm <> r then invalid_arg "Tensor.transpose: bad perm";
+  let new_shape = Array.map (fun p -> t.shape.(p)) perm in
+  let old_strides = strides t.shape in
+  let new_strides_in_old = Array.map (fun p -> old_strides.(p)) perm in
+  let out = create new_shape t.data.(0) in
+  let n = numel t in
+  let idx = Array.make r 0 in
+  for flat = 0 to n - 1 do
+    ignore flat;
+    (* compute source index for current multi-index *)
+    let src = ref 0 in
+    for i = 0 to r - 1 do
+      src := !src + (idx.(i) * new_strides_in_old.(i))
+    done;
+    let dst = flat_index new_shape idx in
+    out.data.(dst) <- t.data.(!src);
+    (* increment multi-index *)
+    let rec bump i =
+      if i >= 0 then begin
+        idx.(i) <- idx.(i) + 1;
+        if idx.(i) = new_shape.(i) then begin
+          idx.(i) <- 0;
+          bump (i - 1)
+        end
+      end
+    in
+    bump (r - 1)
+  done;
+  out
+
+(** Concatenate along an axis. *)
+let concat axis ts =
+  match ts with
+  | [] -> invalid_arg "Tensor.concat: empty"
+  | first :: _ ->
+      let r = rank first in
+      if axis < 0 || axis >= r then invalid_arg "Tensor.concat: bad axis";
+      let out_shape = Array.copy first.shape in
+      out_shape.(axis) <- List.fold_left (fun acc t -> acc + t.shape.(axis)) 0 ts;
+      let out = create out_shape first.data.(0) in
+      let outer = ref 1 and inner = ref 1 in
+      for i = 0 to axis - 1 do
+        outer := !outer * first.shape.(i)
+      done;
+      for i = axis + 1 to r - 1 do
+        inner := !inner * first.shape.(i)
+      done;
+      let offset = ref 0 in
+      List.iter
+        (fun t ->
+          let ax = t.shape.(axis) in
+          for o = 0 to !outer - 1 do
+            for a = 0 to ax - 1 do
+              Array.blit t.data
+                (((o * ax) + a) * !inner)
+                out.data
+                ((((o * out_shape.(axis)) + !offset + a) * !inner))
+                !inner
+            done
+          done;
+          offset := !offset + ax)
+        ts;
+      out
+
+(** Slice: [starts] and [sizes] per axis. *)
+let slice t ~starts ~sizes =
+  let r = rank t in
+  if Array.length starts <> r || Array.length sizes <> r then
+    invalid_arg "Tensor.slice: rank mismatch";
+  let out = create sizes t.data.(0) in
+  let idx = Array.make r 0 in
+  let n = numel_of_shape sizes in
+  for flat = 0 to n - 1 do
+    ignore flat;
+    let src_idx = Array.mapi (fun i j -> starts.(i) + j) idx in
+    out.data.(flat_index sizes idx) <- t.data.(flat_index t.shape src_idx);
+    let rec bump i =
+      if i >= 0 then begin
+        idx.(i) <- idx.(i) + 1;
+        if idx.(i) = sizes.(i) then begin
+          idx.(i) <- 0;
+          bump (i - 1)
+        end
+      end
+    in
+    bump (r - 1)
+  done;
+  out
+
+(** Zero-pad spatial padding: [pads] is per-axis (before, after). *)
+let pad t ~pads ~value =
+  let r = rank t in
+  if Array.length pads <> r then invalid_arg "Tensor.pad: rank mismatch";
+  let out_shape =
+    Array.mapi (fun i d -> d + fst pads.(i) + snd pads.(i)) t.shape
+  in
+  let out = create out_shape value in
+  let idx = Array.make r 0 in
+  for flat = 0 to numel t - 1 do
+    ignore flat;
+    let dst_idx = Array.mapi (fun i j -> j + fst pads.(i)) idx in
+    out.data.(flat_index out_shape dst_idx) <- t.data.(flat_index t.shape idx);
+    let rec bump i =
+      if i >= 0 then begin
+        idx.(i) <- idx.(i) + 1;
+        if idx.(i) = t.shape.(i) then begin
+          idx.(i) <- 0;
+          bump (i - 1)
+        end
+      end
+    in
+    bump (r - 1)
+  done;
+  out
+
+let equal eq a b = a.shape = b.shape && Array.for_all2 eq a.data b.data

@@ -1,0 +1,52 @@
+(** Dense n-dimensional tensors in row-major order, generic in the
+    element type: [float] for the reference executor and trainer, [int]
+    for the fixed-point executor, and cell references for the circuit
+    layouter (which is how shape operations become free inside circuits
+    — they only rearrange references; paper §5.1). *)
+
+type 'a t
+
+val numel_of_shape : int array -> int
+
+val create : int array -> 'a -> 'a t
+(** [create shape v] fills a fresh tensor with [v]. *)
+
+val init : int array -> (int -> 'a) -> 'a t
+(** [init shape f] fills element [i] (flat, row-major) with [f i]. *)
+
+val of_array : int array -> 'a array -> 'a t
+(** Wraps (does not copy) a flat array. Raises [Invalid_argument] if the
+    element count does not match the shape. *)
+
+val shape : 'a t -> int array
+val numel : 'a t -> int
+val rank : 'a t -> int
+
+val data : 'a t -> 'a array
+(** The underlying flat array (shared, not a copy). *)
+
+val strides : int array -> int array
+val flat_index : int array -> int array -> int
+val get : 'a t -> int array -> 'a
+val set : 'a t -> int array -> 'a -> unit
+val get_flat : 'a t -> int -> 'a
+val set_flat : 'a t -> int -> 'a -> unit
+
+val reshape : 'a t -> int array -> 'a t
+(** Shares the underlying data; one dimension may be [-1] (inferred). *)
+
+val copy : 'a t -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val transpose : 'a t -> int array -> 'a t
+(** [transpose t perm] permutes axes, e.g. [transpose t [|1;0|]]. *)
+
+val concat : int -> 'a t list -> 'a t
+(** Concatenate along an axis. *)
+
+val slice : 'a t -> starts:int array -> sizes:int array -> 'a t
+val pad : 'a t -> pads:(int * int) array -> value:'a -> 'a t
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool

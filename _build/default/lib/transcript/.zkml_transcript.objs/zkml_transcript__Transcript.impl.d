@@ -1,0 +1,1 @@
+lib/transcript/transcript.ml: Int64 List String Zkml_ff Zkml_util

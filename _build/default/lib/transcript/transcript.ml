@@ -1,0 +1,50 @@
+(** Fiat–Shamir transcript: a SHA-256 hash chain that both prover and
+    verifier advance identically. The state type is field-independent;
+    field-specific challenge derivation lives in the {!Challenge}
+    functor. Challenges are derived by expanding the chain state to 64
+    bytes and reducing exactly modulo the field order, so the
+    distribution is uniform to within a 2^-256 bias. *)
+
+type t = { mutable state : string }
+
+let create label = { state = Zkml_util.Sha256.digest ("zkml-transcript:" ^ label) }
+
+let clone t = { state = t.state }
+
+let absorb_bytes t ~label s =
+  t.state <-
+    Zkml_util.Sha256.digest
+      (t.state ^ "\x00" ^ label ^ "\x01"
+      ^ string_of_int (String.length s)
+      ^ "\x02" ^ s)
+
+module Challenge (F : Zkml_ff.Field_intf.S) = struct
+  let absorb_scalar t ~label x = absorb_bytes t ~label (F.to_bytes x)
+
+  let absorb_scalars t ~label xs =
+    absorb_bytes t ~label (String.concat "" (List.map F.to_bytes xs))
+
+  (* 2^64 in the field, for Horner recombination of 64-bit words. *)
+  let two_to_64 = F.mul (F.of_int64 Int64.min_int) (F.of_int 2)
+
+  let squeeze t ~label =
+    let h1 = Zkml_util.Sha256.digest (t.state ^ "\x03" ^ label ^ "\x00") in
+    let h2 = Zkml_util.Sha256.digest (t.state ^ "\x03" ^ label ^ "\x01") in
+    t.state <- h1;
+    let wide = h1 ^ h2 in
+    (* Horner over eight 64-bit words: exact modular reduction. *)
+    let acc = ref F.zero in
+    for i = 7 downto 0 do
+      acc :=
+        F.add
+          (F.mul !acc two_to_64)
+          (F.of_int64 (Zkml_util.Bytes_util.int64_of_le wide (8 * i)))
+    done;
+    !acc
+
+  (* A challenge usable as a denominator / evaluation point: re-squeeze
+     in the (cryptographically unreachable) zero case. *)
+  let rec squeeze_nonzero t ~label =
+    let x = squeeze t ~label in
+    if F.is_zero x then squeeze_nonzero t ~label else x
+end

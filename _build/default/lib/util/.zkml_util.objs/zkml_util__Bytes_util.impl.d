@@ -1,0 +1,1 @@
+lib/util/bytes_util.ml: Buffer Char Int64 Printf String

@@ -1,0 +1,1 @@
+lib/util/sha256.ml: Array Bytes Bytes_util Char String

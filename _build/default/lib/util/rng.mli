@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository (synthetic weights, datasets, test
+    vectors, Freivalds challenges in tests) flows through this seeded
+    SplitMix64 generator so that every experiment is reproducible. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. *)
+
+val copy : t -> t
+(** Independent copy with identical future output. *)
+
+val next_int64 : t -> int64
+(** Uniform 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val gaussian : t -> float
+(** Standard normal sample (Box–Muller). *)
+
+val split : t -> t
+(** Derive an independent stream (for parallel substructures). *)

@@ -1,0 +1,9 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4), used for Fiat–Shamir transcripts and
+    deterministic generator derivation. The container is sealed, so the
+    hash is implemented in-tree rather than pulled from opam. *)
+
+val digest : string -> string
+(** 32-byte raw digest. *)
+
+val hex_digest : string -> string
+(** Lowercase hex of {!digest}. *)

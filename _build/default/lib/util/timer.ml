@@ -1,0 +1,13 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, t1 -. t0)
+
+let time_s f = snd (time f)
+
+let median_of n f =
+  assert (n > 0);
+  let samples = Array.init n (fun _ -> time_s f) in
+  Array.sort compare samples;
+  samples.(n / 2)

@@ -1,0 +1,11 @@
+(** Wall-clock timing used by the cost-model calibration and benches. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result and the elapsed seconds. *)
+
+val time_s : (unit -> 'a) -> float
+(** Elapsed seconds only. *)
+
+val median_of : int -> (unit -> 'a) -> float
+(** [median_of n f] runs [f] [n] times and returns the median elapsed
+    seconds; used to stabilise microbenchmark readings. *)

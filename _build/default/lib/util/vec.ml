@@ -1,0 +1,43 @@
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ?(capacity = 16) dummy =
+  { data = Array.make (max 1 capacity) dummy; len = 0; dummy }
+
+let length t = t.len
+
+let ensure t n =
+  if n > Array.length t.data then begin
+    let cap = ref (Array.length t.data) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let data = Array.make !cap t.dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t v =
+  ensure t (t.len + 1);
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i v =
+  if i < 0 then invalid_arg "Vec.set";
+  if i >= t.len then begin
+    ensure t (i + 1);
+    Array.fill t.data t.len (i - t.len) t.dummy;
+    t.len <- i + 1
+  end;
+  t.data.(i) <- v
+
+let to_array t = Array.sub t.data 0 t.len
+
+let to_padded_array t n =
+  if n < t.len then invalid_arg "Vec.to_padded_array: target too small";
+  let a = Array.make n t.dummy in
+  Array.blit t.data 0 a 0 t.len;
+  a

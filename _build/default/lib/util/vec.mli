@@ -1,0 +1,20 @@
+(** Growable arrays (amortized O(1) append) used by the circuit layouter,
+    where column heights are unknown until layout finishes. *)
+
+type 'a t
+
+val create : ?capacity:int -> 'a -> 'a t
+(** [create dummy] makes an empty vector; [dummy] fills unused slots. *)
+
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+(** Grows the vector (padding with the dummy) if [i >= length]. *)
+
+val to_array : 'a t -> 'a array
+
+val to_padded_array : 'a t -> int -> 'a array
+(** [to_padded_array t n] is the contents padded with the dummy value up
+    to length [n]. *)

@@ -1,0 +1,1 @@
+test/test_commit.ml: Alcotest Printf String Zkml_commit Zkml_ec Zkml_ff Zkml_poly Zkml_transcript Zkml_util

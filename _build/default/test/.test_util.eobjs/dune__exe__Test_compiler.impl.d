@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array List Printf Zkml_commit Zkml_compiler Zkml_ec Zkml_ff Zkml_fixed Zkml_nn Zkml_tensor Zkml_util

@@ -1,0 +1,1 @@
+test/test_ec.ml: Alcotest Array List Printf Scalar String Zkml_ec Zkml_ff Zkml_util

@@ -1,0 +1,1 @@
+test/test_ff.ml: Alcotest Array Int64 List Pasta Printf QCheck QCheck_alcotest String Test Zkml_ff Zkml_util

@@ -1,0 +1,1 @@
+test/test_freivalds.ml: Alcotest Array Circuit Expr Printf Protocol Zkml_commit Zkml_ec Zkml_ff Zkml_plonkish Zkml_util

@@ -1,0 +1,1 @@
+test/test_gadgets.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest Test Zkml_commit Zkml_compiler Zkml_ec Zkml_ff Zkml_fixed Zkml_plonkish Zkml_util

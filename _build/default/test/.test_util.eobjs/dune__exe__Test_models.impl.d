@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Bytes Char Float List String Zkml_commit Zkml_compiler Zkml_ec Zkml_ff Zkml_fixed Zkml_models Zkml_nn Zkml_tensor

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Float List Printf Zkml_fixed Zkml_nn Zkml_tensor Zkml_util

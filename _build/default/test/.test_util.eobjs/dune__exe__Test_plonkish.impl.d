@@ -1,0 +1,1 @@
+test/test_plonkish.ml: Alcotest Array Circuit Expr Lazy List Protocol String Zkml_commit Zkml_ec Zkml_ff Zkml_plonkish Zkml_util

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array List Zkml_ff Zkml_poly Zkml_util

@@ -1,0 +1,1 @@
+test/test_transcript.ml: Alcotest Array Hashtbl Int64 Printf Zkml_ff Zkml_transcript

@@ -1,0 +1,151 @@
+(* Commitment scheme tests: completeness, rejection of wrong values /
+   wrong points / corrupted proofs, homomorphic batching, and proof-size
+   shape (IPA grows with log n, KZG constant). *)
+
+module Make_suite
+    (Scheme : Zkml_commit.Scheme_intf.S) =
+struct
+  module F = Scheme.G.Scalar
+  module P = Zkml_poly.Polynomial.Make (F)
+  module T = Zkml_transcript.Transcript
+
+  let rng = Zkml_util.Rng.create 31L
+  let params = Scheme.setup ~max_size:64 ~seed:"test"
+
+  let test_open_verify () =
+    for trial = 1 to 5 do
+      let coeffs = P.random rng 33 in
+      let c = Scheme.commit params coeffs in
+      let z = F.random rng in
+      let tp = T.create "open" in
+      let v, proof = Scheme.open_at params tp coeffs z in
+      Alcotest.(check bool)
+        (Printf.sprintf "eval %d" trial)
+        true
+        (F.equal v (P.eval coeffs z));
+      let tv = T.create "open" in
+      Alcotest.(check bool)
+        (Printf.sprintf "verify %d" trial)
+        true
+        (Scheme.verify params tv c ~point:z ~value:v proof)
+    done
+
+  let test_reject_wrong_value () =
+    let coeffs = P.random rng 20 in
+    let c = Scheme.commit params coeffs in
+    let z = F.random rng in
+    let tp = T.create "open" in
+    let v, proof = Scheme.open_at params tp coeffs z in
+    let tv = T.create "open" in
+    Alcotest.(check bool)
+      "wrong value rejected" false
+      (Scheme.verify params tv c ~point:z ~value:(F.add v F.one) proof);
+    let tv = T.create "open" in
+    Alcotest.(check bool)
+      "wrong point rejected" false
+      (Scheme.verify params tv c ~point:(F.add z F.one) ~value:v proof);
+    let tv = T.create "open" in
+    let other = Scheme.commit params (P.random rng 20) in
+    Alcotest.(check bool)
+      "wrong commitment rejected" false
+      (Scheme.verify params tv other ~point:z ~value:v proof)
+
+  let test_homomorphic_batching () =
+    (* open f + alpha*g via combined commitment: the RLC pattern used by
+       the Plonkish prover *)
+    let f = P.random rng 30 and g = P.random rng 25 in
+    let alpha = F.random rng in
+    let cf = Scheme.commit params f and cg = Scheme.commit params g in
+    let combined = P.add f (P.scale alpha g) in
+    let c_combined =
+      Scheme.add_commitment cf (Scheme.scale_commitment cg alpha)
+    in
+    let z = F.random rng in
+    let tp = T.create "batch" in
+    let v, proof = Scheme.open_at params tp combined z in
+    let tv = T.create "batch" in
+    Alcotest.(check bool)
+      "combined verifies" true
+      (Scheme.verify params tv c_combined ~point:z ~value:v proof);
+    Alcotest.(check bool)
+      "value is f(z) + alpha g(z)" true
+      (F.equal v (F.add (P.eval f z) (F.mul alpha (P.eval g z))))
+
+  let test_zero_poly () =
+    let coeffs = [| F.zero |] in
+    let c = Scheme.commit params coeffs in
+    let z = F.random rng in
+    let tp = T.create "zero" in
+    let v, proof = Scheme.open_at params tp coeffs z in
+    let tv = T.create "zero" in
+    Alcotest.(check bool) "zero value" true (F.is_zero v);
+    Alcotest.(check bool)
+      "zero verifies" true
+      (Scheme.verify params tv c ~point:z ~value:v proof)
+
+  let suite =
+    [ Alcotest.test_case "open_verify" `Quick test_open_verify;
+      Alcotest.test_case "reject_wrong" `Quick test_reject_wrong_value;
+      Alcotest.test_case "homomorphic_batching" `Quick test_homomorphic_batching;
+      Alcotest.test_case "zero_poly" `Quick test_zero_poly
+    ]
+end
+
+module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Kzg_sim = Make_suite (Zkml_commit.Kzg.Make (Sim61))
+module Ipa_sim = Make_suite (Zkml_commit.Ipa.Make (Sim61))
+module Kzg_pallas = Make_suite (Zkml_commit.Kzg.Make (Zkml_ec.Pallas))
+module Ipa_pallas = Make_suite (Zkml_commit.Ipa.Make (Zkml_ec.Pallas))
+
+(* Proof-size shape: IPA proofs grow with the log of the parameter size,
+   KZG proofs do not (Table 6 vs 7 shape). *)
+let test_proof_size_shape () =
+  let module K = Zkml_commit.Kzg.Make (Sim61) in
+  let module I = Zkml_commit.Ipa.Make (Sim61) in
+  let module P = Zkml_poly.Polynomial.Make (Zkml_ff.Fp61) in
+  let rng = Zkml_util.Rng.create 5L in
+  let coeffs = P.random rng 16 in
+  let size (type pf) open_at (proof_to_bytes : pf -> string) =
+    let _, proof = open_at coeffs in
+    String.length (proof_to_bytes proof)
+  in
+  let kzg_small =
+    let p = K.setup ~max_size:16 ~seed:"s" in
+    size
+      (fun c ->
+        K.open_at p (Zkml_transcript.Transcript.create "t") c Zkml_ff.Fp61.one)
+      K.proof_to_bytes
+  in
+  let kzg_large =
+    let p = K.setup ~max_size:256 ~seed:"s" in
+    size
+      (fun c ->
+        K.open_at p (Zkml_transcript.Transcript.create "t") c Zkml_ff.Fp61.one)
+      K.proof_to_bytes
+  in
+  let ipa_small =
+    let p = I.setup ~max_size:16 ~seed:"s" in
+    size
+      (fun c ->
+        I.open_at p (Zkml_transcript.Transcript.create "t") c Zkml_ff.Fp61.one)
+      I.proof_to_bytes
+  in
+  let ipa_large =
+    let p = I.setup ~max_size:256 ~seed:"s" in
+    size
+      (fun c ->
+        I.open_at p (Zkml_transcript.Transcript.create "t") c Zkml_ff.Fp61.one)
+      I.proof_to_bytes
+  in
+  Alcotest.(check int) "kzg constant" kzg_small kzg_large;
+  Alcotest.(check bool) "ipa grows" true (ipa_large > ipa_small)
+
+let () =
+  Alcotest.run "commit"
+    [ ("kzg_simulated", Kzg_sim.suite);
+      ("ipa_simulated", Ipa_sim.suite);
+      ("kzg_pallas", Kzg_pallas.suite);
+      ("ipa_pallas", Ipa_pallas.suite);
+      ( "shape",
+        [ Alcotest.test_case "proof_size" `Quick test_proof_size_shape ] )
+    ]

@@ -1,0 +1,261 @@
+(* End-to-end compiler tests: models are compiled to circuits, proved,
+   verified; the circuit's public outputs match the fixed-point
+   executor; every logical layout choice produces a valid proof; and the
+   optimizer behaves per Algorithm 1. *)
+
+module T = Zkml_tensor.Tensor
+module G = Zkml_nn.Graph
+module Fx = Zkml_fixed.Fixed
+module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Kzg = Zkml_commit.Kzg.Make (Sim61)
+module Pipe = Zkml_compiler.Pipeline.Make (Kzg)
+module Opt = Zkml_compiler.Optimizer
+module Spec = Zkml_compiler.Layout_spec
+
+let cfg = { Fx.scale_bits = 6; table_bits = 11 }
+let params = Kzg.setup ~max_size:(1 lsl 13) ~seed:"compiler-test"
+
+let small_mlp () =
+  let rng = Zkml_util.Rng.create 11L in
+  let g = G.create "mlp" in
+  let x = G.input g [| 1; 4 |] in
+  let w1 = G.he_weight g rng [| 4; 6 |] ~label:"w1" in
+  let b1 = G.zero_weight g [| 6 |] ~label:"b1" in
+  let h = G.relu g (G.fully_connected g x w1 b1) in
+  let w2 = G.he_weight g rng [| 6; 3 |] ~label:"w2" in
+  let b2 = G.zero_weight g [| 3 |] ~label:"b2" in
+  let y = G.softmax g (G.fully_connected g h w2 b2) in
+  G.mark_output g y;
+  g
+
+let sample_input () = T.of_array [| 1; 4 |] [| 0.5; -0.25; 1.0; 0.125 |]
+
+let test_end_to_end () =
+  let g = small_mlp () in
+  let result = Pipe.run ~cfg ~params g [ sample_input () ] in
+  Alcotest.(check bool) "proof verifies" true result.Pipe.verified;
+  Alcotest.(check bool) "nonempty proof" true (result.Pipe.proof_bytes > 500);
+  (* circuit outputs = executor outputs (probabilities summing to ~SF) *)
+  match result.Pipe.outputs with
+  | [ probs ] ->
+      let total = T.fold ( + ) 0 probs in
+      Alcotest.(check bool)
+        (Printf.sprintf "softmax outputs sum to ~SF (%d)" total)
+        true
+        (abs (total - Fx.sf cfg) <= 3)
+  | _ -> Alcotest.fail "expected one output"
+
+let test_all_layout_specs_prove () =
+  let g = small_mlp () in
+  List.iter
+    (fun spec ->
+      let result =
+        Pipe.run ~cfg ~params ~specs:[ spec ] ~ncols_min:14 ~ncols_max:20 g
+          [ sample_input () ]
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "spec %s verifies" (Spec.to_string spec))
+        true result.Pipe.verified)
+    Spec.all
+
+let test_tampered_witness_rejected () =
+  let g = small_mlp () in
+  let input = sample_input () in
+  let qinput = T.map (Fx.quantize cfg) input in
+  let exec = Zkml_nn.Quant_exec.run cfg g ~inputs:[ qinput ] in
+  let times = Pipe.calibrated params in
+  let plan, _ =
+    Opt.optimize ~times ~backend:Zkml_compiler.Costmodel.Kzg
+      ~group_bytes:Kzg.G.size_bytes ~field_bytes:Zkml_ff.Fp61.size_bytes ~cfg g
+      exec
+  in
+  let artifacts = Pipe.build params plan ~cfg g exec in
+  let rng = Zkml_util.Rng.create 1L in
+  (* honest proof first *)
+  let proof = Pipe.prove params artifacts ~rng in
+  Alcotest.(check bool) "honest ok" true (Pipe.verify params artifacts proof);
+  (* tamper with one advice value *)
+  let tampered =
+    { artifacts with
+      Pipe.advice =
+        (let a = Array.map Array.copy artifacts.Pipe.advice in
+         a.(0).(3) <- Zkml_ff.Fp61.add a.(0).(3) Zkml_ff.Fp61.one;
+         a)
+    }
+  in
+  let proof = Pipe.prove params tampered ~rng in
+  Alcotest.(check bool)
+    "tampered witness rejected" false
+    (Pipe.verify params tampered proof)
+
+let test_wrong_public_output_rejected () =
+  let g = small_mlp () in
+  let input = sample_input () in
+  let qinput = T.map (Fx.quantize cfg) input in
+  let exec = Zkml_nn.Quant_exec.run cfg g ~inputs:[ qinput ] in
+  let times = Pipe.calibrated params in
+  let plan, _ =
+    Opt.optimize ~times ~backend:Zkml_compiler.Costmodel.Kzg
+      ~group_bytes:Kzg.G.size_bytes ~field_bytes:Zkml_ff.Fp61.size_bytes ~cfg g
+      exec
+  in
+  let artifacts = Pipe.build params plan ~cfg g exec in
+  let rng = Zkml_util.Rng.create 1L in
+  let proof = Pipe.prove params artifacts ~rng in
+  (* claim a different public output *)
+  let forged_instance =
+    let i = Array.map Array.copy artifacts.Pipe.instance in
+    let last = Array.length i.(0) - 1 in
+    ignore last;
+    (* the outputs sit at the end of the populated instance region;
+       flip the first input cell instead, which is certainly populated *)
+    i.(0).(0) <- Zkml_ff.Fp61.add i.(0).(0) Zkml_ff.Fp61.one;
+    i
+  in
+  let forged = { artifacts with Pipe.instance = forged_instance } in
+  Alcotest.(check bool)
+    "forged public values rejected" false
+    (Pipe.verify params forged proof)
+
+let test_optimizer_row_exactness () =
+  (* the counting-mode layouter and the building-mode layouter must agree
+     on rows: finalize at the simulated k must succeed and the content
+     row counts must be identical *)
+  let g = small_mlp () in
+  let input = sample_input () in
+  let qinput = T.map (Fx.quantize cfg) input in
+  let exec = Zkml_nn.Quant_exec.run cfg g ~inputs:[ qinput ] in
+  List.iter
+    (fun ncols ->
+      let spec = Spec.default in
+      let counted =
+        Zkml_compiler.Lower.lower ~spec ~cfg ~ncols ~counting:true g exec
+      in
+      let built =
+        Zkml_compiler.Lower.lower ~spec ~cfg ~ncols ~counting:false g exec
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "rows at ncols=%d" ncols)
+        counted.Zkml_compiler.Lower.layouter.Zkml_compiler.Layouter.nrows
+        built.Zkml_compiler.Lower.layouter.Zkml_compiler.Layouter.nrows)
+    [ 5; 8; 13; 21 ]
+
+let test_optimizer_monotone_rows () =
+  (* more columns -> no more content rows (denser packing) *)
+  let g = small_mlp () in
+  let qinput = T.map (Fx.quantize cfg) (sample_input ()) in
+  let exec = Zkml_nn.Quant_exec.run cfg g ~inputs:[ qinput ] in
+  let rows ncols =
+    let l =
+      Zkml_compiler.Lower.lower ~spec:Spec.default ~cfg ~ncols ~counting:true g
+        exec
+    in
+    l.Zkml_compiler.Lower.layouter.Zkml_compiler.Layouter.nrows
+  in
+  Alcotest.(check bool) "8 <= 4 cols" true (rows 8 <= rows 4);
+  Alcotest.(check bool) "16 <= 8 cols" true (rows 16 <= rows 8);
+  Alcotest.(check bool) "32 <= 16 cols" true (rows 32 <= rows 16)
+
+let test_unpruned_not_worse () =
+  let g = small_mlp () in
+  let qinput = T.map (Fx.quantize cfg) (sample_input ()) in
+  let exec = Zkml_nn.Quant_exec.run cfg g ~inputs:[ qinput ] in
+  let times = Pipe.calibrated params in
+  let common f =
+    f ~times ~backend:Zkml_compiler.Costmodel.Kzg ~group_bytes:Kzg.G.size_bytes
+      ~field_bytes:Zkml_ff.Fp61.size_bytes ~cfg g exec
+  in
+  let pruned, pruned_stats = common (Opt.optimize ?specs:None ?ncols_min:None ?ncols_max:None ?objective:None ?k_max:None) in
+  let unpruned, unpruned_stats =
+    common (Opt.optimize_unpruned ?specs:None ?ncols_min:None ?ncols_max:None ?objective:None ?k_max:None)
+  in
+  Alcotest.(check bool)
+    "unpruned explores more" true
+    (unpruned_stats.Opt.candidates > pruned_stats.Opt.candidates);
+  Alcotest.(check bool)
+    "unpruned cost <= pruned cost" true
+    (unpruned.Opt.est_cost <= pruned.Opt.est_cost +. 1e-12)
+
+let test_size_objective () =
+  let g = small_mlp () in
+  let r_time =
+    Pipe.run ~cfg ~params ~objective:Opt.Min_time g [ sample_input () ]
+  in
+  let r_size =
+    Pipe.run ~cfg ~params ~objective:Opt.Min_size g [ sample_input () ]
+  in
+  Alcotest.(check bool) "time-opt verifies" true r_time.Pipe.verified;
+  Alcotest.(check bool) "size-opt verifies" true r_size.Pipe.verified;
+  Alcotest.(check bool)
+    (Printf.sprintf "size-opt proof (%d) <= time-opt proof (%d)"
+       r_size.Pipe.proof_bytes r_time.Pipe.proof_bytes)
+    true
+    (r_size.Pipe.proof_bytes <= r_time.Pipe.proof_bytes)
+
+(* a model with conv / pooling / residual add / layer-norm-free ops to
+   exercise more gadgets end to end *)
+let test_conv_model () =
+  let rng = Zkml_util.Rng.create 31L in
+  let g = G.create "convnet" in
+  let x = G.input g [| 1; 6; 6; 1 |] in
+  let w = G.he_weight g rng [| 3; 3; 1; 2 |] ~label:"w" in
+  let b = G.zero_weight g [| 2 |] ~label:"b" in
+  let c = G.relu g (G.conv2d ~stride:1 ~padding:Zkml_nn.Op.Same g x w b) in
+  let p = G.max_pool2d g ~size:2 c in
+  let q = G.avg_pool2d g ~size:3 p in
+  let f = G.flatten g q in
+  let w2 = G.he_weight g rng [| 2; 2 |] ~label:"w2" in
+  let b2 = G.zero_weight g [| 2 |] ~label:"b2" in
+  let y = G.fully_connected g f w2 b2 in
+  G.mark_output g y;
+  let input = T.init [| 1; 6; 6; 1 |] (fun i -> 0.1 *. float_of_int (i mod 7)) in
+  let result = Pipe.run ~cfg ~params g [ input ] in
+  Alcotest.(check bool) "conv model verifies" true result.Pipe.verified
+
+let test_transformer_block () =
+  (* batch_matmul + softmax + layer_norm + gelu: the GPT-style ops *)
+  let rng = Zkml_util.Rng.create 37L in
+  let g = G.create "attn" in
+  let seq = 3 and d = 4 in
+  let x = G.input g [| 1; seq; d |] in
+  let wq = G.he_weight g rng [| d; d |] ~label:"wq" in
+  let wk = G.he_weight g rng [| d; d |] ~label:"wk" in
+  let wv = G.he_weight g rng [| d; d |] ~label:"wv" in
+  let q = G.batch_matmul g x wq in
+  let k = G.batch_matmul g x wk in
+  let v = G.batch_matmul g x wv in
+  let scores = G.batch_matmul ~transpose_b:true g q k in
+  let attn = G.softmax g scores in
+  let ctx = G.batch_matmul g attn v in
+  let gamma = G.weight g (T.create [| d |] 1.0) ~label:"gamma" in
+  let beta = G.weight g (T.create [| d |] 0.0) ~label:"beta" in
+  let normed = G.layer_norm g (G.add_ g ctx x) gamma beta in
+  let y = G.activation g Zkml_nn.Op.Gelu normed in
+  G.mark_output g y;
+  let input =
+    T.init [| 1; seq; d |] (fun i -> 0.2 *. sin (float_of_int i))
+  in
+  let result = Pipe.run ~cfg ~params g [ input ] in
+  Alcotest.(check bool) "transformer block verifies" true result.Pipe.verified
+
+let () =
+  Alcotest.run "compiler"
+    [ ( "end_to_end",
+        [ Alcotest.test_case "mlp" `Quick test_end_to_end;
+          Alcotest.test_case "all_specs" `Slow test_all_layout_specs_prove;
+          Alcotest.test_case "conv_model" `Slow test_conv_model;
+          Alcotest.test_case "transformer_block" `Slow test_transformer_block
+        ] );
+      ( "soundness",
+        [ Alcotest.test_case "tampered_witness" `Quick
+            test_tampered_witness_rejected;
+          Alcotest.test_case "wrong_public" `Quick
+            test_wrong_public_output_rejected
+        ] );
+      ( "optimizer",
+        [ Alcotest.test_case "row_exactness" `Quick test_optimizer_row_exactness;
+          Alcotest.test_case "monotone_rows" `Quick test_optimizer_monotone_rows;
+          Alcotest.test_case "unpruned" `Slow test_unpruned_not_worse;
+          Alcotest.test_case "size_objective" `Slow test_size_objective
+        ] )
+    ]

@@ -1,0 +1,101 @@
+(* SHA-256 vectors, curve group laws (Pallas + simulated), and MSM
+   consistency against the naive sum. *)
+
+let test_sha256_vectors () =
+  let check input expected =
+    Alcotest.(check string) input expected (Zkml_util.Sha256.hex_digest input)
+  in
+  check "" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+  check "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  check "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+  (* exercise multi-block padding boundary *)
+  check (String.make 64 'a')
+    "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+
+module Group_suite (G : Zkml_ec.Group_intf.S) = struct
+  module M = Zkml_ec.Msm.Make (G)
+
+  let rng = Zkml_util.Rng.create 23L
+
+  let check_eq msg a b = Alcotest.(check bool) msg true (G.equal a b)
+
+  let test_group_laws () =
+    let p = G.random rng and q = G.random rng and r = G.random rng in
+    check_eq "assoc" (G.add (G.add p q) r) (G.add p (G.add q r));
+    check_eq "comm" (G.add p q) (G.add q p);
+    check_eq "identity" p (G.add p G.zero);
+    check_eq "inverse" G.zero (G.add p (G.neg p));
+    check_eq "double" (G.double p) (G.add p p)
+
+  let test_scalar_mul () =
+    let p = G.random rng in
+    let three = G.Scalar.of_int 3 in
+    check_eq "3p" (G.add p (G.add p p)) (G.mul p three);
+    check_eq "0p" G.zero (G.mul p G.Scalar.zero);
+    check_eq "1p" p (G.mul p G.Scalar.one);
+    (* distributivity over scalar addition *)
+    let a = G.Scalar.random rng and b = G.Scalar.random rng in
+    check_eq "(a+b)P = aP + bP"
+      (G.mul p (G.Scalar.add a b))
+      (G.add (G.mul p a) (G.mul p b))
+
+  let test_serialization () =
+    let p = G.random rng in
+    Alcotest.(check int) "size" G.size_bytes (String.length (G.to_bytes p));
+    Alcotest.(check bool)
+      "distinct points distinct bytes" false
+      (String.equal (G.to_bytes p) (G.to_bytes (G.double p)))
+
+  let test_derive_generators () =
+    let gens = G.derive_generators "test" 8 in
+    Alcotest.(check int) "count" 8 (Array.length gens);
+    (* deterministic *)
+    let gens' = G.derive_generators "test" 8 in
+    Array.iteri (fun i g -> check_eq "deterministic" g gens'.(i)) gens;
+    (* distinct *)
+    for i = 0 to 6 do
+      Alcotest.(check bool) "distinct" false (G.equal gens.(i) gens.(i + 1))
+    done
+
+  let test_msm_matches_naive () =
+    List.iter
+      (fun n ->
+        let points = Array.init n (fun _ -> G.random rng) in
+        let scalars = Array.init n (fun _ -> G.Scalar.random rng) in
+        check_eq
+          (Printf.sprintf "msm n=%d" n)
+          (M.naive points scalars)
+          (M.pippenger points scalars))
+      [ 1; 2; 7; 33; 100 ]
+
+  let suite =
+    [ Alcotest.test_case "group_laws" `Quick test_group_laws;
+      Alcotest.test_case "scalar_mul" `Quick test_scalar_mul;
+      Alcotest.test_case "serialization" `Quick test_serialization;
+      Alcotest.test_case "derive_generators" `Quick test_derive_generators;
+      Alcotest.test_case "msm_matches_naive" `Quick test_msm_matches_naive
+    ]
+end
+
+module Pallas_suite = Group_suite (Zkml_ec.Pallas)
+module Sim_suite = Group_suite (Zkml_ec.Simulated.Make (Zkml_ff.Fp61))
+
+(* Pallas-specific: the generator is on the curve and has order q
+   (q * G = identity). *)
+let test_pallas_order () =
+  let open Zkml_ec.Pallas in
+  let q_minus_1 = Scalar.neg Scalar.one in
+  let p = mul generator q_minus_1 in
+  Alcotest.(check bool) "(q-1)G = -G" true (equal p (neg generator));
+  Alcotest.(check bool)
+    "qG = 0" true
+    (is_zero (add p generator))
+
+let () =
+  Alcotest.run "ec"
+    [ ("sha256", [ Alcotest.test_case "vectors" `Quick test_sha256_vectors ]);
+      ("pallas", Pallas_suite.suite);
+      ("simulated", Sim_suite.suite);
+      ("pallas_order", [ Alcotest.test_case "order" `Quick test_pallas_order ])
+    ]

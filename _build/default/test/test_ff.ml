@@ -1,0 +1,193 @@
+(* Field axiom and algorithm tests, run over all three field
+   instantiations via a functor. *)
+
+module Make_suite (F : Zkml_ff.Field_intf.S) = struct
+  module Extra = Zkml_ff.Field_extra.Make (F)
+
+  let rng = Zkml_util.Rng.create 7L
+
+  let arb =
+    QCheck.make
+      ~print:(fun x -> F.to_hex x)
+      (QCheck.Gen.map (fun seed -> F.random (Zkml_util.Rng.create seed)) QCheck.Gen.int64)
+
+  let check_eq msg a b = Alcotest.(check bool) msg true (F.equal a b)
+
+  let test_basic_identities () =
+    check_eq "0+0" F.zero (F.add F.zero F.zero);
+    check_eq "1*1" F.one (F.mul F.one F.one);
+    check_eq "1+(-1)" F.zero (F.add F.one (F.neg F.one));
+    check_eq "2*3=6" (F.of_int 6) (F.mul (F.of_int 2) (F.of_int 3));
+    check_eq "of_int neg" (F.neg (F.of_int 5)) (F.of_int (-5));
+    check_eq "sub" (F.of_int 2) (F.sub (F.of_int 7) (F.of_int 5))
+
+  let test_generator_order () =
+    (* generator^((p-1)/2) must be -1 (it is a non-residue). *)
+    let e = Extra.legendre F.generator in
+    check_eq "legendre(g) = -1" (F.neg F.one) e
+
+  let test_root_of_unity () =
+    for k = 1 to min 12 F.two_adicity do
+      let w = F.root_of_unity k in
+      let full = F.pow_int w (1 lsl k) in
+      check_eq (Printf.sprintf "w^(2^%d)=1" k) F.one full;
+      let half = F.pow_int w (1 lsl (k - 1)) in
+      check_eq (Printf.sprintf "w^(2^%d)=-1" (k - 1)) (F.neg F.one) half
+    done
+
+  let test_bytes_roundtrip () =
+    for _ = 1 to 200 do
+      let x = F.random rng in
+      let s = F.to_bytes x in
+      Alcotest.(check int) "size" F.size_bytes (String.length s);
+      check_eq "roundtrip" x (F.of_bytes_exn s)
+    done
+
+  let test_sqrt () =
+    for _ = 1 to 50 do
+      let x = F.random rng in
+      let sq = F.square x in
+      match Extra.sqrt sq with
+      | None -> Alcotest.fail "square has no root"
+      | Some r -> check_eq "sqrt^2" sq (F.square r)
+    done
+
+  let test_batch_inv () =
+    let xs =
+      Array.init 37 (fun _ ->
+          let rec nz () =
+            let x = F.random rng in
+            if F.is_zero x then nz () else x
+          in
+          nz ())
+    in
+    let invs = Extra.batch_inv xs in
+    Array.iteri
+      (fun i x -> check_eq "batch inv" F.one (F.mul x invs.(i)))
+      xs
+
+  let test_inv_zero () =
+    Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+        ignore (F.inv F.zero))
+
+  let prop_tests =
+    let open QCheck in
+    [ Test.make ~name:"add_comm" ~count:200 (pair arb arb) (fun (a, b) ->
+          F.equal (F.add a b) (F.add b a));
+      Test.make ~name:"mul_comm" ~count:200 (pair arb arb) (fun (a, b) ->
+          F.equal (F.mul a b) (F.mul b a));
+      Test.make ~name:"mul_assoc" ~count:200 (triple arb arb arb)
+        (fun (a, b, c) ->
+          F.equal (F.mul a (F.mul b c)) (F.mul (F.mul a b) c));
+      Test.make ~name:"distrib" ~count:200 (triple arb arb arb)
+        (fun (a, b, c) ->
+          F.equal (F.mul a (F.add b c)) (F.add (F.mul a b) (F.mul a c)));
+      Test.make ~name:"inv" ~count:200 arb (fun a ->
+          F.is_zero a || F.equal F.one (F.mul a (F.inv a)));
+      Test.make ~name:"square" ~count:200 arb (fun a ->
+          F.equal (F.square a) (F.mul a a));
+      Test.make ~name:"sub_add" ~count:200 (pair arb arb) (fun (a, b) ->
+          F.equal a (F.add (F.sub a b) b));
+      Test.make ~name:"pow_int_7" ~count:50 arb (fun a ->
+          F.equal (F.pow_int a 7)
+            (F.mul a (F.mul (F.square a) (F.square (F.square a)))));
+      Test.make ~name:"compare_refl" ~count:100 (pair arb arb) (fun (a, b) ->
+          (F.compare a b = 0) = F.equal a b)
+    ]
+
+  let suite =
+    [ Alcotest.test_case "basic_identities" `Quick test_basic_identities;
+      Alcotest.test_case "generator_order" `Quick test_generator_order;
+      Alcotest.test_case "root_of_unity" `Quick test_root_of_unity;
+      Alcotest.test_case "bytes_roundtrip" `Quick test_bytes_roundtrip;
+      Alcotest.test_case "sqrt" `Quick test_sqrt;
+      Alcotest.test_case "batch_inv" `Quick test_batch_inv;
+      Alcotest.test_case "inv_zero" `Quick test_inv_zero
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false) prop_tests
+end
+
+module Fp61_suite = Make_suite (Zkml_ff.Fp61)
+module Pasta_fp_suite = Make_suite (Zkml_ff.Pasta.Fp)
+module Pasta_fq_suite = Make_suite (Zkml_ff.Pasta.Fq)
+
+(* Cross-check Fp61 Montgomery arithmetic against a trusted slow path
+   using OCaml native ints (p < 2^62 so add fits; mul checked via
+   16-bit limb schoolbook). *)
+let test_fp61_against_reference () =
+  let p = 0x3A00000000000001 in
+  let slow_mulmod a b =
+    (* split b into four 16-bit limbs *)
+    let r = ref 0 in
+    for i = 3 downto 0 do
+      let limb = (b lsr (16 * i)) land 0xFFFF in
+      for _ = 1 to 16 do
+        r := !r * 2 mod p
+      done;
+      r := (!r + (a * limb mod p)) mod p
+    done;
+    !r
+  in
+  (* a * limb with a < 2^62 and limb < 2^16 overflows 63-bit ints, so
+     split a too. *)
+  let slow_mulmod a b =
+    ignore slow_mulmod;
+    let a_lo = a land 0x7FFFFFFF and a_hi = a lsr 31 in
+    let r = ref 0 in
+    (* doubling that avoids 63-bit overflow: 2x mod p without forming 2x *)
+    let double_mod x = if x < p - x then x + x else x - (p - x) in
+    let add_shifted x shift =
+      let x = ref (x mod p) in
+      for _ = 1 to shift do
+        x := double_mod !x
+      done;
+      (* r + x can exceed max_int; use the same overflow-safe form *)
+      r := (if !r < p - !x then !r + !x else !r - (p - !x))
+    in
+    (* decompose b into 15-bit limbs so each partial product fits *)
+    let rec limbs b shift =
+      if b = 0 then ()
+      else begin
+        let limb = b land 0x7FFF in
+        if limb <> 0 then begin
+          add_shifted (a_lo * limb) shift;
+          add_shifted (a_hi * limb) (shift + 31)
+        end;
+        limbs (b lsr 15) (shift + 15)
+      end
+    in
+    limbs b 0;
+    !r
+  in
+  let rng = Zkml_util.Rng.create 99L in
+  for _ = 1 to 500 do
+    let a = Zkml_util.Rng.int rng p and b = Zkml_util.Rng.int rng p in
+    let expected = slow_mulmod a b in
+    let got =
+      Zkml_ff.Fp61.(
+        to_canonical_limbs (mul (of_int a) (of_int b))).(0)
+    in
+    Alcotest.(check int64) "mulmod" (Int64.of_int expected) got
+  done
+
+(* Known-answer test for the Pasta moduli: -1 serializes to p - 1. *)
+let test_pasta_minus_one () =
+  let open Zkml_ff in
+  let hex = Pasta.Fp.to_hex (Pasta.Fp.neg Pasta.Fp.one) in
+  Alcotest.(check string) "pallas p-1"
+    "40000000000000000000000000000000224698fc094cf91b992d30ed00000000" hex;
+  let hex = Pasta.Fq.to_hex (Pasta.Fq.neg Pasta.Fq.one) in
+  Alcotest.(check string) "vesta q-1"
+    "40000000000000000000000000000000224698fc0994a8dd8c46eb2100000000" hex
+
+let () =
+  Alcotest.run "ff"
+    [ ("fp61", Fp61_suite.suite);
+      ("pasta_fp", Pasta_fp_suite.suite);
+      ("pasta_fq", Pasta_fq_suite.suite);
+      ( "cross_checks",
+        [ Alcotest.test_case "fp61_vs_reference" `Quick
+            test_fp61_against_reference;
+          Alcotest.test_case "pasta_minus_one" `Quick test_pasta_minus_one
+        ] )
+    ]

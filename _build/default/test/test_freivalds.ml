@@ -1,0 +1,221 @@
+(* Freivalds' algorithm inside the proving system (paper §6 "Linear
+   layers"): the matrix product C = A * B is computed outside the
+   circuit; the circuit only verifies C r = A (B r) for a random vector
+   r = (1, rho, rho^2, ...) derived from a transcript challenge after A,
+   B and C are committed. This exercises the multi-phase / challenge
+   machinery on its real use case and checks soundness: a single wrong
+   entry of C is caught.
+
+   Columns: advice 0 (phase 0) = streamed matrix entries; advice 1 and 2
+   (phase 1) = challenge-dependent operands and running accumulators.
+   Rows: the power chain, then one accumulation run per dot product
+   (u = B r, then v = A u, then w = C r plus an equality row); copy
+   constraints wire every reused value (powers, u, final accumulators)
+   to its producer, and a reset selector pins each accumulator start to
+   zero. *)
+
+open Zkml_plonkish
+module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Kzg = Zkml_commit.Kzg.Make (Sim61)
+module Proto = Protocol.Make (Kzg)
+module F = Zkml_ff.Fp61
+
+let m_dim = 4
+let k_dim = 5
+let n_dim = 3
+let k = 8
+let n_rows = 1 lsl k
+let blinding = 5
+let params = Kzg.setup ~max_size:n_rows ~seed:"freivalds"
+
+(* structural row positions (challenge-independent) *)
+let power_row j = j
+let u_start i = n_dim + (i * (n_dim + 1))
+let u_final i = u_start i + n_dim
+let v_start i = n_dim + (k_dim * (n_dim + 1)) + (i * (k_dim + 1))
+let v_final i = v_start i + k_dim
+let w_base = n_dim + (k_dim * (n_dim + 1)) + (m_dim * (k_dim + 1))
+let w_start i = w_base + (i * (n_dim + 2))
+let w_final i = w_start i + n_dim
+let eq_row i = w_start i + n_dim + 1
+let total_rows = eq_row (m_dim - 1) + 1
+
+let circuit : F.t Circuit.t =
+  let open Expr in
+  let copies = ref [] in
+  let copy a b = copies := (a, b) :: !copies in
+  (* operand wiring *)
+  for i = 0 to k_dim - 1 do
+    for j = 0 to n_dim - 1 do
+      copy
+        (Circuit.Col_advice 1, u_start i + j)
+        (Circuit.Col_advice 1, power_row j)
+    done
+  done;
+  for i = 0 to m_dim - 1 do
+    for t = 0 to k_dim - 1 do
+      copy (Circuit.Col_advice 1, v_start i + t) (Circuit.Col_advice 2, u_final t)
+    done
+  done;
+  for i = 0 to m_dim - 1 do
+    for j = 0 to n_dim - 1 do
+      copy
+        (Circuit.Col_advice 1, w_start i + j)
+        (Circuit.Col_advice 1, power_row j)
+    done;
+    copy (Circuit.Col_advice 1, eq_row i) (Circuit.Col_advice 2, v_final i);
+    copy (Circuit.Col_advice 2, eq_row i) (Circuit.Col_advice 2, w_final i)
+  done;
+  {
+    Circuit.k;
+    num_fixed = 5;
+    (* s_pow, s_first, s_acc, s_eq, s_zero *)
+    is_selector = [| true; true; true; true; true |];
+    advice_phases = [| 0; 1; 1 |];
+    num_instance = 0;
+    num_challenges = 1;
+    gates =
+      [ {
+          Circuit.gate_name = "power-chain";
+          polys =
+            [ Mul (fixed 0, Sub (advice ~rot:1 1, Mul (Challenge 0, advice 1)))
+            ];
+        };
+        {
+          Circuit.gate_name = "power-first";
+          polys = [ Mul (fixed 1, Sub (advice 1, Const F.one)) ];
+        };
+        {
+          Circuit.gate_name = "dot-accumulate";
+          polys =
+            [ Mul
+                ( fixed 2,
+                  Sub
+                    (advice ~rot:1 2, Add (advice 2, Mul (advice 0, advice 1)))
+                );
+            ];
+        };
+        { Circuit.gate_name = "equal";
+          polys = [ Mul (fixed 3, Sub (advice 2, advice 1)) ] };
+        { Circuit.gate_name = "acc-reset";
+          polys = [ Mul (fixed 4, advice 2) ] }
+      ];
+    lookups = [];
+    copies = !copies;
+    blinding;
+  }
+
+let fixed_columns () =
+  let s_pow = Array.make n_rows F.zero in
+  let s_first = Array.make n_rows F.zero in
+  let s_acc = Array.make n_rows F.zero in
+  let s_eq = Array.make n_rows F.zero in
+  let s_zero = Array.make n_rows F.zero in
+  s_first.(power_row 0) <- F.one;
+  for j = 0 to n_dim - 2 do
+    s_pow.(power_row j) <- F.one
+  done;
+  let run start len =
+    s_zero.(start) <- F.one;
+    for t = 0 to len - 1 do
+      s_acc.(start + t) <- F.one
+    done
+  in
+  for i = 0 to k_dim - 1 do
+    run (u_start i) n_dim
+  done;
+  for i = 0 to m_dim - 1 do
+    run (v_start i) k_dim
+  done;
+  for i = 0 to m_dim - 1 do
+    run (w_start i) n_dim;
+    s_eq.(eq_row i) <- F.one
+  done;
+  [| s_pow; s_first; s_acc; s_eq; s_zero |]
+
+let build_advice ~a ~b ~c challenges =
+  let col0 = Array.make n_rows F.zero in
+  let col1 = Array.make n_rows F.zero in
+  let col2 = Array.make n_rows F.zero in
+  let rho = if Array.length challenges > 0 then challenges.(0) else F.zero in
+  let r = Array.make n_dim F.one in
+  for j = 1 to n_dim - 1 do
+    r.(j) <- F.mul r.(j - 1) rho
+  done;
+  Array.iteri (fun j rj -> col1.(power_row j) <- rj) r;
+  let run start xs ys =
+    let acc = ref F.zero in
+    Array.iteri
+      (fun t x ->
+        col0.(start + t) <- x;
+        col1.(start + t) <- ys.(t);
+        col2.(start + t) <- !acc;
+        acc := F.add !acc (F.mul x ys.(t)))
+      xs;
+    col2.(start + Array.length xs) <- !acc;
+    !acc
+  in
+  let u = Array.init k_dim (fun i -> run (u_start i) b.(i) r) in
+  let v = Array.init m_dim (fun i -> run (v_start i) a.(i) u) in
+  Array.iteri
+    (fun i vi ->
+      let wi = run (w_start i) c.(i) r in
+      col1.(eq_row i) <- vi;
+      col2.(eq_row i) <- wi)
+    v;
+  [| col0; col1; col2 |]
+
+let random_matrix rng rows cols =
+  Array.init rows (fun _ ->
+      Array.init cols (fun _ -> F.of_int (Zkml_util.Rng.int rng 1000)))
+
+let matmul a b =
+  Array.init m_dim (fun i ->
+      Array.init n_dim (fun j ->
+          let acc = ref F.zero in
+          for t = 0 to k_dim - 1 do
+            acc := F.add !acc (F.mul a.(i).(t) b.(t).(j))
+          done;
+          !acc))
+
+let run_freivalds ~corrupt =
+  assert (total_rows < n_rows - blinding - 1);
+  let rng = Zkml_util.Rng.create 77L in
+  let a = random_matrix rng m_dim k_dim in
+  let b = random_matrix rng k_dim n_dim in
+  let c = matmul a b in
+  if corrupt then c.(1).(2) <- F.add c.(1).(2) F.one;
+  let keys = Proto.keygen params circuit ~fixed:(fixed_columns ()) in
+  let prng = Zkml_util.Rng.create 9L in
+  match
+    Proto.prove params keys ~instance:[||]
+      ~advice:(fun challenges -> build_advice ~a ~b ~c challenges)
+      ~rng:prng
+  with
+  | proof -> Proto.verify params keys ~instance:[||] proof
+  | exception _ -> false
+
+let test_honest () =
+  Alcotest.(check bool) "Freivalds accepts C = A*B" true
+    (run_freivalds ~corrupt:false)
+
+let test_corrupt () =
+  Alcotest.(check bool) "Freivalds rejects corrupted C" false
+    (run_freivalds ~corrupt:true)
+
+(* why the paper uses Freivalds: MAC counts *)
+let test_row_savings () =
+  let naive = m_dim * n_dim * k_dim in
+  let freivalds = (m_dim * k_dim) + (k_dim * n_dim) + (m_dim * n_dim) in
+  Alcotest.(check bool)
+    (Printf.sprintf "freivalds %d < naive %d MACs" freivalds naive)
+    true (freivalds < naive)
+
+let () =
+  Alcotest.run "freivalds"
+    [ ( "protocol",
+        [ Alcotest.test_case "honest" `Quick test_honest;
+          Alcotest.test_case "corrupt" `Quick test_corrupt;
+          Alcotest.test_case "row_savings" `Quick test_row_savings
+        ] )
+    ]

@@ -1,0 +1,272 @@
+(* Gadget-level tests: each gadget from the paper's §5 library is
+   emitted in isolation through the layouter, finalized into a real
+   circuit, proved and verified — and its arithmetic identity is
+   property-tested against the executor semantics. *)
+
+module L = Zkml_compiler.Layouter
+module Lo = Zkml_compiler.Lower
+module Fx = Zkml_fixed.Fixed
+module Spec = Zkml_compiler.Layout_spec
+module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Kzg = Zkml_commit.Kzg.Make (Sim61)
+module Proto = Zkml_plonkish.Protocol.Make (Kzg)
+module F = Zkml_ff.Fp61
+
+let cfg = { Fx.scale_bits = 5; table_bits = 9 }
+let params = Kzg.setup ~max_size:(1 lsl 11) ~seed:"gadget-test"
+let blinding = 5
+
+(* Build a layouter, emit gadgets via [emit], then finalize / keygen /
+   prove / verify the resulting circuit. *)
+let prove_gadget ?(ncols = 9) emit =
+  let ly = L.create ~ncols ~cfg ~counting:false in
+  emit ly;
+  let k = L.optimal_k ly ~blinding in
+  let built = L.finalize ly ~blinding ~k in
+  let to_f = Array.map (fun col -> Array.map F.of_int col) in
+  let circuit =
+    let c = built.L.circuit in
+    {
+      Zkml_plonkish.Circuit.k = c.k;
+      num_fixed = c.num_fixed;
+      is_selector = c.is_selector;
+      advice_phases = c.advice_phases;
+      num_instance = c.num_instance;
+      num_challenges = c.num_challenges;
+      gates =
+        List.map
+          (fun (g : int Zkml_plonkish.Circuit.gate) ->
+            {
+              Zkml_plonkish.Circuit.gate_name = g.gate_name;
+              polys = List.map (Zkml_plonkish.Expr.map_const F.of_int) g.polys;
+            })
+          c.gates;
+      lookups =
+        List.map
+          (fun (l : int Zkml_plonkish.Circuit.lookup) ->
+            {
+              Zkml_plonkish.Circuit.lookup_name = l.lookup_name;
+              inputs = List.map (Zkml_plonkish.Expr.map_const F.of_int) l.inputs;
+              tables = List.map (Zkml_plonkish.Expr.map_const F.of_int) l.tables;
+            })
+          c.lookups;
+      copies = c.copies;
+      blinding = c.blinding;
+    }
+  in
+  let keys = Proto.keygen params circuit ~fixed:(to_f built.L.fixed) in
+  let rng = Zkml_util.Rng.create 5L in
+  let proof =
+    Proto.prove params keys
+      ~instance:[| Array.map F.of_int built.L.instance_col |]
+      ~advice:(fun _ -> to_f built.L.advice)
+      ~rng
+  in
+  Proto.verify params keys
+    ~instance:[| Array.map F.of_int built.L.instance_col |]
+    proof
+
+let check name emit = Alcotest.(check bool) name true (prove_gadget emit)
+
+let test_sum () =
+  check "sum of 13" (fun ly ->
+      let xs = List.init 13 (fun i -> Lo.const_opnd ly (i * 3)) in
+      let z = Lo.emit_sum ly xs in
+      Alcotest.(check int) "value" (3 * 78) z.Lo.v;
+      L.expose ly (Option.get z.Lo.cell) z.Lo.v)
+
+let test_dot_plain () =
+  check "dot plain" (fun ly ->
+      let pairs =
+        List.init 11 (fun i -> (Lo.const_opnd ly (i + 1), Lo.const_opnd ly (i - 4)))
+      in
+      let z = Lo.emit_dot_plain ly pairs in
+      let expected =
+        List.fold_left ( + ) 0 (List.init 11 (fun i -> (i + 1) * (i - 4)))
+      in
+      Alcotest.(check int) "value" expected z.Lo.v;
+      L.expose ly (Option.get z.Lo.cell) z.Lo.v)
+
+let test_dot_bias () =
+  check "dot with bias accumulation" (fun ly ->
+      let pairs =
+        List.init 9 (fun i -> (Lo.const_opnd ly (2 * i), Lo.const_opnd ly (i + 1)))
+      in
+      let bias = Lo.const_opnd ly 7 in
+      let z = Lo.emit_dot_bias ly pairs bias in
+      let expected =
+        (7 * Fx.sf cfg)
+        + List.fold_left ( + ) 0 (List.init 9 (fun i -> 2 * i * (i + 1)))
+      in
+      Alcotest.(check int) "value" expected z.Lo.v;
+      L.expose ly (Option.get z.Lo.cell) z.Lo.v)
+
+let test_divround () =
+  check "rounded division lanes" (fun ly ->
+      List.iter
+        (fun a ->
+          let q = Lo.emit_divround ly (Lo.const_opnd ly a) ~divisor:(Fx.sf cfg) in
+          Alcotest.(check int)
+            (Printf.sprintf "divround %d" a)
+            (Fx.round_div a (Fx.sf cfg))
+            q.Lo.v;
+          L.expose ly (Option.get q.Lo.cell) q.Lo.v)
+        [ 0; 1; 31; 32; 33; -1; -31; -32; -33; 1000; -1000; 48; -48 ])
+
+let test_vardiv () =
+  check "variable division lanes" (fun ly ->
+      List.iter
+        (fun (num, den) ->
+          let y =
+            Lo.emit_vardiv ly (Lo.const_opnd ly num) (Lo.const_opnd ly den)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "vardiv %d/%d" num den)
+            (Fx.round_div (num * Fx.sf cfg) den)
+            y.Lo.v;
+          L.expose ly (Option.get y.Lo.cell) y.Lo.v)
+        [ (10, 3); (1, 7); (100, 100); (0, 5); (7, 2) ])
+
+let test_binary_custom () =
+  check "packed binary lanes" (fun ly ->
+      let expose o = L.expose ly (Option.get o.Lo.cell) o.Lo.v in
+      let a = Lo.const_opnd ly 13 and b = Lo.const_opnd ly (-5) in
+      let spec = Spec.default in
+      let r = Lo.emit_binary ly ~spec Lo.Badd a b in
+      Alcotest.(check int) "add" 8 r.Lo.v;
+      expose r;
+      let r = Lo.emit_binary ly ~spec Lo.Bsub a b in
+      Alcotest.(check int) "sub" 18 r.Lo.v;
+      expose r;
+      let r = Lo.emit_binary ly ~spec Lo.Bmul_raw a b in
+      Alcotest.(check int) "mul" (-65) r.Lo.v;
+      expose r;
+      let r = Lo.emit_binary ly ~spec Lo.Bsqdiff_raw a b in
+      Alcotest.(check int) "sqdiff" 324 r.Lo.v;
+      expose r;
+      let r = Lo.emit_binary ly ~spec Lo.Bmax a b in
+      Alcotest.(check int) "max" 13 r.Lo.v;
+      expose r;
+      let r = Lo.emit_binary ly ~spec Lo.Bmin a b in
+      Alcotest.(check int) "min" (-5) r.Lo.v;
+      expose r)
+
+let test_binary_via_dot () =
+  check "via-dot binary alternatives" (fun ly ->
+      let spec = { Spec.default with Spec.arith = Spec.Via_dot } in
+      let a = Lo.const_opnd ly 9 and b = Lo.const_opnd ly 4 in
+      let expose o = L.expose ly (Option.get o.Lo.cell) o.Lo.v in
+      let r = Lo.emit_binary ly ~spec Lo.Badd a b in
+      Alcotest.(check int) "add" 13 r.Lo.v;
+      expose r;
+      let r = Lo.emit_binary ly ~spec Lo.Bsub a b in
+      Alcotest.(check int) "sub" 5 r.Lo.v;
+      expose r;
+      let r = Lo.emit_binary ly ~spec Lo.Bmul_raw a b in
+      Alcotest.(check int) "mul" 36 r.Lo.v;
+      expose r;
+      let r = Lo.emit_binary ly ~spec Lo.Bsqdiff_raw a b in
+      Alcotest.(check int) "sqdiff" 25 r.Lo.v;
+      expose r)
+
+let test_act_lookup () =
+  check "lookup non-linearities" (fun ly ->
+      List.iter
+        (fun (name, fn, x) ->
+          let y = Lo.emit_act_lookup ly name fn (Lo.const_opnd ly x) in
+          Alcotest.(check int)
+            (Printf.sprintf "%s(%d)" name x)
+            (Fx.apply_real cfg fn x) y.Lo.v;
+          L.expose ly (Option.get y.Lo.cell) y.Lo.v)
+        [ ("relu", Fx.relu, 17); ("relu", Fx.relu, -17);
+          ("sigmoid", Fx.sigmoid, 5); ("tanh", Fx.tanh', -20);
+          ("exp", Fx.exp', -40); ("exp", Fx.exp', 0);
+          ("gelu", Fx.gelu, 9) ])
+
+let test_relu_bitdecomp () =
+  (* wide rows needed: table_bits + 2 cells per lane *)
+  Alcotest.(check bool)
+    "bit-decomposed relu" true
+    (prove_gadget ~ncols:(cfg.Fx.table_bits + 2) (fun ly ->
+         List.iter
+           (fun x ->
+             let y = Lo.emit_relu_bitdecomp ly (Lo.const_opnd ly x) in
+             Alcotest.(check int)
+               (Printf.sprintf "relu_bits(%d)" x)
+               (max 0 x) y.Lo.v;
+             L.expose ly (Option.get y.Lo.cell) y.Lo.v)
+           [ 0; 1; -1; 100; -100; 200; -200 ]))
+
+let test_softmax_composition () =
+  check "softmax composition" (fun ly ->
+      let xs = List.map (Lo.const_opnd ly) [ 10; 20; 5; 0 ] in
+      let ys = Lo.emit_softmax ly ~spec:Spec.default xs in
+      let total = List.fold_left (fun acc y -> acc + y.Lo.v) 0 ys in
+      Alcotest.(check bool)
+        (Printf.sprintf "sums to ~SF (%d)" total)
+        true
+        (abs (total - Fx.sf cfg) <= List.length ys);
+      List.iter (fun y -> L.expose ly (Option.get y.Lo.cell) y.Lo.v) ys)
+
+let test_max_tree () =
+  check "max tree" (fun ly ->
+      let xs = List.map (Lo.const_opnd ly) [ 3; -7; 42; 0; 11; 42; -1 ] in
+      let m = Lo.emit_max_tree ly ~spec:Spec.default xs in
+      Alcotest.(check int) "max" 42 m.Lo.v;
+      L.expose ly (Option.get m.Lo.cell) m.Lo.v)
+
+(* property tests: the gadget identities hold for random values (these
+   check the arithmetic the gates constrain, across the value range the
+   tables support) *)
+let prop_tests =
+  let open QCheck in
+  let sf = Fx.sf cfg in
+  [ Test.make ~name:"divround gadget identity" ~count:500
+      (int_range (-100000) 100000)
+      (fun a ->
+        let q = Fx.round_div a sf in
+        let r = (2 * a) + sf - (q * 2 * sf) in
+        r >= 0 && r < 2 * sf);
+    Test.make ~name:"vardiv gadget identity" ~count:500
+      (pair (int_range 0 5000) (int_range 1 400))
+      (fun (num, den) ->
+        let y = Fx.round_div (num * sf) den in
+        let r = (2 * sf * num) + den - (2 * y * den) in
+        r >= 0 && r < 2 * den);
+    Test.make ~name:"max gadget is sound" ~count:200
+      (pair (int_range (-200) 200) (int_range (-200) 200))
+      (fun (a, b) ->
+        let c = max a b in
+        (c - a) * (c - b) = 0 && c - a >= 0 && c - b >= 0);
+    Test.make ~name:"bitdecomp offset in range" ~count:200
+      (int_range (Fx.table_min cfg) (Fx.table_max cfg))
+      (fun x ->
+        let off = x + (1 lsl (cfg.Fx.table_bits - 1)) in
+        off >= 0 && off < 1 lsl cfg.Fx.table_bits)
+  ]
+
+let () =
+  Alcotest.run "gadgets"
+    ([ ("sum", [ Alcotest.test_case "sum" `Quick test_sum ]);
+       ( "dot",
+         [ Alcotest.test_case "plain" `Quick test_dot_plain;
+           Alcotest.test_case "bias" `Quick test_dot_bias
+         ] );
+       ( "division",
+         [ Alcotest.test_case "divround" `Quick test_divround;
+           Alcotest.test_case "vardiv" `Quick test_vardiv
+         ] );
+       ( "binary",
+         [ Alcotest.test_case "custom" `Quick test_binary_custom;
+           Alcotest.test_case "via_dot" `Quick test_binary_via_dot
+         ] );
+       ( "nonlinear",
+         [ Alcotest.test_case "lookup_acts" `Quick test_act_lookup;
+           Alcotest.test_case "bitdecomp_relu" `Quick test_relu_bitdecomp;
+           Alcotest.test_case "softmax" `Quick test_softmax_composition;
+           Alcotest.test_case "max_tree" `Quick test_max_tree
+         ] )
+     ]
+    @ [ ( "properties",
+          List.map (QCheck_alcotest.to_alcotest ~long:false) prop_tests )
+      ])

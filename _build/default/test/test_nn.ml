@@ -1,0 +1,254 @@
+(* Tensor, executor, trainer and serialization tests. *)
+
+module T = Zkml_tensor.Tensor
+module G = Zkml_nn.Graph
+module FE = Zkml_nn.Float_exec
+module QE = Zkml_nn.Quant_exec
+module Fx = Zkml_fixed.Fixed
+
+let feq = Alcotest.(check (float 1e-9))
+let feq_loose eps msg a b = Alcotest.(check (float eps)) msg a b
+
+(* --- tensor --- *)
+
+let test_tensor_basics () =
+  let t = T.init [| 2; 3 |] float_of_int in
+  feq "get" 5.0 (T.get t [| 1; 2 |]);
+  let tt = T.transpose t [| 1; 0 |] in
+  Alcotest.(check (array int)) "transposed shape" [| 3; 2 |] (T.shape tt);
+  feq "transposed" 5.0 (T.get tt [| 2; 1 |]);
+  feq "transposed2" 1.0 (T.get tt [| 1; 0 |]);
+  let r = T.reshape t [| 3; -1 |] in
+  Alcotest.(check (array int)) "reshape infer" [| 3; 2 |] (T.shape r)
+
+let test_tensor_concat_slice_pad () =
+  let a = T.init [| 2; 2 |] float_of_int in
+  let b = T.map (fun x -> x +. 10.0) a in
+  let c = T.concat 1 [ a; b ] in
+  Alcotest.(check (array int)) "concat shape" [| 2; 4 |] (T.shape c);
+  feq "concat val" 11.0 (T.get c [| 0; 3 |]);
+  let s = T.slice c ~starts:[| 0; 2 |] ~sizes:[| 2; 2 |] in
+  feq "slice = b" 13.0 (T.get s [| 1; 1 |]);
+  let p = T.pad a ~pads:[| (1, 0); (0, 1) |] ~value:(-1.0) in
+  Alcotest.(check (array int)) "pad shape" [| 3; 3 |] (T.shape p);
+  feq "pad border" (-1.0) (T.get p [| 0; 0 |]);
+  feq "pad content" 3.0 (T.get p [| 2; 1 |])
+
+(* --- float executor --- *)
+
+let test_fc () =
+  let g = G.create "fc" in
+  let x = G.input g [| 1; 3 |] in
+  let w = G.weight g (T.of_array [| 3; 2 |] [| 1.; 2.; 3.; 4.; 5.; 6. |]) in
+  let b = G.weight g (T.of_array [| 2 |] [| 0.5; -0.5 |]) in
+  let y = G.fully_connected g x w b in
+  G.mark_output g y;
+  let values =
+    FE.run g ~inputs:[ T.of_array [| 1; 3 |] [| 1.; 1.; 2. |] ]
+  in
+  (* [1,1,2] . [[1,2],[3,4],[5,6]] = [1+3+10, 2+4+12] = [14, 18] + bias *)
+  feq "y0" 14.5 (T.get values.(y) [| 0; 0 |]);
+  feq "y1" 17.5 (T.get values.(y) [| 0; 1 |])
+
+let test_conv () =
+  let g = G.create "conv" in
+  let x = G.input g [| 1; 3; 3; 1 |] in
+  (* 2x2 all-ones kernel, valid padding: output = 2x2 window sums *)
+  let w = G.weight g (T.create [| 2; 2; 1; 1 |] 1.0) in
+  let b = G.weight g (T.create [| 1 |] 0.0) in
+  let y = G.conv2d ~padding:Zkml_nn.Op.Valid g x w b in
+  G.mark_output g y;
+  let img = T.init [| 1; 3; 3; 1 |] float_of_int in
+  let values = FE.run g ~inputs:[ img ] in
+  Alcotest.(check (array int)) "shape" [| 1; 2; 2; 1 |] (T.shape values.(y));
+  (* window at (0,0): 0+1+3+4 = 8 *)
+  feq "w00" 8.0 (T.get values.(y) [| 0; 0; 0; 0 |]);
+  feq "w11" (4. +. 5. +. 7. +. 8.) (T.get values.(y) [| 0; 1; 1; 0 |])
+
+let test_softmax_layer_norm () =
+  let g = G.create "sm" in
+  let x = G.input g [| 1; 4 |] in
+  let y = G.softmax g x in
+  G.mark_output g y;
+  let values = FE.run g ~inputs:[ T.of_array [| 1; 4 |] [| 1.; 2.; 3.; 4. |] ] in
+  let total = T.fold ( +. ) 0.0 values.(y) in
+  feq "softmax sums to 1" 1.0 total;
+  Alcotest.(check bool)
+    "monotone" true
+    (T.get values.(y) [| 0; 3 |] > T.get values.(y) [| 0; 0 |]);
+  (* layer norm: output has ~zero mean, unit variance when gamma=1 beta=0 *)
+  let g2 = G.create "ln" in
+  let x = G.input g2 [| 1; 8 |] in
+  let gamma = G.weight g2 (T.create [| 8 |] 1.0) in
+  let beta = G.weight g2 (T.create [| 8 |] 0.0) in
+  let y = G.layer_norm g2 x gamma beta in
+  G.mark_output g2 y;
+  let inp = T.init [| 1; 8 |] (fun i -> float_of_int (i * i)) in
+  let values = FE.run g2 ~inputs:[ inp ] in
+  let mean = T.fold ( +. ) 0.0 values.(y) /. 8.0 in
+  feq_loose 1e-6 "ln mean ~ 0" 0.0 mean
+
+let test_batch_matmul () =
+  let g = G.create "bmm" in
+  let a = G.input g [| 2; 2; 3 |] in
+  let b = G.input g [| 2; 3; 2 |] in
+  let y = G.batch_matmul g a b in
+  G.mark_output g y;
+  let av = T.init [| 2; 2; 3 |] float_of_int in
+  let bv = T.init [| 2; 3; 2 |] float_of_int in
+  let values = FE.run g ~inputs:[ av; bv ] in
+  (* batch 0, row 0: [0,1,2] . cols of [[0,1],[2,3],[4,5]] -> [10, 13] *)
+  feq "bmm00" 10.0 (T.get values.(y) [| 0; 0; 0 |]);
+  feq "bmm01" 13.0 (T.get values.(y) [| 0; 0; 1 |]);
+  (* transpose_b variant must agree with manual transpose *)
+  let g2 = G.create "bmm_t" in
+  let a2 = G.input g2 [| 2; 2; 3 |] in
+  let b2 = G.input g2 [| 2; 2; 3 |] in
+  let y2 = G.batch_matmul ~transpose_b:true g2 a2 b2 in
+  G.mark_output g2 y2;
+  let b2v = T.init [| 2; 2; 3 |] float_of_int in
+  let values2 = FE.run g2 ~inputs:[ av; b2v ] in
+  (* row0 . row0 of b = 0+1+4 = 5 *)
+  feq "bmm_t" 5.0 (T.get values2.(y2) [| 0; 0; 0 |])
+
+(* --- quantized executor tracks float executor --- *)
+
+let test_quant_matches_float () =
+  let rng = Zkml_util.Rng.create 3L in
+  let g = G.create "small" in
+  let x = G.input g [| 1; 6 |] in
+  let w1 = G.he_weight g rng [| 6; 8 |] ~label:"w1" in
+  let b1 = G.zero_weight g [| 8 |] ~label:"b1" in
+  let h = G.relu g (G.fully_connected g x w1 b1) in
+  let w2 = G.he_weight g rng [| 8; 4 |] ~label:"w2" in
+  let b2 = G.zero_weight g [| 4 |] ~label:"b2" in
+  let y = G.softmax g (G.fully_connected g h w2 b2) in
+  G.mark_output g y;
+  let cfg = { Fx.scale_bits = 12; table_bits = 16 } in
+  let input = T.init [| 1; 6 |] (fun i -> 0.25 *. float_of_int (i - 3)) in
+  let fv = FE.run g ~inputs:[ input ] in
+  let qv =
+    QE.run cfg g ~inputs:[ T.map (Fx.quantize cfg) input ]
+  in
+  let fq = qv.QE.values.(y) in
+  T.iteri
+    (fun i f ->
+      let q = Fx.dequantize cfg (T.get_flat fq i) in
+      feq_loose 0.01 (Printf.sprintf "prob %d" i) f q)
+    fv.(y)
+
+let test_quant_div_semantics () =
+  (* round_div must match the circuit's floor((2n+d)/(2d)) for negatives *)
+  Alcotest.(check int) "pos" 2 (Fx.round_div 3 2);
+  Alcotest.(check int) "half-up neg" (-1) (Fx.round_div (-3) 2);
+  Alcotest.(check int) "neg" (-2) (Fx.round_div (-4) 2);
+  Alcotest.(check int) "exact" 5 (Fx.round_div 15 3);
+  for num = -50 to 50 do
+    for den = 1 to 9 do
+      let q = Fx.round_div num den in
+      (* the gadget identity: 2*num + den = q*(2*den) + r with r in [0, 2den) *)
+      let r = (2 * num) + den - (q * 2 * den) in
+      Alcotest.(check bool)
+        (Printf.sprintf "gadget identity %d/%d" num den)
+        true
+        (r >= 0 && r < 2 * den)
+    done
+  done
+
+(* --- stats --- *)
+
+let test_stats () =
+  let g = G.create "stats" in
+  let x = G.input g [| 1; 4 |] in
+  let w = G.weight g (T.create [| 4; 3 |] 0.1) in
+  let b = G.weight g (T.create [| 3 |] 0.0) in
+  let y = G.fully_connected g x w b in
+  G.mark_output g y;
+  let st = Zkml_nn.Stats.compute g in
+  Alcotest.(check int) "params" 15 st.Zkml_nn.Stats.params;
+  Alcotest.(check int) "flops" (3 * 4 * 2) st.Zkml_nn.Stats.flops
+
+(* --- training --- *)
+
+let test_training_learns () =
+  let rng = Zkml_util.Rng.create 17L in
+  let data =
+    Zkml_nn.Dataset.classification ~seed:5L ~num_classes:3 ~h:6 ~w:6 ~c:1
+      ~train_per_class:30 ~test_per_class:10 ~noise:0.1
+  in
+  let g = G.create "clf" in
+  let x = G.input g [| 1; 6; 6; 1 |] in
+  let f = G.flatten g x in
+  let w1 = G.he_weight g rng [| 36; 16 |] ~label:"w1" in
+  let b1 = G.zero_weight g [| 16 |] ~label:"b1" in
+  let h = G.relu g (G.fully_connected g f w1 b1) in
+  let w2 = G.he_weight g rng [| 16; 3 |] ~label:"w2" in
+  let b2 = G.zero_weight g [| 3 |] ~label:"b2" in
+  let y = G.fully_connected g h w2 b2 in
+  G.mark_output g y;
+  let before = Zkml_nn.Train.float_accuracy g data.Zkml_nn.Dataset.test in
+  let losses =
+    Zkml_nn.Train.sgd g ~data:data.Zkml_nn.Dataset.train ~epochs:5 ~lr:0.05 ~rng
+  in
+  let after = Zkml_nn.Train.float_accuracy g data.Zkml_nn.Dataset.test in
+  Alcotest.(check bool)
+    (Printf.sprintf "accuracy improves (%.2f -> %.2f)" before after)
+    true (after > 0.8);
+  Alcotest.(check bool)
+    "loss decreases" true
+    (List.nth losses 4 < List.hd losses);
+  (* quantized accuracy close to float accuracy (Table 8 shape) *)
+  let cfg = { Fx.scale_bits = 10; table_bits = 16 } in
+  let qacc = Zkml_nn.Train.quant_accuracy cfg g data.Zkml_nn.Dataset.test in
+  Alcotest.(check bool)
+    (Printf.sprintf "quant acc close (%.2f vs %.2f)" after qacc)
+    true
+    (Float.abs (after -. qacc) < 0.1)
+
+(* --- serialization --- *)
+
+let test_serialize_roundtrip () =
+  let rng = Zkml_util.Rng.create 29L in
+  let g = G.create "roundtrip" in
+  let x = G.input g [| 1; 4; 4; 2 |] in
+  let w = G.he_weight g rng [| 3; 3; 2; 4 |] ~label:"w" in
+  let b = G.zero_weight g [| 4 |] ~label:"b" in
+  let c = G.conv2d ~stride:2 ~padding:Zkml_nn.Op.Same g x w b in
+  let r = G.relu g c in
+  let f = G.flatten g r in
+  let w2 = G.he_weight g rng [| 16; 3 |] ~label:"w2" in
+  let b2 = G.zero_weight g [| 3 |] ~label:"b2" in
+  let y = G.softmax g (G.fully_connected g f w2 b2) in
+  G.mark_output g y;
+  let text = Zkml_nn.Serialize.to_string g in
+  let g' = Zkml_nn.Serialize.of_string text in
+  Alcotest.(check int) "node count" (G.num_nodes g) (G.num_nodes g');
+  Alcotest.(check (list int)) "outputs" (G.outputs g) (G.outputs g');
+  (* semantics preserved: same output on same input *)
+  let input = T.init [| 1; 4; 4; 2 |] (fun i -> sin (float_of_int i)) in
+  let v1 = FE.run g ~inputs:[ input ] in
+  let v2 = FE.run g' ~inputs:[ input ] in
+  T.iteri (fun i a -> feq "same output" a (T.get_flat v2.(y) i)) v1.(y)
+
+let () =
+  Alcotest.run "nn"
+    [ ( "tensor",
+        [ Alcotest.test_case "basics" `Quick test_tensor_basics;
+          Alcotest.test_case "concat_slice_pad" `Quick
+            test_tensor_concat_slice_pad
+        ] );
+      ( "float_exec",
+        [ Alcotest.test_case "fc" `Quick test_fc;
+          Alcotest.test_case "conv" `Quick test_conv;
+          Alcotest.test_case "softmax_layer_norm" `Quick test_softmax_layer_norm;
+          Alcotest.test_case "batch_matmul" `Quick test_batch_matmul
+        ] );
+      ( "quant_exec",
+        [ Alcotest.test_case "matches_float" `Quick test_quant_matches_float;
+          Alcotest.test_case "div_semantics" `Quick test_quant_div_semantics
+        ] );
+      ("stats", [ Alcotest.test_case "counts" `Quick test_stats ]);
+      ("train", [ Alcotest.test_case "learns" `Quick test_training_learns ]);
+      ( "serialize",
+        [ Alcotest.test_case "roundtrip" `Quick test_serialize_roundtrip ] )
+    ]

@@ -1,0 +1,351 @@
+(* End-to-end tests of the Plonkish protocol on small hand-built
+   circuits: completeness, and soundness against corrupted witnesses,
+   instances and proofs. *)
+
+open Zkml_plonkish
+
+module Make_suite (Scheme : Zkml_commit.Scheme_intf.S) = struct
+  module Proto = Protocol.Make (Scheme)
+  module F = Proto.F
+
+  let rng = Zkml_util.Rng.create 101L
+  let params = Scheme.setup ~max_size:64 ~seed:"plonkish-test"
+
+  (* Circuit 1: one multiplication gate + copies + a ReLU-style lookup.
+     Columns: fixed = [s_mul; t_in; t_out; s_lk], advice = [a; b; c],
+     instance = [out]. *)
+  let k = 5
+  let n = 1 lsl k
+  let blinding = 5
+  let u = n - blinding - 1
+
+  let circuit : F.t Circuit.t =
+    let open Expr in
+    {
+      k;
+      num_fixed = 4;
+      is_selector = [| true; false; false; true |];
+      advice_phases = [| 0; 0; 0 |];
+      num_instance = 1;
+      num_challenges = 0;
+      gates =
+        [ {
+            gate_name = "mul";
+            polys = [ Mul (fixed 0, Sub (advice 2, Mul (advice 0, advice 1))) ];
+          }
+        ];
+      lookups =
+        [ {
+            lookup_name = "relu";
+            inputs = [ Mul (fixed 3, advice 0); Mul (fixed 3, advice 1) ];
+            tables = [ fixed 1; fixed 2 ];
+          }
+        ];
+      copies =
+        [ ((Circuit.Col_advice 2, 0), (Circuit.Col_instance 0, 0));
+          (* chain: c at row 0 equals a at row 1 *)
+          ((Circuit.Col_advice 2, 0), (Circuit.Col_advice 0, 1));
+        ];
+      blinding;
+    }
+
+  (* table: (i, relu(i)) for i in -8..8 (0 included for inactive rows) *)
+  let fixed_cols () =
+    let s_mul = Array.make n F.zero in
+    let t_in = Array.make n F.zero in
+    let t_out = Array.make n F.zero in
+    let s_lk = Array.make n F.zero in
+    s_mul.(0) <- F.one;
+    s_mul.(1) <- F.one;
+    List.iteri
+      (fun row i ->
+        t_in.(row) <- F.of_int i;
+        t_out.(row) <- F.of_int (max 0 i))
+      (List.init 17 (fun j -> j - 8));
+    s_lk.(1) <- F.one;
+    [| s_mul; t_in; t_out; s_lk |]
+
+  let good_advice () =
+    let a = Array.make n F.zero in
+    let b = Array.make n F.zero in
+    let c = Array.make n F.zero in
+    (* row 0: 3 * 4 = 12 *)
+    a.(0) <- F.of_int 3;
+    b.(0) <- F.of_int 4;
+    c.(0) <- F.of_int 12;
+    (* row 1: a = 12 (copied from c row 0); multiplied by b=0 -> c=0;
+       lookup checks relu: but 12 is outside the table, so use b as the
+       relu output of... choose a value in range instead. *)
+    a.(1) <- F.of_int 12;
+    b.(1) <- F.zero;
+    c.(1) <- F.zero;
+    [| a; b; c |]
+
+  (* 12 is outside the relu table (-8..8); fix row 1 to satisfy both the
+     mul gate, the copy and the lookup by adjusting the scenario: the
+     copy forces a.(1) = 12, so the lookup selector must instead point at
+     another row. Use row 2 for the lookup. *)
+  let fixed_cols () =
+    let f = fixed_cols () in
+    f.(3).(1) <- F.zero;
+    f.(3).(2) <- F.one;
+    f
+    [@@warning "-32"]
+
+  let good_advice () =
+    let adv = good_advice () in
+    (* row 2: lookup row: a = -3, b = relu(-3) = 0; no mul selector *)
+    adv.(0).(2) <- F.of_int (-3);
+    adv.(1).(2) <- F.zero;
+    adv
+
+  let instance_cols out_value =
+    let col = Array.make n F.zero in
+    col.(0) <- out_value;
+    [| col |]
+
+  let keys = lazy (Proto.keygen params circuit ~fixed:(fixed_cols ()))
+
+  let prove_good () =
+    let keys = Lazy.force keys in
+    let adv = good_advice () in
+    Proto.prove params keys
+      ~instance:(instance_cols (F.of_int 12))
+      ~advice:(fun _ -> Array.map Array.copy adv)
+      ~rng
+
+  let test_completeness () =
+    let keys = Lazy.force keys in
+    let proof = prove_good () in
+    Alcotest.(check bool)
+      "valid proof accepted" true
+      (Proto.verify params keys ~instance:(instance_cols (F.of_int 12)) proof)
+
+  let test_wrong_instance () =
+    let keys = Lazy.force keys in
+    let proof = prove_good () in
+    Alcotest.(check bool)
+      "wrong instance rejected" false
+      (Proto.verify params keys ~instance:(instance_cols (F.of_int 13)) proof)
+
+  let test_gate_violation () =
+    let keys = Lazy.force keys in
+    let adv = good_advice () in
+    adv.(2).(0) <- F.of_int 13;
+    (* also fix the copy target so only the gate is violated *)
+    adv.(0).(1) <- F.of_int 13;
+    let proof =
+      Proto.prove params keys
+        ~instance:(instance_cols (F.of_int 13))
+        ~advice:(fun _ -> Array.map Array.copy adv)
+        ~rng
+    in
+    Alcotest.(check bool)
+      "gate violation rejected" false
+      (Proto.verify params keys ~instance:(instance_cols (F.of_int 13)) proof)
+
+  let test_copy_violation () =
+    let keys = Lazy.force keys in
+    let adv = good_advice () in
+    (* break the advice-advice copy: a.(1) must equal c.(0) = 12 *)
+    adv.(0).(1) <- F.of_int 7;
+    let proof =
+      Proto.prove params keys
+        ~instance:(instance_cols (F.of_int 12))
+        ~advice:(fun _ -> Array.map Array.copy adv)
+        ~rng
+    in
+    Alcotest.(check bool)
+      "copy violation rejected" false
+      (Proto.verify params keys ~instance:(instance_cols (F.of_int 12)) proof)
+
+  let test_lookup_violation () =
+    let keys = Lazy.force keys in
+    let adv = good_advice () in
+    (* row 2: claim relu(-3) = 2, which is not a table row *)
+    adv.(1).(2) <- F.of_int 2;
+    match
+      Proto.prove params keys
+        ~instance:(instance_cols (F.of_int 12))
+        ~advice:(fun _ -> Array.map Array.copy adv)
+        ~rng
+    with
+    | exception Invalid_argument _ ->
+        (* honest prover machinery refuses: input not in table *)
+        ()
+    | proof ->
+        Alcotest.(check bool)
+          "lookup violation rejected" false
+          (Proto.verify params keys
+             ~instance:(instance_cols (F.of_int 12))
+             proof)
+
+  let test_corrupted_proof () =
+    let keys = Lazy.force keys in
+    let proof = prove_good () in
+    let corrupted =
+      { proof with
+        evals =
+          (let e = Array.copy proof.Proto.evals in
+           e.(0) <- F.add e.(0) F.one;
+           e)
+      }
+    in
+    Alcotest.(check bool)
+      "corrupted eval rejected" false
+      (Proto.verify params keys
+         ~instance:(instance_cols (F.of_int 12))
+         corrupted)
+
+  let test_proof_bytes () =
+    let proof = prove_good () in
+    let bytes = Proto.proof_to_bytes proof in
+    Alcotest.(check bool) "nonempty" true (String.length bytes > 100);
+    Alcotest.(check int)
+      "size accessor" (String.length bytes)
+      (Proto.proof_size_bytes proof)
+
+  (* Circuit 2: challenge + phase-1 advice. Gate: s * (c - r*a) with
+     r = Challenge 0 and c in phase 1. *)
+  let chal_circuit : F.t Circuit.t =
+    let open Expr in
+    {
+      k;
+      num_fixed = 1;
+      is_selector = [| true |];
+      advice_phases = [| 0; 1 |];
+      num_instance = 0;
+      num_challenges = 1;
+      gates =
+        [ {
+            gate_name = "scale-by-challenge";
+            polys =
+              [ Mul (fixed 0, Sub (advice 1, Mul (Challenge 0, advice 0))) ];
+          }
+        ];
+      lookups = [];
+      copies = [];
+      blinding;
+    }
+
+  let test_challenge_phase () =
+    let s = Array.make n F.zero in
+    s.(0) <- F.one;
+    s.(3) <- F.one;
+    let keys = Proto.keygen params chal_circuit ~fixed:[| s |] in
+    let a = Array.make n F.zero in
+    a.(0) <- F.of_int 5;
+    a.(3) <- F.of_int 9;
+    let advice challenges =
+      let c = Array.make n F.zero in
+      if Array.length challenges > 0 then begin
+        c.(0) <- F.mul challenges.(0) a.(0);
+        c.(3) <- F.mul challenges.(0) a.(3)
+      end;
+      [| Array.copy a; c |]
+    in
+    let proof = Proto.prove params keys ~instance:[||] ~advice ~rng in
+    Alcotest.(check bool)
+      "challenge circuit accepted" true
+      (Proto.verify params keys ~instance:[||] proof);
+    (* wrong phase-1 witness must fail *)
+    let bad_advice challenges =
+      let c = Array.make n F.zero in
+      if Array.length challenges > 0 then
+        c.(0) <- F.add F.one (F.mul challenges.(0) a.(0));
+      [| Array.copy a; c |]
+    in
+    let proof =
+      Proto.prove params keys ~instance:[||] ~advice:bad_advice ~rng
+    in
+    Alcotest.(check bool)
+      "bad phase-1 witness rejected" false
+      (Proto.verify params keys ~instance:[||] proof)
+
+  (* Circuit 3: multi-row gate (rotation): s * (a(X) + a(wX) - b(X)). *)
+  let multirow_circuit : F.t Circuit.t =
+    let open Expr in
+    {
+      k;
+      num_fixed = 1;
+      is_selector = [| true |];
+      advice_phases = [| 0; 0 |];
+      num_instance = 0;
+      num_challenges = 0;
+      gates =
+        [ {
+            gate_name = "adjacent-sum";
+            polys =
+              [ Mul (fixed 0, Sub (advice 1, Add (advice 0, advice ~rot:1 0))) ];
+          }
+        ];
+      lookups = [];
+      copies = [];
+      blinding;
+    }
+
+  let test_multirow () =
+    let s = Array.make n F.zero in
+    s.(2) <- F.one;
+    let keys = Proto.keygen params multirow_circuit ~fixed:[| s |] in
+    let a = Array.make n F.zero and b = Array.make n F.zero in
+    a.(2) <- F.of_int 10;
+    a.(3) <- F.of_int 32;
+    b.(2) <- F.of_int 42;
+    let adv = [| a; b |] in
+    let proof =
+      Proto.prove params keys ~instance:[||]
+        ~advice:(fun _ -> Array.map Array.copy adv)
+        ~rng
+    in
+    Alcotest.(check bool)
+      "multi-row gate accepted" true
+      (Proto.verify params keys ~instance:[||] proof);
+    let bad = Array.map Array.copy adv in
+    bad.(1).(2) <- F.of_int 41;
+    let proof =
+      Proto.prove params keys ~instance:[||]
+        ~advice:(fun _ -> Array.map Array.copy bad)
+        ~rng
+    in
+    Alcotest.(check bool)
+      "multi-row violation rejected" false
+      (Proto.verify params keys ~instance:[||] proof)
+
+  let test_stats () =
+    let st = Circuit.stats circuit in
+    Alcotest.(check int) "rows" n st.Circuit.s_rows;
+    Alcotest.(check int) "selectors" 2 st.Circuit.s_selectors;
+    Alcotest.(check int) "advice" 3 st.Circuit.s_advice;
+    Alcotest.(check int) "lookups" 1 st.Circuit.s_lookups;
+    Alcotest.(check bool) "degree >= 3" true (st.Circuit.s_max_degree >= 3);
+    Alcotest.(check int) "u" u (Circuit.last_row circuit)
+
+  let suite =
+    [ Alcotest.test_case "completeness" `Quick test_completeness;
+      Alcotest.test_case "wrong_instance" `Quick test_wrong_instance;
+      Alcotest.test_case "gate_violation" `Quick test_gate_violation;
+      Alcotest.test_case "copy_violation" `Quick test_copy_violation;
+      Alcotest.test_case "lookup_violation" `Quick test_lookup_violation;
+      Alcotest.test_case "corrupted_proof" `Quick test_corrupted_proof;
+      Alcotest.test_case "proof_bytes" `Quick test_proof_bytes;
+      Alcotest.test_case "challenge_phase" `Quick test_challenge_phase;
+      Alcotest.test_case "multirow" `Quick test_multirow;
+      Alcotest.test_case "stats" `Quick test_stats
+    ]
+end
+
+module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Kzg_suite = Make_suite (Zkml_commit.Kzg.Make (Sim61))
+module Ipa_suite = Make_suite (Zkml_commit.Ipa.Make (Sim61))
+module Kzg_pallas_suite = Make_suite (Zkml_commit.Kzg.Make (Zkml_ec.Pallas))
+
+let () =
+  Alcotest.run "plonkish"
+    [ ("kzg_fp61", Kzg_suite.suite);
+      ("ipa_fp61", Ipa_suite.suite);
+      ( "kzg_pallas",
+        [ Alcotest.test_case "completeness" `Slow
+            Kzg_pallas_suite.test_completeness
+        ] )
+    ]

@@ -1,0 +1,122 @@
+module Make_suite (F : Zkml_ff.Field_intf.S) = struct
+  module P = Zkml_poly.Polynomial.Make (F)
+
+  let rng = Zkml_util.Rng.create 11L
+
+  let check_eq msg a b = Alcotest.(check bool) msg true (F.equal a b)
+
+  let test_ntt_roundtrip () =
+    List.iter
+      (fun k ->
+        let d = P.Domain.create k in
+        let coeffs = P.random rng d.n in
+        let a = Array.copy coeffs in
+        P.ntt d a;
+        P.intt d a;
+        Array.iteri (fun i c -> check_eq "roundtrip" c a.(i)) coeffs)
+      [ 1; 2; 5; 8 ]
+
+  let test_ntt_is_evaluation () =
+    let d = P.Domain.create 4 in
+    let coeffs = P.random rng d.n in
+    let a = Array.copy coeffs in
+    P.ntt d a;
+    let roots = P.Domain.elements d in
+    Array.iteri
+      (fun i w -> check_eq "eval matches" (P.eval coeffs w) a.(i))
+      roots
+
+  let test_coset_ntt () =
+    let d = P.Domain.create 5 in
+    let coeffs = P.random rng 17 in
+    let shift = F.generator in
+    let evals = P.coset_ntt d ~shift coeffs in
+    let roots = P.Domain.elements d in
+    Array.iteri
+      (fun i w ->
+        check_eq "coset eval" (P.eval coeffs (F.mul shift w)) evals.(i))
+      roots;
+    let back = P.coset_intt d ~shift evals in
+    Array.iteri (fun i c -> check_eq "coset roundtrip" c back.(i)) coeffs
+
+  let test_mul () =
+    (* (1 + x)(1 - x) = 1 - x^2 *)
+    let p = [| F.one; F.one |] and q = [| F.one; F.neg F.one |] in
+    let r = P.mul p q in
+    check_eq "c0" F.one r.(0);
+    check_eq "c1" F.zero r.(1);
+    check_eq "c2" (F.neg F.one) r.(2);
+    (* big product checked at a random point *)
+    let p = P.random rng 100 and q = P.random rng 90 in
+    let r = P.mul p q in
+    let x = F.random rng in
+    check_eq "big mul" (F.mul (P.eval p x) (P.eval q x)) (P.eval r x)
+
+  let test_div_by_linear () =
+    let p = P.random rng 33 in
+    let z = F.random rng in
+    let v = P.eval p z in
+    (* (p - v) should be exactly divisible by (x - z) *)
+    let shifted = Array.copy p in
+    shifted.(0) <- F.sub shifted.(0) v;
+    let q = P.div_by_linear shifted z in
+    let x = F.random rng in
+    check_eq "witness identity"
+      (F.sub (P.eval p x) v)
+      (F.mul (P.eval q x) (F.sub x z))
+
+  let test_lagrange () =
+    let d = P.Domain.create 4 in
+    let x = F.random rng in
+    let roots = P.Domain.elements d in
+    (* sum_i l_i(x) = 1 *)
+    let sum = ref F.zero in
+    for i = 0 to d.n - 1 do
+      sum := F.add !sum (P.Domain.eval_lagrange d i x)
+    done;
+    check_eq "partition of unity" F.one !sum;
+    (* l_i(w^j) = delta_ij, checked by interpolation instead of direct
+       division (x on the domain): interpolate indicator evals *)
+    let evals = Array.make d.n F.zero in
+    evals.(3) <- F.one;
+    let li = P.interpolate d evals in
+    check_eq "interp at root" F.one (P.eval li roots.(3));
+    check_eq "interp elsewhere" F.zero (P.eval li roots.(7));
+    check_eq "consistent with closed form"
+      (P.Domain.eval_lagrange d 3 x)
+      (P.eval li x);
+    (* batched version agrees *)
+    match P.Domain.eval_lagrange_many d [ 0; 3; 5 ] x with
+    | [ a; b; c ] ->
+        check_eq "many0" (P.Domain.eval_lagrange d 0 x) a;
+        check_eq "many3" (P.Domain.eval_lagrange d 3 x) b;
+        check_eq "many5" (P.Domain.eval_lagrange d 5 x) c
+    | _ -> Alcotest.fail "eval_lagrange_many arity"
+
+  let test_vanishing () =
+    let d = P.Domain.create 6 in
+    let roots = P.Domain.elements d in
+    check_eq "vanishes on domain" F.zero
+      (P.Domain.eval_vanishing d roots.(13));
+    let x = F.random rng in
+    check_eq "x^n - 1"
+      (F.sub (F.pow_int x d.n) F.one)
+      (P.Domain.eval_vanishing d x)
+
+  let suite =
+    [ Alcotest.test_case "ntt_roundtrip" `Quick test_ntt_roundtrip;
+      Alcotest.test_case "ntt_is_evaluation" `Quick test_ntt_is_evaluation;
+      Alcotest.test_case "coset_ntt" `Quick test_coset_ntt;
+      Alcotest.test_case "mul" `Quick test_mul;
+      Alcotest.test_case "div_by_linear" `Quick test_div_by_linear;
+      Alcotest.test_case "lagrange" `Quick test_lagrange;
+      Alcotest.test_case "vanishing" `Quick test_vanishing
+    ]
+end
+
+module Fp61_suite = Make_suite (Zkml_ff.Fp61)
+module Pasta_suite = Make_suite (Zkml_ff.Pasta.Fq)
+
+let () =
+  Alcotest.run "poly"
+    [ ("fp61", Fp61_suite.suite); ("pasta_fq", Pasta_suite.suite) ]

@@ -1,0 +1,102 @@
+(* Fiat-Shamir transcript tests: determinism, order and length
+   sensitivity, domain separation, clone independence — the properties
+   the non-interactive security of the whole prover rests on. *)
+
+module T = Zkml_transcript.Transcript
+
+module Make_suite (F : Zkml_ff.Field_intf.S) = struct
+  module Ch = T.Challenge (F)
+
+  let test_determinism () =
+    let run () =
+      let t = T.create "test" in
+      T.absorb_bytes t ~label:"a" "hello";
+      Ch.absorb_scalar t ~label:"b" (F.of_int 42);
+      Ch.squeeze t ~label:"c"
+    in
+    Alcotest.(check bool) "same transcript, same challenge" true
+      (F.equal (run ()) (run ()))
+
+  let test_order_sensitivity () =
+    let run first second =
+      let t = T.create "test" in
+      T.absorb_bytes t ~label:"x" first;
+      T.absorb_bytes t ~label:"x" second;
+      Ch.squeeze t ~label:"c"
+    in
+    Alcotest.(check bool) "absorb order matters" false
+      (F.equal (run "a" "b") (run "b" "a"))
+
+  let test_length_prefixing () =
+    (* "ab" + "c" must differ from "a" + "bc": the encoding is
+       length-prefixed, so no concatenation ambiguity *)
+    let run a b =
+      let t = T.create "test" in
+      T.absorb_bytes t ~label:"x" a;
+      T.absorb_bytes t ~label:"x" b;
+      Ch.squeeze t ~label:"c"
+    in
+    Alcotest.(check bool) "no concatenation ambiguity" false
+      (F.equal (run "ab" "c") (run "a" "bc"))
+
+  let test_domain_separation () =
+    let t1 = T.create "one" and t2 = T.create "two" in
+    Alcotest.(check bool) "creation labels separate" false
+      (F.equal (Ch.squeeze t1 ~label:"c") (Ch.squeeze t2 ~label:"c"));
+    let t1 = T.create "same" and t2 = T.create "same" in
+    T.absorb_bytes t1 ~label:"l1" "data";
+    T.absorb_bytes t2 ~label:"l2" "data";
+    Alcotest.(check bool) "absorb labels separate" false
+      (F.equal (Ch.squeeze t1 ~label:"c") (Ch.squeeze t2 ~label:"c"));
+    let t = T.create "same" in
+    Alcotest.(check bool) "squeeze labels separate" false
+      (F.equal
+         (Ch.squeeze (T.clone t) ~label:"c1")
+         (Ch.squeeze (T.clone t) ~label:"c2"))
+
+  let test_squeeze_advances_state () =
+    let t = T.create "test" in
+    let c1 = Ch.squeeze t ~label:"c" in
+    let c2 = Ch.squeeze t ~label:"c" in
+    Alcotest.(check bool) "consecutive squeezes differ" false (F.equal c1 c2)
+
+  let test_clone_independence () =
+    let t = T.create "test" in
+    let t' = T.clone t in
+    T.absorb_bytes t ~label:"x" "mutate original";
+    Alcotest.(check bool) "clone unaffected" false
+      (F.equal (Ch.squeeze t ~label:"c") (Ch.squeeze t' ~label:"c"))
+
+  let test_challenge_distribution () =
+    (* crude sanity: challenges spread across the field (no stuck bits
+       in the reduction): low 8 bits take many distinct values *)
+    let t = T.create "dist" in
+    let seen = Hashtbl.create 64 in
+    for i = 1 to 200 do
+      T.absorb_bytes t ~label:"i" (string_of_int i);
+      let c = Ch.squeeze t ~label:"c" in
+      let low = Int64.to_int (F.to_canonical_limbs c).(0) land 0xff in
+      Hashtbl.replace seen low ()
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "low byte diversity (%d/256)" (Hashtbl.length seen))
+      true
+      (Hashtbl.length seen > 100)
+
+  let suite =
+    [ Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "order_sensitivity" `Quick test_order_sensitivity;
+      Alcotest.test_case "length_prefixing" `Quick test_length_prefixing;
+      Alcotest.test_case "domain_separation" `Quick test_domain_separation;
+      Alcotest.test_case "squeeze_advances" `Quick test_squeeze_advances_state;
+      Alcotest.test_case "clone_independence" `Quick test_clone_independence;
+      Alcotest.test_case "distribution" `Quick test_challenge_distribution
+    ]
+end
+
+module Fp61_suite = Make_suite (Zkml_ff.Fp61)
+module Pasta_suite = Make_suite (Zkml_ff.Pasta.Fq)
+
+let () =
+  Alcotest.run "transcript"
+    [ ("fp61", Fp61_suite.suite); ("pasta_fq", Pasta_suite.suite) ]

@@ -1,0 +1,12 @@
+let test_hex_roundtrip () =
+  let rng = Zkml_util.Rng.create 42L in
+  for _ = 1 to 100 do
+    let n = Zkml_util.Rng.int rng 64 in
+    let s = String.init n (fun _ -> Char.chr (Zkml_util.Rng.int rng 256)) in
+    Alcotest.(check string) "roundtrip" s
+      Zkml_util.Bytes_util.(of_hex (to_hex s))
+  done
+
+let () =
+  Alcotest.run "util"
+    [ ("hex", [ Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip ]) ]
