@@ -1,0 +1,32 @@
+.PHONY: all build test check fmt smoke bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Formatting + full test suite. ocamlformat is optional in the dev
+# container, so fmt degrades to a no-op when it is not installed.
+check: fmt test
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt --auto-promote; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+# Quick end-to-end sanity run: prove MNIST under the tracer, print the
+# span tree and cost-model accuracy report, dump a chrome trace.
+smoke: build
+	dune exec bin/zkml_cli.exe -- profile mnist --trace /tmp/zkml-trace.json
+	@echo "chrome trace written to /tmp/zkml-trace.json"
+
+bench: build
+	dune exec bench/main.exe -- table6 --json /tmp/zkml-bench.json
+
+clean:
+	dune clean

@@ -7,7 +7,13 @@
 
    Run everything:        dune exec bench/main.exe
    Run some sections:     dune exec bench/main.exe -- table6 table9
-   Microbenchmarks only:  dune exec bench/main.exe -- ops *)
+   Microbenchmarks only:  dune exec bench/main.exe -- ops
+   Machine-readable:      dune exec bench/main.exe -- table6 --json out.json
+
+   With --json, every end-to-end proving run is traced and the per-model
+   results (k, ncols, prove/verify seconds, proof bytes, measured span
+   breakdown) are written to the given file so successive PRs accumulate
+   a perf trajectory. *)
 
 module T = Zkml_tensor.Tensor
 module Fx = Zkml_fixed.Fixed
@@ -26,6 +32,65 @@ let kzg_params = lazy (Kzg.setup ~max_size:(1 lsl max_k) ~seed:"bench")
 let ipa_params = lazy (Ipa.setup ~max_size:(1 lsl max_k) ~seed:"bench")
 
 let line () = print_endline (String.make 78 '-')
+
+(* ------------------------------------------------------------------ *)
+(* --json: machine-readable per-model results *)
+
+module Obs = Zkml_obs.Obs
+
+let json_out : string option ref = ref None
+let json_rows : string list ref = ref []  (* serialized, reverse order *)
+
+(* Runs [f] under the tracing sink when --json was requested, so rows
+   can include a measured span breakdown. *)
+let run_observed f =
+  if !json_out = None then (f (), None)
+  else begin
+    let r, report = Obs.with_enabled f in
+    (r, Some report)
+  end
+
+let record_json ~section ~model ~backend ~k ~ncols ~prove_s ~verify_s ~bytes
+    report =
+  if !json_out <> None then begin
+    let spans =
+      match report with
+      | None -> []
+      | Some rep ->
+          let ntt = Obs.total_of ~under:"prove" rep "ntt" in
+          let msm = Obs.total_of ~under:"prove" rep "msm" in
+          let lookup = Obs.total_of ~under:"prove" rep "lookup" in
+          let prove = Obs.total_of rep "prove" in
+          [
+            ("ntt", ntt);
+            ("msm", msm);
+            ("lookup", lookup);
+            ("other", Float.max 0.0 (prove -. ntt -. msm -. lookup));
+          ]
+    in
+    let row =
+      Printf.sprintf
+        "{\"section\":\"%s\",\"model\":\"%s\",\"backend\":\"%s\",\"k\":%d,\"ncols\":%d,\"prove_s\":%s,\"verify_s\":%s,\"proof_bytes\":%d,\"spans\":{%s}}"
+        (Obs.json_escape section) (Obs.json_escape model)
+        (Obs.json_escape backend) k ncols
+        (Obs.json_float prove_s) (Obs.json_float verify_s) bytes
+        (String.concat ","
+           (List.map
+              (fun (n, v) -> Printf.sprintf "\"%s\":%s" n (Obs.json_float v))
+              spans))
+    in
+    json_rows := row :: !json_rows
+  end
+
+let write_json_results () =
+  match !json_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        ("{\"results\":[" ^ String.concat "," (List.rev !json_rows) ^ "]}\n");
+      close_out oc;
+      Printf.printf "wrote machine-readable results to %s\n" path
 
 let section name title f =
   line ();
@@ -114,26 +179,32 @@ let print_e2e paper r =
     r.model r.prove_s r.verify_s r.bytes r.k r.ncols p v b
 
 let table_e2e which =
+  let section, backend =
+    match which with `Kzg -> ("table6", "kzg") | `Ipa -> ("table7", "ipa")
+  in
   List.iter
     (fun m ->
-      let prove_s, verify_s, bytes, k, ncols, verified, store =
-        match which with
-        | `Kzg ->
-            let r = run_kzg m in
-            ( r.Pipe_kzg.prove_s, r.Pipe_kzg.verify_s, r.Pipe_kzg.proof_bytes,
-              r.Pipe_kzg.plan.Opt.k, r.Pipe_kzg.plan.Opt.ncols,
-              r.Pipe_kzg.verified, true )
-        | `Ipa ->
-            let r = run_ipa m in
-            ( r.Pipe_ipa.prove_s, r.Pipe_ipa.verify_s, r.Pipe_ipa.proof_bytes,
-              r.Pipe_ipa.plan.Opt.k, r.Pipe_ipa.plan.Opt.ncols,
-              r.Pipe_ipa.verified, false )
+      let (prove_s, verify_s, bytes, k, ncols, verified, store), report =
+        run_observed (fun () ->
+            match which with
+            | `Kzg ->
+                let r = run_kzg m in
+                ( r.Pipe_kzg.prove_s, r.Pipe_kzg.verify_s,
+                  r.Pipe_kzg.proof_bytes, r.Pipe_kzg.plan.Opt.k,
+                  r.Pipe_kzg.plan.Opt.ncols, r.Pipe_kzg.verified, true )
+            | `Ipa ->
+                let r = run_ipa m in
+                ( r.Pipe_ipa.prove_s, r.Pipe_ipa.verify_s,
+                  r.Pipe_ipa.proof_bytes, r.Pipe_ipa.plan.Opt.k,
+                  r.Pipe_ipa.plan.Opt.ncols, r.Pipe_ipa.verified, false ))
       in
       if not verified then
         Printf.printf "%-12s VERIFICATION FAILED\n%!" m.Zoo.name
       else begin
         let r = { model = m.Zoo.name; prove_s; verify_s; bytes; k; ncols } in
         if store then Hashtbl.replace kzg_results m.Zoo.name r;
+        record_json ~section ~model:m.Zoo.name ~backend ~k ~ncols ~prove_s
+          ~verify_s ~bytes report;
         print_e2e (match which with `Kzg -> paper_table6 | `Ipa -> paper_table7) r
       end)
     (Zoo.all ())
@@ -590,11 +661,27 @@ let sections =
     ("ops", "primitive operation microbenchmarks (bechamel)", ops) ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | [] | [ _ ] -> None
-    | _ :: rest -> Some rest
+  let args =
+    match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest
   in
+  let rec parse names = function
+    | [] -> List.rev names
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        parse names rest
+    | [ "--json" ] ->
+        prerr_endline "bench: --json requires a file argument";
+        exit 2
+    | s :: rest ->
+        if not (List.mem_assoc s (List.map (fun (n, t, f) -> (n, (t, f))) sections))
+        then begin
+          Printf.eprintf "bench: unknown section %S (have: %s)\n" s
+            (String.concat ", " (List.map (fun (n, _, _) -> n) sections));
+          exit 2
+        end;
+        parse (s :: names) rest
+  in
+  let requested = match parse [] args with [] -> None | l -> Some l in
   List.iter
     (fun (name, title, f) ->
       let run =
@@ -603,4 +690,5 @@ let () =
       if run then section name title f)
     sections;
   line ();
+  write_json_results ();
   print_endline "bench: all requested sections completed."

@@ -8,14 +8,20 @@
      zkml prove MODEL -o PROOF       compile + prove; write a proof file
      zkml verify MODEL PROOF         recheck a proof file
      zkml calibrate                  print the measured op-cost profile
+     zkml profile MODEL              traced proving run: span tree,
+                                     chrome-trace export, cost-model
+                                     accuracy report (paper 9.5)
 
-   MODEL is a zoo name (see `zkml models`) or a path to a .zkml file. *)
+   MODEL is a zoo name (see `zkml models`) or a path to a .zkml file.
+   Setting ZKML_TRACE=<path> makes any subcommand record a chrome-trace
+   of its whole execution to <path>. *)
 
 module T = Zkml_tensor.Tensor
 module Fx = Zkml_fixed.Fixed
 module Zoo = Zkml_models.Zoo
 module Opt = Zkml_compiler.Optimizer
 module Spec = Zkml_compiler.Layout_spec
+module Obs = Zkml_obs.Obs
 module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
 module Kzg = Zkml_commit.Kzg.Make (Sim61)
 module Ipa = Zkml_commit.Ipa.Make (Sim61)
@@ -90,6 +96,68 @@ let cmd_calibrate backend =
     times.Zkml_compiler.Costmodel.lookup;
   Printf.printf "  field op    %12.3e s\n"
     times.Zkml_compiler.Costmodel.field_op;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* profile: traced proving run + cost-model accuracy (paper §9.5) *)
+
+let print_accuracy rows =
+  Printf.printf "\ncost-model accuracy (predicted vs measured, paper 9.5):\n";
+  Printf.printf "  %-16s %12s %12s %8s\n" "op class" "predicted s" "measured s"
+    "ratio";
+  List.iter
+    (fun (a : Zkml_compiler.Pipeline.op_accuracy) ->
+      let ratio = Zkml_compiler.Pipeline.accuracy_ratio a in
+      Printf.printf "  %-16s %12.4f %12.4f %8s\n" a.op a.predicted_s
+        a.measured_s
+        (if Float.is_nan ratio then "-" else Printf.sprintf "%.2fx" ratio))
+    rows
+
+let cmd_profile model backend trace_out =
+  let m = load_model model in
+  let inputs = Zoo.sample_inputs m in
+  let run_traced () =
+    match backend with
+    | "ipa" ->
+        let params = Lazy.force ipa_params in
+        (* calibrate outside the trace so the report holds only the
+           proving run *)
+        ignore (Pipe_ipa.calibrated params);
+        let r, report =
+          Obs.with_enabled (fun () ->
+              Pipe_ipa.run ~cfg:m.Zoo.cfg ~params m.Zoo.graph inputs)
+        in
+        ( r.Pipe_ipa.verified,
+          r.Pipe_ipa.prove_s,
+          Pipe_ipa.cost_accuracy params r.Pipe_ipa.plan report,
+          report )
+    | _ ->
+        let params = Lazy.force kzg_params in
+        ignore (Pipe_kzg.calibrated params);
+        let r, report =
+          Obs.with_enabled (fun () ->
+              Pipe_kzg.run ~cfg:m.Zoo.cfg ~params m.Zoo.graph inputs)
+        in
+        ( r.Pipe_kzg.verified,
+          r.Pipe_kzg.prove_s,
+          Pipe_kzg.cost_accuracy params r.Pipe_kzg.plan report,
+          report )
+  in
+  let verified, prove_s, accuracy, report = run_traced () in
+  if not verified then failwith "profile: self-verification failed";
+  Printf.printf "traced proving run of %s (%s backend):\n\n" m.Zoo.name backend;
+  print_string (Obs.tree_string report);
+  let span_prove = Obs.total_of report "prove" in
+  Printf.printf
+    "\ncoarse prove_s %.4f s; prove span total %.4f s (%.1f%% attributed)\n"
+    prove_s span_prove
+    (100.0 *. span_prove /. Float.max prove_s 1e-9);
+  print_accuracy accuracy;
+  (match trace_out with
+  | Some path ->
+      Obs.write_file path (Obs.chrome_trace report);
+      Printf.printf "\nwrote chrome-trace to %s (open in about:tracing)\n" path
+  | None -> ());
   0
 
 let print_plan (plan : Opt.plan) =
@@ -340,6 +408,21 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Run the circuit-layout optimizer (Algorithm 1).")
     Term.(const cmd_optimize $ model_arg $ backend_arg $ objective)
 
+let profile_cmd =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a chrome-trace JSON of the proving run to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a traced prove; print the span tree and the predicted-vs-actual \
+          cost-model report (paper 9.5).")
+    Term.(const cmd_profile $ model_arg $ backend_arg $ trace)
+
 let prove_cmd =
   let out =
     Arg.(
@@ -371,6 +454,17 @@ let main =
     (Cmd.info "zkml" ~version:"1.0.0"
        ~doc:"Optimizing compiler from ML models to ZK-SNARK circuits.")
     [ models_cmd; stats_cmd; export_cmd; calibrate_cmd; optimize_cmd;
-      prove_cmd; verify_cmd ]
+      prove_cmd; verify_cmd; profile_cmd ]
 
-let () = exit (Cmd.eval' main)
+let () =
+  (* ZKML_TRACE=<path>: trace any subcommand end to end and dump the
+     chrome-trace at exit. *)
+  (match Sys.getenv_opt "ZKML_TRACE" with
+  | Some path when path <> "" ->
+      Obs.enable ();
+      at_exit (fun () ->
+          match Obs.snapshot () with
+          | Some report -> Obs.write_file path (Obs.chrome_trace report)
+          | None -> ())
+  | _ -> ());
+  exit (Cmd.eval' main)

@@ -38,6 +38,7 @@ module Make (G : Zkml_ec.Group_intf.S) :
   let commit t coeffs =
     if Array.length coeffs > Array.length t.gens then
       invalid_arg "Ipa.commit: polynomial too large for params";
+    Zkml_obs.Obs.count "commitments" 1;
     M.msm (Array.sub t.gens 0 (Array.length coeffs)) coeffs
 
   let add_commitment = G.add
@@ -49,6 +50,7 @@ module Make (G : Zkml_ec.Group_intf.S) :
     !acc
 
   let open_at t transcript coeffs z =
+    Zkml_obs.Obs.Span.with_ ~name:"open" @@ fun () ->
     let n = Array.length t.gens in
     let a = Array.make n F.zero in
     Array.blit coeffs 0 a 0 (Array.length coeffs);

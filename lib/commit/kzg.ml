@@ -47,12 +47,14 @@ module Make (G : Zkml_ec.Group_intf.S) :
   let commit t coeffs =
     if Array.length coeffs > Array.length t.srs then
       invalid_arg "Kzg.commit: polynomial too large for SRS";
+    Zkml_obs.Obs.count "commitments" 1;
     M.msm (Array.sub t.srs 0 (Array.length coeffs)) coeffs
 
   let add_commitment = G.add
   let scale_commitment = G.mul
 
   let open_at t _transcript coeffs z =
+    Zkml_obs.Obs.Span.with_ ~name:"open" @@ fun () ->
     let v = P.eval coeffs z in
     let shifted = Array.copy coeffs in
     if Array.length shifted = 0 then (v, G.zero)

@@ -43,14 +43,18 @@ let at_k curve k =
     The closures are supplied by the pipeline so this module stays
     independent of the functorized crypto code. *)
 let benchmark ~fft_run ~msm_run ~lookup_run ~field_run ~ks =
-  let measure run k = Zkml_util.Timer.median_of 3 (fun () -> run k) in
+  let measure run k =
+    (Zkml_util.Timer.median_of 3 (fun () -> run k)).Zkml_util.Timer.median
+  in
   {
     fft = List.map (fun k -> (k, measure fft_run k)) ks;
     msm = List.map (fun k -> (k, measure msm_run k)) ks;
     lookup = List.map (fun k -> (k, measure lookup_run k)) ks;
     field_op =
       (let n = 200_000 in
-       Zkml_util.Timer.median_of 3 (fun () -> field_run n) /. float_of_int n);
+       (Zkml_util.Timer.median_of 3 (fun () -> field_run n))
+         .Zkml_util.Timer.median
+       /. float_of_int n);
   }
 
 (** Operation counts for a physical layout, following eq. (2). *)
@@ -91,9 +95,20 @@ let counts_of_summary ~backend (s : Layouter.summary) =
     terms = s.Layouter.gate_count + (5 * n_lk) + ((n_pm + d - 3) / (d - 2)) + 3;
   }
 
-(** Equation (1) plus the MSM, lookup and residual terms: estimated
-    proving seconds for a circuit with 2^k rows. *)
-let estimate_time times ~backend ~k (s : Layouter.summary) =
+(** Predicted seconds split by op class — the quantities the §9.5
+    accuracy experiment compares against measured span totals. *)
+type breakdown = {
+  b_fft : float;
+  b_msm : float;
+  b_lookup : float;
+  b_residual : float;
+}
+
+let breakdown_total b = b.b_fft +. b.b_msm +. b.b_lookup +. b.b_residual
+
+(** Equation (1) plus the MSM, lookup and residual terms, per op class,
+    for a circuit with 2^k rows. *)
+let estimate_breakdown times ~backend ~k (s : Layouter.summary) =
   let c = counts_of_summary ~backend s in
   let k' = k + ceil_log2 c.ext_factor in
   let c_fft = (c.n_fft *. at_k times.fft k) +. (c.n_fft' *. at_k times.fft k') in
@@ -101,7 +116,11 @@ let estimate_time times ~backend ~k (s : Layouter.summary) =
   let c_lookup = float_of_int c.n_lookup *. at_k times.lookup k in
   let ext_n = float_of_int ((1 lsl k) * c.ext_factor) in
   let c_residual = ext_n *. float_of_int c.terms *. times.field_op *. 2.0 in
-  c_fft +. c_msm +. c_lookup +. c_residual
+  { b_fft = c_fft; b_msm = c_msm; b_lookup = c_lookup; b_residual = c_residual }
+
+(** Estimated proving seconds: the sum of the per-class breakdown. *)
+let estimate_time times ~backend ~k (s : Layouter.summary) =
+  breakdown_total (estimate_breakdown times ~backend ~k s)
 
 (** Estimated proof size in bytes, from the same structural counts (for
     the size-optimization objective, Table 14). *)

@@ -207,6 +207,9 @@ let optimal_k t ~blinding =
   ceil_log2 (needed + blinding + 1)
 
 let finalize t ~blinding ~k =
+  Zkml_obs.Obs.Span.with_ ~name:"layout" @@ fun () ->
+  Zkml_obs.Obs.count "layout.rows" t.nrows;
+  Zkml_obs.Obs.count "layout.cols" t.ncols;
   let n = 1 lsl k in
   let u = n - blinding - 1 in
   if max t.nrows (max (table_rows t) (Vec.length t.instance)) > u then

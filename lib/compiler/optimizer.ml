@@ -20,6 +20,7 @@ let blinding = 5
 
 let evaluate ?(k_max = max_int) ~times ~backend ~group_bytes ~field_bytes ~cfg
     ~spec_fn graph exec ncols =
+  Zkml_obs.Obs.count "optimizer.candidates" 1;
   match
     Lower.lower_with ~spec_fn ~cfg ~ncols ~counting:true graph exec
   with
@@ -47,6 +48,7 @@ let better objective (cost, size) (cost', size') =
 let optimize ?(specs = Layout_spec.all) ?(ncols_min = 4) ?(ncols_max = 40)
     ?(objective = Min_time) ?k_max ~times ~backend ~group_bytes ~field_bytes
     ~cfg graph exec =
+  Zkml_obs.Obs.Span.with_ ~name:"optimize" @@ fun () ->
   let stats = { candidates = 0; pruned_invalid = 0 } in
   let best = ref None in
   List.iter

@@ -3,6 +3,18 @@
     prove and verify — the "bash interface" layer of the paper's Figure
     3, functorized over the commitment backend. *)
 
+(** One row of the cost-model accuracy report (paper §9.5): predicted
+    seconds for an op class vs the measured span total from a traced
+    proving run. *)
+type op_accuracy = {
+  op : string;
+  predicted_s : float;
+  measured_s : float;
+}
+
+let accuracy_ratio a =
+  if a.measured_s > 0.0 then a.predicted_s /. a.measured_s else nan
+
 module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
   module Proto = Zkml_plonkish.Protocol.Make (Scheme)
   module F = Proto.F
@@ -16,30 +28,30 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
   (* ------------------------------------------------------------------ *)
   (* Hardware calibration (BenchmarkOperations, run once per backend) *)
 
+  (* Calibration workloads draw their inputs from a fixed-seed rng so
+     the measured kernels run on representative (non-structured) data
+     rather than small consecutive integers. *)
   let calibrate ?(ks = [ 8; 10; 12 ]) params =
     let rng = Zkml_util.Rng.create 77L in
     Costmodel.benchmark ~ks
       ~fft_run:(fun k ->
         let d = P.Domain.create k in
-        let a = Array.init (P.Domain.size d) (fun i -> F.of_int i) in
+        let a = Array.init (P.Domain.size d) (fun _ -> F.random rng) in
         P.ntt d a)
       ~msm_run:(fun k ->
         let n = 1 lsl k in
-        let coeffs = Array.init n (fun i -> F.of_int (i + 1)) in
+        let coeffs = Array.init n (fun _ -> F.random rng) in
         ignore (Scheme.commit params coeffs))
       ~lookup_run:(fun k ->
         let n = 1 lsl k in
-        let a = Array.init n (fun i -> F.of_int ((i * 7919) mod n)) in
+        let a = Array.init n (fun _ -> F.of_int (Zkml_util.Rng.int rng n)) in
         Array.sort F.compare a)
       ~field_run:(fun n ->
-        let x = ref (F.of_int 3) in
+        let x = ref (F.random rng) in
         for _ = 1 to n do
           x := F.add (F.mul !x !x) F.one
         done;
         ignore !x)
-      |> fun t ->
-      ignore rng;
-      t
 
   let times_cache : (string, Costmodel.op_times) Hashtbl.t = Hashtbl.create 4
 
@@ -47,7 +59,10 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     match Hashtbl.find_opt times_cache Scheme.name with
     | Some t -> t
     | None ->
-        let t = calibrate params in
+        let t =
+          Zkml_obs.Obs.Span.with_ ~name:"calibrate" (fun () ->
+              calibrate params)
+        in
         Hashtbl.add times_cache Scheme.name t;
         t
 
@@ -175,6 +190,43 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     outputs : int T.t list;  (** fixed-point model outputs *)
   }
 
+  (** Compare {!Costmodel} predictions against the measured span totals
+      of a traced proving run (the report must come from a run executed
+      with the sink enabled). Only spans under "prove" count, matching
+      what equation (1) predicts; the residual class is the prover time
+      not attributed to ntt/msm/lookup spans. *)
+  let cost_accuracy params (plan : Optimizer.plan) report =
+    let module Obs = Zkml_obs.Obs in
+    let times = calibrated params in
+    let b =
+      Costmodel.estimate_breakdown times ~backend ~k:plan.Optimizer.k
+        plan.Optimizer.summary
+    in
+    let m_ntt = Obs.total_of ~under:"prove" report "ntt" in
+    let m_msm = Obs.total_of ~under:"prove" report "msm" in
+    let m_lookup = Obs.total_of ~under:"prove" report "lookup" in
+    let m_prove = Obs.total_of report "prove" in
+    let m_residual = Float.max 0.0 (m_prove -. m_ntt -. m_msm -. m_lookup) in
+    [
+      { op = "ntt"; predicted_s = b.Costmodel.b_fft; measured_s = m_ntt };
+      { op = "msm"; predicted_s = b.Costmodel.b_msm; measured_s = m_msm };
+      {
+        op = "lookup";
+        predicted_s = b.Costmodel.b_lookup;
+        measured_s = m_lookup;
+      };
+      {
+        op = "field-residual";
+        predicted_s = b.Costmodel.b_residual;
+        measured_s = m_residual;
+      };
+      {
+        op = "total-prove";
+        predicted_s = Costmodel.breakdown_total b;
+        measured_s = m_prove;
+      };
+    ]
+
   let required_srs_size plan =
     (* quotient pieces are the largest committed polynomials: n each *)
     1 lsl plan.Optimizer.k
@@ -200,7 +252,9 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
            "SRS too small: circuit needs 2^%d rows, params support %d"
            plan.Optimizer.k (Scheme.max_size params));
     let artifacts, keygen_s =
-      Zkml_util.Timer.time (fun () -> build params plan ~cfg graph exec)
+      Zkml_util.Timer.time (fun () ->
+          Zkml_obs.Obs.Span.with_ ~name:"build" (fun () ->
+              build params plan ~cfg graph exec))
     in
     let rng = Zkml_util.Rng.create seed in
     let proof, prove_s =
@@ -209,6 +263,9 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     let verified, verify_s =
       Zkml_util.Timer.time (fun () -> verify params artifacts proof)
     in
+    Zkml_obs.Obs.gauge_int "k" plan.Optimizer.k;
+    Zkml_obs.Obs.gauge_int "ncols" plan.Optimizer.ncols;
+    Zkml_obs.Obs.gauge_int "proof.bytes" (Proto.proof_size_bytes proof);
     {
       plan;
       proof;

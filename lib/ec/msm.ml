@@ -59,7 +59,14 @@ module Make (G : Group_intf.S) = struct
       !acc
     end
 
-  let msm points scalars =
+  let msm_core points scalars =
     if Array.length points <= 4 then naive points scalars
     else pippenger points scalars
+
+  let msm points scalars =
+    if Zkml_obs.Obs.enabled () then
+      Zkml_obs.Obs.Span.with_ ~name:"msm" (fun () ->
+          Zkml_obs.Obs.count "msm.points" (Array.length points);
+          msm_core points scalars)
+    else msm_core points scalars
 end

@@ -1,0 +1,434 @@
+(** Structured tracing and metrics for the prover pipeline.
+
+    A single global sink collects hierarchical spans (wall-clock timed,
+    nested), per-span counters and global gauges. Instrumented code
+    checks one ref per call and allocates nothing while the sink is
+    disabled, so tracing is zero-cost in production runs; when enabled,
+    the recorded tree can be exported as chrome-trace JSON (loadable in
+    about:tracing / Perfetto), a flat summary JSON, or a pretty-printed
+    span tree. The clock is injectable so tests are wall-clock free. *)
+
+type clock = unit -> float
+
+type span = {
+  sp_name : string;
+  sp_start : float;
+  mutable sp_stop : float;
+  mutable sp_counters : (string * float) list;  (* insertion order *)
+  mutable sp_children : span list;  (* reversed *)
+}
+
+type sink = {
+  sk_clock : clock;
+  sk_root : span;
+  mutable sk_stack : span list;  (* innermost first; root is last *)
+  sk_gauges : (string, float) Hashtbl.t;
+  mutable sk_gauge_order : string list;  (* reversed insertion order *)
+}
+
+let sink : sink option ref = ref None
+let enabled () = !sink <> None
+
+let enable ?(clock = Unix.gettimeofday) () =
+  let root =
+    {
+      sp_name = "trace";
+      sp_start = clock ();
+      sp_stop = nan;
+      sp_counters = [];
+      sp_children = [];
+    }
+  in
+  sink :=
+    Some
+      {
+        sk_clock = clock;
+        sk_root = root;
+        sk_stack = [ root ];
+        sk_gauges = Hashtbl.create 16;
+        sk_gauge_order = [];
+      }
+
+let disable () = sink := None
+
+(* Assoc bump preserving insertion order; counter lists are short. *)
+let rec bump name v = function
+  | [] -> [ (name, v) ]
+  | (n, x) :: tl when String.equal n name -> (n, x +. v) :: tl
+  | hd :: tl -> hd :: bump name v tl
+
+let countf name v =
+  match !sink with
+  | None -> ()
+  | Some s -> (
+      match s.sk_stack with
+      | sp :: _ -> sp.sp_counters <- bump name v sp.sp_counters
+      | [] -> s.sk_root.sp_counters <- bump name v s.sk_root.sp_counters)
+
+let count name v =
+  (* check the sink before boxing the float so the disabled path stays
+     allocation-free *)
+  match !sink with None -> () | Some _ -> countf name (float_of_int v)
+
+let gauge name v =
+  match !sink with
+  | None -> ()
+  | Some s ->
+      if not (Hashtbl.mem s.sk_gauges name) then
+        s.sk_gauge_order <- name :: s.sk_gauge_order;
+      Hashtbl.replace s.sk_gauges name v
+
+let gauge_int name v = gauge name (float_of_int v)
+
+module Span = struct
+  let with_ ~name f =
+    match !sink with
+    | None -> f ()
+    | Some s ->
+        let sp =
+          {
+            sp_name = name;
+            sp_start = s.sk_clock ();
+            sp_stop = nan;
+            sp_counters = [];
+            sp_children = [];
+          }
+        in
+        (match s.sk_stack with
+        | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
+        | [] -> s.sk_root.sp_children <- sp :: s.sk_root.sp_children);
+        s.sk_stack <- sp :: s.sk_stack;
+        let finish () =
+          sp.sp_stop <- s.sk_clock ();
+          let rec pop = function
+            | top :: rest -> if top == sp then rest else pop rest
+            | [] -> [ s.sk_root ]
+          in
+          s.sk_stack <- pop s.sk_stack
+        in
+        (match f () with
+        | v ->
+            finish ();
+            v
+        | exception e ->
+            finish ();
+            raise e)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Immutable snapshots *)
+
+type node = {
+  name : string;
+  start_s : float;  (* relative to trace start *)
+  dur_s : float;
+  counters : (string * float) list;
+  children : node list;  (* in execution order *)
+}
+
+type report = {
+  spans : node list;  (* top-level spans in execution order *)
+  root_counters : (string * float) list;  (* counts outside any span *)
+  gauges : (string * float) list;
+  total_s : float;  (* trace duration at snapshot time *)
+}
+
+let snapshot () =
+  match !sink with
+  | None -> None
+  | Some s ->
+      let now = s.sk_clock () in
+      let t0 = s.sk_root.sp_start in
+      let rec freeze sp =
+        let stop = if Float.is_nan sp.sp_stop then now else sp.sp_stop in
+        {
+          name = sp.sp_name;
+          start_s = sp.sp_start -. t0;
+          dur_s = stop -. sp.sp_start;
+          counters = sp.sp_counters;
+          (* sp_children is stored in reverse execution order *)
+          children = List.rev_map freeze sp.sp_children;
+        }
+      in
+      let root = freeze s.sk_root in
+      let gauges =
+        List.rev_map
+          (fun n -> (n, Hashtbl.find s.sk_gauges n))
+          s.sk_gauge_order
+        |> List.rev
+      in
+      Some
+        {
+          spans = root.children;
+          root_counters = root.counters;
+          gauges;
+          total_s = now -. t0;
+        }
+
+(** Enable a fresh sink, run [f], return its result and the recorded
+    report; restores the previous sink state afterwards. *)
+let with_enabled ?clock f =
+  let saved = !sink in
+  enable ?clock ();
+  let finish () =
+    let r =
+      match snapshot () with
+      | Some r -> r
+      | None -> { spans = []; root_counters = []; gauges = []; total_s = 0.0 }
+    in
+    sink := saved;
+    r
+  in
+  match f () with
+  | v -> (v, finish ())
+  | exception e ->
+      ignore (finish ());
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation *)
+
+type agg = {
+  agg_name : string;
+  agg_calls : int;
+  agg_total_s : float;
+  agg_counters : (string * float) list;
+}
+
+let merge_counters into cs =
+  List.fold_left (fun acc (n, v) -> bump n v acc) into cs
+
+(** Aggregate spans by name. A span nested under a same-named ancestor
+    is not counted again (its time is already inside the ancestor's).
+    [?under] restricts aggregation to subtrees rooted at spans with
+    that name (the subtree roots themselves are included). *)
+let totals ?under report =
+  let roots =
+    match under with
+    | None -> report.spans
+    | Some u ->
+        let rec collect acc n =
+          if String.equal n.name u then n :: acc
+          else List.fold_left collect acc n.children
+        in
+        List.fold_left collect [] report.spans |> List.rev
+  in
+  let order = ref [] in
+  let tbl : (string, agg) Hashtbl.t = Hashtbl.create 16 in
+  let record n =
+    match Hashtbl.find_opt tbl n.name with
+    | None ->
+        order := n.name :: !order;
+        Hashtbl.replace tbl n.name
+          {
+            agg_name = n.name;
+            agg_calls = 1;
+            agg_total_s = n.dur_s;
+            agg_counters = n.counters;
+          }
+    | Some a ->
+        Hashtbl.replace tbl n.name
+          {
+            a with
+            agg_calls = a.agg_calls + 1;
+            agg_total_s = a.agg_total_s +. n.dur_s;
+            agg_counters = merge_counters a.agg_counters n.counters;
+          }
+  in
+  let rec visit active n =
+    let fresh = not (List.mem n.name active) in
+    if fresh then record n;
+    let active = if fresh then n.name :: active else active in
+    List.iter (visit active) n.children
+  in
+  List.iter (visit []) roots;
+  List.rev_map (fun name -> Hashtbl.find tbl name) !order
+
+let total_of ?under report name =
+  match
+    List.find_opt (fun a -> String.equal a.agg_name name) (totals ?under report)
+  with
+  | Some a -> a.agg_total_s
+  | None -> 0.0
+
+let counter_total report name =
+  let rec go acc n =
+    let acc =
+      List.fold_left
+        (fun acc (cn, v) -> if String.equal cn name then acc +. v else acc)
+        acc n.counters
+    in
+    List.fold_left go acc n.children
+  in
+  let base =
+    List.fold_left
+      (fun acc (cn, v) -> if String.equal cn name then acc +. v else acc)
+      0.0 report.root_counters
+  in
+  List.fold_left go base report.spans
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers (no external dependency; output is deterministic) *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let json_obj_of_counters cs =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (n, v) ->
+           Printf.sprintf "\"%s\":%s" (json_escape n) (json_float v))
+         cs)
+  ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+(** Chrome-trace format: a JSON array of complete ("ph":"X") events with
+    microsecond timestamps, loadable in about:tracing or Perfetto. *)
+let chrome_trace report =
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '[';
+  let first = ref true in
+  let rec walk n =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf
+      (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"zkml\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1"
+         (json_escape n.name)
+         (Printf.sprintf "%.0f" (n.start_s *. 1e6))
+         (Printf.sprintf "%.0f" (n.dur_s *. 1e6)));
+    if n.counters <> [] then begin
+      Buffer.add_string buf ",\"args\":";
+      Buffer.add_string buf (json_obj_of_counters n.counters)
+    end;
+    Buffer.add_char buf '}';
+    List.iter walk n.children
+  in
+  List.iter walk report.spans;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+(** Flat summary: gauges, whole-trace counters, per-name aggregated
+    totals and the full span tree, as one JSON object. *)
+let summary_json report =
+  let buf = Buffer.create 4096 in
+  let rec span_json n =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"start_s\":%s,\"dur_s\":%s,\"counters\":%s,\"children\":[%s]}"
+      (json_escape n.name) (json_float n.start_s) (json_float n.dur_s)
+      (json_obj_of_counters n.counters)
+      (String.concat "," (List.map span_json n.children))
+  in
+  Buffer.add_string buf "{\"total_s\":";
+  Buffer.add_string buf (json_float report.total_s);
+  Buffer.add_string buf ",\"gauges\":";
+  Buffer.add_string buf (json_obj_of_counters report.gauges);
+  Buffer.add_string buf ",\"totals\":[";
+  Buffer.add_string buf
+    (String.concat ","
+       (List.map
+          (fun a ->
+            Printf.sprintf
+              "{\"name\":\"%s\",\"calls\":%d,\"total_s\":%s,\"counters\":%s}"
+              (json_escape a.agg_name) a.agg_calls
+              (json_float a.agg_total_s)
+              (json_obj_of_counters a.agg_counters))
+          (totals report)));
+  Buffer.add_string buf "],\"spans\":[";
+  Buffer.add_string buf (String.concat "," (List.map span_json report.spans));
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* Pretty tree: same-named siblings are collapsed into one line (xN)
+   so hundreds of leaf NTT/MSM spans stay readable. *)
+let tree_string report =
+  let buf = Buffer.create 1024 in
+  let group children =
+    let order = ref [] and tbl = Hashtbl.create 8 in
+    List.iter
+      (fun n ->
+        match Hashtbl.find_opt tbl n.name with
+        | None ->
+            order := n.name :: !order;
+            Hashtbl.replace tbl n.name (ref [ n ])
+        | Some l -> l := n :: !l)
+      children;
+    List.rev_map
+      (fun name ->
+        let members = List.rev !(Hashtbl.find tbl name) in
+        let dur =
+          List.fold_left (fun acc n -> acc +. n.dur_s) 0.0 members
+        in
+        let counters =
+          List.fold_left (fun acc n -> merge_counters acc n.counters) [] members
+        in
+        let kids = List.concat_map (fun n -> n.children) members in
+        (name, List.length members, dur, counters, kids))
+      !order
+  in
+  let counters_str cs =
+    if cs = [] then ""
+    else
+      "  ["
+      ^ String.concat ", "
+          (List.map (fun (n, v) -> Printf.sprintf "%s=%s" n (json_float v)) cs)
+      ^ "]"
+  in
+  let rec render prefix parent_dur children =
+    let groups = group children in
+    let last = List.length groups - 1 in
+    List.iteri
+      (fun i (name, calls, dur, counters, kids) ->
+        let branch, cont =
+          if i = last then ("`- ", "   ") else ("|- ", "|  ")
+        in
+        let label =
+          if calls > 1 then Printf.sprintf "%s x%d" name calls else name
+        in
+        let pct =
+          if parent_dur > 0.0 then
+            Printf.sprintf "%5.1f%%" (100.0 *. dur /. parent_dur)
+          else "     -"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s%-*s %10.4f s  %s%s\n" prefix branch
+             (max 1 (36 - String.length prefix))
+             label dur pct (counters_str counters));
+        if kids <> [] then render (prefix ^ cont) dur kids)
+      groups
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "trace%33s %10.4f s  100.0%%%s\n" "" report.total_s
+       (counters_str report.root_counters));
+  render "" report.total_s report.spans;
+  if report.gauges <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    List.iter
+      (fun (n, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-24s %s\n" n (json_float v)))
+      report.gauges
+  end;
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

@@ -16,6 +16,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
   module Extra = Zkml_ff.Field_extra.Make (F)
   module T = Zkml_transcript.Transcript
   module Ch = Zkml_transcript.Transcript.Challenge (F)
+  module Obs = Zkml_obs.Obs
 
   type circuit = F.t Circuit.t
 
@@ -100,6 +101,8 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     sigma
 
   let keygen scheme_params (circuit : circuit) ~(fixed : F.t array array) =
+    Obs.Span.with_ ~name:"keygen" @@ fun () ->
+    Obs.count "keygen.fixed_cols" circuit.num_fixed;
     let n = Circuit.n circuit in
     let domain = P.Domain.create circuit.k in
     if Array.length fixed <> circuit.num_fixed then
@@ -430,60 +433,66 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
 
   let prove scheme_params keys ~(instance : F.t array array)
       ~(advice : F.t array -> F.t array array) ~rng =
+    Obs.Span.with_ ~name:"prove" @@ fun () ->
     let circuit = keys.circuit in
     let n = Circuit.n circuit in
     let u = Circuit.last_row circuit in
     let transcript = init_transcript keys ~instance in
-    (* --- phase 0 advice --- *)
-    let advice0 = advice [||] in
     let num_adv = Circuit.num_advice circuit in
-    if Array.length advice0 <> num_adv then
-      invalid_arg "prove: advice column count mismatch";
-    (* blinding rows *)
-    let blind_grid g =
-      Array.iter
-        (fun col ->
-          for r = u to n - 1 do
-            col.(r) <- F.random rng
-          done)
-        g
-    in
-    blind_grid advice0;
-    let adv_polys = Array.make num_adv [||] in
-    let adv_commits = Array.make num_adv G.zero in
-    let commit_phase ph grid =
-      for i = 0 to num_adv - 1 do
-        if circuit.advice_phases.(i) = ph then begin
-          adv_polys.(i) <- P.interpolate keys.domain grid.(i);
-          adv_commits.(i) <- Scheme.commit scheme_params adv_polys.(i);
-          T.absorb_bytes transcript ~label:"advice" (G.to_bytes adv_commits.(i))
-        end
-      done
-    in
-    commit_phase 0 advice0;
-    let challenges =
-      Array.init circuit.num_challenges (fun _ ->
-          Ch.squeeze_nonzero transcript ~label:"challenge")
-    in
-    let advice_grid =
-      if circuit.num_challenges = 0 && Array.for_all (fun p -> p = 0) circuit.advice_phases
-      then advice0
-      else begin
-        let g = advice challenges in
-        (* phase-0 columns must be reproduced identically: reuse the
-           blinded versions committed above; blind only phase-1 columns *)
-        for i = 0 to num_adv - 1 do
-          if circuit.advice_phases.(i) = 0 then g.(i) <- advice0.(i)
-          else
+    let adv_polys, adv_commits, challenges, advice_grid =
+      Obs.Span.with_ ~name:"advice-commit" @@ fun () ->
+      Obs.count "advice.cols" num_adv;
+      (* --- phase 0 advice --- *)
+      let advice0 = advice [||] in
+      if Array.length advice0 <> num_adv then
+        invalid_arg "prove: advice column count mismatch";
+      (* blinding rows *)
+      let blind_grid g =
+        Array.iter
+          (fun col ->
             for r = u to n - 1 do
-              g.(i).(r) <- F.random rng
-            done
-        done;
-        g
-      end
+              col.(r) <- F.random rng
+            done)
+          g
+      in
+      blind_grid advice0;
+      let adv_polys = Array.make num_adv [||] in
+      let adv_commits = Array.make num_adv G.zero in
+      let commit_phase ph grid =
+        for i = 0 to num_adv - 1 do
+          if circuit.advice_phases.(i) = ph then begin
+            adv_polys.(i) <- P.interpolate keys.domain grid.(i);
+            adv_commits.(i) <- Scheme.commit scheme_params adv_polys.(i);
+            T.absorb_bytes transcript ~label:"advice" (G.to_bytes adv_commits.(i))
+          end
+        done
+      in
+      commit_phase 0 advice0;
+      let challenges =
+        Array.init circuit.num_challenges (fun _ ->
+            Ch.squeeze_nonzero transcript ~label:"challenge")
+      in
+      let advice_grid =
+        if circuit.num_challenges = 0 && Array.for_all (fun p -> p = 0) circuit.advice_phases
+        then advice0
+        else begin
+          let g = advice challenges in
+          (* phase-0 columns must be reproduced identically: reuse the
+             blinded versions committed above; blind only phase-1 columns *)
+          for i = 0 to num_adv - 1 do
+            if circuit.advice_phases.(i) = 0 then g.(i) <- advice0.(i)
+            else
+              for r = u to n - 1 do
+                g.(i).(r) <- F.random rng
+              done
+          done;
+          g
+        end
+      in
+      if Array.exists (fun p -> p = 1) circuit.advice_phases then
+        commit_phase 1 advice_grid;
+      (adv_polys, adv_commits, challenges, advice_grid)
     in
-    if Array.exists (fun p -> p = 1) circuit.advice_phases then
-      commit_phase 1 advice_grid;
     (* --- lookups: compress, permute, commit --- *)
     let theta = Ch.squeeze_nonzero transcript ~label:"theta" in
     let inst_cols = instance in
@@ -519,6 +528,8 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     and look_a' = Array.make num_lookups [||]
     and look_s' = Array.make num_lookups [||] in
     for li = 0 to num_lookups - 1 do
+      Obs.Span.with_ ~name:"lookup" @@ fun () ->
+      Obs.count "lookup.rows" u;
       let l = lookups.(li) in
       let a = Array.make n F.zero and s = Array.make n F.zero in
       for row = 0 to n - 1 do
@@ -581,10 +592,18 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       look_a'.(li) <- a_full;
       look_s'.(li) <- s_full
     done;
-    let look_a_polys = Array.map (P.interpolate keys.domain) look_a' in
-    let look_s_polys = Array.map (P.interpolate keys.domain) look_s' in
-    let look_a_commits = Array.map (Scheme.commit scheme_params) look_a_polys in
-    let look_s_commits = Array.map (Scheme.commit scheme_params) look_s_polys in
+    let look_a_polys, look_s_polys, look_a_commits, look_s_commits =
+      Obs.Span.with_ ~name:"lookup-commit" @@ fun () ->
+      let look_a_polys = Array.map (P.interpolate keys.domain) look_a' in
+      let look_s_polys = Array.map (P.interpolate keys.domain) look_s' in
+      let look_a_commits =
+        Array.map (Scheme.commit scheme_params) look_a_polys
+      in
+      let look_s_commits =
+        Array.map (Scheme.commit scheme_params) look_s_polys
+      in
+      (look_a_polys, look_s_polys, look_a_commits, look_s_commits)
+    in
     for li = 0 to num_lookups - 1 do
       T.absorb_bytes transcript ~label:"look-a" (G.to_bytes look_a_commits.(li));
       T.absorb_bytes transcript ~label:"look-s" (G.to_bytes look_s_commits.(li))
@@ -592,6 +611,10 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     let beta = Ch.squeeze_nonzero transcript ~label:"beta" in
     let gamma = Ch.squeeze_nonzero transcript ~label:"gamma" in
     (* --- permutation grand products --- *)
+    let perm_z_polys, look_z_polys, perm_z_commits, look_z_commits =
+      Obs.Span.with_ ~name:"grand-products" @@ fun () ->
+      Obs.count "perm.cols" (Array.length keys.perm_cols);
+      Obs.count "perm.chunks" keys.n_chunks;
     let omega_pows = Array.make n F.one in
     for r = 1 to n - 1 do
       omega_pows.(r) <- F.mul omega_pows.(r - 1) keys.domain.omega
@@ -670,6 +693,8 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     let look_z_polys = Array.map (P.interpolate keys.domain) look_z in
     let perm_z_commits = Array.map (Scheme.commit scheme_params) perm_z_polys in
     let look_z_commits = Array.map (Scheme.commit scheme_params) look_z_polys in
+      (perm_z_polys, look_z_polys, perm_z_commits, look_z_commits)
+    in
     Array.iter
       (fun c -> T.absorb_bytes transcript ~label:"perm-z" (G.to_bytes c))
       perm_z_commits;
@@ -678,6 +703,9 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       look_z_commits;
     let y = Ch.squeeze_nonzero transcript ~label:"y" in
     (* --- quotient on the extended coset --- *)
+    let h_pieces, h_commits =
+      Obs.Span.with_ ~name:"quotient" @@ fun () ->
+      Obs.count "quotient.pieces" keys.ext_factor;
     let ext_n = P.Domain.size keys.ext_domain in
     let factor = keys.ext_factor in
     let shift = F.generator in
@@ -755,6 +783,8 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
           Array.sub h_coeffs (j * n) n)
     in
     let h_commits = Array.map (Scheme.commit scheme_params) h_pieces in
+      (h_pieces, h_commits)
+    in
     Array.iter
       (fun c -> T.absorb_bytes transcript ~label:"h" (G.to_bytes c))
       h_commits;
@@ -776,6 +806,8 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
                else F.inv (F.pow_int keys.domain.omega (-r)))
     in
     let evals =
+      Obs.Span.with_ ~name:"evals" @@ fun () ->
+      Obs.count "proof.evals" (List.length plan);
       Array.of_list
         (List.map (fun (src, r) -> P.eval (poly_of_source src) (point_of_rot r)) plan)
     in
@@ -784,6 +816,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     let v = Ch.squeeze_nonzero transcript ~label:"multiopen-v" in
     let rotations = distinct_rotations plan in
     let openings =
+      Obs.Span.with_ ~name:"multiopen" @@ fun () ->
       List.map
         (fun rot_r ->
           let group = List.filter (fun (_, r) -> r = rot_r) plan in
@@ -817,6 +850,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
   (* Verifier *)
 
   let verify scheme_params keys ~(instance : F.t array array) proof =
+    Obs.Span.with_ ~name:"verify" @@ fun () ->
     let circuit = keys.circuit in
     let n = Circuit.n circuit in
     let u = Circuit.last_row circuit in

@@ -77,7 +77,7 @@ module Make (F : Zkml_ff.Field_intf.S) = struct
       end
     done
 
-  let ntt_with_root a root =
+  let ntt_core a root =
     let n = Array.length a in
     assert (n land (n - 1) = 0);
     bit_reverse_permute a;
@@ -98,6 +98,16 @@ module Make (F : Zkml_ff.Field_intf.S) = struct
       done;
       len := !len * 2
     done
+
+  (* Every forward/inverse/coset transform funnels through this leaf, so
+     one instrumentation point covers the whole "fft" op class of the
+     cost model. The disabled branch is a single ref read. *)
+  let ntt_with_root a root =
+    if Zkml_obs.Obs.enabled () then
+      Zkml_obs.Obs.Span.with_ ~name:"ntt" (fun () ->
+          Zkml_obs.Obs.count "ntt.size" (Array.length a);
+          ntt_core a root)
+    else ntt_core a root
 
   (** Forward NTT: coefficients -> evaluations over the domain, in place.
       [Array.length a] must equal the domain size. *)

@@ -1,13 +1,29 @@
+let default_clock = Unix.gettimeofday
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = default_clock () in
   let result = f () in
-  let t1 = Unix.gettimeofday () in
+  let t1 = default_clock () in
+  (result, t1 -. t0)
+
+let time_counted ?(clock = default_clock) f =
+  let t0 = clock () in
+  let result = f () in
+  let t1 = clock () in
   (result, t1 -. t0)
 
 let time_s f = snd (time f)
 
-let median_of n f =
+type spread = { median : float; min_s : float; max_s : float }
+
+let median_of ?clock n f =
   assert (n > 0);
-  let samples = Array.init n (fun _ -> time_s f) in
+  let samples =
+    Array.init n (fun _ -> snd (time_counted ?clock (fun () -> f ())))
+  in
   Array.sort compare samples;
-  samples.(n / 2)
+  {
+    median = samples.(n / 2);
+    min_s = samples.(0);
+    max_s = samples.(n - 1);
+  }

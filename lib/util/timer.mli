@@ -1,11 +1,23 @@
 (** Wall-clock timing used by the cost-model calibration and benches. *)
 
+val default_clock : unit -> float
+(** [Unix.gettimeofday]. *)
+
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result and the elapsed seconds. *)
+
+val time_counted : ?clock:(unit -> float) -> (unit -> 'a) -> 'a * float
+(** Like {!time}, but the monotonic clock source is injectable so tests
+    can measure without wall-clock dependence. *)
 
 val time_s : (unit -> 'a) -> float
 (** Elapsed seconds only. *)
 
-val median_of : int -> (unit -> 'a) -> float
-(** [median_of n f] runs [f] [n] times and returns the median elapsed
-    seconds; used to stabilise microbenchmark readings. *)
+type spread = { median : float; min_s : float; max_s : float }
+(** Median plus the min/max extremes of repeated measurements, so bench
+    tables can report spread alongside the central value. *)
+
+val median_of : ?clock:(unit -> float) -> int -> (unit -> 'a) -> spread
+(** [median_of n f] runs [f] [n] times and returns the median, minimum
+    and maximum elapsed seconds; used to stabilise microbenchmark
+    readings. *)

@@ -1,0 +1,202 @@
+(* Tests for the tracing/metrics subsystem. All traces use an injected
+   fake clock (exact binary fractions) so structure, durations and the
+   serialized chrome-trace output are deterministic down to the byte. *)
+
+module Obs = Zkml_obs.Obs
+
+(* Fake clock: [tick] advances simulated time by an exact dyadic step. *)
+let make_clock () =
+  let now = ref 0.0 in
+  ((fun () -> !now), fun dt -> now := !now +. dt)
+
+(* The reference trace used by several tests:
+     prove [0.5 .. 1.25]
+       ntt [0.75 .. 0.875]  ntt.size=512
+       ntt [0.875 .. 0.9375]  ntt.size=256
+       msm [0.9375 .. 1.1875]  msm.points=100
+   plus gauge k=9; snapshot taken at t=1.25. *)
+let record_reference () =
+  let clock, tick = make_clock () in
+  let (), report =
+    Obs.with_enabled ~clock (fun () ->
+        tick 0.5;
+        Obs.Span.with_ ~name:"prove" (fun () ->
+            tick 0.25;
+            Obs.Span.with_ ~name:"ntt" (fun () ->
+                Obs.count "ntt.size" 512;
+                tick 0.125);
+            Obs.Span.with_ ~name:"ntt" (fun () ->
+                Obs.count "ntt.size" 256;
+                tick 0.0625);
+            Obs.Span.with_ ~name:"msm" (fun () ->
+                Obs.count "msm.points" 100;
+                tick 0.25);
+            tick 0.0625);
+        Obs.gauge_int "k" 9)
+  in
+  report
+
+let test_nesting () =
+  let report = record_reference () in
+  Alcotest.(check (list string))
+    "top-level spans" [ "prove" ]
+    (List.map (fun n -> n.Obs.name) report.Obs.spans);
+  let prove = List.hd report.Obs.spans in
+  Alcotest.(check (list string))
+    "children in execution order" [ "ntt"; "ntt"; "msm" ]
+    (List.map (fun n -> n.Obs.name) prove.Obs.children);
+  Alcotest.(check (float 0.0)) "prove start" 0.5 prove.Obs.start_s;
+  Alcotest.(check (float 0.0)) "prove dur" 0.75 prove.Obs.dur_s;
+  let starts = List.map (fun n -> n.Obs.start_s) prove.Obs.children in
+  Alcotest.(check (list (float 0.0))) "child starts" [ 0.75; 0.875; 0.9375 ]
+    starts;
+  let durs = List.map (fun n -> n.Obs.dur_s) prove.Obs.children in
+  Alcotest.(check (list (float 0.0))) "child durs" [ 0.125; 0.0625; 0.25 ] durs;
+  Alcotest.(check (float 0.0)) "total" 1.25 report.Obs.total_s;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "gauges" [ ("k", 9.0) ] report.Obs.gauges
+
+let test_counters () =
+  let report = record_reference () in
+  Alcotest.(check (float 0.0))
+    "ntt.size sums across spans" 768.0
+    (Obs.counter_total report "ntt.size");
+  Alcotest.(check (float 0.0))
+    "msm.points" 100.0
+    (Obs.counter_total report "msm.points");
+  Alcotest.(check (float 0.0))
+    "absent counter" 0.0
+    (Obs.counter_total report "nope");
+  let ntt =
+    List.find (fun a -> a.Obs.agg_name = "ntt") (Obs.totals report)
+  in
+  Alcotest.(check int) "ntt calls" 2 ntt.Obs.agg_calls;
+  Alcotest.(check (float 0.0)) "ntt aggregated time" 0.1875 ntt.Obs.agg_total_s;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "ntt merged counters" [ ("ntt.size", 768.0) ] ntt.Obs.agg_counters;
+  Alcotest.(check (float 0.0))
+    "total_of under prove" 0.1875
+    (Obs.total_of ~under:"prove" report "ntt");
+  Alcotest.(check (float 0.0))
+    "total_of absent subtree" 0.0
+    (Obs.total_of ~under:"verify" report "ntt")
+
+(* A span nested under a same-named ancestor must not be double counted
+   in the per-name aggregation. *)
+let test_same_name_suppression () =
+  let clock, tick = make_clock () in
+  let (), report =
+    Obs.with_enabled ~clock (fun () ->
+        Obs.Span.with_ ~name:"ntt" (fun () ->
+            tick 0.25;
+            Obs.Span.with_ ~name:"ntt" (fun () -> tick 0.5);
+            tick 0.25))
+  in
+  let ntt =
+    List.find (fun a -> a.Obs.agg_name = "ntt") (Obs.totals report)
+  in
+  Alcotest.(check int) "only the outer span counted" 1 ntt.Obs.agg_calls;
+  Alcotest.(check (float 0.0)) "outer time only" 1.0 ntt.Obs.agg_total_s
+
+let test_disabled_noop () =
+  Obs.disable ();
+  Alcotest.(check bool) "disabled" false (Obs.enabled ());
+  (* every entry point must be a silent no-op and pass values through *)
+  Alcotest.(check int) "span passthrough" 41
+    (Obs.Span.with_ ~name:"x" (fun () -> 41));
+  Obs.count "c" 1;
+  Obs.countf "c" 1.0;
+  Obs.gauge "g" 2.0;
+  Obs.gauge_int "g" 2;
+  Alcotest.(check bool) "no snapshot" true (Obs.snapshot () = None);
+  (* exceptions propagate unchanged *)
+  Alcotest.check_raises "raise passthrough" Exit (fun () ->
+      Obs.Span.with_ ~name:"x" (fun () -> raise Exit));
+  (* with_enabled restores the previous (disabled) state *)
+  let v, report = Obs.with_enabled (fun () -> 7) in
+  Alcotest.(check int) "with_enabled result" 7 v;
+  Alcotest.(check bool) "report produced" true (report.Obs.total_s >= 0.0);
+  Alcotest.(check bool) "sink restored" false (Obs.enabled ())
+
+let test_span_exception_closes () =
+  let clock, tick = make_clock () in
+  let (), report =
+    Obs.with_enabled ~clock (fun () ->
+        (try
+           Obs.Span.with_ ~name:"boom" (fun () ->
+               tick 0.5;
+               raise Exit)
+         with Exit -> ());
+        Obs.Span.with_ ~name:"after" (fun () -> tick 0.25))
+  in
+  Alcotest.(check (list string))
+    "failed span closed, sibling at top level" [ "boom"; "after" ]
+    (List.map (fun n -> n.Obs.name) report.Obs.spans);
+  let boom = List.hd report.Obs.spans in
+  Alcotest.(check (float 0.0)) "boom duration recorded" 0.5 boom.Obs.dur_s
+
+let test_chrome_trace_bytes () =
+  let report = record_reference () in
+  let expected =
+    String.concat ""
+      [
+        "[";
+        "{\"name\":\"prove\",\"cat\":\"zkml\",\"ph\":\"X\",";
+        "\"ts\":500000,\"dur\":750000,\"pid\":1,\"tid\":1},";
+        "{\"name\":\"ntt\",\"cat\":\"zkml\",\"ph\":\"X\",";
+        "\"ts\":750000,\"dur\":125000,\"pid\":1,\"tid\":1,";
+        "\"args\":{\"ntt.size\":512}},";
+        "{\"name\":\"ntt\",\"cat\":\"zkml\",\"ph\":\"X\",";
+        "\"ts\":875000,\"dur\":62500,\"pid\":1,\"tid\":1,";
+        "\"args\":{\"ntt.size\":256}},";
+        "{\"name\":\"msm\",\"cat\":\"zkml\",\"ph\":\"X\",";
+        "\"ts\":937500,\"dur\":250000,\"pid\":1,\"tid\":1,";
+        "\"args\":{\"msm.points\":100}}";
+        "]";
+      ]
+  in
+  Alcotest.(check string) "byte-exact trace" expected (Obs.chrome_trace report)
+
+let test_summary_json_shape () =
+  let report = record_reference () in
+  let s = Obs.summary_json report in
+  List.iter
+    (fun needle ->
+      let contains =
+        let nl = String.length needle and sl = String.length s in
+        let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true contains)
+    [
+      "\"total_s\":1.25";
+      "\"gauges\":{\"k\":9}";
+      "\"name\":\"ntt\",\"calls\":2";
+      "\"children\":[]";
+    ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting order and timing" `Quick test_nesting;
+          Alcotest.test_case "exception closes span" `Quick
+            test_span_exception_closes;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "accumulation" `Quick test_counters;
+          Alcotest.test_case "same-name suppression" `Quick
+            test_same_name_suppression;
+        ] );
+      ( "disabled",
+        [ Alcotest.test_case "no-op passthrough" `Quick test_disabled_noop ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace bytes" `Quick
+            test_chrome_trace_bytes;
+          Alcotest.test_case "summary json shape" `Quick
+            test_summary_json_shape;
+        ] );
+    ]
