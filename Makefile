@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt smoke bench clean
+.PHONY: all build test check fmt smoke bench bench-par clean
 
 all: build
 
@@ -8,9 +8,13 @@ build:
 test:
 	dune runtest
 
-# Formatting + full test suite. ocamlformat is optional in the dev
-# container, so fmt degrades to a no-op when it is not installed.
-check: fmt test
+# Formatting + full test suite, run sequentially AND with a 4-domain
+# prover pool: proofs must be byte-identical at every job count.
+# ocamlformat is optional in the dev container, so fmt degrades to a
+# no-op when it is not installed.
+check: fmt build
+	ZKML_JOBS=1 dune runtest --force
+	ZKML_JOBS=4 dune runtest --force
 
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
@@ -27,6 +31,11 @@ smoke: build
 
 bench: build
 	dune exec bench/main.exe -- table6 --json /tmp/zkml-bench.json
+
+# Multicore prover scaling: prove a seed model at jobs=1/2/4, assert
+# byte-identical proofs, write BENCH_PR2.json with the timings.
+bench-par: build
+	dune exec bench/main.exe -- par
 
 clean:
 	dune clean

@@ -587,6 +587,64 @@ let sec9_45 () =
     (Array.length est) tau (!best_est = !best_mea)
 
 (* ------------------------------------------------------------------ *)
+(* par: multicore prover scaling (PR 2). Proves the largest scaled
+   bench model at jobs = 1/2/4, checks the proofs are byte-identical,
+   and writes BENCH_PR2.json with the prove times and the jobs=4
+   speedup. *)
+
+let par () =
+  let m = Zoo.resnet18 () in
+  let inputs = Zoo.sample_inputs m in
+  let params = Lazy.force kzg_params in
+  (* calibrate once outside the timed loop *)
+  ignore (Pipe_kzg.calibrated params);
+  let saved = Zkml_util.Pool.jobs () in
+  let runs =
+    List.map
+      (fun j ->
+        Zkml_util.Pool.set_jobs j;
+        let r = Pipe_kzg.run ~cfg:m.Zoo.cfg ~params m.Zoo.graph inputs in
+        if not r.Pipe_kzg.verified then
+          failwith (Printf.sprintf "par: verification failed at jobs=%d" j);
+        let digest =
+          Digest.to_hex
+            (Digest.string (Pipe_kzg.Proto.proof_to_bytes r.Pipe_kzg.proof))
+        in
+        Printf.printf
+          "jobs=%d  prove %8.2f s  proof %6d B  (k=%d cols=%d)  md5 %s\n%!" j
+          r.Pipe_kzg.prove_s r.Pipe_kzg.proof_bytes r.Pipe_kzg.plan.Opt.k
+          r.Pipe_kzg.plan.Opt.ncols digest;
+        (j, r.Pipe_kzg.prove_s, r.Pipe_kzg.plan.Opt.k,
+         r.Pipe_kzg.plan.Opt.ncols, digest))
+      [ 1; 2; 4 ]
+  in
+  Zkml_util.Pool.set_jobs saved;
+  let _, t1, k, ncols, d1 = List.hd runs in
+  let _, t4, _, _, _ = List.nth runs (List.length runs - 1) in
+  let identical =
+    List.for_all (fun (_, _, _, _, d) -> String.equal d d1) runs
+  in
+  let speedup = t1 /. Float.max t4 1e-9 in
+  Printf.printf "proofs identical across job counts: %b\n" identical;
+  Printf.printf "speedup at jobs=4: %.2fx (on %d hardware core%s)\n%!" speedup
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  if not identical then failwith "par: proof bytes differ across job counts";
+  let oc = open_out "BENCH_PR2.json" in
+  Printf.fprintf oc
+    "{\"bench\":\"par\",\"model\":\"%s\",\"backend\":\"kzg\",\"k\":%d,\"ncols\":%d,\"cores\":%d,\"runs\":[%s],\"speedup_j4\":%s,\"proof_identical\":%b}\n"
+    m.Zoo.name k ncols
+    (Domain.recommended_domain_count ())
+    (String.concat ","
+       (List.map
+          (fun (j, t, _, _, _) ->
+            Printf.sprintf "{\"jobs\":%d,\"prove_s\":%s}" j (Obs.json_float t))
+          runs))
+    (Obs.json_float speedup) identical;
+  close_out oc;
+  Printf.printf "wrote BENCH_PR2.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* ops: Bechamel microbenchmarks of the primitives the cost model uses *)
 
 let ops () =
@@ -658,6 +716,7 @@ let sections =
     ("table13", "single-row vs multi-row constraints (Table 13)", table13);
     ("table14", "runtime- vs size-optimized proofs (Table 14)", table14);
     ("sec9_45", "optimizer savings and cost-model accuracy (9.4/9.5)", sec9_45);
+    ("par", "multicore prover scaling and determinism (PR 2)", par);
     ("ops", "primitive operation microbenchmarks (bechamel)", ops) ]
 
 let () =

@@ -14,7 +14,8 @@
 
    MODEL is a zoo name (see `zkml models`) or a path to a .zkml file.
    Setting ZKML_TRACE=<path> makes any subcommand record a chrome-trace
-   of its whole execution to <path>. *)
+   of its whole execution to <path>. `--jobs N` (or ZKML_JOBS=N) sizes
+   the prover's domain pool; proofs are byte-identical at every N. *)
 
 module T = Zkml_tensor.Tensor
 module Fx = Zkml_fixed.Fixed
@@ -372,6 +373,28 @@ let backend_arg =
     value & opt string "kzg"
     & info [ "backend" ] ~docv:"BACKEND" ~doc:"kzg or ipa.")
 
+(* Worker-domain count for the parallel prover. The flag (or the
+   ZKML_JOBS environment variable, which the pool also reads on its
+   own) only changes wall-clock time: proof bytes are identical at
+   every job count. *)
+let jobs_term =
+  let arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~env:(Cmd.Env.info "ZKML_JOBS")
+          ~doc:
+            "Worker domains for the parallel prover (default 1, i.e. \
+             sequential). Output is bit-for-bit identical regardless of \
+             $(docv).")
+  in
+  let apply = function
+    | Some n -> Zkml_util.Pool.set_jobs n
+    | None -> ()
+  in
+  Term.(const apply $ arg)
+
 let models_cmd =
   Cmd.v (Cmd.info "models" ~doc:"List the built-in model zoo.")
     Term.(const cmd_models $ const ())
@@ -396,7 +419,7 @@ let calibrate_cmd =
   Cmd.v
     (Cmd.info "calibrate"
        ~doc:"Benchmark FFT/MSM/lookup/field costs (cost-model inputs).")
-    Term.(const cmd_calibrate $ backend_arg)
+    Term.(const (fun () b -> cmd_calibrate b) $ jobs_term $ backend_arg)
 
 let optimize_cmd =
   let objective =
@@ -406,7 +429,9 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run the circuit-layout optimizer (Algorithm 1).")
-    Term.(const cmd_optimize $ model_arg $ backend_arg $ objective)
+    Term.(
+      const (fun () m b o -> cmd_optimize m b o)
+      $ jobs_term $ model_arg $ backend_arg $ objective)
 
 let profile_cmd =
   let trace =
@@ -421,7 +446,9 @@ let profile_cmd =
        ~doc:
          "Run a traced prove; print the span tree and the predicted-vs-actual \
           cost-model report (paper 9.5).")
-    Term.(const cmd_profile $ model_arg $ backend_arg $ trace)
+    Term.(
+      const (fun () m b t -> cmd_profile m b t)
+      $ jobs_term $ model_arg $ backend_arg $ trace)
 
 let prove_cmd =
   let out =
@@ -436,7 +463,9 @@ let prove_cmd =
   in
   Cmd.v
     (Cmd.info "prove" ~doc:"Compile, optimize, prove; write a proof file.")
-    Term.(const cmd_prove $ model_arg $ backend_arg $ out $ seed)
+    Term.(
+      const (fun () m b o s -> cmd_prove m b o s)
+      $ jobs_term $ model_arg $ backend_arg $ out $ seed)
 
 let verify_cmd =
   let proof =
@@ -447,12 +476,23 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify a proof file against a model.")
-    Term.(const cmd_verify $ model_arg $ proof)
+    Term.(const (fun () m p -> cmd_verify m p) $ jobs_term $ model_arg $ proof)
 
 let main =
   Cmd.group
     (Cmd.info "zkml" ~version:"1.0.0"
-       ~doc:"Optimizing compiler from ML models to ZK-SNARK circuits.")
+       ~doc:"Optimizing compiler from ML models to ZK-SNARK circuits."
+       ~envs:
+         [
+           Cmd.Env.info "ZKML_JOBS"
+             ~doc:
+               "Worker domains for the parallel prover (same as --jobs; \
+                default 1). Proof bytes are identical at every job count.";
+           Cmd.Env.info "ZKML_TRACE"
+             ~doc:
+               "If set to a path, record a chrome-trace of the whole \
+                command there at exit.";
+         ])
     [ models_cmd; stats_cmd; export_cmd; calibrate_cmd; optimize_cmd;
       prove_cmd; verify_cmd; profile_cmd ]
 

@@ -41,6 +41,11 @@ module Make (G : Zkml_ec.Group_intf.S) :
     Zkml_obs.Obs.count "commitments" 1;
     M.msm (Array.sub t.gens 0 (Array.length coeffs)) coeffs
 
+  let commit_many t polys =
+    (* per-column fan-out only pays once each MSM is non-trivial *)
+    let m = Array.fold_left (fun acc p -> max acc (Array.length p)) 0 polys in
+    let seq_below = if m >= 256 then 2 else max_int in
+    Zkml_util.Pool.parallel_map_array ~seq_below (commit t) polys
   let add_commitment = G.add
   let scale_commitment = G.mul
 

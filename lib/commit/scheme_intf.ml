@@ -23,6 +23,11 @@ module type S = sig
   val commit : params -> G.Scalar.t array -> G.t
   (** Commit to a coefficient vector (length <= [max_size params]). *)
 
+  val commit_many : params -> G.Scalar.t array array -> G.t array
+  (** [commit_many params polys] = [Array.map (commit params) polys],
+      with the commitments computed in parallel over the domain pool
+      (identical results at any job count). *)
+
   val add_commitment : G.t -> G.t -> G.t
   val scale_commitment : G.t -> G.Scalar.t -> G.t
 

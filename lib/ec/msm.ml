@@ -3,10 +3,21 @@
     bucket (Pippenger) method with a size-dependent window. *)
 
 module Make (G : Group_intf.S) = struct
+  module Pool = Zkml_util.Pool
+
   let naive points scalars =
-    let acc = ref G.zero in
-    Array.iteri (fun i p -> acc := G.add !acc (G.mul p scalars.(i))) points;
-    !acc
+    (* chunked sum; G.add is associative, and partial sums combine in
+       ascending chunk order with a job-count-independent chunk size, so
+       the result is identical at any width *)
+    Pool.parallel_reduce ~chunk:64 ~seq_below:128 (Array.length points)
+      ~init:G.zero
+      ~map:(fun lo hi ->
+        let acc = ref G.zero in
+        for i = lo to hi - 1 do
+          acc := G.add !acc (G.mul points.(i) scalars.(i))
+        done;
+        !acc)
+      ~combine:G.add
 
   let scalar_bits = 64 * Array.length G.Scalar.modulus_limbs
 
@@ -39,22 +50,33 @@ module Make (G : Group_intf.S) = struct
       let c = window_size n in
       let limbs = Array.map G.Scalar.to_canonical_limbs scalars in
       let windows = (scalar_bits + c - 1) / c in
+      (* windows are independent, so their bucket accumulation runs
+         concurrently; each window's inner loops are exactly the
+         sequential ones, so sums.(w) is representation-identical at any
+         job count. Below ~256 points a window is too little work to
+         amortize the region dispatch, so small MSMs stay sequential. *)
+      let sums = Array.make windows G.zero in
+      let seq_below = if n >= 256 then 2 else max_int in
+      Pool.parallel_for ~chunk:1 ~seq_below windows (fun w ->
+          let buckets = Array.make ((1 lsl c) - 1) G.zero in
+          for i = 0 to n - 1 do
+            let d = digit limbs.(i) (w * c) c in
+            if d <> 0 then buckets.(d - 1) <- G.add buckets.(d - 1) points.(i)
+          done;
+          let running = ref G.zero and sum = ref G.zero in
+          for b = Array.length buckets - 1 downto 0 do
+            running := G.add !running buckets.(b);
+            sum := G.add !sum !running
+          done;
+          sums.(w) <- !sum);
+      (* the doubling combine stays sequential: acc = 2^c * acc + sum_w,
+         highest window first — the same op sequence as before *)
       let acc = ref G.zero in
       for w = windows - 1 downto 0 do
         for _ = 1 to c do
           acc := G.double !acc
         done;
-        let buckets = Array.make ((1 lsl c) - 1) G.zero in
-        for i = 0 to n - 1 do
-          let d = digit limbs.(i) (w * c) c in
-          if d <> 0 then buckets.(d - 1) <- G.add buckets.(d - 1) points.(i)
-        done;
-        let running = ref G.zero and sum = ref G.zero in
-        for b = Array.length buckets - 1 downto 0 do
-          running := G.add !running buckets.(b);
-          sum := G.add !sum !running
-        done;
-        acc := G.add !acc !sum
+        acc := G.add !acc sums.(w)
       done;
       !acc
     end

@@ -26,8 +26,15 @@ type sink = {
   mutable sk_gauge_order : string list;  (* reversed insertion order *)
 }
 
-let sink : sink option ref = ref None
-let enabled () = !sink <> None
+(* The sink is domain-local: the main domain owns the trace; worker
+   domains see [None] unless the pool installed a capture sink for the
+   duration of a parallel region (see {!Par}), so recording never races
+   across domains. *)
+let sink_key : sink option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let sink () = Domain.DLS.get sink_key
+let enabled () = !(sink ()) <> None
 
 let enable ?(clock = Unix.gettimeofday) () =
   let root =
@@ -39,17 +46,17 @@ let enable ?(clock = Unix.gettimeofday) () =
       sp_children = [];
     }
   in
-  sink :=
-    Some
-      {
-        sk_clock = clock;
-        sk_root = root;
-        sk_stack = [ root ];
-        sk_gauges = Hashtbl.create 16;
-        sk_gauge_order = [];
-      }
+  sink ()
+  := Some
+       {
+         sk_clock = clock;
+         sk_root = root;
+         sk_stack = [ root ];
+         sk_gauges = Hashtbl.create 16;
+         sk_gauge_order = [];
+       }
 
-let disable () = sink := None
+let disable () = sink () := None
 
 (* Assoc bump preserving insertion order; counter lists are short. *)
 let rec bump name v = function
@@ -58,7 +65,7 @@ let rec bump name v = function
   | hd :: tl -> hd :: bump name v tl
 
 let countf name v =
-  match !sink with
+  match !(sink ()) with
   | None -> ()
   | Some s -> (
       match s.sk_stack with
@@ -68,10 +75,10 @@ let countf name v =
 let count name v =
   (* check the sink before boxing the float so the disabled path stays
      allocation-free *)
-  match !sink with None -> () | Some _ -> countf name (float_of_int v)
+  match !(sink ()) with None -> () | Some _ -> countf name (float_of_int v)
 
 let gauge name v =
-  match !sink with
+  match !(sink ()) with
   | None -> ()
   | Some s ->
       if not (Hashtbl.mem s.sk_gauges name) then
@@ -82,7 +89,7 @@ let gauge_int name v = gauge name (float_of_int v)
 
 module Span = struct
   let with_ ~name f =
-    match !sink with
+    match !(sink ()) with
     | None -> f ()
     | Some s ->
         let sp =
@@ -134,7 +141,7 @@ type report = {
 }
 
 let snapshot () =
-  match !sink with
+  match !(sink ()) with
   | None -> None
   | Some s ->
       let now = s.sk_clock () in
@@ -168,7 +175,7 @@ let snapshot () =
 (** Enable a fresh sink, run [f], return its result and the recorded
     report; restores the previous sink state afterwards. *)
 let with_enabled ?clock f =
-  let saved = !sink in
+  let saved = !(sink ()) in
   enable ?clock ();
   let finish () =
     let r =
@@ -176,7 +183,7 @@ let with_enabled ?clock f =
       | Some r -> r
       | None -> { spans = []; root_counters = []; gauges = []; total_s = 0.0 }
     in
-    sink := saved;
+    sink () := saved;
     r
   in
   match f () with
@@ -266,6 +273,96 @@ let counter_total report name =
       0.0 report.root_counters
   in
   List.fold_left go base report.spans
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-region capture (used by Zkml_util.Pool) *)
+
+(** Worker domains have no sink of their own, so anything they record
+    would be lost. A pool bridging a parallel region calls {!Par.fork}
+    on the main domain to get per-worker capture slots, wraps each
+    worker body in {!Par.worker_run} (which installs a private sink in
+    that worker's DLS for the duration), and calls {!Par.join} back on
+    the main domain to splice every captured subtree, counter and gauge
+    into the main trace in worker-index order — so the merged trace is
+    deterministic regardless of scheduling. *)
+module Par = struct
+  type slot = { mutable captured : sink option }
+  type handle = { pr_clock : clock; pr_slots : slot array }
+
+  let fork n =
+    match !(sink ()) with
+    | None -> None
+    | Some s ->
+        Some
+          {
+            pr_clock = s.sk_clock;
+            pr_slots = Array.init n (fun _ -> { captured = None });
+          }
+
+  let worker_run h i f =
+    match h with
+    | None -> f ()
+    | Some { pr_clock; pr_slots } ->
+        let root =
+          {
+            sp_name = "worker";
+            sp_start = pr_clock ();
+            sp_stop = nan;
+            sp_counters = [];
+            sp_children = [];
+          }
+        in
+        let s =
+          {
+            sk_clock = pr_clock;
+            sk_root = root;
+            sk_stack = [ root ];
+            sk_gauges = Hashtbl.create 4;
+            sk_gauge_order = [];
+          }
+        in
+        sink () := Some s;
+        let finish () =
+          root.sp_stop <- pr_clock ();
+          sink () := None;
+          pr_slots.(i).captured <- Some s
+        in
+        (match f () with
+        | v ->
+            finish ();
+            v
+        | exception e ->
+            finish ();
+            raise e)
+
+  let join h =
+    match h with
+    | None -> ()
+    | Some { pr_slots; _ } -> (
+        match !(sink ()) with
+        | None -> ()
+        | Some main ->
+            let target =
+              match main.sk_stack with sp :: _ -> sp | [] -> main.sk_root
+            in
+            Array.iter
+              (fun slot ->
+                match slot.captured with
+                | None -> ()
+                | Some ws ->
+                    (* both lists are newest-first, so prepending keeps
+                       worker subtrees after existing children and in
+                       worker order once reversed for snapshots *)
+                    target.sp_children <-
+                      ws.sk_root.sp_children @ target.sp_children;
+                    target.sp_counters <-
+                      merge_counters target.sp_counters
+                        ws.sk_root.sp_counters;
+                    List.iter
+                      (fun n -> gauge n (Hashtbl.find ws.sk_gauges n))
+                      (List.rev ws.sk_gauge_order))
+              pr_slots)
+end
 
 (* ------------------------------------------------------------------ *)
 (* JSON helpers (no external dependency; output is deterministic) *)

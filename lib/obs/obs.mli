@@ -81,6 +81,32 @@ val total_of : ?under:string -> report -> string -> float
 val counter_total : report -> string -> float
 (** Sum of a named counter over the whole tree. *)
 
+(** {1 Parallel-region capture}
+
+    The sink is domain-local, so worker domains record nothing unless
+    bridged. A thread pool calls [fork n] on the domain that owns the
+    trace, wraps each worker body in [worker_run h i], and calls
+    [join h] back on the owning domain: every span, counter and gauge
+    the workers recorded is spliced into the innermost open span of the
+    main trace, in worker-index order (deterministic regardless of
+    scheduling). All three are no-ops while tracing is disabled. *)
+
+module Par : sig
+  type handle
+
+  val fork : int -> handle option
+  (** [fork n] prepares capture slots for [n] workers; [None] (free)
+      when the sink is disabled. *)
+
+  val worker_run : handle option -> int -> (unit -> 'a) -> 'a
+  (** [worker_run h i f] runs [f] with a private capture sink installed
+      in the calling domain for slot [i]; captures even if [f] raises. *)
+
+  val join : handle option -> unit
+  (** Merge all captured slots into the current trace. Call on the
+      domain that called [fork], after all workers finished. *)
+end
+
 (** {1 Exporters} *)
 
 val chrome_trace : report -> string

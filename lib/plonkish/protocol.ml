@@ -45,9 +45,11 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     let rec go k = if k >= x then k else go (2 * k) in
     go 1
 
+  module Pool = Zkml_util.Pool
+
   (* Union-find for copy-constraint equivalence classes. *)
   let build_sigma (circuit : circuit) (perm_cols : Circuit.any_col array)
-      ~n ~omega ~deltas =
+      ~n ~omega_pows ~deltas =
     let m = Array.length perm_cols in
     let col_index c =
       let rec find i = if perm_cols.(i) = c then i else find (i + 1) in
@@ -75,11 +77,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       let r = find i in
       Hashtbl.replace classes r (i :: (try Hashtbl.find classes r with Not_found -> []))
     done;
-    (* identity labels *)
-    let omega_pows = Array.make n F.one in
-    for r = 1 to n - 1 do
-      omega_pows.(r) <- F.mul omega_pows.(r - 1) omega
-    done;
+    (* identity labels: omega_pows is the domain's cached elements *)
     let label cell =
       let c = cell / n and r = cell mod n in
       F.mul deltas.(c) omega_pows.(r)
@@ -111,8 +109,8 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       (fun col ->
         if Array.length col <> n then invalid_arg "keygen: fixed column length")
       fixed;
-    let fixed_polys = Array.map (P.interpolate domain) fixed in
-    let fixed_commits = Array.map (Scheme.commit scheme_params) fixed_polys in
+    let fixed_polys = P.interpolate_many domain fixed in
+    let fixed_commits = Scheme.commit_many scheme_params fixed_polys in
     let perm_cols = Circuit.permutation_columns circuit in
     let m = Array.length perm_cols in
     let deltas = Array.make (max m 1) F.one in
@@ -121,10 +119,12 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     done;
     let sigma_values =
       if m = 0 then [||]
-      else build_sigma circuit perm_cols ~n ~omega:domain.omega ~deltas
+      else
+        build_sigma circuit perm_cols ~n
+          ~omega_pows:(P.Domain.elements domain) ~deltas
     in
-    let sigma_polys = Array.map (P.interpolate domain) sigma_values in
-    let sigma_commits = Array.map (Scheme.commit scheme_params) sigma_polys in
+    let sigma_polys = P.interpolate_many domain sigma_values in
+    let sigma_commits = Scheme.commit_many scheme_params sigma_polys in
     let d_max = Circuit.max_degree circuit in
     let chunk = Circuit.permutation_chunk circuit in
     let n_chunks = if m = 0 then 0 else (m + chunk - 1) / chunk in
@@ -422,15 +422,6 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     let j = (i + (rot * factor)) mod ext_n in
     if j < 0 then j + ext_n else j
 
-  (* Indicator polynomial evaluations over the extended coset for a set
-     of rows. *)
-  let indicator_ext keys rows =
-    let n = P.Domain.size keys.domain in
-    let v = Array.make n F.zero in
-    List.iter (fun r -> v.(r) <- F.one) rows;
-    let coeffs = P.interpolate keys.domain v in
-    P.coset_ntt keys.ext_domain ~shift:F.generator coeffs
-
   let prove scheme_params keys ~(instance : F.t array array)
       ~(advice : F.t array -> F.t array array) ~rng =
     Obs.Span.with_ ~name:"prove" @@ fun () ->
@@ -459,13 +450,25 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       let adv_polys = Array.make num_adv [||] in
       let adv_commits = Array.make num_adv G.zero in
       let commit_phase ph grid =
-        for i = 0 to num_adv - 1 do
-          if circuit.advice_phases.(i) = ph then begin
-            adv_polys.(i) <- P.interpolate keys.domain grid.(i);
-            adv_commits.(i) <- Scheme.commit scheme_params adv_polys.(i);
-            T.absorb_bytes transcript ~label:"advice" (G.to_bytes adv_commits.(i))
-          end
-        done
+        (* interpolate + commit the phase's columns as one parallel
+           batch, then absorb in ascending column order — the same
+           transcript sequence as the sequential loop *)
+        let idxs = ref [] in
+        for i = num_adv - 1 downto 0 do
+          if circuit.advice_phases.(i) = ph then idxs := i :: !idxs
+        done;
+        let idxs = Array.of_list !idxs in
+        let polys =
+          P.interpolate_many keys.domain (Array.map (fun i -> grid.(i)) idxs)
+        in
+        let commits = Scheme.commit_many scheme_params polys in
+        Array.iteri
+          (fun j i ->
+            adv_polys.(i) <- polys.(j);
+            adv_commits.(i) <- commits.(j);
+            T.absorb_bytes transcript ~label:"advice"
+              (G.to_bytes adv_commits.(i)))
+          idxs
       in
       commit_phase 0 advice0;
       let challenges =
@@ -532,11 +535,15 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       Obs.count "lookup.rows" u;
       let l = lookups.(li) in
       let a = Array.make n F.zero and s = Array.make n F.zero in
-      for row = 0 to n - 1 do
-        let ctx = cell_ctx row in
-        a.(row) <- compress theta (List.map (eval_expr ctx) l.Circuit.inputs);
-        s.(row) <- compress theta (List.map (eval_expr ctx) l.Circuit.tables)
-      done;
+      (* per-row compression is pure and writes disjoint rows *)
+      Pool.parallel_for_ranges ~seq_below:1024 n (fun lo hi ->
+          for row = lo to hi - 1 do
+            let ctx = cell_ctx row in
+            a.(row) <-
+              compress theta (List.map (eval_expr ctx) l.Circuit.inputs);
+            s.(row) <-
+              compress theta (List.map (eval_expr ctx) l.Circuit.tables)
+          done);
       (* permute over usable rows 0..u-1 *)
       let a_u = Array.sub a 0 u and s_u = Array.sub s 0 u in
       let a_sorted = Array.copy a_u in
@@ -594,14 +601,15 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     done;
     let look_a_polys, look_s_polys, look_a_commits, look_s_commits =
       Obs.Span.with_ ~name:"lookup-commit" @@ fun () ->
-      let look_a_polys = Array.map (P.interpolate keys.domain) look_a' in
-      let look_s_polys = Array.map (P.interpolate keys.domain) look_s' in
-      let look_a_commits =
-        Array.map (Scheme.commit scheme_params) look_a_polys
+      (* one batch over inputs and tables together *)
+      let polys =
+        P.interpolate_many keys.domain (Array.append look_a' look_s')
       in
-      let look_s_commits =
-        Array.map (Scheme.commit scheme_params) look_s_polys
-      in
+      let commits = Scheme.commit_many scheme_params polys in
+      let look_a_polys = Array.sub polys 0 num_lookups in
+      let look_s_polys = Array.sub polys num_lookups num_lookups in
+      let look_a_commits = Array.sub commits 0 num_lookups in
+      let look_s_commits = Array.sub commits num_lookups num_lookups in
       (look_a_polys, look_s_polys, look_a_commits, look_s_commits)
     in
     for li = 0 to num_lookups - 1 do
@@ -615,10 +623,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       Obs.Span.with_ ~name:"grand-products" @@ fun () ->
       Obs.count "perm.cols" (Array.length keys.perm_cols);
       Obs.count "perm.chunks" keys.n_chunks;
-    let omega_pows = Array.make n F.one in
-    for r = 1 to n - 1 do
-      omega_pows.(r) <- F.mul omega_pows.(r - 1) keys.domain.omega
-    done;
+    let omega_pows = P.Domain.elements keys.domain in
     let col_value c row =
       match c with
       | Circuit.Col_fixed i -> keys.fixed_values.(i).(row)
@@ -689,10 +694,12 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       done;
       look_z.(li) <- z
     done;
-    let perm_z_polys = Array.map (P.interpolate keys.domain) perm_z in
-    let look_z_polys = Array.map (P.interpolate keys.domain) look_z in
-    let perm_z_commits = Array.map (Scheme.commit scheme_params) perm_z_polys in
-    let look_z_commits = Array.map (Scheme.commit scheme_params) look_z_polys in
+    let z_polys = P.interpolate_many keys.domain (Array.append perm_z look_z) in
+    let z_commits = Scheme.commit_many scheme_params z_polys in
+    let perm_z_polys = Array.sub z_polys 0 keys.n_chunks in
+    let look_z_polys = Array.sub z_polys keys.n_chunks num_lookups in
+    let perm_z_commits = Array.sub z_commits 0 keys.n_chunks in
+    let look_z_commits = Array.sub z_commits keys.n_chunks num_lookups in
       (perm_z_polys, look_z_polys, perm_z_commits, look_z_commits)
     in
     Array.iter
@@ -709,33 +716,71 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     let ext_n = P.Domain.size keys.ext_domain in
     let factor = keys.ext_factor in
     let shift = F.generator in
-    let to_ext poly = P.coset_ntt keys.ext_domain ~shift poly in
-    let fixed_ext = Array.map to_ext keys.fixed_polys in
-    let adv_ext = Array.map to_ext adv_polys in
-    let inst_polys = Array.map (P.interpolate keys.domain) inst_cols in
-    let inst_ext = Array.map to_ext inst_polys in
-    let sigma_ext = Array.map to_ext keys.sigma_polys in
-    let perm_z_ext = Array.map to_ext perm_z_polys in
-    let look_z_ext = Array.map to_ext look_z_polys in
-    let look_a'_ext = Array.map to_ext look_a_polys in
-    let look_s'_ext = Array.map to_ext look_s_polys in
+    let inst_polys = P.interpolate_many keys.domain inst_cols in
+    (* indicator columns for l0 / llast / lblind, interpolated as part
+       of the same batch *)
+    let indicator rows =
+      let v = Array.make n F.zero in
+      List.iter (fun r -> v.(r) <- F.one) rows;
+      v
+    in
+    let ind_polys =
+      P.interpolate_many keys.domain
+        [|
+          indicator [ 0 ];
+          indicator [ u ];
+          indicator (List.init (n - u - 1) (fun i -> u + 1 + i));
+        |]
+    in
+    (* every column set extends to the coset in one parallel batch *)
+    let all_polys =
+      Array.concat
+        [
+          keys.fixed_polys;
+          adv_polys;
+          inst_polys;
+          keys.sigma_polys;
+          perm_z_polys;
+          look_z_polys;
+          look_a_polys;
+          look_s_polys;
+          ind_polys;
+        ]
+    in
+    let all_ext = P.coset_ntt_many keys.ext_domain ~shift all_polys in
+    let off = ref 0 in
+    let take k =
+      let r = Array.sub all_ext !off k in
+      off := !off + k;
+      r
+    in
+    let fixed_ext = take (Array.length keys.fixed_polys) in
+    let adv_ext = take (Array.length adv_polys) in
+    let inst_ext = take (Array.length inst_polys) in
+    let sigma_ext = take (Array.length keys.sigma_polys) in
+    let perm_z_ext = take (Array.length perm_z_polys) in
+    let look_z_ext = take (Array.length look_z_polys) in
+    let look_a'_ext = take (Array.length look_a_polys) in
+    let look_s'_ext = take (Array.length look_s_polys) in
     (* A and S (unpermuted, uncommitted) are expressions; evaluate their
        compressed forms through the generic ctx below. *)
-    let l0_ext = indicator_ext keys [ 0 ] in
-    let llast_ext = indicator_ext keys [ u ] in
-    let lblind_ext =
-      indicator_ext keys (List.init (n - u - 1) (fun i -> u + 1 + i))
-    in
+    let l0_ext = all_ext.(!off)
+    and llast_ext = all_ext.(!off + 1)
+    and lblind_ext = all_ext.(!off + 2) in
     let coset_points =
-      let r = Array.make ext_n shift in
-      for i = 1 to ext_n - 1 do
-        r.(i) <- F.mul r.(i - 1) keys.ext_domain.omega
-      done;
+      (* shift * omega^i from the cached root powers *)
+      let els = P.Domain.elements keys.ext_domain in
+      let r = Array.make ext_n F.zero in
+      Pool.parallel_for_ranges ~seq_below:(1 lsl 14) ext_n (fun lo hi ->
+          for i = lo to hi - 1 do
+            r.(i) <- F.mul shift els.(i)
+          done);
       r
     in
     let rot = rot_index ~ext_n ~factor in
     let quotient_evals = Array.make ext_n F.zero in
-    for i = 0 to ext_n - 1 do
+    Pool.parallel_for_ranges ~seq_below:256 ext_n (fun row_lo row_hi ->
+    for i = row_lo to row_hi - 1 do
       let ctx =
         {
           c_fixed = (fun col r -> fixed_ext.(col).(rot i r));
@@ -769,20 +814,21 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
         }
       in
       quotient_evals.(i) <- combine_terms keys ~beta ~gamma ~theta ~y ctx
-    done;
+    done);
     (* divide by Z_H(X) = X^n - 1 on the coset: the values cycle with
        period [factor]. *)
     let zh = Array.init factor (fun i -> F.sub (F.pow_int coset_points.(i) n) F.one) in
     let zh_inv = Extra.batch_inv zh in
-    for i = 0 to ext_n - 1 do
-      quotient_evals.(i) <- F.mul quotient_evals.(i) zh_inv.(i mod factor)
-    done;
+    Pool.parallel_for_ranges ~seq_below:(1 lsl 14) ext_n (fun lo hi ->
+        for i = lo to hi - 1 do
+          quotient_evals.(i) <- F.mul quotient_evals.(i) zh_inv.(i mod factor)
+        done);
     let h_coeffs = P.coset_intt keys.ext_domain ~shift quotient_evals in
     let h_pieces =
       Array.init factor (fun j ->
           Array.sub h_coeffs (j * n) n)
     in
-    let h_commits = Array.map (Scheme.commit scheme_params) h_pieces in
+    let h_commits = Scheme.commit_many scheme_params h_pieces in
       (h_pieces, h_commits)
     in
     Array.iter
@@ -808,8 +854,9 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     let evals =
       Obs.Span.with_ ~name:"evals" @@ fun () ->
       Obs.count "proof.evals" (List.length plan);
-      Array.of_list
-        (List.map (fun (src, r) -> P.eval (poly_of_source src) (point_of_rot r)) plan)
+      Pool.parallel_map_array
+        (fun (src, r) -> P.eval (poly_of_source src) (point_of_rot r))
+        (Array.of_list plan)
     in
     Ch.absorb_scalars transcript ~label:"evals" (Array.to_list evals);
     (* --- multi-open: batch per distinct rotation --- *)
@@ -913,9 +960,10 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
         (* instance evaluations computed locally *)
         let _, _, instance_rots = column_rotations circuit in
         let inst_evals = Hashtbl.create 16 in
+        let inst_polys = P.interpolate_many keys.domain instance in
         Array.iteri
           (fun col rots ->
-            let poly = P.interpolate keys.domain instance.(col) in
+            let poly = inst_polys.(col) in
             List.iter
               (fun r ->
                 let pt =

@@ -6,6 +6,25 @@
 
 module Make (F : Zkml_ff.Field_intf.S) = struct
   module Extra = Zkml_ff.Field_extra.Make (F)
+  module Pool = Zkml_util.Pool
+
+  (** [powers base n] = [| base^0; base^1; ...; base^(n-1) |]. Chunks are
+      independent: each seeds with one [pow_int] then runs the usual
+      multiplicative recurrence, so the values (canonical residues) are
+      identical to the sequential chain at any job count. *)
+  let powers base n =
+    if n <= 0 then [||]
+    else begin
+      let r = Array.make n F.one in
+      Pool.parallel_for_ranges ~seq_below:(1 lsl 14) n (fun lo hi ->
+          (* seed this chunk, then recur strictly within it — never read
+             r.(lo - 1), which belongs to a concurrent chunk *)
+          if lo > 0 then r.(lo) <- F.pow_int base lo;
+          for i = lo + 1 to hi - 1 do
+            r.(i) <- F.mul r.(i - 1) base
+          done);
+      r
+    end
 
   (** {1 Evaluation domains} *)
 
@@ -16,6 +35,10 @@ module Make (F : Zkml_ff.Field_intf.S) = struct
       omega : F.t;  (** primitive n-th root of unity *)
       omega_inv : F.t;
       n_inv : F.t;
+      elements : F.t array;
+          (** omega^i for i < n; the forward NTT twiddles are the n/2
+              prefix. Cached at creation — treat as read-only. *)
+      elements_inv : F.t array;  (** omega_inv^i; inverse twiddles *)
     }
 
     let create k =
@@ -23,17 +46,21 @@ module Make (F : Zkml_ff.Field_intf.S) = struct
         invalid_arg "Domain.create: k exceeds field two-adicity";
       let n = 1 lsl k in
       let omega = F.root_of_unity k in
-      { k; n; omega; omega_inv = F.inv omega; n_inv = F.inv (F.of_int n) }
+      let omega_inv = F.inv omega in
+      {
+        k;
+        n;
+        omega;
+        omega_inv;
+        n_inv = F.inv (F.of_int n);
+        elements = powers omega n;
+        elements_inv = powers omega_inv n;
+      }
 
     let size t = t.n
 
-    (** All n-th roots in order: 1, w, w^2, ... *)
-    let elements t =
-      let r = Array.make t.n F.one in
-      for i = 1 to t.n - 1 do
-        r.(i) <- F.mul r.(i - 1) t.omega
-      done;
-      r
+    (** All n-th roots in order: 1, w, w^2, ... Cached; do not mutate. *)
+    let elements t = t.elements
 
     (** x^n - 1 *)
     let eval_vanishing t x = F.sub (F.pow_int x t.n) F.one
@@ -42,14 +69,16 @@ module Make (F : Zkml_ff.Field_intf.S) = struct
         (assumed outside the domain):
         l_i(x) = (w^i / n) * (x^n - 1) / (x - w^i). *)
     let eval_lagrange t i x =
-      let wi = F.pow_int t.omega i in
+      let wi = t.elements.(((i mod t.n) + t.n) mod t.n) in
       let num = F.mul (F.mul wi t.n_inv) (eval_vanishing t x) in
       F.div num (F.sub x wi)
 
     (** Evaluations of several Lagrange basis polys at one point, sharing
         a single batch inversion. *)
     let eval_lagrange_many t indices x =
-      let wis = List.map (fun i -> F.pow_int t.omega i) indices in
+      let wis =
+        List.map (fun i -> t.elements.(((i mod t.n) + t.n) mod t.n)) indices
+      in
       let denoms = Array.of_list (List.map (fun wi -> F.sub x wi) wis) in
       let invs = Extra.batch_inv denoms in
       let z = eval_vanishing t x in
@@ -77,76 +106,99 @@ module Make (F : Zkml_ff.Field_intf.S) = struct
       end
     done
 
-  let ntt_core a root =
+  (* [tw] is a twiddle table with tw.(i) = root^i, length >= n/2 (the
+     domain's cached elements array). The classic per-block recurrence
+     [w := w * wlen] is replaced by the table lookup
+     [w = tw.(j * (n/len))], which removes the sequential dependency so
+     each stage's butterflies can be chunked across domains. Butterfly
+     pairs of one stage touch disjoint indices, so the writes race-free;
+     values are canonical residues either way, hence bit-identical to
+     the sequential transform at any job count. *)
+  let ntt_core a tw =
     let n = Array.length a in
     assert (n land (n - 1) = 0);
     bit_reverse_permute a;
     let len = ref 2 in
     while !len <= n do
-      let half = !len / 2 in
-      let wlen = F.pow_int root (n / !len) in
-      let i = ref 0 in
-      while !i < n do
-        let w = ref F.one in
-        for j = 0 to half - 1 do
-          let u = a.(!i + j) and v = F.mul a.(!i + j + half) !w in
-          a.(!i + j) <- F.add u v;
-          a.(!i + j + half) <- F.sub u v;
-          w := F.mul !w wlen
-        done;
-        i := !i + !len
-      done;
+      let len_ = !len in
+      let half = len_ / 2 in
+      let stride = n / len_ in
+      (* butterfly b covers (block, j) = (b / half, b mod half) *)
+      Pool.parallel_for_ranges ~seq_below:(1 lsl 13) ~chunk:(1 lsl 11) (n / 2)
+        (fun lo hi ->
+          let blk = ref (lo / half) and j = ref (lo mod half) in
+          let idx = ref ((!blk * len_) + !j) in
+          for _ = lo to hi - 1 do
+            let w = tw.(!j * stride) in
+            let u = a.(!idx) and v = F.mul a.(!idx + half) w in
+            a.(!idx) <- F.add u v;
+            a.(!idx + half) <- F.sub u v;
+            incr j;
+            incr idx;
+            if !j = half then begin
+              j := 0;
+              incr blk;
+              idx := !blk * len_
+            end
+          done);
       len := !len * 2
     done
 
   (* Every forward/inverse/coset transform funnels through this leaf, so
      one instrumentation point covers the whole "fft" op class of the
      cost model. The disabled branch is a single ref read. *)
-  let ntt_with_root a root =
+  let ntt_with_table a tw =
     if Zkml_obs.Obs.enabled () then
       Zkml_obs.Obs.Span.with_ ~name:"ntt" (fun () ->
           Zkml_obs.Obs.count "ntt.size" (Array.length a);
-          ntt_core a root)
-    else ntt_core a root
+          ntt_core a tw)
+    else ntt_core a tw
 
   (** Forward NTT: coefficients -> evaluations over the domain, in place.
       [Array.length a] must equal the domain size. *)
   let ntt (d : Domain.t) a =
     assert (Array.length a = d.n);
-    ntt_with_root a d.omega
+    ntt_with_table a d.elements
 
   (** Inverse NTT: evaluations -> coefficients, in place. *)
   let intt (d : Domain.t) a =
     assert (Array.length a = d.n);
-    ntt_with_root a d.omega_inv;
-    for i = 0 to d.n - 1 do
-      a.(i) <- F.mul a.(i) d.n_inv
-    done
+    ntt_with_table a d.elements_inv;
+    Pool.parallel_for_ranges ~seq_below:(1 lsl 14) d.n (fun lo hi ->
+        for i = lo to hi - 1 do
+          a.(i) <- F.mul a.(i) d.n_inv
+        done)
 
   (** Evaluate coefficient array [coeffs] (length <= d.n) on the coset
-      [shift * H]; returns a fresh array of evaluations. *)
-  let coset_ntt (d : Domain.t) ~shift coeffs =
-    assert (Array.length coeffs <= d.n);
+      [shift * H]; returns a fresh array of evaluations. Passing a
+      precomputed [?shift_pows] table (shift^i, length >= the coefficient
+      count) lets batch callers share it across columns. *)
+  let coset_ntt (d : Domain.t) ?shift_pows ~shift coeffs =
+    let m = Array.length coeffs in
+    assert (m <= d.n);
+    let sp = match shift_pows with Some t -> t | None -> powers shift m in
     let a = Array.make d.n F.zero in
-    let s = ref F.one in
-    for i = 0 to Array.length coeffs - 1 do
-      a.(i) <- F.mul coeffs.(i) !s;
-      s := F.mul !s shift
-    done;
+    Pool.parallel_for_ranges ~seq_below:(1 lsl 14) m (fun lo hi ->
+        for i = lo to hi - 1 do
+          a.(i) <- F.mul coeffs.(i) sp.(i)
+        done);
     ntt d a;
     a
 
   (** Inverse of {!coset_ntt}: evaluations on [shift * H] -> coefficients. *)
-  let coset_intt (d : Domain.t) ~shift evals =
+  let coset_intt (d : Domain.t) ?shift_inv_pows ~shift evals =
     assert (Array.length evals = d.n);
     let a = Array.copy evals in
     intt d a;
-    let shift_inv = F.inv shift in
-    let s = ref F.one in
-    for i = 0 to d.n - 1 do
-      a.(i) <- F.mul a.(i) !s;
-      s := F.mul !s shift_inv
-    done;
+    let sp =
+      match shift_inv_pows with
+      | Some t -> t
+      | None -> powers (F.inv shift) d.n
+    in
+    Pool.parallel_for_ranges ~seq_below:(1 lsl 14) d.n (fun lo hi ->
+        for i = lo to hi - 1 do
+          a.(i) <- F.mul a.(i) sp.(i)
+        done);
     a
 
   (** {1 Coefficient-form operations} *)
@@ -241,4 +293,43 @@ module Make (F : Zkml_ff.Field_intf.S) = struct
     a
 
   let random rng n = Array.init n (fun _ -> F.random rng)
+
+  (** {1 Batch transforms}
+
+      Whole column sets distributed over the pool, one column per task;
+      the per-column transforms detect the enclosing parallel region and
+      run their stages sequentially, so nesting is safe. Results are
+      identical to mapping the singleton API. Domains below 2^12 stay
+      sequential: a 4096-point NTT is microseconds of work, less than a
+      pool-region dispatch costs. *)
+
+  let col_seq_below (d : Domain.t) = if d.n >= 1 lsl 12 then 2 else max_int
+
+  let ntt_many (d : Domain.t) arrays =
+    Pool.parallel_for ~chunk:1 ~seq_below:(col_seq_below d)
+      (Array.length arrays) (fun i -> ntt d arrays.(i))
+
+  let intt_many (d : Domain.t) arrays =
+    Pool.parallel_for ~chunk:1 ~seq_below:(col_seq_below d)
+      (Array.length arrays) (fun i -> intt d arrays.(i))
+
+  let interpolate_many (d : Domain.t) evals =
+    Pool.parallel_map_array ~seq_below:(col_seq_below d) (interpolate d) evals
+
+  (** [coset_ntt_many d ~shift columns] = per-column {!coset_ntt} with
+      the shift-power table computed once and shared. *)
+  let coset_ntt_many (d : Domain.t) ~shift columns =
+    let m =
+      Array.fold_left (fun acc c -> max acc (Array.length c)) 0 columns
+    in
+    let sp = powers shift m in
+    Pool.parallel_map_array ~seq_below:(col_seq_below d)
+      (fun c -> coset_ntt d ~shift_pows:sp ~shift c)
+      columns
+
+  let coset_intt_many (d : Domain.t) ~shift columns =
+    let sp = powers (F.inv shift) d.n in
+    Pool.parallel_map_array ~seq_below:(col_seq_below d)
+      (fun c -> coset_intt d ~shift_inv_pows:sp ~shift c)
+      columns
 end

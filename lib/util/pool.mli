@@ -1,0 +1,64 @@
+(** A fixed-size pool of OCaml 5 domains for data-parallel loops.
+
+    Sized by the [ZKML_JOBS] environment variable (default 1) or
+    {!set_jobs}; with [jobs () = 1] every entry point degrades to the
+    plain sequential loop with no domain ever spawned. The calling
+    domain always participates, so [jobs] is the true parallel width.
+
+    Determinism: chunk boundaries depend only on the iteration count
+    and chunk size — never on scheduling — and all combinators write to
+    disjoint indices, so any computation whose body is pure per index
+    (or writes only its own index) produces bit-identical results at
+    every job count. Nested parallel calls detect the enclosing region
+    and run sequentially instead of deadlocking. *)
+
+val jobs : unit -> int
+(** Current parallel width (>= 1). First call reads [ZKML_JOBS]. *)
+
+val set_jobs : int -> unit
+(** Resize the pool (values < 1 clamp to 1). Existing workers are
+    joined; the next parallel call respawns at the new width. Must not
+    be called from inside a parallel region. *)
+
+val shutdown : unit -> unit
+(** Join all worker domains. Also installed via [at_exit]; safe to call
+    repeatedly. *)
+
+val parallel_for : ?chunk:int -> ?seq_below:int -> int -> (int -> unit) -> unit
+(** [parallel_for n f] runs [f i] for [0 <= i < n], distributing chunks
+    of iterations over the pool. [f] must be safe to call concurrently
+    for distinct [i]. [chunk] fixes the chunk size (default: [n/(4*jobs)]
+    rounded up); iterations within a chunk run in order. Loops with
+    [n < seq_below] (default 2048) run sequentially to skip the region
+    overhead. The first exception raised by any [f i] is re-raised by
+    the caller after all workers drain. *)
+
+val parallel_for_ranges :
+  ?chunk:int -> ?seq_below:int -> int -> (int -> int -> unit) -> unit
+(** [parallel_for_ranges n body] like {!parallel_for} but hands each
+    participant whole ranges: [body lo hi] covers [lo <= i < hi]. The
+    ranges partition [0..n-1] exactly. Use when per-iteration closure
+    dispatch would dominate (tight field-arithmetic loops). *)
+
+val parallel_map_array :
+  ?chunk:int -> ?seq_below:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map_array f a] is [Array.map f a] with the applications
+    distributed over the pool ([f] applied exactly once per element;
+    element order preserved). [f a.(0)] runs first on the caller.
+    Elements are assumed expensive: defaults are [chunk = 1] and
+    [seq_below = 2]. *)
+
+val parallel_reduce :
+  ?chunk:int ->
+  ?seq_below:int ->
+  int ->
+  init:'a ->
+  map:(int -> int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  'a
+(** [parallel_reduce n ~init ~map ~combine] computes
+    [combine (... (combine init (map 0 c)) ...) (map lo n)] over fixed
+    chunks of size [chunk] (default 1024, independent of job count).
+    Partial results are combined in ascending chunk order, so the result
+    is identical at every job count whenever [combine] is associative
+    (it need not be commutative). *)

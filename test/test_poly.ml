@@ -93,6 +93,48 @@ module Make_suite (F : Zkml_ff.Field_intf.S) = struct
         check_eq "many5" (P.Domain.eval_lagrange d 5 x) c
     | _ -> Alcotest.fail "eval_lagrange_many arity"
 
+  let test_batch_apis () =
+    (* the *_many entry points are defined as per-column maps of the
+       singleton transforms — check that literally, above and below the
+       pool's parallel cutoff *)
+    List.iter
+      (fun k ->
+        let d = P.Domain.create k in
+        let shift = F.generator in
+        let cols = Array.init 5 (fun _ -> P.random rng d.n) in
+        let expect_ntt =
+          Array.map
+            (fun c ->
+              let a = Array.copy c in
+              P.ntt d a;
+              a)
+            cols
+        in
+        let got_ntt = Array.map Array.copy cols in
+        P.ntt_many d got_ntt;
+        let check name exp got =
+          Array.iteri
+            (fun ci col ->
+              Array.iteri
+                (fun i v ->
+                  check_eq (Printf.sprintf "%s k=%d col=%d i=%d" name k ci i)
+                    v got.(ci).(i))
+                col)
+            exp
+        in
+        check "ntt_many" expect_ntt got_ntt;
+        check "interpolate_many"
+          (Array.map (P.interpolate d) cols)
+          (P.interpolate_many d cols);
+        check "coset_ntt_many"
+          (Array.map (P.coset_ntt d ~shift) cols)
+          (P.coset_ntt_many d ~shift cols);
+        let evals = P.coset_ntt_many d ~shift cols in
+        check "coset_intt_many"
+          (Array.map (P.coset_intt d ~shift) evals)
+          (P.coset_intt_many d ~shift evals))
+      [ 4; 13 ]
+
   let test_vanishing () =
     let d = P.Domain.create 6 in
     let roots = P.Domain.elements d in
@@ -110,6 +152,7 @@ module Make_suite (F : Zkml_ff.Field_intf.S) = struct
       Alcotest.test_case "mul" `Quick test_mul;
       Alcotest.test_case "div_by_linear" `Quick test_div_by_linear;
       Alcotest.test_case "lagrange" `Quick test_lagrange;
+      Alcotest.test_case "batch_apis" `Quick test_batch_apis;
       Alcotest.test_case "vanishing" `Quick test_vanishing
     ]
 end
