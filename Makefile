@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt smoke bench bench-par clean
+.PHONY: all build test check fmt smoke fuzz bench bench-par clean
 
 all: build
 
@@ -10,6 +10,8 @@ test:
 
 # Formatting + full test suite, run sequentially AND with a 4-domain
 # prover pool: proofs must be byte-identical at every job count.
+# A short fixed-seed fuzz pass rides along in the suite (test/fuzz_inputs.ml);
+# the long run is `make fuzz`.
 # ocamlformat is optional in the dev container, so fmt degrades to a
 # no-op when it is not installed.
 check: fmt build
@@ -28,6 +30,12 @@ fmt:
 smoke: build
 	dune exec bin/zkml_cli.exe -- profile mnist --trace /tmp/zkml-trace.json
 	@echo "chrome trace written to /tmp/zkml-trace.json"
+
+# Long deterministic malformed-input fuzz over the model-text and
+# proof-file corpora. Seeded, so a failure reproduces exactly; exits
+# non-zero if any mutant is accepted or any exception escapes.
+fuzz: build
+	dune exec bin/zkml_cli.exe -- fuzz --iters 2000 --seed 42
 
 bench: build
 	dune exec bench/main.exe -- table6 --json /tmp/zkml-bench.json

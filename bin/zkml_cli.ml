@@ -11,6 +11,14 @@
      zkml profile MODEL              traced proving run: span tree,
                                      chrome-trace export, cost-model
                                      accuracy report (paper 9.5)
+     zkml fuzz                       deterministic malformed-input fuzzing
+                                     of the model / proof-file parsers
+
+   `zkml verify` exits 0 when the proof is accepted, 1 when it parses
+   but the verifier rejects it, and 2 with a one-line diagnostic when
+   any input (model file, proof file, proof bytes) is malformed —
+   malformed input never crashes the verifier (see DESIGN.md,
+   "Untrusted inputs").
 
    MODEL is a zoo name (see `zkml models`) or a path to a .zkml file.
    Setting ZKML_TRACE=<path> makes any subcommand record a chrome-trace
@@ -29,27 +37,38 @@ module Ipa = Zkml_commit.Ipa.Make (Sim61)
 module Pipe_kzg = Zkml_compiler.Pipeline.Make (Kzg)
 module Pipe_ipa = Zkml_compiler.Pipeline.Make (Ipa)
 
+module Err = Zkml_util.Err
+module Fuzz = Zkml_util.Fuzz
+
 let srs_k = 15
 let kzg_params = lazy (Kzg.setup ~max_size:(1 lsl srs_k) ~seed:"zkml-cli")
 let ipa_params = lazy (Ipa.setup ~max_size:(1 lsl srs_k) ~seed:"zkml-cli")
 
-let load_model name =
+(* Models arrive from outside the process, so loading is total; the
+   raising [load_model] below serves the subcommands whose failure mode
+   is simply "print the error and die". *)
+let load_model_result name =
   if Sys.file_exists name then
-    let graph = Zkml_nn.Serialize.load name in
-    {
-      Zoo.name = Filename.remove_extension (Filename.basename name);
-      paper_name = name;
-      graph;
-      input_shapes =
-        (Zkml_nn.Graph.nodes graph |> Array.to_list
-        |> List.filter_map (fun (n : Zkml_nn.Graph.node) ->
-               match n.Zkml_nn.Graph.op with
-               | Zkml_nn.Op.Input { shape } -> Some shape
-               | _ -> None));
-      cfg = Zoo.default_cfg;
-      description = "loaded from " ^ name;
-    }
-  else Zoo.by_name name
+    match Zkml_nn.Serialize.of_file name with
+    | Error e -> Error e
+    | Ok graph ->
+        Ok
+          {
+            Zoo.name = Filename.remove_extension (Filename.basename name);
+            paper_name = name;
+            graph;
+            input_shapes =
+              (Zkml_nn.Graph.nodes graph |> Array.to_list
+              |> List.filter_map (fun (n : Zkml_nn.Graph.node) ->
+                     match n.Zkml_nn.Graph.op with
+                     | Zkml_nn.Op.Input { shape } -> Some shape
+                     | _ -> None));
+            cfg = Zoo.default_cfg;
+            description = "loaded from " ^ name;
+          }
+  else Err.guard Err.Unknown_variant (fun () -> Zoo.by_name name)
+
+let load_model name = Err.get_exn (load_model_result name)
 
 (* ------------------------------------------------------------------ *)
 (* commands *)
@@ -199,24 +218,24 @@ let cmd_optimize model backend objective =
   0
 
 (* proof file format *)
-let write_proof_file path ~backend ~(m : Zoo.model) ~(plan : Opt.plan)
+let proof_file_string ~backend ~(m : Zoo.model) ~(plan : Opt.plan)
     ~instance_ints ~proof_hex =
-  let oc = open_out path in
-  Printf.fprintf oc "zkml-proof v1\n";
-  Printf.fprintf oc "model %s\n" m.Zoo.name;
-  Printf.fprintf oc "backend %s\n" backend;
-  Printf.fprintf oc "spec %s\n" (Spec.to_string plan.Opt.spec);
-  Printf.fprintf oc "ncols %d\n" plan.Opt.ncols;
-  Printf.fprintf oc "k %d\n" plan.Opt.k;
-  Printf.fprintf oc "scale_bits %d\n" m.Zoo.cfg.Fx.scale_bits;
-  Printf.fprintf oc "table_bits %d\n" m.Zoo.cfg.Fx.table_bits;
-  Printf.fprintf oc "instance %s\n"
-    (String.concat ","
-       (List.map string_of_int (Array.to_list instance_ints)));
-  Printf.fprintf oc "proof %s\n" proof_hex;
-  close_out oc
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "zkml-proof v1\n";
+  Printf.bprintf buf "model %s\n" m.Zoo.name;
+  Printf.bprintf buf "backend %s\n" backend;
+  Printf.bprintf buf "spec %s\n" (Spec.to_string plan.Opt.spec);
+  Printf.bprintf buf "ncols %d\n" plan.Opt.ncols;
+  Printf.bprintf buf "k %d\n" plan.Opt.k;
+  Printf.bprintf buf "scale_bits %d\n" m.Zoo.cfg.Fx.scale_bits;
+  Printf.bprintf buf "table_bits %d\n" m.Zoo.cfg.Fx.table_bits;
+  Printf.bprintf buf "instance %s\n"
+    (String.concat "," (List.map string_of_int (Array.to_list instance_ints)));
+  Printf.bprintf buf "proof %s\n" proof_hex;
+  Buffer.contents buf
 
 type proof_file = {
+  pf_model : string;
   pf_backend : string;
   pf_spec : Spec.t;
   pf_ncols : int;
@@ -226,54 +245,154 @@ type proof_file = {
   pf_proof : string;
 }
 
-let read_proof_file path =
-  let ic = open_in path in
-  let lines = ref [] in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with End_of_file -> close_in ic);
-  let fields =
-    List.filter_map
-      (fun line ->
-        match String.index_opt line ' ' with
-        | Some i ->
-            Some
-              ( String.sub line 0 i,
-                String.sub line (i + 1) (String.length line - i - 1) )
-        | None -> None)
-      (List.rev !lines)
-  in
-  let get k =
-    try List.assoc k fields
-    with Not_found -> failwith ("proof file missing field: " ^ k)
-  in
-  {
-    pf_backend = get "backend";
-    pf_spec = Spec.of_string (get "spec");
-    pf_ncols = int_of_string (get "ncols");
-    pf_k = int_of_string (get "k");
-    pf_cfg =
-      {
-        Fx.scale_bits = int_of_string (get "scale_bits");
-        table_bits = int_of_string (get "table_bits");
-      };
-    pf_instance =
-      (let s = get "instance" in
-       if s = "" then [||]
-       else
-         String.split_on_char ',' s |> List.map int_of_string |> Array.of_list);
-    pf_proof = Zkml_util.Bytes_util.of_hex (get "proof");
-  }
+(* Sanity bounds on header fields, so a hostile header cannot demand a
+   huge circuit rebuild before the proof is even looked at. The zoo's
+   real plans sit far inside all of them. *)
+let max_ncols = 256
+let max_scale_bits = 30
+let max_table_bits = 20
 
-let cmd_prove model backend out seed =
-  let m = load_model model in
+(* Total parser for the proof-file format. Line-oriented and strict:
+   the file must end with a newline (so byte-level truncation is always
+   detectable — [proof] is the last line), every line is a known
+   [key value] pair, no key repeats, every numeric field is bounded. *)
+let proof_file_of_string text =
+  let open Err in
+  in_context "proof-file"
+  @@
+  let n = String.length text in
+  if n = 0 || text.[n - 1] <> '\n' then
+    fail Truncated "file does not end with a newline"
+  else
+    match String.split_on_char '\n' text with
+    | [] -> fail Bad_header "empty file"
+    | header :: rest ->
+        let* () =
+          if header = "zkml-proof v1" then Ok ()
+          else fail ~offset:(Line 1) Bad_header "expected 'zkml-proof v1'"
+        in
+        (* fields must appear exactly once, in the writer's order — a
+           key-value map would classify reordered lines as equal to the
+           original, hiding tampering from byte-level comparison *)
+        let known =
+          [ "model"; "backend"; "spec"; "ncols"; "k"; "scale_bits";
+            "table_bits"; "instance"; "proof" ]
+        in
+        let rec collect ln expect acc = function
+          | [] | [ "" ] -> (
+              (* the final newline's empty tail *)
+              match expect with
+              | [] -> Ok (List.rev acc)
+              | k :: _ -> failf Missing_field "missing field %s" k)
+          | "" :: _ -> fail ~offset:(Line ln) Bad_field "blank line"
+          | line :: rest -> (
+              match String.index_opt line ' ' with
+              | None ->
+                  failf ~offset:(Line ln) Bad_field
+                    "expected '<key> <value>', got %S"
+                    (String.sub line 0 (min 24 (String.length line)))
+              | Some i -> (
+                  let k = String.sub line 0 i in
+                  let v =
+                    String.sub line (i + 1) (String.length line - i - 1)
+                  in
+                  match expect with
+                  | e :: expect' when k = e ->
+                      collect (ln + 1) expect' ((k, (ln, v)) :: acc) rest
+                  | [] ->
+                      failf ~offset:(Line ln) Trailing_data
+                        "unexpected line after proof"
+                  | e :: _ ->
+                      if List.mem_assoc k acc then
+                        failf ~offset:(Line ln) Duplicate_field
+                          "field %s repeated" k
+                      else if List.mem k known then
+                        failf ~offset:(Line ln) Bad_field
+                          "field %s out of order (expected %s)" k e
+                      else failf ~offset:(Line ln) Unknown_variant "field %S" k))
+        in
+        let* fields = collect 2 known [] rest in
+        let get k = Ok (List.assoc k fields) in
+        let int_get what ~min ~max =
+          let* ln, v = get what in
+          bounded_int_field ~offset:(Line ln) ~what ~min ~max v
+        in
+        let* _, pf_model = get "model" in
+        let* bln, pf_backend = get "backend" in
+        let* () =
+          match pf_backend with
+          | "kzg" | "ipa" -> Ok ()
+          | s -> failf ~offset:(Line bln) Unknown_variant "backend %S" s
+        in
+        let* sln, spec_s = get "spec" in
+        let* pf_spec =
+          guard ~offset:(Line sln) Bad_field (fun () -> Spec.of_string spec_s)
+        in
+        let* pf_ncols = int_get "ncols" ~min:1 ~max:max_ncols in
+        let* pf_k = int_get "k" ~min:1 ~max:srs_k in
+        let* scale_bits = int_get "scale_bits" ~min:1 ~max:max_scale_bits in
+        let* table_bits = int_get "table_bits" ~min:1 ~max:max_table_bits in
+        let* iln, inst_s = get "instance" in
+        let* inst =
+          if inst_s = "" then Ok []
+          else
+            map_list
+              (int_field ~offset:(Line iln) ~what:"instance")
+              (String.split_on_char ',' inst_s)
+        in
+        let* () =
+          if List.length inst > 1 lsl srs_k then
+            failf ~offset:(Line iln) Out_of_range
+              "instance holds %d values; SRS caps circuits at %d rows"
+              (List.length inst) (1 lsl srs_k)
+          else Ok ()
+        in
+        let* pln, hex = get "proof" in
+        let* pf_proof =
+          guard ~offset:(Line pln) Invalid_encoding (fun () ->
+              Zkml_util.Bytes_util.of_hex hex)
+        in
+        Ok
+          {
+            pf_model;
+            pf_backend;
+            pf_spec;
+            pf_ncols;
+            pf_k;
+            pf_cfg = { Fx.scale_bits; table_bits };
+            pf_instance = Array.of_list inst;
+            pf_proof;
+          }
+
+let read_proof_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> proof_file_of_string text
+  | exception Sys_error m -> Err.fail ~context:[ "proof-file" ] Err.Io_error m
+
+(* Prove and render the proof file; shared by `zkml prove` and the fuzz
+   corpus builder. Returns (file text, prove seconds, proof bytes). *)
+let prove_proof_file (m : Zoo.model) backend seed =
   let inputs = Zoo.sample_inputs ~seed:(Int64.of_int seed) m in
-  let instance_of_built (built : Zkml_compiler.Layouter.built) =
+  (* rebuild artifacts to recover the instance column *)
+  let instance_for spec_fn ncols k =
+    let qinputs = List.map (T.map (Fx.quantize m.Zoo.cfg)) inputs in
+    let exec = Zkml_nn.Quant_exec.run m.Zoo.cfg m.Zoo.graph ~inputs:qinputs in
+    let lowered =
+      Zkml_compiler.Lower.lower_with ~spec_fn ~cfg:m.Zoo.cfg ~ncols
+        ~counting:false m.Zoo.graph exec
+    in
+    let built =
+      Zkml_compiler.Layouter.finalize lowered.Zkml_compiler.Lower.layouter
+        ~blinding:Opt.blinding ~k
+    in
     built.Zkml_compiler.Layouter.instance_col
   in
-  (match backend with
+  match backend with
   | "ipa" ->
       let params = Lazy.force ipa_params in
       let r =
@@ -282,23 +401,14 @@ let cmd_prove model backend out seed =
       in
       if not r.Pipe_ipa.verified then failwith "self-verification failed";
       let bytes = Pipe_ipa.Proto.proof_to_bytes r.Pipe_ipa.proof in
-      (* rebuild artifacts to recover the instance column *)
-      let qinputs = List.map (T.map (Fx.quantize m.Zoo.cfg)) inputs in
-      let exec = Zkml_nn.Quant_exec.run m.Zoo.cfg m.Zoo.graph ~inputs:qinputs in
-      let lowered =
-        Zkml_compiler.Lower.lower_with ~spec_fn:r.Pipe_ipa.plan.Opt.spec_fn
-          ~cfg:m.Zoo.cfg ~ncols:r.Pipe_ipa.plan.Opt.ncols ~counting:false
-          m.Zoo.graph exec
+      let plan = r.Pipe_ipa.plan in
+      let instance_ints =
+        instance_for plan.Opt.spec_fn plan.Opt.ncols plan.Opt.k
       in
-      let built =
-        Zkml_compiler.Layouter.finalize lowered.Zkml_compiler.Lower.layouter
-          ~blinding:Opt.blinding ~k:r.Pipe_ipa.plan.Opt.k
-      in
-      write_proof_file out ~backend ~m ~plan:r.Pipe_ipa.plan
-        ~instance_ints:(instance_of_built built)
-        ~proof_hex:(Zkml_util.Bytes_util.to_hex bytes);
-      Printf.printf "proved %s with %s in %.2f s (%d B); wrote %s\n" m.Zoo.name
-        backend r.Pipe_ipa.prove_s r.Pipe_ipa.proof_bytes out
+      ( proof_file_string ~backend ~m ~plan ~instance_ints
+          ~proof_hex:(Zkml_util.Bytes_util.to_hex bytes),
+        r.Pipe_ipa.prove_s,
+        r.Pipe_ipa.proof_bytes )
   | _ ->
       let params = Lazy.force kzg_params in
       let r =
@@ -307,53 +417,176 @@ let cmd_prove model backend out seed =
       in
       if not r.Pipe_kzg.verified then failwith "self-verification failed";
       let bytes = Pipe_kzg.Proto.proof_to_bytes r.Pipe_kzg.proof in
-      let qinputs = List.map (T.map (Fx.quantize m.Zoo.cfg)) inputs in
-      let exec = Zkml_nn.Quant_exec.run m.Zoo.cfg m.Zoo.graph ~inputs:qinputs in
-      let lowered =
-        Zkml_compiler.Lower.lower_with ~spec_fn:r.Pipe_kzg.plan.Opt.spec_fn
-          ~cfg:m.Zoo.cfg ~ncols:r.Pipe_kzg.plan.Opt.ncols ~counting:false
-          m.Zoo.graph exec
+      let plan = r.Pipe_kzg.plan in
+      let instance_ints =
+        instance_for plan.Opt.spec_fn plan.Opt.ncols plan.Opt.k
       in
-      let built =
-        Zkml_compiler.Layouter.finalize lowered.Zkml_compiler.Lower.layouter
-          ~blinding:Opt.blinding ~k:r.Pipe_kzg.plan.Opt.k
-      in
-      write_proof_file out ~backend ~m ~plan:r.Pipe_kzg.plan
-        ~instance_ints:(instance_of_built built)
-        ~proof_hex:(Zkml_util.Bytes_util.to_hex bytes);
-      Printf.printf "proved %s with %s in %.2f s (%d B); wrote %s\n" m.Zoo.name
-        backend r.Pipe_kzg.prove_s r.Pipe_kzg.proof_bytes out);
+      ( proof_file_string ~backend ~m ~plan ~instance_ints
+          ~proof_hex:(Zkml_util.Bytes_util.to_hex bytes),
+        r.Pipe_kzg.prove_s,
+        r.Pipe_kzg.proof_bytes )
+
+let cmd_prove model backend out seed =
+  let m = load_model model in
+  let text, prove_s, proof_bytes = prove_proof_file m backend seed in
+  let oc = open_out out in
+  output_string oc text;
+  close_out oc;
+  Printf.printf "proved %s with %s in %.2f s (%d B); wrote %s\n" m.Zoo.name
+    backend prove_s proof_bytes out;
   0
 
-let cmd_verify model proof_path =
-  let m = load_model model in
-  let pf = read_proof_file proof_path in
-  let ok =
+(* Classify a parsed proof file against a model: [`Accepted], [`Rejected]
+   (well-formed but false) or [`Malformed of Err.t]. Total — a hostile
+   header that breaks the circuit rebuild surfaces as [`Malformed].
+   [kzg_keys]/[ipa_keys] memoize rebuilt keys per header so the fuzzer
+   does not re-run keygen for every mutant. *)
+let verdict_of_proof_file ~kzg_keys ~ipa_keys (m : Zoo.model) pf =
+  if pf.pf_model <> m.Zoo.name then
+    `Malformed
+      (Err.make ~context:[ "proof-file" ] Err.Bad_field
+         (Printf.sprintf "proof is for model %S, not %S" pf.pf_model
+            m.Zoo.name))
+  else begin
+    let header =
+      Printf.sprintf "%s|%s|%s|%d|%d|%d|%d" m.Zoo.name pf.pf_backend
+        (Spec.to_string pf.pf_spec) pf.pf_ncols pf.pf_k
+        pf.pf_cfg.Fx.scale_bits pf.pf_cfg.Fx.table_bits
+    in
+    let memo cache rebuild =
+      match Hashtbl.find_opt cache header with
+      | Some keys -> keys
+      | None ->
+          let keys = Err.guard Err.Bad_field rebuild in
+          Hashtbl.add cache header keys;
+          keys
+    in
     match pf.pf_backend with
-    | "ipa" ->
+    | "ipa" -> (
         let params = Lazy.force ipa_params in
-        let keys =
-          Pipe_ipa.rebuild_keys params ~spec:pf.pf_spec ~ncols:pf.pf_ncols
-            ~k:pf.pf_k ~cfg:pf.pf_cfg m.Zoo.graph
-        in
-        Pipe_ipa.verify_bytes params keys ~instance_ints:pf.pf_instance
-          pf.pf_proof
-    | _ ->
+        match
+          memo ipa_keys (fun () ->
+              Pipe_ipa.rebuild_keys params ~spec:pf.pf_spec ~ncols:pf.pf_ncols
+                ~k:pf.pf_k ~cfg:pf.pf_cfg m.Zoo.graph)
+        with
+        | Error e -> `Malformed (Err.with_context "rebuild-keys" e)
+        | Ok keys -> (
+            match
+              Pipe_ipa.verify_verdict params keys
+                ~instance_ints:pf.pf_instance pf.pf_proof
+            with
+            | Pipe_ipa.Proto.Accepted -> `Accepted
+            | Pipe_ipa.Proto.Rejected -> `Rejected
+            | Pipe_ipa.Proto.Malformed e -> `Malformed e))
+    | _ -> (
         let params = Lazy.force kzg_params in
-        let keys =
-          Pipe_kzg.rebuild_keys params ~spec:pf.pf_spec ~ncols:pf.pf_ncols
-            ~k:pf.pf_k ~cfg:pf.pf_cfg m.Zoo.graph
-        in
-        Pipe_kzg.verify_bytes params keys ~instance_ints:pf.pf_instance
-          pf.pf_proof
+        match
+          memo kzg_keys (fun () ->
+              Pipe_kzg.rebuild_keys params ~spec:pf.pf_spec ~ncols:pf.pf_ncols
+                ~k:pf.pf_k ~cfg:pf.pf_cfg m.Zoo.graph)
+        with
+        | Error e -> `Malformed (Err.with_context "rebuild-keys" e)
+        | Ok keys -> (
+            match
+              Pipe_kzg.verify_verdict params keys
+                ~instance_ints:pf.pf_instance pf.pf_proof
+            with
+            | Pipe_kzg.Proto.Accepted -> `Accepted
+            | Pipe_kzg.Proto.Rejected -> `Rejected
+            | Pipe_kzg.Proto.Malformed e -> `Malformed e))
+  end
+
+(* Exit contract: 0 accepted, 1 well-formed-but-rejected, 2 malformed
+   input (with a one-line diagnostic on stderr). Nothing an outsider
+   puts in the model or proof file reaches the user as a backtrace. *)
+let cmd_verify model proof_path =
+  let outcome =
+    match load_model_result model with
+    | Error e -> `Malformed (Err.with_context "model" e)
+    | Ok m -> (
+        match read_proof_file proof_path with
+        | Error e -> `Malformed e
+        | Ok pf -> (
+            match
+              verdict_of_proof_file ~kzg_keys:(Hashtbl.create 1)
+                ~ipa_keys:(Hashtbl.create 1) m pf
+            with
+            | `Accepted -> `Accepted (m.Zoo.name, pf.pf_backend)
+            | (`Rejected | `Malformed _) as v -> v))
   in
-  if ok then begin
-    Printf.printf "proof VERIFIED against model %s (%s backend)\n" m.Zoo.name
-      pf.pf_backend;
+  match outcome with
+  | `Accepted (name, backend) ->
+      Printf.printf "proof VERIFIED against model %s (%s backend)\n" name
+        backend;
+      0
+  | `Rejected ->
+      Printf.printf "proof REJECTED\n";
+      1
+  | `Malformed e ->
+      Printf.eprintf "malformed input: %s\n" (Err.to_string e);
+      2
+
+(* ------------------------------------------------------------------ *)
+(* fuzz: deterministic malformed-input fuzzing of both parse surfaces *)
+
+let cmd_fuzz iters seed =
+  let rng = Zkml_util.Rng.create (Int64.of_int seed) in
+  Printf.printf "fuzz: %d mutants per corpus, seed %d\n%!" iters seed;
+  (* corpus 1: every zoo model in the textual format. No soundness claim
+     here — a mutant is a failure only if parsing throws, or accepts
+     input that breaks the canonical round-trip invariant. *)
+  let model_corpus =
+    List.map (fun m -> Zkml_nn.Serialize.to_string m.Zoo.graph) (Zoo.all ())
+  in
+  let classify_model text =
+    match Zkml_nn.Serialize.of_string text with
+    | Error e -> Fuzz.Malformed (Err.to_string e)
+    | Ok g -> (
+        let canonical = Zkml_nn.Serialize.to_string g in
+        match Zkml_nn.Serialize.of_string canonical with
+        | Ok g2 when Zkml_nn.Serialize.to_string g2 = canonical -> Fuzz.Valid
+        | _ -> Fuzz.Accepted)
+  in
+  let model_report =
+    Fuzz.run ~text:true ~rng ~iters ~corpus:model_corpus
+      ~classify:classify_model ()
+  in
+  List.iter print_endline (Fuzz.report_lines ~label:"models" model_report);
+  (* corpus 2: real proof files for the two smallest models, one per
+     backend. Soundness claim: no mutant may verify. *)
+  Printf.printf "building proof corpus (mnist/kzg, dlrm/ipa)...\n%!";
+  let m_mnist = Zoo.by_name "mnist" and m_dlrm = Zoo.by_name "dlrm" in
+  let p_mnist, _, _ = prove_proof_file m_mnist "kzg" 1234 in
+  let p_dlrm, _, _ = prove_proof_file m_dlrm "ipa" 1234 in
+  let kzg_keys = Hashtbl.create 16 and ipa_keys = Hashtbl.create 16 in
+  let classify_proof text =
+    match proof_file_of_string text with
+    | Error e -> Fuzz.Malformed (Err.to_string e)
+    | Ok pf -> (
+        let m =
+          if pf.pf_model = "mnist" then Some m_mnist
+          else if pf.pf_model = "dlrm" then Some m_dlrm
+          else None
+        in
+        match m with
+        | None -> Fuzz.Malformed "unknown model name"
+        | Some m -> (
+            match verdict_of_proof_file ~kzg_keys ~ipa_keys m pf with
+            | `Accepted -> Fuzz.Accepted
+            | `Rejected -> Fuzz.Rejected
+            | `Malformed e -> Fuzz.Malformed (Err.to_string e)))
+  in
+  let proof_report =
+    Fuzz.run ~text:true ~rng ~iters ~corpus:[ p_mnist; p_dlrm ]
+      ~classify:classify_proof ()
+  in
+  List.iter print_endline (Fuzz.report_lines ~label:"proofs" proof_report);
+  if Fuzz.clean model_report && Fuzz.clean proof_report then begin
+    Printf.printf "fuzz: clean (0 escaped exceptions, 0 accepted mutants)\n";
     0
   end
   else begin
-    Printf.printf "proof REJECTED\n";
+    Printf.eprintf "fuzz: FAILURES found\n";
     1
   end
 
@@ -475,8 +708,34 @@ let verify_cmd =
       & info [] ~docv:"PROOF" ~doc:"Proof file from `zkml prove`.")
   in
   Cmd.v
-    (Cmd.info "verify" ~doc:"Verify a proof file against a model.")
+    (Cmd.info "verify"
+       ~doc:
+         "Verify a proof file against a model. Exits 0 when the proof is \
+          accepted, 1 when it is well-formed but rejected, 2 when any input \
+          is malformed.")
     Term.(const (fun () m p -> cmd_verify m p) $ jobs_term $ model_arg $ proof)
+
+let fuzz_cmd =
+  let iters =
+    Arg.(
+      value & opt int 500
+      & info [ "iters" ] ~docv:"N" ~doc:"Mutants per corpus.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Fuzz seed; a (seed, iters) pair replays exactly.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Deterministically fuzz the untrusted-input surface: mutate valid \
+          model and proof files (truncation, bit flips, splices, \
+          duplicated/reordered lines, numeric overflows) and check every \
+          mutant is cleanly classified — no escaped exception, no accepted \
+          mutant.")
+    Term.(const (fun () i s -> cmd_fuzz i s) $ jobs_term $ iters $ seed)
 
 let main =
   Cmd.group
@@ -494,7 +753,7 @@ let main =
                 command there at exit.";
          ])
     [ models_cmd; stats_cmd; export_cmd; calibrate_cmd; optimize_cmd;
-      prove_cmd; verify_cmd; profile_cmd ]
+      prove_cmd; verify_cmd; profile_cmd; fuzz_cmd ]
 
 let () =
   (* ZKML_TRACE=<path>: trace any subcommand end to end and dump the

@@ -164,20 +164,33 @@ module Make (G : Zkml_ec.Group_intf.S) :
     Buffer.add_string buf (F.to_bytes p.a_final);
     Buffer.contents buf
 
-  let read_proof t s ~pos =
+  module Err = Zkml_util.Err
+
+  let read_proof t r =
+    let open Err in
     let rounds =
       let rec log2 k acc = if k <= 1 then acc else log2 (k / 2) (acc + 1) in
       log2 (Array.length t.gens) 0
     in
-    let pos = ref pos in
-    let read_g () =
-      let g = G.of_bytes_exn (String.sub s !pos G.size_bytes) in
-      pos := !pos + G.size_bytes;
-      g
+    let read_gs what k =
+      let acc = Array.make k G.zero in
+      let rec go i =
+        if i = k then Ok acc
+        else
+          let* g = Reader.decode r ~what G.size_bytes G.of_bytes_exn in
+          acc.(i) <- g;
+          go (i + 1)
+      in
+      go 0
     in
-    let ls = Array.init rounds (fun _ -> read_g ()) in
-    let rs = Array.init rounds (fun _ -> read_g ()) in
-    let a_final = F.of_bytes_exn (String.sub s !pos F.size_bytes) in
-    pos := !pos + F.size_bytes;
-    ({ ls; rs; a_final }, !pos)
+    let* ls = read_gs "ipa L" rounds in
+    let* rs = read_gs "ipa R" rounds in
+    let* a_final = Reader.decode r ~what:"ipa a" F.size_bytes F.of_bytes_exn in
+    Ok { ls; rs; a_final }
+
+  let read_proof_exn t s ~pos =
+    let r = Err.Reader.of_string s in
+    ignore (Err.get_exn (Err.Reader.take r ~what:"ipa proof prefix" pos));
+    let p = Err.get_exn (read_proof t r) in
+    (p, Err.Reader.pos r)
 end

@@ -77,6 +77,14 @@ module Make (G : Zkml_ec.Group_intf.S) :
 
   let proof_to_bytes w = G.to_bytes w
 
-  let read_proof _t s ~pos =
-    (G.of_bytes_exn (String.sub s pos G.size_bytes), pos + G.size_bytes)
+  module Err = Zkml_util.Err
+
+  let read_proof _t r =
+    Err.Reader.decode r ~what:"kzg opening" G.size_bytes G.of_bytes_exn
+
+  let read_proof_exn t s ~pos =
+    let r = Err.Reader.of_string s in
+    ignore (Err.get_exn (Err.Reader.take r ~what:"kzg opening prefix" pos));
+    let p = Err.get_exn (read_proof t r) in
+    (p, Err.Reader.pos r)
 end

@@ -51,7 +51,15 @@ module type S = sig
 
   val proof_to_bytes : proof -> string
 
-  val read_proof : params -> string -> pos:int -> proof * int
-  (** Parse a proof back out of a byte string starting at [pos];
-      returns the proof and the position just past it. *)
+  val read_proof :
+    params -> Zkml_util.Err.Reader.t -> (proof, Zkml_util.Err.t) result
+  (** Parse a proof from the reader's cursor, advancing it just past
+      the proof. Total over adversarial bytes: truncation and
+      non-canonical encodings come back as typed errors, never as an
+      exception (the proof bytes are the untrusted half of every
+      verification). *)
+
+  val read_proof_exn : params -> string -> pos:int -> proof * int
+  (** Historical raising variant for internal callers; raises
+      {!Zkml_util.Err.Error}. *)
 end

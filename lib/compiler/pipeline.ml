@@ -162,18 +162,29 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     in
     Proto.keygen params circuit ~fixed
 
-  (** Verify serialized proof bytes against keys and the public values
-      (the instance column as centered integers). *)
-  let verify_bytes params keys ~instance_ints bytes =
+  (** Classify serialized proof bytes against keys and the public values
+      (the instance column as centered integers). Total: malformed bytes
+      come back as {!Proto.Malformed}, never as an exception. *)
+  let verify_verdict params keys ~instance_ints bytes =
+    let module Err = Zkml_util.Err in
     let n = 1 lsl keys.Proto.circuit.Zkml_plonkish.Circuit.k in
-    if Array.length instance_ints > n then false
+    if Array.length instance_ints > n then
+      Proto.Malformed
+        (Err.make ~context:[ "instance" ] Err.Out_of_range
+           (Printf.sprintf "%d public values for a circuit with %d rows"
+              (Array.length instance_ints) n))
     else begin
       let col = Array.make n F.zero in
       Array.iteri (fun i v -> col.(i) <- F.of_int v) instance_ints;
-      match Proto.proof_of_bytes params keys bytes with
-      | exception Invalid_argument _ -> false
-      | proof -> Proto.verify params keys ~instance:[| col |] proof
+      Proto.verify_bytes params keys ~instance:[| col |] bytes
     end
+
+  (** Boolean view of {!verify_verdict} for callers that only care
+      whether the proof is accepted. *)
+  let verify_bytes params keys ~instance_ints bytes =
+    match verify_verdict params keys ~instance_ints bytes with
+    | Proto.Accepted -> true
+    | Proto.Rejected | Proto.Malformed _ -> false
 
   (* ------------------------------------------------------------------ *)
   (* One-call convenience used by examples, tests and benches *)

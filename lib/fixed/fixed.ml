@@ -31,12 +31,6 @@ let round_div num den =
   let n2 = (2 * num) + den and d2 = 2 * den in
   if n2 >= 0 then n2 / d2 else -((-n2 + d2 - 1) / d2)
 
-let quantize cfg x = int_of_float (Float.round (x *. float_of_int (sf cfg)))
-let dequantize cfg q = float_of_int q /. float_of_int (sf cfg)
-
-(** Rescale a double-scale product (SF^2) back to single scale. *)
-let rescale cfg x = round_div x (sf cfg)
-
 (** Lookup tables hold [2^table_bits - 16] entries rather than a full
     power of two: the circuit needs blinding rows below the table, and
     shaving the extremes lets a table of precision [table_bits] fit in a
@@ -47,6 +41,29 @@ let table_size cfg = (1 lsl cfg.table_bits) - 16
 let table_min cfg = -(table_size cfg / 2)
 let table_max cfg = (table_size cfg / 2) - 1
 
+(* [int_of_float] on nan/inf is unspecified: a silent garbage integer
+   here would make the executor and the lookup-table contents diverge
+   without any constraint failing. Saturate infinities to the clamp
+   bounds; nan has no meaningful fixed-point image, so it raises the
+   typed error below. *)
+exception Nan_input of string
+
+let () =
+  Printexc.register_printer (function
+    | Nan_input what -> Some (Printf.sprintf "Zkml_fixed.Fixed.Nan_input(%s)" what)
+    | _ -> None)
+
+let quantize cfg x =
+  if Float.is_nan x then raise (Nan_input "Fixed.quantize")
+  else if x = Float.infinity then table_max cfg
+  else if x = Float.neg_infinity then table_min cfg
+  else int_of_float (Float.round (x *. float_of_int (sf cfg)))
+
+let dequantize cfg q = float_of_int q /. float_of_int (sf cfg)
+
+(** Rescale a double-scale product (SF^2) back to single scale. *)
+let rescale cfg x = round_div x (sf cfg)
+
 (** Saturate into the representable lookup range. *)
 let clamp cfg x = max (table_min cfg) (min (table_max cfg) x)
 
@@ -54,11 +71,17 @@ let clamp cfg x = max (table_min cfg) (min (table_max cfg) x)
     tables: input q (scale SF) -> round(f(q/SF) * SF). *)
 let apply_real cfg f q =
   let y = f (dequantize cfg q) in
-  let scaled = y *. float_of_int (sf cfg) in
-  (* guard against overflow from e.g. exp *)
-  let bound = float_of_int max_int /. 4.0 in
-  let scaled = Float.max (-.bound) (Float.min bound scaled) in
-  int_of_float (Float.round scaled)
+  if Float.is_nan y then raise (Nan_input "Fixed.apply_real")
+  else if y = Float.infinity then table_max cfg
+  else if y = Float.neg_infinity then table_min cfg
+  else begin
+    let scaled = y *. float_of_int (sf cfg) in
+    (* scaled can still overflow for a huge finite [y] (e.g. exp);
+       bound it so [int_of_float] only ever sees defined inputs *)
+    let bound = float_of_int max_int /. 4.0 in
+    let scaled = Float.max (-.bound) (Float.min bound scaled) in
+    int_of_float (Float.round scaled)
+  end
 
 (** {1 The non-linearities used by the supported layers} *)
 

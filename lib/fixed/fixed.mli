@@ -25,7 +25,17 @@ val round_div : int -> int -> int
     the quotient the DivRound gadget constrains, valid for negative
     numerators. [den] must be positive. *)
 
+exception Nan_input of string
+(** Raised by {!quantize} and {!apply_real} when the real value is nan:
+    nan has no fixed-point image, and letting it hit [int_of_float]
+    (whose result is unspecified) would silently desynchronise the
+    executor from the circuit's lookup tables. The payload names the
+    raising entry point. *)
+
 val quantize : config -> float -> int
+(** Round a real to the nearest fixed-point integer. Infinities
+    saturate to {!table_min}/{!table_max}; nan raises {!Nan_input}. *)
+
 val dequantize : config -> int -> float
 
 val rescale : config -> int -> int
@@ -44,7 +54,8 @@ val clamp : config -> int -> int
 
 val apply_real : config -> (float -> float) -> int -> int
 (** [apply_real cfg f q] is the fixed-point image of [f] as stored in
-    lookup tables: [round (f (q / SF) * SF)]. *)
+    lookup tables: [round (f (q / SF) * SF)]. An infinite [f] output
+    saturates; a nan output raises {!Nan_input}. *)
 
 (** {1 Non-linearities used by the supported layers} *)
 

@@ -4,32 +4,34 @@
       node <id> <op> in=<i,j,...> [attrs] [data]
 
     Weight data is stored inline as "%h" hex floats for exact
-    round-tripping. *)
+    round-tripping.
+
+    Model files are an untrusted-input boundary (a verifier accepts
+    them from outsiders), so parsing is total: {!of_string} and
+    {!of_file} return [(Graph.t, Err.t) result] with 1-based line
+    numbers in every diagnostic, and validate structure the writer
+    guarantees — node ids in sequence, exactly one outputs line,
+    output ids in range, weight data finite and matching its shape,
+    pad lists of even length. The raising variants ({!of_string_exn},
+    {!load}) are thin wrappers for internal callers reading files the
+    process itself wrote. *)
 
 module T = Zkml_tensor.Tensor
+module Err = Zkml_util.Err
+
+open Err
+
+(* ------------------------------------------------------------------ *)
+(* Writers *)
 
 let shape_str s = String.concat "," (List.map string_of_int (Array.to_list s))
-
-let parse_shape s =
-  if s = "" then [||]
-  else
-    String.split_on_char ',' s |> List.map int_of_string |> Array.of_list
 
 let pads_str pads =
   String.concat ","
     (List.concat_map (fun (a, b) -> [ string_of_int a; string_of_int b ])
        (Array.to_list pads))
 
-let parse_pads s =
-  let parts = parse_shape s in
-  Array.init (Array.length parts / 2) (fun i -> (parts.(2 * i), parts.((2 * i) + 1)))
-
 let padding_str = function Op.Same -> "same" | Op.Valid -> "valid"
-
-let parse_padding = function
-  | "same" -> Op.Same
-  | "valid" -> Op.Valid
-  | s -> invalid_arg ("Serialize: bad padding " ^ s)
 
 let op_to_string (op : Op.t) =
   match op with
@@ -84,94 +86,6 @@ let op_to_string (op : Op.t) =
   | Gather { indices; axis } ->
       Printf.sprintf "gather axis=%d indices=%s" axis (shape_str indices)
 
-let activation_of_string = function
-  | "relu" -> Op.Relu
-  | "relu6" -> Op.Relu6
-  | "sigmoid" -> Op.Sigmoid
-  | "tanh" -> Op.Tanh
-  | "gelu" -> Op.Gelu
-  | "exp" -> Op.Exp
-  | "softplus" -> Op.Softplus
-  | "silu" -> Op.Silu
-  | "rsqrt" -> Op.Rsqrt
-  | "sqrt" -> Op.Sqrt
-  | "reciprocal" -> Op.Reciprocal
-  | s -> invalid_arg ("Serialize: unknown activation " ^ s)
-
-let parse_attrs tokens =
-  List.filter_map
-    (fun tok ->
-      match String.index_opt tok '=' with
-      | Some i ->
-          Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
-      | None -> None)
-    tokens
-
-let op_of_tokens = function
-  | [] -> invalid_arg "Serialize: empty op"
-  | opname :: rest -> (
-      let attrs = parse_attrs rest in
-      let attr k =
-        try List.assoc k attrs
-        with Not_found -> invalid_arg ("Serialize: missing attr " ^ k)
-      in
-      let iattr k = int_of_string (attr k) in
-      match opname with
-      | "input" -> Op.Input { shape = parse_shape (attr "shape") }
-      | "weight" ->
-          let shape = parse_shape (attr "shape") in
-          (* data floats follow the data= token *)
-          let rec collect = function
-            | [] -> []
-            | tok :: rest when String.length tok > 5 && String.sub tok 0 5 = "data=" ->
-                String.sub tok 5 (String.length tok - 5) :: rest
-            | _ :: rest -> collect rest
-          in
-          let floats = List.map float_of_string (collect rest) in
-          Op.Weight { tensor = T.of_array shape (Array.of_list floats) }
-      | "conv2d" ->
-          Op.Conv2d
-            { stride = iattr "stride"; padding = parse_padding (attr "padding") }
-      | "depthwise_conv2d" ->
-          Op.Depthwise_conv2d
-            { stride = iattr "stride"; padding = parse_padding (attr "padding") }
-      | "fully_connected" -> Op.Fully_connected
-      | "batch_matmul" ->
-          Op.Batch_matmul { transpose_b = bool_of_string (attr "transpose_b") }
-      | "avg_pool2d" -> Op.Avg_pool2d { size = iattr "size"; stride = iattr "stride" }
-      | "max_pool2d" -> Op.Max_pool2d { size = iattr "size"; stride = iattr "stride" }
-      | "global_avg_pool" -> Op.Global_avg_pool
-      | "add" -> Op.Add
-      | "sub" -> Op.Sub
-      | "mul" -> Op.Mul
-      | "div" -> Op.Div
-      | "squared_difference" -> Op.Squared_difference
-      | "maximum" -> Op.Maximum
-      | "minimum" -> Op.Minimum
-      | "neg" -> Op.Neg
-      | "square" -> Op.Square
-      | "reduce_sum" -> Op.Reduce_sum { axis = iattr "axis" }
-      | "reduce_mean" -> Op.Reduce_mean { axis = iattr "axis" }
-      | "reduce_max" -> Op.Reduce_max { axis = iattr "axis" }
-      | "act_elu" -> Op.Activation (Op.Elu (float_of_string (attr "alpha")))
-      | "softmax" -> Op.Softmax
-      | "layer_norm" -> Op.Layer_norm { eps = float_of_string (attr "eps") }
-      | "batch_norm" -> Op.Batch_norm
-      | "reshape" -> Op.Reshape { shape = parse_shape (attr "shape") }
-      | "transpose" -> Op.Transpose { perm = parse_shape (attr "perm") }
-      | "concat" -> Op.Concat { axis = iattr "axis" }
-      | "slice" ->
-          Op.Slice { starts = parse_shape (attr "starts"); sizes = parse_shape (attr "sizes") }
-      | "pad" -> Op.Pad { pads = parse_pads (attr "pads") }
-      | "flatten" -> Op.Flatten
-      | "squeeze" -> Op.Squeeze { axis = iattr "axis" }
-      | "expand_dims" -> Op.Expand_dims { axis = iattr "axis" }
-      | "gather" ->
-          Op.Gather { indices = parse_shape (attr "indices"); axis = iattr "axis" }
-      | s when String.length s > 4 && String.sub s 0 4 = "act_" ->
-          Op.Activation (activation_of_string (String.sub s 4 (String.length s - 4)))
-      | s -> invalid_arg ("Serialize: unknown op " ^ s))
-
 let to_string graph =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Printf.sprintf "zkml-model v1 %s\n" (Graph.name graph));
@@ -187,41 +101,322 @@ let to_string graph =
        (String.concat "," (List.map string_of_int (Graph.outputs graph))));
   Buffer.contents buf
 
-let of_string text =
-  let lines = String.split_on_char '\n' text in
-  match lines with
-  | [] -> invalid_arg "Serialize: empty model"
-  | header :: rest ->
-      let name =
-        match String.split_on_char ' ' header with
-        | "zkml-model" :: "v1" :: name :: _ -> name
-        | _ -> invalid_arg "Serialize: bad header"
-      in
-      let g = Graph.create name in
-      List.iter
-        (fun line ->
-          match String.split_on_char ' ' (String.trim line) with
-          | [ "" ] | [] -> ()
-          | "node" :: _id :: ins :: op_tokens ->
-              let inputs =
-                if ins = "in=" then [||]
-                else parse_shape (String.sub ins 3 (String.length ins - 3))
-              in
-              ignore (Graph.add g (op_of_tokens op_tokens) inputs)
-          | "outputs" :: [ outs ] ->
-              Array.iter (Graph.mark_output g) (parse_shape outs)
-          | _ -> invalid_arg ("Serialize: bad line: " ^ line))
-        rest;
-      g
-
 let save graph path =
   let oc = open_out path in
   output_string oc (to_string graph);
   close_out oc
 
-let load path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  of_string s
+(* ------------------------------------------------------------------ *)
+(* Parsers. Every function below is total; [off] is the 1-based line
+   the tokens came from. *)
+
+(* Sanity bounds: a single dimension and a tensor's element count that
+   no model in scope comes near, so that a hostile shape cannot demand
+   gigabytes before any later check runs. *)
+let max_dim = 1 lsl 24
+let max_numel = 1 lsl 26
+
+let ints_of_csv ~off ~what s =
+  if s = "" then Ok []
+  else map_list (int_field ~offset:off ~what) (String.split_on_char ',' s)
+
+let parse_int_array ~off ~what s =
+  let* l = ints_of_csv ~off ~what s in
+  Ok (Array.of_list l)
+
+(* A real tensor shape: bounded dims and element count. [allow_infer]
+   admits a single -1 (reshape's inferred dimension). *)
+let parse_dims ~off ~what ?(allow_infer = false) s =
+  let* shape = parse_int_array ~off ~what s in
+  let lo = if allow_infer then -1 else 0 in
+  let* () =
+    iter_list
+      (fun d ->
+        if d < lo || d > max_dim then
+          failf ~offset:off Out_of_range "%s: dimension %d outside [%d, %d]"
+            what d lo max_dim
+        else Ok ())
+      (Array.to_list shape)
+  in
+  let numel = Array.fold_left (fun acc d -> acc * max d 1) 1 shape in
+  if numel > max_numel then
+    failf ~offset:off Out_of_range "%s: %d elements exceed limit %d" what numel
+      max_numel
+  else Ok shape
+
+let parse_pads ~off s =
+  let* parts = parse_int_array ~off ~what:"pads" s in
+  let len = Array.length parts in
+  if len mod 2 <> 0 then
+    (* an odd trailing value must not be dropped silently: it would
+       change the padding the executor applies vs what was written *)
+    failf ~offset:off Bad_field
+      "pads: odd number of values (%d); expected lo,hi pairs" len
+  else
+    Ok (Array.init (len / 2) (fun i -> (parts.(2 * i), parts.((2 * i) + 1))))
+
+let parse_padding ~off = function
+  | "same" -> Ok Op.Same
+  | "valid" -> Ok Op.Valid
+  | s -> failf ~offset:off Unknown_variant "padding: %S" s
+
+let activation_of_string ~off = function
+  | "relu" -> Ok Op.Relu
+  | "relu6" -> Ok Op.Relu6
+  | "sigmoid" -> Ok Op.Sigmoid
+  | "tanh" -> Ok Op.Tanh
+  | "gelu" -> Ok Op.Gelu
+  | "exp" -> Ok Op.Exp
+  | "softplus" -> Ok Op.Softplus
+  | "silu" -> Ok Op.Silu
+  | "rsqrt" -> Ok Op.Rsqrt
+  | "sqrt" -> Ok Op.Sqrt
+  | "reciprocal" -> Ok Op.Reciprocal
+  | s -> failf ~offset:off Unknown_variant "activation: %S" s
+
+let parse_attrs tokens =
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+          Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+      | None -> None)
+    tokens
+
+let op_of_tokens ~off = function
+  | [] -> fail ~offset:off Missing_field "empty op"
+  | opname :: rest -> (
+      let attrs = parse_attrs rest in
+      let attr k =
+        match List.assoc_opt k attrs with
+        | Some v -> Ok v
+        | None -> failf ~offset:off Missing_field "missing attr %s" k
+      in
+      let iattr k =
+        let* v = attr k in
+        int_field ~offset:off ~what:k v
+      in
+      (* strides and pool sizes of zero would loop or divide by zero in
+         the executors; the writer only emits >= 1 *)
+      let pos_iattr k =
+        let* v = attr k in
+        bounded_int_field ~offset:off ~what:k ~min:1 ~max:max_dim v
+      in
+      let shape_attr ?allow_infer k =
+        let* v = attr k in
+        parse_dims ~off ~what:k ?allow_infer v
+      in
+      let int_array_attr k =
+        let* v = attr k in
+        parse_int_array ~off ~what:k v
+      in
+      match opname with
+      | "input" ->
+          let* shape = shape_attr "shape" in
+          Ok (Op.Input { shape })
+      | "weight" ->
+          let* shape = shape_attr "shape" in
+          (* data floats follow the data= token *)
+          let rec collect = function
+            | [] -> []
+            | tok :: rest when String.length tok > 5 && String.sub tok 0 5 = "data=" ->
+                String.sub tok 5 (String.length tok - 5) :: rest
+            | _ :: rest -> collect rest
+          in
+          let* floats =
+            map_list
+              (finite_float_field ~offset:off ~what:"weight data")
+              (collect rest)
+          in
+          let data = Array.of_list floats in
+          let numel = T.numel_of_shape shape in
+          if Array.length data <> numel then
+            failf ~offset:off Bad_field
+              "weight: %d data values for a shape of %d elements"
+              (Array.length data) numel
+          else Ok (Op.Weight { tensor = T.of_array shape data })
+      | "conv2d" ->
+          let* stride = pos_iattr "stride" in
+          let* p = attr "padding" in
+          let* padding = parse_padding ~off p in
+          Ok (Op.Conv2d { stride; padding })
+      | "depthwise_conv2d" ->
+          let* stride = pos_iattr "stride" in
+          let* p = attr "padding" in
+          let* padding = parse_padding ~off p in
+          Ok (Op.Depthwise_conv2d { stride; padding })
+      | "fully_connected" -> Ok Op.Fully_connected
+      | "batch_matmul" ->
+          let* v = attr "transpose_b" in
+          let* transpose_b = bool_field ~offset:off ~what:"transpose_b" v in
+          Ok (Op.Batch_matmul { transpose_b })
+      | "avg_pool2d" ->
+          let* size = pos_iattr "size" in
+          let* stride = pos_iattr "stride" in
+          Ok (Op.Avg_pool2d { size; stride })
+      | "max_pool2d" ->
+          let* size = pos_iattr "size" in
+          let* stride = pos_iattr "stride" in
+          Ok (Op.Max_pool2d { size; stride })
+      | "global_avg_pool" -> Ok Op.Global_avg_pool
+      | "add" -> Ok Op.Add
+      | "sub" -> Ok Op.Sub
+      | "mul" -> Ok Op.Mul
+      | "div" -> Ok Op.Div
+      | "squared_difference" -> Ok Op.Squared_difference
+      | "maximum" -> Ok Op.Maximum
+      | "minimum" -> Ok Op.Minimum
+      | "neg" -> Ok Op.Neg
+      | "square" -> Ok Op.Square
+      | "reduce_sum" ->
+          let* axis = iattr "axis" in
+          Ok (Op.Reduce_sum { axis })
+      | "reduce_mean" ->
+          let* axis = iattr "axis" in
+          Ok (Op.Reduce_mean { axis })
+      | "reduce_max" ->
+          let* axis = iattr "axis" in
+          Ok (Op.Reduce_max { axis })
+      | "act_elu" ->
+          let* v = attr "alpha" in
+          let* alpha = finite_float_field ~offset:off ~what:"alpha" v in
+          Ok (Op.Activation (Op.Elu alpha))
+      | "softmax" -> Ok Op.Softmax
+      | "layer_norm" ->
+          let* v = attr "eps" in
+          let* eps = finite_float_field ~offset:off ~what:"eps" v in
+          Ok (Op.Layer_norm { eps })
+      | "batch_norm" -> Ok Op.Batch_norm
+      | "reshape" ->
+          let* shape = shape_attr ~allow_infer:true "shape" in
+          Ok (Op.Reshape { shape })
+      | "transpose" ->
+          let* perm = int_array_attr "perm" in
+          Ok (Op.Transpose { perm })
+      | "concat" ->
+          let* axis = iattr "axis" in
+          Ok (Op.Concat { axis })
+      | "slice" ->
+          let* starts = int_array_attr "starts" in
+          let* sizes = int_array_attr "sizes" in
+          Ok (Op.Slice { starts; sizes })
+      | "pad" ->
+          let* v = attr "pads" in
+          let* pads = parse_pads ~off v in
+          Ok (Op.Pad { pads })
+      | "flatten" -> Ok Op.Flatten
+      | "squeeze" ->
+          let* axis = iattr "axis" in
+          Ok (Op.Squeeze { axis })
+      | "expand_dims" ->
+          let* axis = iattr "axis" in
+          Ok (Op.Expand_dims { axis })
+      | "gather" ->
+          let* indices = int_array_attr "indices" in
+          let* axis = iattr "axis" in
+          Ok (Op.Gather { indices; axis })
+      | s when String.length s > 4 && String.sub s 0 4 = "act_" ->
+          let* a = activation_of_string ~off (String.sub s 4 (String.length s - 4)) in
+          Ok (Op.Activation a)
+      | s -> failf ~offset:off Unknown_variant "op: %S" s)
+
+let of_string text =
+  in_context "model"
+  @@
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | [] -> fail ~offset:(Line 1) Bad_header "empty model"
+  | header :: rest ->
+      let* name =
+        match String.split_on_char ' ' header with
+        | "zkml-model" :: "v1" :: name :: _ -> Ok name
+        | "zkml-model" :: v :: _ ->
+            failf ~offset:(Line 1) Bad_header "unsupported version %S" v
+        | _ ->
+            fail ~offset:(Line 1) Bad_header
+              "expected header 'zkml-model v1 <name>'"
+      in
+      let g = Graph.create name in
+      (* the outputs line is recorded and validated after all nodes so
+         its ids can be checked against the final node count *)
+      let outputs = ref None in
+      let rec go ln = function
+        | [] -> Ok ()
+        | line :: rest ->
+            let off = Line ln in
+            let* () =
+              match String.split_on_char ' ' (String.trim line) with
+              | [ "" ] | [] -> Ok ()
+              | "node" :: id :: ins :: op_tokens ->
+                  let* id = int_field ~offset:off ~what:"node id" id in
+                  (* ids are the binding between in= references and
+                     nodes: an out-of-sequence id means a duplicated,
+                     dropped or reordered line, which would silently
+                     rebind every later reference *)
+                  if id <> Graph.num_nodes g then
+                    failf ~offset:off Bad_field
+                      "node id %d out of sequence (expected %d)" id
+                      (Graph.num_nodes g)
+                  else if
+                    not (String.length ins >= 3 && String.sub ins 0 3 = "in=")
+                  then fail ~offset:off Bad_field "expected in=<ids> after node id"
+                  else
+                    let* inputs =
+                      parse_int_array ~off ~what:"in"
+                        (String.sub ins 3 (String.length ins - 3))
+                    in
+                    let* op = op_of_tokens ~off op_tokens in
+                    (* Graph.add re-checks input ids < id *)
+                    let* _ =
+                      guard ~offset:off Bad_field (fun () -> Graph.add g op inputs)
+                    in
+                    Ok ()
+              | "outputs" :: [ outs ] -> (
+                  match !outputs with
+                  | Some (prev, _) ->
+                      failf ~offset:off Duplicate_field
+                        "second outputs line (first at line %d)" prev
+                  | None ->
+                      let* ids = ints_of_csv ~off ~what:"outputs" outs in
+                      outputs := Some (ln, ids);
+                      Ok ())
+              | tok :: _ ->
+                  failf ~offset:off Unknown_variant "unrecognised line %S" tok
+            in
+            go (ln + 1) rest
+      in
+      let* () = go 2 rest in
+      let* ln, ids =
+        match !outputs with
+        | Some o -> Ok o
+        | None -> fail Missing_field "missing outputs line"
+      in
+      let* () =
+        iter_list
+          (fun id ->
+            if id < 0 || id >= Graph.num_nodes g then
+              failf ~offset:(Line ln) Out_of_range
+                "output id %d out of range [0, %d)" id (Graph.num_nodes g)
+            else begin
+              Graph.mark_output g id;
+              Ok ()
+            end)
+          ids
+      in
+      Ok g
+
+let of_string_exn text = Err.get_exn (of_string text)
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string s
+  | exception Sys_error m -> fail ~context:[ "model" ] Io_error m
+  | exception End_of_file ->
+      fail ~context:[ "model" ] Io_error (path ^ ": unexpected end of file")
+
+let load path = Err.get_exn (of_file path)

@@ -366,53 +366,64 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       [] plan
     |> List.rev
 
+  module Err = Zkml_util.Err
+
   (** Parse a proof produced by {!proof_to_bytes}; all counts are
-      derived from the verification keys. Raises [Invalid_argument] on
-      malformed input. *)
+      derived from the verification keys. Total over adversarial bytes:
+      a proof truncated at any point, a non-canonical field or group
+      encoding, or trailing garbage all come back as a typed
+      [Error _] carrying the byte offset — never as an exception. *)
   let proof_of_bytes scheme_params keys s =
+    let open Err in
     let circuit = keys.circuit in
     let num_adv = Circuit.num_advice circuit in
     let num_lookups = List.length circuit.lookups in
     let plan = opening_plan keys in
-    let pos = ref 0 in
-    let read_g () =
-      let g = G.of_bytes_exn (String.sub s !pos G.size_bytes) in
-      pos := !pos + G.size_bytes;
-      g
+    let r = Reader.of_string s in
+    let read_many what k decode_one =
+      let rec go acc i =
+        if i = k then Ok (Array.of_list (List.rev acc))
+        else
+          let* v = decode_one (Printf.sprintf "%s[%d]" what i) in
+          go (v :: acc) (i + 1)
+      in
+      go [] 0
     in
-    let read_f () =
-      let f = F.of_bytes_exn (String.sub s !pos F.size_bytes) in
-      pos := !pos + F.size_bytes;
-      f
+    let read_gs what k =
+      read_many what k (fun w -> Reader.decode r ~what:w G.size_bytes G.of_bytes_exn)
     in
-    let adv_commits = Array.init num_adv (fun _ -> read_g ()) in
-    let look_a_commits = Array.init num_lookups (fun _ -> read_g ()) in
-    let look_s_commits = Array.init num_lookups (fun _ -> read_g ()) in
-    let perm_z_commits = Array.init keys.n_chunks (fun _ -> read_g ()) in
-    let look_z_commits = Array.init num_lookups (fun _ -> read_g ()) in
-    let h_commits = Array.init keys.ext_factor (fun _ -> read_g ()) in
-    let evals = Array.init (List.length plan) (fun _ -> read_f ()) in
-    let openings =
-      Array.of_list
-        (List.map
-           (fun _ ->
-             let p, next = Scheme.read_proof scheme_params s ~pos:!pos in
-             pos := next;
-             p)
-           (distinct_rotations plan))
+    let result =
+      let* adv_commits = read_gs "advice commit" num_adv in
+      let* look_a_commits = read_gs "lookup input commit" num_lookups in
+      let* look_s_commits = read_gs "lookup table commit" num_lookups in
+      let* perm_z_commits = read_gs "permutation z commit" keys.n_chunks in
+      let* look_z_commits = read_gs "lookup z commit" num_lookups in
+      let* h_commits = read_gs "quotient commit" keys.ext_factor in
+      let* evals =
+        read_many "evaluation" (List.length plan) (fun w ->
+            Reader.decode r ~what:w F.size_bytes F.of_bytes_exn)
+      in
+      let* openings =
+        read_many "opening" (List.length (distinct_rotations plan)) (fun w ->
+            in_context w (Scheme.read_proof scheme_params r))
+      in
+      let* () = Reader.expect_end r ~what:"proof" in
+      Ok
+        {
+          adv_commits;
+          look_a_commits;
+          look_s_commits;
+          perm_z_commits;
+          look_z_commits;
+          h_commits;
+          evals;
+          openings;
+        }
     in
-    if !pos <> String.length s then
-      invalid_arg "proof_of_bytes: trailing bytes";
-    {
-      adv_commits;
-      look_a_commits;
-      look_s_commits;
-      perm_z_commits;
-      look_z_commits;
-      h_commits;
-      evals;
-      openings;
-    }
+    in_context "proof" result
+
+  let proof_of_bytes_exn scheme_params keys s =
+    Err.get_exn (proof_of_bytes scheme_params keys s)
 
 
   (* ------------------------------------------------------------------ *)
@@ -1079,4 +1090,34 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
         end
       end
     end
+
+  (* ------------------------------------------------------------------ *)
+  (* Never-raising verification of untrusted proof bytes *)
+
+  (** Three-way outcome: [Malformed] means the bytes never were a proof
+      (parse-level failure, with the reason); [Rejected] means a
+      structurally valid proof that does not verify; [Accepted] means it
+      verifies. The CLI maps these to exit codes 2 / 1 / 0. *)
+  type verdict = Accepted | Rejected | Malformed of Err.t
+
+  let verdict_string = function
+    | Accepted -> "accepted"
+    | Rejected -> "rejected"
+    | Malformed e -> "malformed: " ^ Err.to_string e
+
+  let verify_bytes scheme_params keys ~instance bytes =
+    match proof_of_bytes scheme_params keys bytes with
+    | Error e -> Malformed e
+    | Ok proof -> (
+        (* [verify] on a structurally complete proof has no raising
+           paths left, but a verifier judging adversarial input must not
+           depend on that invariant: classify any internal raise instead
+           of propagating it. *)
+        match
+          Err.guard Err.Invalid_encoding (fun () ->
+              verify scheme_params keys ~instance proof)
+        with
+        | Ok true -> Accepted
+        | Ok false -> Rejected
+        | Error e -> Malformed (Err.with_context "verify" e))
 end

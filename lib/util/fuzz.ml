@@ -1,0 +1,236 @@
+(* Seeded corpus-mutation fuzzing (see fuzz.mli). Mutators are written
+   so that the returned mutant always differs from the input string;
+   [run] additionally treats a mutant that lands back inside the corpus
+   as legitimate to accept (e.g. two bit flips cancelling out across
+   iterations can never happen here, but a splice can be an identity on
+   repetitive inputs). *)
+
+type verdict = Accepted | Valid | Rejected | Malformed of string
+
+type report = {
+  iters : int;
+  valid : int;
+  rejected : int;
+  malformed : int;
+  unchanged : int;
+  accepted_mutants : (int * string) list;
+  escaped : (int * string * string) list;
+}
+
+let clean r = r.accepted_mutants = [] && r.escaped = []
+
+let report_lines ~label r =
+  let base =
+    Printf.sprintf
+      "%s: %d mutants: %d malformed, %d rejected, %d valid, %d unchanged, %d \
+       ACCEPTED, %d ESCAPED"
+      label r.iters r.malformed r.rejected r.valid r.unchanged
+      (List.length r.accepted_mutants)
+      (List.length r.escaped)
+  in
+  base
+  :: List.map
+       (fun (i, d) -> Printf.sprintf "  ACCEPTED mutant @%d: %s" i d)
+       (List.rev r.accepted_mutants)
+  @ List.map
+      (fun (i, d, e) -> Printf.sprintf "  ESCAPED exception @%d (%s): %s" i d e)
+      (List.rev r.escaped)
+
+(* ------------------------------------------------------------------ *)
+(* Binary mutators. Each takes the input and returns mutant + label, or
+   None when it does not apply (e.g. too short). *)
+
+let truncate rng s =
+  let n = String.length s in
+  if n = 0 then None
+  else
+    let cut = Rng.int rng n in
+    Some (String.sub s 0 cut, Printf.sprintf "truncate to %d/%d bytes" cut n)
+
+let bit_flip rng s =
+  let n = String.length s in
+  if n = 0 then None
+  else begin
+    let b = Bytes.of_string s in
+    let flips = 1 + Rng.int rng 8 in
+    let descr = Buffer.create 32 in
+    Buffer.add_string descr "bit-flip";
+    for _ = 1 to flips do
+      let i = Rng.int rng n in
+      let bit = Rng.int rng 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      Buffer.add_string descr (Printf.sprintf " %d.%d" i bit)
+    done;
+    let m = Bytes.to_string b in
+    if m = s then None (* an even number of flips hit one spot *)
+    else Some (m, Buffer.contents descr)
+  end
+
+let splice rng s =
+  let n = String.length s in
+  if n < 4 then None
+  else begin
+    let len = 1 + Rng.int rng (min 64 (n / 2)) in
+    let src = Rng.int rng (n - len + 1) in
+    let dst = Rng.int rng (n - len + 1) in
+    let b = Bytes.of_string s in
+    Bytes.blit_string s src b dst len;
+    let m = Bytes.to_string b in
+    if m = s then None
+    else Some (m, Printf.sprintf "splice %d bytes %d->%d" len src dst)
+  end
+
+(* Overwrite a run with 0xFF: produces non-canonical field encodings and
+   maximal length/count fields. *)
+let overwrite_ff rng s =
+  let n = String.length s in
+  if n = 0 then None
+  else begin
+    let len = min n (1 + Rng.int rng 8) in
+    let off = Rng.int rng (n - len + 1) in
+    let b = Bytes.of_string s in
+    Bytes.fill b off len '\xff';
+    let m = Bytes.to_string b in
+    if m = s then None
+    else Some (m, Printf.sprintf "0xff run %d+%d" off len)
+  end
+
+let append_garbage rng s =
+  let len = 1 + Rng.int rng 16 in
+  let extra = String.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+  Some (s ^ extra, Printf.sprintf "append %d bytes" len)
+
+(* ------------------------------------------------------------------ *)
+(* Line-oriented mutators for textual formats. *)
+
+let split_lines s = String.split_on_char '\n' s
+let join_lines ls = String.concat "\n" ls
+
+let dup_line rng s =
+  match split_lines s with
+  | [] | [ _ ] -> None
+  | lines ->
+      let n = List.length lines in
+      let i = Rng.int rng n in
+      let out =
+        List.concat (List.mapi (fun j l -> if j = i then [ l; l ] else [ l ]) lines)
+      in
+      let m = join_lines out in
+      if m = s then None else Some (m, Printf.sprintf "duplicate line %d" i)
+
+let swap_lines rng s =
+  match split_lines s with
+  | [] | [ _ ] -> None
+  | lines ->
+      let n = List.length lines in
+      let i = Rng.int rng n and j = Rng.int rng n in
+      let arr = Array.of_list lines in
+      let t = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- t;
+      let m = join_lines (Array.to_list arr) in
+      if m = s then None else Some (m, Printf.sprintf "swap lines %d,%d" i j)
+
+let drop_line rng s =
+  match split_lines s with
+  | [] | [ _ ] -> None
+  | lines ->
+      let n = List.length lines in
+      let i = Rng.int rng n in
+      let m = join_lines (List.filteri (fun j _ -> j <> i) lines) in
+      if m = s then None else Some (m, Printf.sprintf "drop line %d" i)
+
+(* Replace one numeric token with a value that overflows [int_of_string]
+   or lands far outside any sane range. *)
+let big_token rng s =
+  let is_num_char c = (c >= '0' && c <= '9') || c = '-' in
+  let n = String.length s in
+  (* collect starts of digit runs *)
+  let starts = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if is_num_char s.[!i] then begin
+      starts := !i :: !starts;
+      while !i < n && is_num_char s.[!i] do
+        incr i
+      done
+    end
+    else incr i
+  done;
+  match !starts with
+  | [] -> None
+  | starts ->
+      let starts = Array.of_list starts in
+      let st = starts.(Rng.int rng (Array.length starts)) in
+      let en = ref st in
+      while !en < n && is_num_char s.[!en] do
+        incr en
+      done;
+      let replacement =
+        match Rng.int rng 3 with
+        | 0 -> "99999999999999999999999999"
+        | 1 -> "-99999999999999999999999999"
+        | _ -> string_of_int max_int
+      in
+      let m = String.sub s 0 st ^ replacement ^ String.sub s !en (n - !en) in
+      if m = s then None
+      else Some (m, Printf.sprintf "big token @%d" st)
+
+(* ------------------------------------------------------------------ *)
+
+let pick_mutation rng s mutators =
+  (* retry until a mutator applies; [append_garbage] always does, so the
+     loop terminates *)
+  let k = Array.length mutators in
+  let rec go attempts =
+    if attempts > 32 then Option.get (append_garbage rng s)
+    else
+      match mutators.(Rng.int rng k) rng s with
+      | Some res -> res
+      | None -> go (attempts + 1)
+  in
+  go 0
+
+let binary_mutators =
+  [| truncate; bit_flip; splice; overwrite_ff; append_garbage |]
+
+let text_mutators =
+  Array.append binary_mutators
+    [| dup_line; swap_lines; drop_line; big_token |]
+
+let mutate rng s = pick_mutation rng s binary_mutators
+let mutate_text rng s = pick_mutation rng s text_mutators
+
+let run ?(text = false) ~rng ~iters ~corpus ~classify () =
+  if corpus = [] then invalid_arg "Fuzz.run: empty corpus";
+  let corpus = Array.of_list corpus in
+  let mutate = if text then mutate_text else mutate in
+  let valid = ref 0
+  and rejected = ref 0
+  and malformed = ref 0
+  and unchanged = ref 0
+  and accepted = ref []
+  and escaped = ref [] in
+  for it = 1 to iters do
+    let base = corpus.(Rng.int rng (Array.length corpus)) in
+    let mutant, descr = mutate rng base in
+    let in_corpus = Array.exists (fun c -> c = mutant) corpus in
+    match classify mutant with
+    | Accepted ->
+        if in_corpus then incr unchanged
+        else accepted := (it, descr) :: !accepted
+    | Valid -> incr valid
+    | Rejected -> incr rejected
+    | Malformed _ -> incr malformed
+    | exception e ->
+        escaped := (it, descr, Printexc.to_string e) :: !escaped
+  done;
+  {
+    iters;
+    valid = !valid;
+    rejected = !rejected;
+    malformed = !malformed;
+    unchanged = !unchanged;
+    accepted_mutants = !accepted;
+    escaped = !escaped;
+  }

@@ -1,0 +1,68 @@
+(** Deterministic malformed-input fuzzing of parser/verifier boundaries.
+
+    The engine mutates a corpus of known-good inputs (truncation, bit
+    flips, splices, field-overflow byte runs, appended garbage, and —
+    for line-oriented formats — duplicated/reordered/dropped lines and
+    numeric-token blowups) and checks that a classifier is total over
+    the mutants: every mutant must classify as rejected or malformed; no
+    exception may escape and no genuinely mutated input may be accepted.
+
+    All randomness flows through {!Rng}, so a (seed, iters, corpus)
+    triple replays exactly — CI failures pin down to one reproducible
+    mutant. Used by [test/fuzz_inputs.ml] and the [zkml fuzz]
+    subcommand. *)
+
+type verdict =
+  | Accepted
+      (** taken as genuine where it must not be: a mutated proof the
+          verifier accepts, or a parse that breaks a format invariant *)
+  | Valid
+      (** parsed to a well-formed value and every invariant holds — the
+          legitimate outcome for corpora with no soundness claim (a
+          model file with one weight float changed is simply a
+          different valid model) *)
+  | Rejected  (** parsed fine, judged false — the verifier said no *)
+  | Malformed of string  (** rejected at parse time with a diagnostic *)
+
+type report = {
+  iters : int;
+  valid : int;
+  rejected : int;
+  malformed : int;
+  unchanged : int;
+      (** mutants that round-tripped back into the corpus (acceptance is
+          then legitimate) *)
+  accepted_mutants : (int * string) list;
+      (** (iteration, mutation description) of every true mutant the
+          classifier accepted — must be empty *)
+  escaped : (int * string * string) list;
+      (** (iteration, mutation description, exception) of every escaped
+          exception — must be empty *)
+}
+
+val clean : report -> bool
+(** No accepted mutants and no escaped exceptions. *)
+
+val report_lines : label:string -> report -> string list
+(** Human-oriented summary, one finding per line. *)
+
+val mutate : Rng.t -> string -> string * string
+(** One random binary mutation; returns (mutant, description). The
+    mutant always differs from the input. *)
+
+val mutate_text : Rng.t -> string -> string * string
+(** Like {!mutate} but mixes in line-oriented mutations (duplicate /
+    swap / drop a line, replace a numeric token with an overflowing
+    one). *)
+
+val run :
+  ?text:bool ->
+  rng:Rng.t ->
+  iters:int ->
+  corpus:string list ->
+  classify:(string -> verdict) ->
+  unit ->
+  report
+(** Fuzz [corpus] for [iters] mutants. [classify] is called inside a
+    handler that records any escaping exception; [text] (default false)
+    selects {!mutate_text}. *)

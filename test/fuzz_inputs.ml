@@ -1,0 +1,318 @@
+(* Regression suite for the untrusted-input surface: typed parse errors
+   for model files and proof bytes, the hardening satellites (odd pad
+   lists, non-finite quantization, canonical integers), a qcheck
+   round-trip over randomized graphs, and short fixed-seed runs of the
+   deterministic fuzz engine (the long run is `make fuzz`). *)
+
+module T = Zkml_tensor.Tensor
+module Fx = Zkml_fixed.Fixed
+module G = Zkml_nn.Graph
+module S = Zkml_nn.Serialize
+module Err = Zkml_util.Err
+module Fuzz = Zkml_util.Fuzz
+module Zoo = Zkml_models.Zoo
+module Opt = Zkml_compiler.Optimizer
+module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Kzg = Zkml_commit.Kzg.Make (Sim61)
+module Pipe = Zkml_compiler.Pipeline.Make (Kzg)
+
+let kzg_params = Kzg.setup ~max_size:(1 lsl 13) ~seed:"fuzz-inputs"
+
+let expect_code name code = function
+  | Ok _ -> Alcotest.failf "%s: parsed fine, expected %s" name (Err.code_name code)
+  | Error (e : Err.t) ->
+      Alcotest.(check string) name (Err.code_name code) (Err.code_name e.Err.code)
+
+let expect_error name = function
+  | Ok _ -> Alcotest.failf "%s: parsed fine, expected an error" name
+  | Error (_ : Err.t) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Err primitives *)
+
+let test_err_fields () =
+  let chk name ok s =
+    match Err.int_field ~what:"x" s with
+    | Ok _ when ok -> ()
+    | Error _ when not ok -> ()
+    | Ok v -> Alcotest.failf "%s: %S accepted as %d" name s v
+    | Error e -> Alcotest.failf "%s: %S rejected: %s" name s (Err.to_string e)
+  in
+  chk "plain" true "42";
+  chk "zero" true "0";
+  chk "negative" true "-17";
+  (* the permissive int_of_string grammar re-encodes equal values as
+     different bytes; all of it must be refused *)
+  chk "leading zeros" false "007";
+  chk "negative zero" false "-0";
+  chk "plus sign" false "+1";
+  chk "hex" false "0x10";
+  chk "underscores" false "1_000";
+  chk "empty" false "";
+  chk "trailing junk" false "12x";
+  expect_code "overflow" Err.Bad_field
+    (Err.int_field ~what:"x" "99999999999999999999999999");
+  expect_code "bound" Err.Out_of_range
+    (Err.bounded_int_field ~what:"x" ~min:1 ~max:8 "9");
+  expect_code "nan float" Err.Out_of_range
+    (Err.finite_float_field ~what:"w" "nan");
+  expect_code "inf float" Err.Out_of_range
+    (Err.finite_float_field ~what:"w" "inf")
+
+let test_err_reader () =
+  let r = Err.Reader.of_string "abcdef" in
+  (match Err.Reader.take r ~what:"p" 4 with
+  | Ok s -> Alcotest.(check string) "take" "abcd" s
+  | Error e -> Alcotest.failf "take: %s" (Err.to_string e));
+  expect_code "short take" Err.Truncated (Err.Reader.take r ~what:"p" 3);
+  expect_code "trailing" Err.Trailing_data (Err.Reader.expect_end r ~what:"p");
+  (match Err.Reader.take r ~what:"p" 2 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "tail take: %s" (Err.to_string e));
+  match Err.Reader.expect_end r ~what:"p" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "end: %s" (Err.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-point hardening *)
+
+let test_fixed_nonfinite () =
+  let cfg = Fx.default in
+  Alcotest.(check int)
+    "+inf saturates" (Fx.table_max cfg)
+    (Fx.quantize cfg infinity);
+  Alcotest.(check int)
+    "-inf saturates" (Fx.table_min cfg)
+    (Fx.quantize cfg neg_infinity);
+  (match Fx.quantize cfg nan with
+  | exception Fx.Nan_input _ -> ()
+  | v -> Alcotest.failf "nan quantized to %d" v);
+  (match Fx.apply_real cfg (fun _ -> nan) 0 with
+  | exception Fx.Nan_input _ -> ()
+  | v -> Alcotest.failf "nan table image %d" v);
+  Alcotest.(check int)
+    "inf table image saturates" (Fx.table_max cfg)
+    (Fx.apply_real cfg (fun _ -> infinity) 0)
+
+(* ------------------------------------------------------------------ *)
+(* Model-format regressions *)
+
+let model lines = "zkml-model v1 m\n" ^ String.concat "\n" lines ^ "\n"
+
+let test_model_regressions () =
+  let base = S.to_string (Zoo.mnist ()).Zoo.graph in
+  (match S.of_string base with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "mnist text: %s" (Err.to_string e));
+  expect_code "bad version" Err.Bad_header (S.of_string "zkml-model v2 m\n");
+  expect_code "no header" Err.Bad_header (S.of_string "hello\n");
+  expect_code "missing outputs" Err.Missing_field
+    (S.of_string (model [ "node 0 in= input shape=2" ]));
+  expect_code "duplicate outputs" Err.Duplicate_field
+    (S.of_string (model [ "node 0 in= input shape=2"; "outputs 0"; "outputs 0" ]));
+  expect_code "output out of range" Err.Out_of_range
+    (S.of_string (model [ "node 0 in= input shape=2"; "outputs 1" ]));
+  (* a duplicated or reordered node line shows up as an id clash *)
+  expect_code "id out of sequence" Err.Bad_field
+    (S.of_string
+       (model
+          [ "node 0 in= input shape=2"; "node 0 in= input shape=2";
+            "outputs 0" ]));
+  expect_code "unknown op" Err.Unknown_variant
+    (S.of_string (model [ "node 0 in= warp factor=9"; "outputs 0" ]));
+  (* satellite: odd-length pad list must be an error, not a silent drop *)
+  expect_code "odd pads" Err.Bad_field
+    (S.of_string
+       (model
+          [ "node 0 in= input shape=2,2"; "node 1 in=0 pad pads=1,2,3";
+            "outputs 1" ]));
+  expect_code "nan weight" Err.Out_of_range
+    (S.of_string (model [ "node 0 in= weight shape=1 data=nan"; "outputs 0" ]));
+  expect_code "weight count mismatch" Err.Bad_field
+    (S.of_string
+       (model [ "node 0 in= weight shape=3 data=0x1p0 0x1p0"; "outputs 0" ]));
+  expect_code "zero stride" Err.Out_of_range
+    (S.of_string
+       (model
+          [ "node 0 in= input shape=1,4,4,1";
+            "node 1 in=0 avg_pool2d size=2 stride=0"; "outputs 1" ]));
+  expect_code "huge shape" Err.Out_of_range
+    (S.of_string
+       (model [ "node 0 in= input shape=99999999,99999999"; "outputs 0" ]));
+  (* truncation anywhere in the text is a typed error *)
+  for cut = 0 to String.length base - 1 do
+    if cut mod 37 = 0 then
+      expect_error
+        (Printf.sprintf "truncated model @%d" cut)
+        (S.of_string (String.sub base 0 cut))
+  done
+
+(* qcheck: random graphs round-trip through the textual format *)
+let random_graph seed =
+  let rng = Zkml_util.Rng.create seed in
+  let g = G.create (Printf.sprintf "q%Ld" (Int64.logand seed 0xffffL)) in
+  let width = ref (2 + Zkml_util.Rng.int rng 6) in
+  let last = ref (G.input g [| 1; !width |]) in
+  let steps = 1 + Zkml_util.Rng.int rng 6 in
+  for _ = 1 to steps do
+    match Zkml_util.Rng.int rng 6 with
+    | 0 -> last := G.relu g !last
+    | 1 -> last := G.activation g Zkml_nn.Op.Sigmoid !last
+    | 2 ->
+        let w' = 1 + Zkml_util.Rng.int rng 5 in
+        let wt = G.he_weight g rng [| !width; w' |] ~label:"w" in
+        let b = G.zero_weight g [| w' |] ~label:"b" in
+        last := G.fully_connected g !last wt b;
+        width := w'
+    | 3 -> last := G.add_ g !last !last
+    | 4 -> last := G.neg g !last
+    | _ -> last := G.softmax g !last
+  done;
+  G.mark_output g !last;
+  g
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"random graphs round-trip"
+    (QCheck.make
+       (QCheck.Gen.map random_graph QCheck.Gen.int64)
+       ~print:S.to_string)
+    (fun g ->
+      let text = S.to_string g in
+      match S.of_string text with
+      | Error e -> QCheck.Test.fail_reportf "no parse: %s" (Err.to_string e)
+      | Ok g2 ->
+          S.to_string g2 = text
+          && G.num_nodes g2 = G.num_nodes g
+          && G.outputs g2 = G.outputs g)
+
+(* short fixed-seed fuzz of the model parser (mirrors `zkml fuzz`) *)
+let test_fuzz_models () =
+  let corpus =
+    [ S.to_string (Zoo.mnist ()).Zoo.graph;
+      S.to_string (Zoo.dlrm ()).Zoo.graph ]
+  in
+  let classify text =
+    match S.of_string text with
+    | Error e -> Fuzz.Malformed (Err.to_string e)
+    | Ok g -> (
+        let canonical = S.to_string g in
+        match S.of_string canonical with
+        | Ok g2 when S.to_string g2 = canonical -> Fuzz.Valid
+        | _ -> Fuzz.Accepted)
+  in
+  let rng = Zkml_util.Rng.create 11L in
+  let report = Fuzz.run ~text:true ~rng ~iters:400 ~corpus ~classify () in
+  if not (Fuzz.clean report) then
+    Alcotest.failf "model fuzz not clean:\n%s"
+      (String.concat "\n" (Fuzz.report_lines ~label:"models" report));
+  Alcotest.(check bool) "some malformed" true (report.Fuzz.malformed > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Proof bytes: prove mnist once, then attack the byte string *)
+
+let mnist_proof =
+  lazy
+    (let m = Zoo.mnist () in
+     let inputs = Zoo.sample_inputs m in
+     let r = Pipe.run ~cfg:m.Zoo.cfg ~params:kzg_params m.Zoo.graph inputs in
+     assert r.Pipe.verified;
+     let bytes = Pipe.Proto.proof_to_bytes r.Pipe.proof in
+     let qinputs = List.map (T.map (Fx.quantize m.Zoo.cfg)) inputs in
+     let exec = Zkml_nn.Quant_exec.run m.Zoo.cfg m.Zoo.graph ~inputs:qinputs in
+     let lowered =
+       Zkml_compiler.Lower.lower_with ~spec_fn:r.Pipe.plan.Opt.spec_fn
+         ~cfg:m.Zoo.cfg ~ncols:r.Pipe.plan.Opt.ncols ~counting:false
+         m.Zoo.graph exec
+     in
+     let built =
+       Zkml_compiler.Layouter.finalize lowered.Zkml_compiler.Lower.layouter
+         ~blinding:Opt.blinding ~k:r.Pipe.plan.Opt.k
+     in
+     let instance_ints = built.Zkml_compiler.Layouter.instance_col in
+     let keys =
+       Pipe.rebuild_keys kzg_params ~spec:r.Pipe.plan.Opt.spec
+         ~ncols:r.Pipe.plan.Opt.ncols ~k:r.Pipe.plan.Opt.k ~cfg:m.Zoo.cfg
+         m.Zoo.graph
+     in
+     (bytes, keys, instance_ints))
+
+let verdict bytes =
+  let proof, keys, instance_ints = Lazy.force mnist_proof in
+  ignore proof;
+  Pipe.verify_verdict kzg_params keys ~instance_ints bytes
+
+let test_proof_verdicts () =
+  let bytes, _, _ = Lazy.force mnist_proof in
+  (match verdict bytes with
+  | Pipe.Proto.Accepted -> ()
+  | v -> Alcotest.failf "valid proof: %s" (Pipe.Proto.verdict_string v));
+  (* flipping a low bit of a field element keeps the encoding canonical:
+     well-formed proof, false statement *)
+  let tampered = Bytes.of_string bytes in
+  Bytes.set tampered 100
+    (Char.chr (Char.code (Bytes.get tampered 100) lxor 1));
+  (match verdict (Bytes.to_string tampered) with
+  | Pipe.Proto.Rejected -> ()
+  | v -> Alcotest.failf "tampered proof: %s" (Pipe.Proto.verdict_string v));
+  (* trailing garbage after a complete proof *)
+  (match verdict (bytes ^ "\x00") with
+  | Pipe.Proto.Malformed e ->
+      Alcotest.(check string) "trailing code" "trailing_data"
+        (Err.code_name e.Err.code)
+  | v -> Alcotest.failf "trailing garbage: %s" (Pipe.Proto.verdict_string v));
+  (* non-canonical field encoding *)
+  let hi = Bytes.of_string bytes in
+  Bytes.set hi 7 '\xff';
+  match verdict (Bytes.to_string hi) with
+  | Pipe.Proto.Malformed _ -> ()
+  | v -> Alcotest.failf "non-canonical element: %s" (Pipe.Proto.verdict_string v)
+
+(* the ISSUE's acceptance bar: every truncated prefix of a valid mnist
+   proof is Malformed (Truncated), never an exception, never accepted *)
+let test_proof_prefixes () =
+  let bytes, _, _ = Lazy.force mnist_proof in
+  let n = String.length bytes in
+  for cut = 0 to n - 1 do
+    match verdict (String.sub bytes 0 cut) with
+    | Pipe.Proto.Malformed e when e.Err.code = Err.Truncated -> ()
+    | v ->
+        Alcotest.failf "prefix %d/%d: %s" cut n
+          (Pipe.Proto.verdict_string v)
+  done
+
+(* short fixed-seed binary fuzz of the proof-byte parser + verifier *)
+let test_fuzz_proof_bytes () =
+  let bytes, _, _ = Lazy.force mnist_proof in
+  let classify b =
+    match verdict b with
+    | Pipe.Proto.Accepted -> Fuzz.Accepted
+    | Pipe.Proto.Rejected -> Fuzz.Rejected
+    | Pipe.Proto.Malformed e -> Fuzz.Malformed (Err.to_string e)
+  in
+  let rng = Zkml_util.Rng.create 7L in
+  let report = Fuzz.run ~rng ~iters:300 ~corpus:[ bytes ] ~classify () in
+  if not (Fuzz.clean report) then
+    Alcotest.failf "proof fuzz not clean:\n%s"
+      (String.concat "\n" (Fuzz.report_lines ~label:"proof-bytes" report));
+  Alcotest.(check bool) "some malformed" true (report.Fuzz.malformed > 0);
+  Alcotest.(check bool) "some rejected" true (report.Fuzz.rejected > 0)
+
+let () =
+  Alcotest.run "fuzz_inputs"
+    [ ( "err",
+        [ Alcotest.test_case "typed fields" `Quick test_err_fields;
+          Alcotest.test_case "reader" `Quick test_err_reader;
+          Alcotest.test_case "fixed nonfinite" `Quick test_fixed_nonfinite
+        ] );
+      ( "models",
+        [ Alcotest.test_case "regressions" `Quick test_model_regressions;
+          QCheck_alcotest.to_alcotest ~long:false prop_roundtrip;
+          Alcotest.test_case "fuzz" `Quick test_fuzz_models
+        ] );
+      ( "proofs",
+        [ Alcotest.test_case "verdicts" `Quick test_proof_verdicts;
+          Alcotest.test_case "all truncated prefixes" `Quick
+            test_proof_prefixes;
+          Alcotest.test_case "fuzz" `Quick test_fuzz_proof_bytes
+        ] )
+    ]

@@ -54,7 +54,7 @@ let test_all_models_serialize () =
   List.iter
     (fun m ->
       let text = Zkml_nn.Serialize.to_string m.Zoo.graph in
-      let g = Zkml_nn.Serialize.of_string text in
+      let g = Zkml_nn.Serialize.of_string_exn text in
       Alcotest.(check int)
         (m.Zoo.name ^ " node count")
         (Zkml_nn.Graph.num_nodes m.Zoo.graph)

@@ -221,7 +221,7 @@ let test_serialize_roundtrip () =
   let y = G.softmax g (G.fully_connected g f w2 b2) in
   G.mark_output g y;
   let text = Zkml_nn.Serialize.to_string g in
-  let g' = Zkml_nn.Serialize.of_string text in
+  let g' = Zkml_nn.Serialize.of_string_exn text in
   Alcotest.(check int) "node count" (G.num_nodes g) (G.num_nodes g');
   Alcotest.(check (list int)) "outputs" (G.outputs g) (G.outputs g');
   (* semantics preserved: same output on same input *)
