@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt smoke fuzz bench bench-par clean
+.PHONY: all build test check fmt smoke soundness fuzz bench bench-par bench-batch clean
 
 all: build
 
@@ -9,7 +9,10 @@ test:
 	dune runtest
 
 # Formatting + full test suite, run sequentially AND with a 4-domain
-# prover pool: proofs must be byte-identical at every job count.
+# prover pool: proofs must be byte-identical at every job count. The
+# suite includes the soundness mutation tests (test_soundness.ml), the
+# executor differential tests (test_differential.ml) and the serving
+# layer / batch verification tests (test_serve.ml).
 # A short fixed-seed fuzz pass rides along in the suite (test/fuzz_inputs.ml);
 # the long run is `make fuzz`.
 # ocamlformat is optional in the dev container, so fmt degrades to a
@@ -17,6 +20,12 @@ test:
 check: fmt build
 	ZKML_JOBS=1 dune runtest --force
 	ZKML_JOBS=4 dune runtest --force
+
+# Circuit-soundness mutation suite alone, pinned seed (1234 inside the
+# suite): every mutated witness/key/proof must be rejected or refused —
+# zero accepted mutants. Runs the slow big-model groups as well.
+soundness: build
+	dune exec test/test_soundness.exe
 
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
@@ -44,6 +53,12 @@ bench: build
 # byte-identical proofs, write BENCH_PR2.json with the timings.
 bench-par: build
 	dune exec bench/main.exe -- par
+
+# Serving-layer amortization: batch-of-8 prove/verify through the
+# artifact cache vs 8 independent single runs (final-check counts
+# included).
+bench-batch: build
+	dune exec bench/main.exe -- batch
 
 clean:
 	dune clean

@@ -645,6 +645,80 @@ let par () =
   Printf.printf "wrote BENCH_PR2.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* batch: serving-layer amortization (PR 4). Proves and verifies a
+   batch of 8 inputs through the artifact cache + batch APIs and
+   compares against 8 independent single runs: prepare happens once
+   (cache), transcripts are streamed per proof, and the 8 PCS final
+   checks collapse into one RLC'd check. *)
+
+module Serve = Zkml_serve.Artifacts.Make (Kzg)
+
+let batch () =
+  let m = Zoo.mnist () in
+  let params = Lazy.force kzg_params in
+  let seeds = List.init 8 (fun i -> Int64.of_int (i + 1)) in
+  let jobs = List.map (fun s -> (Zoo.sample_inputs ~seed:s m, s)) seeds in
+  let entry, status = Serve.prepare ~cfg:m.Zoo.cfg params m.Zoo.graph in
+  Printf.printf "artifact cache: %s\n%!"
+    (Zkml_serve.Artifacts.status_string status);
+  let keys = entry.Serve.e_keys in
+  (* 8 independent single proofs *)
+  let singles, single_prove_s =
+    Zkml_util.Timer.time (fun () ->
+        List.map
+          (fun (inputs, s) ->
+            let w = Serve.witness entry ~cfg:m.Zoo.cfg m.Zoo.graph inputs in
+            let proof =
+              Serve.Proto.prove params keys ~instance:w.Serve.Pipe.w_instance
+                ~advice:(fun _ -> Array.map Array.copy w.Serve.Pipe.w_advice)
+                ~rng:(Zkml_util.Rng.create s)
+            in
+            (w.Serve.Pipe.w_instance, proof))
+          jobs)
+  in
+  let _, single_verify_s =
+    Zkml_util.Timer.time (fun () ->
+        List.iter
+          (fun (instance, p) ->
+            if not (Serve.Proto.verify params keys ~instance p) then
+              failwith "batch: single verification failed")
+          singles)
+  in
+  (* one batch of 8 through the batch APIs *)
+  let batch_proofs, batch_prove_s =
+    Zkml_util.Timer.time (fun () ->
+        Serve.prove_batch params entry ~cfg:m.Zoo.cfg m.Zoo.graph jobs)
+  in
+  let b =
+    List.map (fun (w, p) -> (w.Serve.Pipe.w_instance, p)) batch_proofs
+  in
+  let (ok, checks), batch_verify_s =
+    Zkml_util.Timer.time (fun () ->
+        let ok, report =
+          Obs.with_enabled (fun () ->
+              Serve.Proto.verify_many params keys ~batch:b)
+        in
+        (ok, int_of_float (Obs.counter_total report "pcs.final_check")))
+  in
+  if not ok then failwith "batch: batched verification failed";
+  let n = List.length seeds in
+  Printf.printf
+    "%d x single   prove %7.2f s (%.3f s/proof)   verify %7.4f s (%d final checks)\n"
+    n single_prove_s
+    (single_prove_s /. float_of_int n)
+    single_verify_s n;
+  Printf.printf
+    "batch of %d   prove %7.2f s (%.3f s/proof)   verify %7.4f s (%d final check%s)\n%!"
+    n batch_prove_s
+    (batch_prove_s /. float_of_int n)
+    batch_verify_s checks
+    (if checks = 1 then "" else "s");
+  Printf.printf
+    "verify amortization: %.2fx wall-clock, %dx fewer final checks\n%!"
+    (single_verify_s /. Float.max batch_verify_s 1e-9)
+    (n / max 1 checks)
+
+(* ------------------------------------------------------------------ *)
 (* ops: Bechamel microbenchmarks of the primitives the cost model uses *)
 
 let ops () =
@@ -717,6 +791,7 @@ let sections =
     ("table14", "runtime- vs size-optimized proofs (Table 14)", table14);
     ("sec9_45", "optimizer savings and cost-model accuracy (9.4/9.5)", sec9_45);
     ("par", "multicore prover scaling and determinism (PR 2)", par);
+    ("batch", "batch-of-8 vs 8x single prove/verify (serving layer)", batch);
     ("ops", "primitive operation microbenchmarks (bechamel)", ops) ]
 
 let () =

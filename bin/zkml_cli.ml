@@ -7,6 +7,11 @@
      zkml optimize MODEL             run the layout optimizer, print the plan
      zkml prove MODEL -o PROOF       compile + prove; write a proof file
      zkml verify MODEL PROOF         recheck a proof file
+     zkml batch-prove MODEL SEED...  one compile (artifact-cached), one
+                                     proof per input seed
+     zkml batch-verify MODEL PROOF...
+                                     verify N proofs with a single
+                                     batched final check
      zkml calibrate                  print the measured op-cost profile
      zkml profile MODEL              traced proving run: span tree,
                                      chrome-trace export, cost-model
@@ -34,8 +39,13 @@ module Obs = Zkml_obs.Obs
 module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
 module Kzg = Zkml_commit.Kzg.Make (Sim61)
 module Ipa = Zkml_commit.Ipa.Make (Sim61)
-module Pipe_kzg = Zkml_compiler.Pipeline.Make (Kzg)
-module Pipe_ipa = Zkml_compiler.Pipeline.Make (Ipa)
+module Serve_kzg = Zkml_serve.Artifacts.Make (Kzg)
+module Serve_ipa = Zkml_serve.Artifacts.Make (Ipa)
+
+(* Applicative functors: [Serve_*.Pipe] IS [Zkml_compiler.Pipeline.Make]
+   applied to the same scheme, so all pipeline types line up. *)
+module Pipe_kzg = Serve_kzg.Pipe
+module Pipe_ipa = Serve_ipa.Pipe
 
 module Err = Zkml_util.Err
 module Fuzz = Zkml_util.Fuzz
@@ -218,15 +228,15 @@ let cmd_optimize model backend objective =
   0
 
 (* proof file format *)
-let proof_file_string ~backend ~(m : Zoo.model) ~(plan : Opt.plan)
+let proof_file_string ~backend ~(m : Zoo.model) ~spec ~ncols ~k
     ~instance_ints ~proof_hex =
   let buf = Buffer.create 1024 in
   Printf.bprintf buf "zkml-proof v1\n";
   Printf.bprintf buf "model %s\n" m.Zoo.name;
   Printf.bprintf buf "backend %s\n" backend;
-  Printf.bprintf buf "spec %s\n" (Spec.to_string plan.Opt.spec);
-  Printf.bprintf buf "ncols %d\n" plan.Opt.ncols;
-  Printf.bprintf buf "k %d\n" plan.Opt.k;
+  Printf.bprintf buf "spec %s\n" (Spec.to_string spec);
+  Printf.bprintf buf "ncols %d\n" ncols;
+  Printf.bprintf buf "k %d\n" k;
   Printf.bprintf buf "scale_bits %d\n" m.Zoo.cfg.Fx.scale_bits;
   Printf.bprintf buf "table_bits %d\n" m.Zoo.cfg.Fx.table_bits;
   Printf.bprintf buf "instance %s\n"
@@ -405,7 +415,8 @@ let prove_proof_file (m : Zoo.model) backend seed =
       let instance_ints =
         instance_for plan.Opt.spec_fn plan.Opt.ncols plan.Opt.k
       in
-      ( proof_file_string ~backend ~m ~plan ~instance_ints
+      ( proof_file_string ~backend ~m ~spec:plan.Opt.spec ~ncols:plan.Opt.ncols
+          ~k:plan.Opt.k ~instance_ints
           ~proof_hex:(Zkml_util.Bytes_util.to_hex bytes),
         r.Pipe_ipa.prove_s,
         r.Pipe_ipa.proof_bytes )
@@ -421,7 +432,8 @@ let prove_proof_file (m : Zoo.model) backend seed =
       let instance_ints =
         instance_for plan.Opt.spec_fn plan.Opt.ncols plan.Opt.k
       in
-      ( proof_file_string ~backend ~m ~plan ~instance_ints
+      ( proof_file_string ~backend ~m ~spec:plan.Opt.spec ~ncols:plan.Opt.ncols
+          ~k:plan.Opt.k ~instance_ints
           ~proof_hex:(Zkml_util.Bytes_util.to_hex bytes),
         r.Pipe_kzg.prove_s,
         r.Pipe_kzg.proof_bytes )
@@ -527,6 +539,213 @@ let cmd_verify model proof_path =
       2
 
 (* ------------------------------------------------------------------ *)
+(* batch-prove / batch-verify: the serving layer. One compile (loaded
+   from the artifact cache after the first run), N proofs; one batched
+   final check for N verifications. *)
+
+let cmd_batch_prove model backend out_prefix seeds =
+  if seeds = [] then begin
+    Printf.eprintf "batch-prove: at least one input SEED is required\n";
+    2
+  end
+  else begin
+    let m = load_model model in
+    let jobs =
+      List.map
+        (fun s -> (Zoo.sample_inputs ~seed:(Int64.of_int s) m, Int64.of_int s))
+        seeds
+    in
+    let write seed ~spec ~ncols ~k ~instance_ints ~proof_hex =
+      let path = Printf.sprintf "%s-%d.zkp" out_prefix seed in
+      let oc = open_out path in
+      output_string oc
+        (proof_file_string ~backend ~m ~spec ~ncols ~k ~instance_ints
+           ~proof_hex);
+      close_out oc;
+      path
+    in
+    let t0 = Unix.gettimeofday () in
+    let status, prepare_s, prove_s, paths =
+      match backend with
+      | "ipa" ->
+          let params = Lazy.force ipa_params in
+          let entry, status =
+            Serve_ipa.prepare ~cfg:m.Zoo.cfg params m.Zoo.graph
+          in
+          let t1 = Unix.gettimeofday () in
+          let pairs =
+            Serve_ipa.prove_batch params entry ~cfg:m.Zoo.cfg m.Zoo.graph jobs
+          in
+          let t2 = Unix.gettimeofday () in
+          let batch =
+            List.map
+              (fun (w, p) ->
+                ( w.Pipe_ipa.w_instance_ints,
+                  Pipe_ipa.Proto.proof_to_bytes p ))
+              pairs
+          in
+          (match Serve_ipa.verify_batch params entry ~batch with
+          | Pipe_ipa.Proto.Accepted -> ()
+          | _ -> failwith "batch self-verification failed");
+          let paths =
+            List.map2
+              (fun seed (w, p) ->
+                write seed ~spec:entry.Serve_ipa.e_spec
+                  ~ncols:entry.Serve_ipa.e_ncols ~k:entry.Serve_ipa.e_k
+                  ~instance_ints:w.Pipe_ipa.w_instance_ints
+                  ~proof_hex:
+                    (Zkml_util.Bytes_util.to_hex
+                       (Pipe_ipa.Proto.proof_to_bytes p)))
+              seeds pairs
+          in
+          (status, t1 -. t0, t2 -. t1, paths)
+      | _ ->
+          let params = Lazy.force kzg_params in
+          let entry, status =
+            Serve_kzg.prepare ~cfg:m.Zoo.cfg params m.Zoo.graph
+          in
+          let t1 = Unix.gettimeofday () in
+          let pairs =
+            Serve_kzg.prove_batch params entry ~cfg:m.Zoo.cfg m.Zoo.graph jobs
+          in
+          let t2 = Unix.gettimeofday () in
+          let batch =
+            List.map
+              (fun (w, p) ->
+                ( w.Pipe_kzg.w_instance_ints,
+                  Pipe_kzg.Proto.proof_to_bytes p ))
+              pairs
+          in
+          (match Serve_kzg.verify_batch params entry ~batch with
+          | Pipe_kzg.Proto.Accepted -> ()
+          | _ -> failwith "batch self-verification failed");
+          let paths =
+            List.map2
+              (fun seed (w, p) ->
+                write seed ~spec:entry.Serve_kzg.e_spec
+                  ~ncols:entry.Serve_kzg.e_ncols ~k:entry.Serve_kzg.e_k
+                  ~instance_ints:w.Pipe_kzg.w_instance_ints
+                  ~proof_hex:
+                    (Zkml_util.Bytes_util.to_hex
+                       (Pipe_kzg.Proto.proof_to_bytes p)))
+              seeds pairs
+          in
+          (status, t1 -. t0, t2 -. t1, paths)
+    in
+    let n = List.length seeds in
+    Printf.printf "artifact cache: %s\n"
+      (Zkml_serve.Artifacts.status_string status);
+    Printf.printf
+      "proved %d inputs with %s in %.2f s (%.2f s/proof amortized; prepare \
+       %.2f s%s)\n"
+      n backend prove_s
+      (prove_s /. float_of_int n)
+      prepare_s
+      (if Zkml_serve.Artifacts.is_hit status then ", compile skipped" else "");
+    List.iter (fun p -> Printf.printf "wrote %s\n" p) paths;
+    0
+  end
+
+(* Batched verification follows the `verify` exit contract: 0 when every
+   proof in the batch is accepted, 1 when the batch is well-formed but
+   some member is false (the RLC'd check does not localize which), 2
+   when any input is malformed. All members must target the same
+   circuit — that is what makes one final check sound. *)
+let cmd_batch_verify model proof_paths =
+  let outcome =
+    match load_model_result model with
+    | Error e -> `Malformed (Err.with_context "model" e)
+    | Ok m -> (
+        let rec parse acc i = function
+          | [] -> Ok (List.rev acc)
+          | path :: rest -> (
+              match read_proof_file path with
+              | Error e ->
+                  Error (Err.with_context (Printf.sprintf "batch[%d]" i) e)
+              | Ok pf -> parse (pf :: acc) (i + 1) rest)
+        in
+        match parse [] 0 proof_paths with
+        | Error e -> `Malformed e
+        | Ok [] ->
+            `Malformed
+              (Err.make Err.Missing_field "at least one PROOF is required")
+        | Ok (first :: _ as pfs) ->
+            let header pf =
+              ( pf.pf_model, pf.pf_backend, Spec.to_string pf.pf_spec,
+                pf.pf_ncols, pf.pf_k, pf.pf_cfg )
+            in
+            if first.pf_model <> m.Zoo.name then
+              `Malformed
+                (Err.make ~context:[ "proof-file" ] Err.Bad_field
+                   (Printf.sprintf "proofs are for model %S, not %S"
+                      first.pf_model m.Zoo.name))
+            else if
+              not (List.for_all (fun pf -> header pf = header first) pfs)
+            then
+              `Malformed
+                (Err.make ~context:[ "batch" ] Err.Bad_field
+                   "batch members target different circuits; batched \
+                    verification needs one shared layout")
+            else begin
+              let batch =
+                List.map (fun pf -> (pf.pf_instance, pf.pf_proof)) pfs
+              in
+              let run () =
+                match first.pf_backend with
+                | "ipa" -> (
+                    let params = Lazy.force ipa_params in
+                    match
+                      Serve_ipa.prepare_for_header ~spec:first.pf_spec
+                        ~ncols:first.pf_ncols ~k:first.pf_k ~cfg:first.pf_cfg
+                        params m.Zoo.graph
+                    with
+                    | Error e -> `Malformed (Err.with_context "rebuild-keys" e)
+                    | Ok (entry, status) -> (
+                        match Serve_ipa.verify_batch params entry ~batch with
+                        | Pipe_ipa.Proto.Accepted -> `Accepted status
+                        | Pipe_ipa.Proto.Rejected -> `Rejected
+                        | Pipe_ipa.Proto.Malformed e -> `Malformed e))
+                | _ -> (
+                    let params = Lazy.force kzg_params in
+                    match
+                      Serve_kzg.prepare_for_header ~spec:first.pf_spec
+                        ~ncols:first.pf_ncols ~k:first.pf_k ~cfg:first.pf_cfg
+                        params m.Zoo.graph
+                    with
+                    | Error e -> `Malformed (Err.with_context "rebuild-keys" e)
+                    | Ok (entry, status) -> (
+                        match Serve_kzg.verify_batch params entry ~batch with
+                        | Pipe_kzg.Proto.Accepted -> `Accepted status
+                        | Pipe_kzg.Proto.Rejected -> `Rejected
+                        | Pipe_kzg.Proto.Malformed e -> `Malformed e))
+              in
+              (* run traced so the batched-final-check count is visible *)
+              let v, report = Obs.with_enabled run in
+              `Verdict
+                ( List.length pfs,
+                  first.pf_backend,
+                  int_of_float (Obs.counter_total report "pcs.final_check"),
+                  v )
+            end)
+  in
+  match outcome with
+  | `Verdict (n, backend, checks, `Accepted status) ->
+      Printf.printf "artifact cache: %s\n"
+        (Zkml_serve.Artifacts.status_string status);
+      Printf.printf
+        "batch of %d proofs VERIFIED (%s backend, %d batched final check%s)\n"
+        n backend checks
+        (if checks = 1 then "" else "s");
+      0
+  | `Verdict (n, _, _, `Rejected) ->
+      Printf.printf "batch of %d proofs REJECTED (at least one member false)\n"
+        n;
+      1
+  | `Verdict (_, _, _, `Malformed e) | `Malformed e ->
+      Printf.eprintf "malformed input: %s\n" (Err.to_string e);
+      2
+
+(* ------------------------------------------------------------------ *)
 (* fuzz: deterministic malformed-input fuzzing of both parse surfaces *)
 
 let cmd_fuzz iters seed =
@@ -581,7 +800,39 @@ let cmd_fuzz iters seed =
       ~classify:classify_proof ()
   in
   List.iter print_endline (Fuzz.report_lines ~label:"proofs" proof_report);
-  if Fuzz.clean model_report && Fuzz.clean proof_report then begin
+  (* corpus 3: artifact-cache entries (the serving layer's disk format,
+     binary mutators). The digest-guarded payload means every effective
+     mutation must classify as malformed — Marshal never sees unverified
+     bytes. Digesting a multi-megabyte payload per mutant is the cost,
+     so this corpus runs at a capped iteration count. *)
+  Printf.printf "building artifact-cache corpus (mnist/kzg)...\n%!";
+  let cache_key, cache_text =
+    let params = Lazy.force kzg_params in
+    let entry, _ =
+      Serve_kzg.prepare ~cfg:m_mnist.Zoo.cfg params m_mnist.Zoo.graph
+    in
+    let key = Serve_kzg.cache_key ~cfg:m_mnist.Zoo.cfg m_mnist.Zoo.graph in
+    (key, Serve_kzg.entry_to_string ~key entry)
+  in
+  let classify_cache text =
+    match Serve_kzg.entry_of_string ~key:cache_key text with
+    | Error e -> Fuzz.Malformed (Err.to_string e)
+    | Ok _ ->
+        (* strict: the digest + field checks admit only the exact
+           canonical bytes, so any changed mutant that parses is a
+           soundness failure *)
+        if String.equal text cache_text then Fuzz.Valid else Fuzz.Accepted
+  in
+  let cache_report =
+    Fuzz.run ~rng ~iters:(min iters 120) ~corpus:[ cache_text ]
+      ~classify:classify_cache ()
+  in
+  List.iter print_endline
+    (Fuzz.report_lines ~label:"artifact-cache" cache_report);
+  if
+    Fuzz.clean model_report && Fuzz.clean proof_report
+    && Fuzz.clean cache_report
+  then begin
     Printf.printf "fuzz: clean (0 escaped exceptions, 0 accepted mutants)\n";
     0
   end
@@ -715,6 +966,48 @@ let verify_cmd =
           is malformed.")
     Term.(const (fun () m p -> cmd_verify m p) $ jobs_term $ model_arg $ proof)
 
+let batch_prove_cmd =
+  let out =
+    Arg.(
+      value & opt string "proof"
+      & info [ "o"; "out" ] ~docv:"PREFIX"
+          ~doc:"Proof output prefix; writes $(docv)-<seed>.zkp per input.")
+  in
+  let seeds =
+    Arg.(
+      value & pos_right 0 int []
+      & info [] ~docv:"SEED" ~doc:"Input sampling seeds, one proof each.")
+  in
+  Cmd.v
+    (Cmd.info "batch-prove"
+       ~doc:
+         "Prove one input per SEED against a single compiled circuit. \
+          Compilation artifacts (layout, keys, fixed commitments) are cached \
+          per model content hash under ZKML_CACHE_DIR (default \
+          ~/.cache/zkml), so a second run skips compilation. Proof bytes are \
+          identical to `zkml prove` runs with the same seeds.")
+    Term.(
+      const (fun () m b o s -> cmd_batch_prove m b o s)
+      $ jobs_term $ model_arg $ backend_arg $ out $ seeds)
+
+let batch_verify_cmd =
+  let proofs =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"PROOF" ~doc:"Proof files from `zkml prove`/`batch-prove`.")
+  in
+  Cmd.v
+    (Cmd.info "batch-verify"
+       ~doc:
+         "Verify N proof files against one model with a single batched final \
+          check (a random linear combination of the per-proof checks). Exits \
+          0 when every proof is accepted, 1 when the batch is well-formed but \
+          some member is false, 2 when any input is malformed. All members \
+          must share the proof-file header (same circuit layout).")
+    Term.(
+      const (fun () m p -> cmd_batch_verify m p)
+      $ jobs_term $ model_arg $ proofs)
+
 let fuzz_cmd =
   let iters =
     Arg.(
@@ -753,7 +1046,8 @@ let main =
                 command there at exit.";
          ])
     [ models_cmd; stats_cmd; export_cmd; calibrate_cmd; optimize_cmd;
-      prove_cmd; verify_cmd; profile_cmd; fuzz_cmd ]
+      prove_cmd; verify_cmd; batch_prove_cmd; batch_verify_cmd; profile_cmd;
+      fuzz_cmd ]
 
 let () =
   (* ZKML_TRACE=<path>: trace any subcommand end to end and dump the

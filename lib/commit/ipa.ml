@@ -23,6 +23,17 @@ module Make (G : Zkml_ec.Group_intf.S) :
 
   type proof = { ls : G.t array; rs : G.t array; a_final : F.t }
 
+  (* An opening claim folded down to "one size-n MSM over the fixed
+     generators equals a cheap group element":
+       msm(gens, d_scalars) == d_rhs
+     with d_scalars = a_final * s (the verifier's folded-basis scalars)
+     and d_rhs = C + v*[xi]U + sum(x_j^2 L_j + x_j^-2 R_j)
+                 - a_final*b_final*[xi]U.
+     The MSM is the dominant cost of IPA verification; deferring it lets
+     a batch of N claims share a single MSM by linearity:
+       msm(gens, sum r_i * d_scalars_i) == sum r_i * d_rhs_i. *)
+  type deferred = { d_scalars : F.t array; d_rhs : G.t }
+
   let name = "ipa"
 
   let setup ~max_size ~seed =
@@ -99,10 +110,10 @@ module Make (G : Zkml_ec.Group_intf.S) :
     done;
     (v, { ls; rs; a_final = (!a).(0) })
 
-  let verify t transcript c ~point ~value proof =
+  let verify_deferred t transcript c ~point ~value proof =
     let n = Array.length t.gens in
     let rounds = Array.length proof.ls in
-    if 1 lsl rounds <> n then false
+    if 1 lsl rounds <> n || Array.length proof.rs <> rounds then None
     else begin
       Ch.absorb_scalar transcript ~label:"ipa-v" value;
       let xi = Ch.squeeze_nonzero transcript ~label:"ipa-xi" in
@@ -139,12 +150,10 @@ module Make (G : Zkml_ec.Group_intf.S) :
         done;
         !acc
       in
-      let g_final = M.msm t.gens s in
-      let lhs =
-        G.add
-          (G.mul g_final proof.a_final)
-          (G.mul u (F.mul proof.a_final b_final))
-      in
+      (* msm(gens, a_final * s) is the lhs term G.mul (msm gens s)
+         a_final by linearity; fold a_final into the scalars so the MSM
+         can be shared across a batch. *)
+      let d_scalars = Array.map (fun si -> F.mul si proof.a_final) s in
       let rhs = ref (G.add c (G.mul u value)) in
       for j = 0 to rounds - 1 do
         let x2 = F.square challenges.(j) in
@@ -154,8 +163,29 @@ module Make (G : Zkml_ec.Group_intf.S) :
                (G.mul proof.ls.(j) x2)
                (G.mul proof.rs.(j) (F.inv x2)))
       done;
-      G.equal lhs !rhs
+      rhs := G.sub !rhs (G.mul u (F.mul proof.a_final b_final));
+      Some { d_scalars; d_rhs = !rhs }
     end
+
+  let deferred_check t ~next_coeff ds =
+    Zkml_obs.Obs.count "pcs.final_check" 1;
+    let n = Array.length t.gens in
+    let acc_scalars = Array.make n F.zero in
+    let acc_rhs = ref G.zero in
+    List.iter
+      (fun d ->
+        let r = next_coeff () in
+        Array.iteri
+          (fun i si -> acc_scalars.(i) <- F.add acc_scalars.(i) (F.mul r si))
+          d.d_scalars;
+        acc_rhs := G.add !acc_rhs (G.mul d.d_rhs r))
+      ds;
+    G.equal (M.msm t.gens acc_scalars) !acc_rhs
+
+  let verify t transcript c ~point ~value proof =
+    match verify_deferred t transcript c ~point ~value proof with
+    | None -> false
+    | Some d -> deferred_check t ~next_coeff:(fun () -> F.one) [ d ]
 
   let proof_to_bytes p =
     let buf = Buffer.create 256 in

@@ -12,6 +12,13 @@ module type S = sig
   type params
   type proof
 
+  type deferred
+  (** A fully-replayed opening claim reduced to its final group check,
+      with that check left unevaluated. The final check is the expensive
+      part of verification (one pairing for real KZG, one size-n MSM for
+      IPA); deferring it lets {!deferred_check} evaluate a whole batch of
+      claims with a single check via a random linear combination. *)
+
   val name : string
 
   val setup : max_size:int -> seed:string -> params
@@ -48,6 +55,31 @@ module type S = sig
     value:G.Scalar.t ->
     proof ->
     bool
+
+  val verify_deferred :
+    params ->
+    Zkml_transcript.Transcript.t ->
+    G.t ->
+    point:G.Scalar.t ->
+    value:G.Scalar.t ->
+    proof ->
+    deferred option
+  (** Replay exactly the transcript interaction of {!verify} and reduce
+      the claim to a {!deferred} final check. [None] means the proof is
+      structurally invalid (wrong round count) and the claim is
+      unconditionally false. Evaluating the result with
+      {!deferred_check} on a singleton list is equivalent to {!verify}. *)
+
+  val deferred_check :
+    params -> next_coeff:(unit -> G.Scalar.t) -> deferred list -> bool
+  (** Evaluate a batch of deferred claims with one final check: each
+      claim is scaled by a fresh coefficient from [next_coeff] (called
+      once per claim, in list order) and the combination is checked as a
+      single group equation. Sound when the coefficients are
+      unpredictable to the prover (squeezed from a transcript that
+      absorbed every proof in the batch); a batch containing any false
+      claim is rejected except with negligible probability. Records one
+      ["pcs.final_check"] Obs count however long the list is. *)
 
   val proof_to_bytes : proof -> string
 

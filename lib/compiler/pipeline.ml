@@ -162,22 +162,72 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     in
     Proto.keygen params circuit ~fixed
 
-  (** Classify serialized proof bytes against keys and the public values
-      (the instance column as centered integers). Total: malformed bytes
-      come back as {!Proto.Malformed}, never as an exception. *)
-  let verify_verdict params keys ~instance_ints bytes =
+  (** Build the per-input witness for a fixed physical layout: advice
+      grid, field-typed instance column, and the raw centered-integer
+      instance values (what proof files carry). Input-dependent only —
+      the circuit structure and keys are those of {!rebuild_keys} for
+      the same layout. *)
+  type witness = {
+    w_advice : F.t array array;
+    w_instance : F.t array array;
+    w_instance_ints : int array;
+  }
+
+  let witness ~spec ~ncols ~k ~cfg graph inputs =
+    Zkml_obs.Obs.Span.with_ ~name:"witness" @@ fun () ->
+    let qinputs = List.map (T.map (Fx.quantize cfg)) inputs in
+    let exec = Zkml_nn.Quant_exec.run cfg graph ~inputs:qinputs in
+    let lowered = Lower.lower ~spec ~cfg ~ncols ~counting:false graph exec in
+    let built =
+      Layouter.finalize lowered.Lower.layouter ~blinding:Optimizer.blinding ~k
+    in
+    {
+      w_advice =
+        Array.map (fun col -> Array.map F.of_int col) built.Layouter.advice;
+      w_instance = [| Array.map F.of_int built.Layouter.instance_col |];
+      w_instance_ints = built.Layouter.instance_col;
+    }
+
+  let instance_col_of_ints keys instance_ints =
     let module Err = Zkml_util.Err in
     let n = 1 lsl keys.Proto.circuit.Zkml_plonkish.Circuit.k in
     if Array.length instance_ints > n then
-      Proto.Malformed
+      Error
         (Err.make ~context:[ "instance" ] Err.Out_of_range
            (Printf.sprintf "%d public values for a circuit with %d rows"
               (Array.length instance_ints) n))
     else begin
       let col = Array.make n F.zero in
       Array.iteri (fun i v -> col.(i) <- F.of_int v) instance_ints;
-      Proto.verify_bytes params keys ~instance:[| col |] bytes
+      Ok [| col |]
     end
+
+  (** Classify serialized proof bytes against keys and the public values
+      (the instance column as centered integers). Total: malformed bytes
+      come back as {!Proto.Malformed}, never as an exception. *)
+  let verify_verdict params keys ~instance_ints bytes =
+    match instance_col_of_ints keys instance_ints with
+    | Error e -> Proto.Malformed e
+    | Ok instance -> Proto.verify_bytes params keys ~instance bytes
+
+  (** Batched {!verify_verdict}: one RLC'd final check for the whole
+      batch (see {!Proto.verify_many}); any malformed member classifies
+      the batch as [Malformed], and the combined check localizes nothing
+      — one false proof rejects the batch. *)
+  let verify_many_verdict params keys
+      ~(batch : (int array * string) list) =
+    let module Err = Zkml_util.Err in
+    let rec cols acc i = function
+      | [] -> Ok (List.rev acc)
+      | (instance_ints, bytes) :: rest -> (
+          match instance_col_of_ints keys instance_ints with
+          | Error e ->
+              Error (Err.with_context (Printf.sprintf "batch[%d]" i) e)
+          | Ok instance -> cols ((instance, bytes) :: acc) (i + 1) rest)
+    in
+    match cols [] 0 batch with
+    | Error e -> Proto.Malformed e
+    | Ok batch -> Proto.verify_many_bytes params keys ~batch
 
   (** Boolean view of {!verify_verdict} for callers that only care
       whether the proof is accepted. *)

@@ -905,16 +905,40 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     }
 
   (* ------------------------------------------------------------------ *)
-  (* Verifier *)
+  (* Batch proving: one cached circuit, many witnesses. The keys carry
+     the domain (with its twiddle tables) and the fixed/sigma artifacts,
+     so everything input-independent is computed once; each job's proof
+     is bit-for-bit what a standalone [prove] call would produce. *)
 
-  let verify scheme_params keys ~(instance : F.t array array) proof =
-    Obs.Span.with_ ~name:"verify" @@ fun () ->
+  type prove_job = {
+    job_instance : F.t array array;
+    job_advice : F.t array -> F.t array array;
+    job_rng : Zkml_util.Rng.t;
+  }
+
+  let prove_many scheme_params keys jobs =
+    Obs.Span.with_ ~name:"prove_many" @@ fun () ->
+    Obs.count "batch.proofs" (List.length jobs);
+    List.map
+      (fun job ->
+        prove scheme_params keys ~instance:job.job_instance
+          ~advice:job.job_advice ~rng:job.job_rng)
+      jobs
+
+  (* ------------------------------------------------------------------ *)
+  (* Verifier. [verify_collect] replays the transcript and evaluates
+     every scalar-level check (structure, quotient identity), reducing
+     the proof to its per-rotation deferred opening claims; [verify]
+     evaluates each claim as its own final check, [verify_many] RLCs the
+     claims of a whole batch into one. *)
+
+  let verify_collect scheme_params keys ~(instance : F.t array array) proof =
     let circuit = keys.circuit in
     let n = Circuit.n circuit in
     let u = Circuit.last_row circuit in
     let transcript = init_transcript keys ~instance in
     let num_adv = Circuit.num_advice circuit in
-    if Array.length proof.adv_commits <> num_adv then false
+    if Array.length proof.adv_commits <> num_adv then None
     else begin
       (* replay transcript *)
       for i = 0 to num_adv - 1 do
@@ -957,7 +981,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       let v = Ch.squeeze_nonzero transcript ~label:"multiopen-v" in
       (* eval lookup table: (source, rot) -> value *)
       let plan = opening_plan keys in
-      if List.length plan <> Array.length proof.evals then false
+      if List.length plan <> Array.length proof.evals then None
       else begin
         let eval_map = Hashtbl.create 64 in
         List.iteri
@@ -1044,9 +1068,9 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
         let identity_ok =
           F.equal expected (F.mul h_at_x (F.sub xn F.one))
         in
-        if not identity_ok then false
+        if not identity_ok then None
         else begin
-          (* verify batched openings *)
+          (* reduce the batched openings to deferred claims *)
           let commitment_of = function
             | Src_fixed i -> keys.fixed_commits.(i)
             | Src_advice i -> proof.adv_commits.(i)
@@ -1058,9 +1082,9 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
             | Src_h j -> proof.h_commits.(j)
           in
           let rotations = distinct_rotations plan in
-          if List.length rotations <> Array.length proof.openings then false
+          if List.length rotations <> Array.length proof.openings then None
           else begin
-            let ok = ref true in
+            let deferred = ref [] and ok = ref true in
             List.iteri
               (fun idx rot_r ->
                 let group = List.filter (fun (_, r) -> r = rot_r) plan in
@@ -1079,16 +1103,72 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
                     (if rot_r >= 0 then F.pow_int keys.domain.omega rot_r
                      else F.inv (F.pow_int keys.domain.omega (-rot_r)))
                 in
-                if
-                  not
-                    (Scheme.verify scheme_params transcript !combined_c
-                       ~point:pt ~value:!combined_e proof.openings.(idx))
-                then ok := false)
+                match
+                  Scheme.verify_deferred scheme_params transcript !combined_c
+                    ~point:pt ~value:!combined_e proof.openings.(idx)
+                with
+                | Some d -> deferred := d :: !deferred
+                | None -> ok := false)
               rotations;
-            !ok
+            if !ok then Some (List.rev !deferred) else None
           end
         end
       end
+    end
+
+  let verify scheme_params keys ~(instance : F.t array array) proof =
+    Obs.Span.with_ ~name:"verify" @@ fun () ->
+    match verify_collect scheme_params keys ~instance proof with
+    | None -> false
+    | Some deferred ->
+        (* one final check per distinct rotation, exactly the historical
+           sequential-verification cost *)
+        List.for_all
+          (fun d ->
+            Scheme.deferred_check scheme_params
+              ~next_coeff:(fun () -> F.one)
+              [ d ])
+          deferred
+
+  (** Verify a batch of proofs over one circuit with a single deferred
+      final check: every per-proof transcript is replayed and every
+      scalar check evaluated as usual, but the opening claims of the
+      whole batch are combined by a random linear combination whose
+      coefficients are squeezed from a transcript that absorbed every
+      (instance, proof) pair — so one group equation (one simulated
+      pairing for KZG, one size-n MSM for IPA) covers the batch. The
+      check localizes nothing: a batch with any false member rejects as
+      a whole. *)
+  let verify_many scheme_params keys ~(batch : (F.t array array * proof) list)
+      =
+    Obs.Span.with_ ~name:"verify_many" @@ fun () ->
+    Obs.count "batch.verified" (List.length batch);
+    let collected =
+      List.map
+        (fun (instance, proof) ->
+          verify_collect scheme_params keys ~instance proof)
+        batch
+    in
+    if List.exists (fun c -> c = None) collected then false
+    else begin
+      let deferred =
+        List.concat_map (function Some ds -> ds | None -> []) collected
+      in
+      (* RLC coefficients bound to the full batch statement *)
+      let bt = T.create "zkml-batch-verify" in
+      List.iter
+        (fun (instance, proof) ->
+          Array.iter
+            (fun col ->
+              Ch.absorb_scalars bt ~label:"instance" (Array.to_list col))
+            instance;
+          T.absorb_bytes bt ~label:"proof"
+            (Zkml_util.Sha256.digest (proof_to_bytes proof)))
+        batch;
+      deferred = []
+      || Scheme.deferred_check scheme_params
+           ~next_coeff:(fun () -> Ch.squeeze_nonzero bt ~label:"batch-rlc")
+           deferred
     end
 
   (* ------------------------------------------------------------------ *)
@@ -1120,4 +1200,30 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
         | Ok true -> Accepted
         | Ok false -> Rejected
         | Error e -> Malformed (Err.with_context "verify" e))
+
+  (** Batched {!verify_bytes}: parse every proof, then judge the batch
+      with {!verify_many}. Total over adversarial bytes — any parse
+      failure surfaces as [Malformed] (tagged with the failing member's
+      index), a structurally valid batch that fails the combined check
+      as [Rejected]. *)
+  let verify_many_bytes scheme_params keys
+      ~(batch : (F.t array array * string) list) =
+    let rec parse acc i = function
+      | [] -> Ok (List.rev acc)
+      | (instance, bytes) :: rest -> (
+          match proof_of_bytes scheme_params keys bytes with
+          | Error e ->
+              Error (Err.with_context (Printf.sprintf "batch[%d]" i) e)
+          | Ok proof -> parse ((instance, proof) :: acc) (i + 1) rest)
+    in
+    match parse [] 0 batch with
+    | Error e -> Malformed e
+    | Ok parsed -> (
+        match
+          Err.guard Err.Invalid_encoding (fun () ->
+              verify_many scheme_params keys ~batch:parsed)
+        with
+        | Ok true -> Accepted
+        | Ok false -> Rejected
+        | Error e -> Malformed (Err.with_context "verify_many" e))
 end

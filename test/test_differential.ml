@@ -1,0 +1,169 @@
+(* Differential testing across the three executors.
+
+   For every zoo model, over seeded random inputs:
+
+   1. float-vs-quant: the fixed-point executor tracks the float executor
+      on every output element within a fixed-point error bound (the
+      paper's quantization argument, §5: scale-1/SF rounding per op, so
+      output error is a small multiple of 1/SF).
+
+   2. quant-vs-witness: the circuit witness is an *exact* encoding of
+      the fixed-point execution — the public instance column exposes the
+      quantized inputs first and the quantized outputs last, and both
+      segments must equal the executor's values integer-for-integer. No
+      proving needed: this pins the statement the prover later proves to
+      the semantics the executors define.
+
+   Seeds are pinned; a seed that drives an activation outside the
+   model's lookup-table range (possible for the coarse default scale) is
+   skipped deterministically — such inputs are unprovable by
+   construction — and at least one seed must survive per model. *)
+
+module T = Zkml_tensor.Tensor
+module Fx = Zkml_fixed.Fixed
+module Zoo = Zkml_models.Zoo
+module FE = Zkml_nn.Float_exec
+module QE = Zkml_nn.Quant_exec
+module Opt = Zkml_compiler.Optimizer
+module Spec = Zkml_compiler.Layout_spec
+module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Kzg = Zkml_commit.Kzg.Make (Sim61)
+module Pipe = Zkml_compiler.Pipeline.Make (Kzg)
+
+let seeds = [ 1234L; 1235L; 1236L ]
+
+(* Empirically most zoo models stay within ~5/SF of the float executor
+   (deepest model, worst seed); 8/SF leaves slack without losing the
+   scale-linearity of the claim. The transformer (softmax + layernorm
+   chains, both sensitive to scale-1/SF rounding of exp/rsqrt inputs)
+   needs twice that. *)
+let tolerance m cfg =
+  let mult = if m.Zoo.name = "gpt2" then 16.0 else 8.0 in
+  mult /. float_of_int (Fx.sf cfg)
+
+let rec ceil_log2 n acc = if 1 lsl acc >= n then acc else ceil_log2 n (acc + 1)
+
+(* A valid physical layout for witness building: default logical spec,
+   16 advice columns, smallest row count that fits (bumped until the
+   layouter accepts — lookup tables put their own floor on k). *)
+let witness_for m exec inputs =
+  let cfg = m.Zoo.cfg in
+  let counted =
+    Zkml_compiler.Lower.lower ~spec:Spec.default ~cfg ~ncols:16 ~counting:true
+      m.Zoo.graph exec
+  in
+  let rows = counted.Zkml_compiler.Lower.layouter.Zkml_compiler.Layouter.nrows in
+  let k0 = ceil_log2 (rows + Opt.blinding + 1) 1 in
+  let rec try_k k =
+    if k > 15 then Alcotest.failf "%s: no k <= 15 fits" m.Zoo.name
+    else
+      match
+        Pipe.witness ~spec:Spec.default ~ncols:16 ~k ~cfg m.Zoo.graph inputs
+      with
+      | w -> w
+      | exception
+          ( Invalid_argument _ | Failure _
+          | Zkml_compiler.Layouter.Layout_invalid _ ) ->
+          try_k (k + 1)
+  in
+  try_k k0
+
+let quant_exec m inputs =
+  QE.run m.Zoo.cfg m.Zoo.graph
+    ~inputs:(List.map (T.map (Fx.quantize m.Zoo.cfg)) inputs)
+
+(* float executor vs fixed-point executor, elementwise *)
+let check_float_vs_quant m seed inputs exec =
+  let fv = FE.run m.Zoo.graph ~inputs in
+  let tol = tolerance m m.Zoo.cfg in
+  List.iter
+    (fun out ->
+      let f = fv.(out) and q = exec.QE.values.(out) in
+      T.iteri
+        (fun i fx ->
+          let qx = Fx.dequantize m.Zoo.cfg (T.get_flat q i) in
+          if Float.abs (fx -. qx) > tol then
+            Alcotest.failf
+              "%s seed %Ld out %d elem %d: float %.5f vs quant %.5f exceeds \
+               %.5f"
+              m.Zoo.name seed out i fx qx tol)
+        f)
+    (Zkml_nn.Graph.outputs m.Zoo.graph)
+
+(* instance column vs fixed-point executor, exact. The lowering exposes
+   input cells first (graph-node order) and output cells last
+   (Graph.outputs order), each tensor flattened row-major. *)
+let check_witness_vs_quant m seed inputs exec =
+  let w = witness_for m exec inputs in
+  let ints = w.Pipe.w_instance_ints in
+  let input_vals =
+    Zkml_nn.Graph.nodes m.Zoo.graph |> Array.to_list
+    |> List.concat_map (fun (n : Zkml_nn.Graph.node) ->
+           match n.Zkml_nn.Graph.op with
+           | Zkml_nn.Op.Input _ ->
+               Array.to_list (T.data exec.QE.values.(n.Zkml_nn.Graph.id))
+           | _ -> [])
+  in
+  let output_vals =
+    List.concat_map
+      (fun out -> Array.to_list (T.data exec.QE.values.(out)))
+      (Zkml_nn.Graph.outputs m.Zoo.graph)
+  in
+  let ni = List.length input_vals and no = List.length output_vals in
+  (* the exposed cells are the prefix of the (power-of-two padded)
+     instance column; everything past them is zero padding *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%s seed %Ld instance fits" m.Zoo.name seed)
+    true
+    (Array.length ints >= ni + no);
+  for i = ni + no to Array.length ints - 1 do
+    if ints.(i) <> 0 then
+      Alcotest.failf "%s seed %Ld: nonzero instance padding at %d" m.Zoo.name
+        seed i
+  done;
+  List.iteri
+    (fun i v ->
+      if ints.(i) <> v then
+        Alcotest.failf "%s seed %Ld input cell %d: witness %d <> quant %d"
+          m.Zoo.name seed i ints.(i) v)
+    input_vals;
+  List.iteri
+    (fun i v ->
+      if ints.(ni + i) <> v then
+        Alcotest.failf "%s seed %Ld output cell %d: witness %d <> quant %d"
+          m.Zoo.name seed i ints.(ni + i) v)
+    output_vals
+
+let run_model name =
+  let m = Zoo.by_name name in
+  let clean = ref 0 in
+  List.iter
+    (fun seed ->
+      let inputs = Zoo.sample_inputs ~seed m in
+      match quant_exec m inputs with
+      | exception QE.Out_of_range _ ->
+          (* this input saturates the lookup table: unprovable by
+             construction, skipped deterministically *)
+          ()
+      | exec ->
+          incr clean;
+          check_float_vs_quant m seed inputs exec;
+          check_witness_vs_quant m seed inputs exec)
+    seeds;
+  Alcotest.(check bool)
+    (name ^ " has at least one clean seed")
+    true (!clean >= 1)
+
+let small = [ "mnist"; "dlrm"; "twitter"; "gpt2" ]
+let big = [ "resnet18"; "mobilenet"; "vgg16"; "diffusion" ]
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "executors",
+        [
+          Alcotest.test_case "small" `Quick (fun () ->
+              List.iter run_model small);
+          Alcotest.test_case "big" `Slow (fun () -> List.iter run_model big);
+        ] );
+    ]

@@ -1,0 +1,290 @@
+(* Circuit-soundness mutation suite.
+
+   Mutation testing for the proof system: take each zoo model, produce
+   an honest proof, then hand the prover a deliberately wrong input —
+   one flipped advice cell, one swapped permutation (sigma) pair, one
+   corrupted lookup-table column, one flipped proof byte — and demand
+   that the (honest-key) verifier rejects every mutant, individually and
+   inside a batch.
+
+   A mutation classifies as:
+     - [Rejected]  the prover produced a proof and the verifier said no;
+     - [Refused]   the prover itself raised (e.g. a lookup input no
+                   longer appears in the corrupted table) — equally
+                   sound: no proof exists;
+     - [Skipped]   the circuit has no site of that kind (asserted to
+                   happen only where legitimate, e.g. a lookup-free
+                   circuit);
+     - [Accepted]  the verifier accepted the mutant — a soundness hole;
+                   the suite fails if this ever happens.
+
+   Everything is seeded and deterministic: mutation sites are chosen by
+   fixed scans (first advice copy cell, first differing sigma rows,
+   first fixed table column), inputs and prover randomness come from a
+   pinned seed, so any failure replays exactly. `make soundness` runs
+   this suite alone. *)
+
+module Zoo = Zkml_models.Zoo
+module Circuit = Zkml_plonkish.Circuit
+module Expr = Zkml_plonkish.Expr
+module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Kzg = Zkml_commit.Kzg.Make (Sim61)
+module Ipa = Zkml_commit.Ipa.Make (Sim61)
+
+(* One pinned seed for the whole suite: inputs, prover randomness. *)
+let seed = 1234L
+
+(* Hermetic artifact cache: never read or pollute the user's
+   ~/.cache/zkml from the test suite. *)
+let () =
+  Unix.putenv "ZKML_CACHE_DIR"
+    (Filename.concat
+       (Filename.get_temp_dir_name ())
+       (Printf.sprintf "zkml-test-soundness-%d" (Unix.getpid ())))
+
+type outcome = Accepted | Rejected | Refused of string | Skipped of string
+
+let outcome_label = function
+  | Accepted -> "ACCEPTED"
+  | Rejected -> "rejected"
+  | Refused m -> "refused: " ^ m
+  | Skipped m -> "skipped: " ^ m
+
+let check_sound name outcome =
+  match outcome with
+  | Accepted ->
+      Alcotest.failf "%s: mutant ACCEPTED — soundness hole" name
+  | Rejected | Refused _ -> ()
+  | Skipped m -> Alcotest.failf "%s: mutation site unexpectedly missing (%s)" name m
+
+module Mut (Scheme : Zkml_commit.Scheme_intf.S) = struct
+  module Serve = Zkml_serve.Artifacts.Make (Scheme)
+  module Pipe = Serve.Pipe
+  module Proto = Pipe.Proto
+  module F = Proto.F
+
+  let bump x = F.add x F.one
+
+  (* Prove with possibly-corrupted keys/advice, verify with the honest
+     keys and instance. The prover refusing to produce a proof is as
+     good as a rejection. *)
+  let attempt params honest_keys ~instance prove =
+    match prove () with
+    | exception e -> Refused (Printexc.to_string e)
+    | proof ->
+        if Proto.verify params honest_keys ~instance proof then Accepted
+        else Rejected
+
+  let prove_with params keys ~instance ~advice =
+    Proto.prove params keys ~instance
+      ~advice:(fun _ -> Array.map Array.copy advice)
+      ~rng:(Zkml_util.Rng.create seed)
+
+  (* --- mutation 1: flip one copy-constrained advice cell ------------ *)
+
+  let mutate_advice params keys (w : Pipe.witness) =
+    let site =
+      List.find_map
+        (fun ((c1, r1), (c2, r2)) ->
+          match (c1, c2) with
+          | Circuit.Col_advice a, _ -> Some (a, r1)
+          | _, Circuit.Col_advice a -> Some (a, r2)
+          | _ -> None)
+        keys.Proto.circuit.Circuit.copies
+    in
+    match site with
+    | None -> Skipped "no advice cell under a copy constraint"
+    | Some (col, row) ->
+        let advice = Array.map Array.copy w.Pipe.w_advice in
+        advice.(col).(row) <- bump advice.(col).(row);
+        attempt params keys ~instance:w.Pipe.w_instance (fun () ->
+            prove_with params keys ~instance:w.Pipe.w_instance ~advice)
+
+  (* --- mutation 2: swap one permutation (sigma) pair ---------------- *)
+
+  (* The prover builds its grand product from a wrong permutation; the
+     verifier checks against the honest sigma polynomials. The swapped
+     rows must hold *different* cell values (swapping labels between
+     equal values leaves the product intact — that permutation is
+     genuinely equivalent, not a soundness site) and different labels. *)
+  let mutate_sigma params keys (w : Pipe.witness) =
+    if Array.length keys.Proto.sigma_values = 0 then
+      Skipped "circuit has no permutation argument"
+    else begin
+      let col_values = function
+        | Circuit.Col_fixed f -> keys.Proto.fixed_values.(f)
+        | Circuit.Col_advice a -> w.Pipe.w_advice.(a)
+        | Circuit.Col_instance i -> w.Pipe.w_instance.(i)
+      in
+      let m = Array.length keys.Proto.perm_cols in
+      (* first (column, row pair) with differing cell values, scanning
+         deterministically; labels always differ (sigma is a
+         permutation, so cell labels are globally distinct) *)
+      let site =
+        let found = ref None in
+        let c = ref 0 in
+        while !found = None && !c < m do
+          let vals = col_values keys.Proto.perm_cols.(!c) in
+          let n = Array.length keys.Proto.sigma_values.(!c) in
+          let r = ref 1 in
+          while !found = None && !r < n do
+            if not (F.equal vals.(!r) vals.(0)) then found := Some (!c, 0, !r);
+            incr r
+          done;
+          incr c
+        done;
+        !found
+      in
+      match site with
+      | None -> Skipped "all permutation columns are constant"
+      | Some (c, r1, r2) ->
+          let sv = Array.map Array.copy keys.Proto.sigma_values in
+          let t = sv.(c).(r1) in
+          sv.(c).(r1) <- sv.(c).(r2);
+          sv.(c).(r2) <- t;
+          let bad_keys =
+            {
+              keys with
+              Proto.sigma_values = sv;
+              sigma_polys = Pipe.P.interpolate_many keys.Proto.domain sv;
+              (* sigma_commits stay honest: the transcript matches, the
+                 rejection must come from the permutation identity *)
+            }
+          in
+          attempt params keys ~instance:w.Pipe.w_instance (fun () ->
+              prove_with params bad_keys ~instance:w.Pipe.w_instance
+                ~advice:w.Pipe.w_advice)
+    end
+
+  (* --- mutation 3: corrupt one lookup table column ------------------ *)
+
+  (* Shift every entry of the first fixed column queried by a lookup's
+     table expressions. The prover's permuted table multiset no longer
+     matches what the verifier evaluates from the honest fixed
+     polynomials (and any gate reading the column breaks too). *)
+  let mutate_lookup params keys (w : Pipe.witness) =
+    let table_col =
+      List.find_map
+        (fun (l : _ Circuit.lookup) ->
+          List.find_map
+            (fun e ->
+              Expr.fold_queries
+                (fun acc kind (q : Expr.query) ->
+                  match (acc, kind) with
+                  | None, Expr.KFixed -> Some q.Expr.col
+                  | _ -> acc)
+                None e)
+            l.Circuit.tables)
+        keys.Proto.circuit.Circuit.lookups
+    in
+    match table_col with
+    | None -> Skipped "circuit has no lookups"
+    | Some col ->
+        let fv = Array.map Array.copy keys.Proto.fixed_values in
+        fv.(col) <- Array.map bump fv.(col);
+        let bad_keys =
+          {
+            keys with
+            Proto.fixed_values = fv;
+            fixed_polys = Pipe.P.interpolate_many keys.Proto.domain fv;
+          }
+        in
+        attempt params keys ~instance:w.Pipe.w_instance (fun () ->
+            prove_with params bad_keys ~instance:w.Pipe.w_instance
+              ~advice:w.Pipe.w_advice)
+
+  (* --- mutation 4: flip one proof byte ------------------------------ *)
+
+  let mutate_proof_byte params keys (w : Pipe.witness) honest_bytes =
+    let b = Bytes.of_string honest_bytes in
+    let pos = Bytes.length b / 2 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x20));
+    let bytes = Bytes.to_string b in
+    match
+      Pipe.verify_verdict params keys ~instance_ints:w.Pipe.w_instance_ints
+        bytes
+    with
+    | Proto.Accepted -> Accepted
+    | Proto.Rejected -> Rejected
+    | Proto.Malformed e -> Refused (Zkml_util.Err.to_string e)
+
+  (* --- whole-model run ---------------------------------------------- *)
+
+  let run params (m : Zoo.model) =
+    let graph = m.Zoo.graph and cfg = m.Zoo.cfg in
+    let entry, _ = Serve.prepare ~cfg params graph in
+    let keys = entry.Serve.e_keys in
+    let w = Serve.witness entry ~cfg graph (Zoo.sample_inputs ~seed m) in
+    let honest =
+      prove_with params keys ~instance:w.Pipe.w_instance ~advice:w.Pipe.w_advice
+    in
+    Alcotest.(check bool)
+      (m.Zoo.name ^ " honest proof verifies")
+      true
+      (Proto.verify params keys ~instance:w.Pipe.w_instance honest);
+    let honest_bytes = Proto.proof_to_bytes honest in
+    let outcomes =
+      [
+        ("advice-flip", mutate_advice params keys w);
+        ("sigma-swap", mutate_sigma params keys w);
+        ("lookup-corrupt", mutate_lookup params keys w);
+        ("proof-byte-flip", mutate_proof_byte params keys w honest_bytes);
+      ]
+    in
+    List.iter
+      (fun (what, outcome) ->
+        let name = m.Zoo.name ^ "/" ^ what in
+        (match outcome with
+        | Skipped _
+          when what = "lookup-corrupt"
+               && keys.Proto.circuit.Circuit.lookups = [] ->
+            (* the only legitimate skip: a circuit with no lookups *)
+            ()
+        | o -> check_sound name o);
+        Printf.printf "  %-28s %s\n%!" name (outcome_label outcome))
+      outcomes;
+    (* batch context: a batch holding one mutant must reject while the
+       all-honest batch accepts — the RLC'd final check hides nothing *)
+    let flipped =
+      let b = Bytes.of_string honest_bytes in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+      Bytes.to_string b
+    in
+    let verdict batch =
+      Pipe.verify_many_verdict params keys
+        ~batch:(List.map (fun p -> (w.Pipe.w_instance_ints, p)) batch)
+    in
+    Alcotest.(check bool)
+      (m.Zoo.name ^ " honest batch accepted")
+      true
+      (verdict [ honest_bytes; honest_bytes ] = Proto.Accepted);
+    Alcotest.(check bool)
+      (m.Zoo.name ^ " poisoned batch not accepted")
+      false
+      (verdict [ honest_bytes; flipped ] = Proto.Accepted)
+end
+
+module Mut_kzg = Mut (Kzg)
+module Mut_ipa = Mut (Ipa)
+
+let kzg_params = Kzg.setup ~max_size:(1 lsl 13) ~seed:"test-soundness"
+let ipa_params = Ipa.setup ~max_size:(1 lsl 13) ~seed:"test-soundness"
+
+let mutate_kzg names () =
+  List.iter (fun n -> Mut_kzg.run kzg_params (Zoo.by_name n)) names
+
+let mutate_ipa names () =
+  List.iter (fun n -> Mut_ipa.run ipa_params (Zoo.by_name n)) names
+
+let () =
+  Alcotest.run "soundness"
+    [
+      ( "mutations",
+        [
+          Alcotest.test_case "kzg_small" `Quick
+            (mutate_kzg [ "mnist"; "dlrm"; "twitter"; "gpt2" ]);
+          Alcotest.test_case "ipa_small" `Quick (mutate_ipa [ "dlrm"; "gpt2" ]);
+          Alcotest.test_case "kzg_big" `Slow
+            (mutate_kzg [ "resnet18"; "mobilenet"; "vgg16"; "diffusion" ]);
+        ] );
+    ]
