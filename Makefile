@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt smoke soundness fuzz bench bench-par bench-batch clean
+.PHONY: all build test check fmt smoke soundness fuzz bench bench-par bench-batch bench-quotient clean
 
 all: build
 
@@ -59,6 +59,12 @@ bench-par: build
 # included).
 bench-batch: build
 	dune exec bench/main.exe -- batch
+
+# Quotient-evaluator comparison: prove every zoo model under
+# ZKML_EVAL=interp and with the compiled evaluator, assert the proofs
+# are byte-identical, write BENCH_PR5.json with rows/sec per model.
+bench-quotient: build
+	dune exec bench/main.exe -- quotient
 
 clean:
 	dune clean

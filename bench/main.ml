@@ -719,6 +719,76 @@ let batch () =
     (n / max 1 checks)
 
 (* ------------------------------------------------------------------ *)
+(* quotient: interpreter vs compiled quotient evaluator (PR 5). For
+   every zoo model, proves once under ZKML_EVAL=interp and once with
+   the compiled program, asserts the proof bytes match, and writes
+   BENCH_PR5.json with interp/compiled rows-per-second per model. *)
+
+let quotient () =
+  let params = Lazy.force kzg_params in
+  let results =
+    List.map
+      (fun m ->
+        let entry, _ = Serve.prepare ~cfg:m.Zoo.cfg params m.Zoo.graph in
+        let keys = entry.Serve.e_keys in
+        let w =
+          Serve.witness entry ~cfg:m.Zoo.cfg m.Zoo.graph
+            (Zoo.sample_inputs ~seed:11L m)
+        in
+        let prove_with span_name mode =
+          Unix.putenv "ZKML_EVAL" mode;
+          Fun.protect ~finally:(fun () -> Unix.putenv "ZKML_EVAL" "")
+          @@ fun () ->
+          let proof, report =
+            Obs.with_enabled (fun () ->
+                Serve.Proto.prove params keys
+                  ~instance:w.Serve.Pipe.w_instance
+                  ~advice:(fun _ -> Array.map Array.copy w.Serve.Pipe.w_advice)
+                  ~rng:(Zkml_util.Rng.create 11L))
+          in
+          ( Serve.Proto.proof_to_bytes proof,
+            Obs.total_of report span_name,
+            Obs.counter_total report "quotient.rows" )
+        in
+        let b_i, t_i, rows = prove_with "quotient.interp" "interp" in
+        let b_c, t_c, _ = prove_with "quotient.compiled" "" in
+        if not (String.equal b_i b_c) then
+          failwith
+            (Printf.sprintf "quotient: proof bytes differ on %s" m.Zoo.name);
+        let rs t = rows /. Float.max t 1e-9 in
+        Printf.printf
+          "%-12s rows %8.0f  interp %7.3f s (%9.0f rows/s)  compiled %7.3f s \
+           (%9.0f rows/s)  %5.2fx\n%!"
+          m.Zoo.name rows t_i (rs t_i) t_c (rs t_c)
+          (t_i /. Float.max t_c 1e-9);
+        (m.Zoo.name, rows, t_i, t_c))
+      (Zoo.all ())
+  in
+  let best =
+    List.fold_left
+      (fun acc (_, _, t_i, t_c) -> Float.max acc (t_i /. Float.max t_c 1e-9))
+      0.0 results
+  in
+  Printf.printf "best compiled speedup: %.2fx (proofs byte-identical)\n%!" best;
+  let oc = open_out "BENCH_PR5.json" in
+  Printf.fprintf oc
+    "{\"bench\":\"quotient\",\"backend\":\"kzg\",\"models\":[%s],\"best_speedup\":%s,\"proofs_identical\":true}\n"
+    (String.concat ","
+       (List.map
+          (fun (name, rows, t_i, t_c) ->
+            let rs t = rows /. Float.max t 1e-9 in
+            Printf.sprintf
+              "{\"model\":\"%s\",\"rows\":%.0f,\"interp_s\":%s,\"compiled_s\":%s,\"interp_rows_per_s\":%s,\"compiled_rows_per_s\":%s,\"speedup\":%s}"
+              name rows (Obs.json_float t_i) (Obs.json_float t_c)
+              (Obs.json_float (rs t_i))
+              (Obs.json_float (rs t_c))
+              (Obs.json_float (t_i /. Float.max t_c 1e-9)))
+          results))
+    (Obs.json_float best);
+  close_out oc;
+  Printf.printf "wrote BENCH_PR5.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* ops: Bechamel microbenchmarks of the primitives the cost model uses *)
 
 let ops () =
@@ -792,6 +862,7 @@ let sections =
     ("sec9_45", "optimizer savings and cost-model accuracy (9.4/9.5)", sec9_45);
     ("par", "multicore prover scaling and determinism (PR 2)", par);
     ("batch", "batch-of-8 vs 8x single prove/verify (serving layer)", batch);
+    ("quotient", "interpreter vs compiled quotient evaluator (PR 5)", quotient);
     ("ops", "primitive operation microbenchmarks (bechamel)", ops) ]
 
 let () =

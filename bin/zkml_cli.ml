@@ -183,6 +183,24 @@ let cmd_profile model backend trace_out =
     prove_s span_prove
     (100.0 *. span_prove /. Float.max prove_s 1e-9);
   print_accuracy accuracy;
+  (let g name = Obs.gauge_of report name in
+   match (g "evaluator.ops", g "evaluator.nodes") with
+   | Some ops, Some nodes ->
+       Printf.printf
+         "\ncompiled quotient evaluator: %.0f ops from %.0f expr nodes (%.0f \
+          CSE hits), %.0f registers, %.0f interned constants\n"
+         ops nodes
+         (Option.value ~default:0.0 (g "evaluator.cse_hits"))
+         (Option.value ~default:0.0 (g "evaluator.regs"))
+         (Option.value ~default:0.0 (g "evaluator.consts"));
+       let span = Obs.total_of report "quotient.compiled" in
+       let rows = Obs.counter_total report "quotient.rows" in
+       if span > 0.0 then
+         Printf.printf
+           "  quotient.compiled span %.4f s over %.0f rows (%.0f rows/s)\n" span
+           rows
+           (rows /. Float.max span 1e-9)
+   | _ -> ());
   (match trace_out with
   | Some path ->
       Obs.write_file path (Obs.chrome_trace report);
@@ -1044,6 +1062,12 @@ let main =
              ~doc:
                "If set to a path, record a chrome-trace of the whole \
                 command there at exit.";
+           Cmd.Env.info "ZKML_EVAL"
+             ~doc:
+               "Quotient evaluator selection: 'interp' forces the \
+                reference AST interpreter; anything else (default) uses \
+                the compiled register program. Proof bytes are identical \
+                either way.";
          ])
     [ models_cmd; stats_cmd; export_cmd; calibrate_cmd; optimize_cmd;
       prove_cmd; verify_cmd; batch_prove_cmd; batch_verify_cmd; profile_cmd;

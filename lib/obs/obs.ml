@@ -258,6 +258,9 @@ let total_of ?under report name =
   | Some a -> a.agg_total_s
   | None -> 0.0
 
+let gauge_of report name =
+  List.assoc_opt name report.gauges
+
 let counter_total report name =
   let rec go acc n =
     let acc =

@@ -81,6 +81,9 @@ val total_of : ?under:string -> report -> string -> float
 val counter_total : report -> string -> float
 (** Sum of a named counter over the whole tree. *)
 
+val gauge_of : report -> string -> float option
+(** Last recorded value of a named gauge, if any. *)
+
 (** {1 Parallel-region capture}
 
     The sink is domain-local, so worker domains record nothing unless

@@ -17,6 +17,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
   module T = Zkml_transcript.Transcript
   module Ch = Zkml_transcript.Transcript.Challenge (F)
   module Obs = Zkml_obs.Obs
+  module Ev = Evaluator.Make (F)
 
   type circuit = F.t Circuit.t
 
@@ -39,6 +40,12 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     ext_domain : P.Domain.t;
     n_chunks : int;
     chunk : int;
+    eval_prog : Ev.prog;
+        (** the whole quotient combination compiled to a flat register
+            program (see {!Evaluator}); pure data, cached with the keys *)
+    rot_omegas : (int * F.t) array;
+        (** rotation r -> omega^r (inverse powers for r < 0, all
+            inverted by one batched inversion at keygen) *)
   }
 
   let next_pow2 x =
@@ -98,6 +105,34 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       classes;
     sigma
 
+  let column_rotations (circuit : circuit) =
+    (* per-kind map: column -> sorted rotation list (always includes 0) *)
+    let fixed_rots = Array.make circuit.num_fixed [ 0 ] in
+    let advice_rots = Array.make (Circuit.num_advice circuit) [ 0 ] in
+    let instance_rots = Array.make circuit.num_instance [ 0 ] in
+    let add arr (q : Expr.query) =
+      if not (List.mem q.rot arr.(q.col)) then arr.(q.col) <- q.rot :: arr.(q.col)
+    in
+    let visit e =
+      ignore
+        (Expr.fold_queries
+           (fun () kind q ->
+             (match kind with
+             | Expr.KFixed -> add fixed_rots q
+             | Expr.KAdvice -> add advice_rots q
+             | Expr.KInstance -> add instance_rots q);
+             ())
+           () e)
+    in
+    List.iter (fun g -> List.iter visit g.Circuit.polys) circuit.gates;
+    List.iter
+      (fun l ->
+        List.iter visit l.Circuit.inputs;
+        List.iter visit l.Circuit.tables)
+      circuit.lookups;
+    let sort a = Array.map (List.sort compare) a in
+    (sort fixed_rots, sort advice_rots, sort instance_rots)
+
   let keygen scheme_params (circuit : circuit) ~(fixed : F.t array array) =
     Obs.Span.with_ ~name:"keygen" @@ fun () ->
     Obs.count "keygen.fixed_cols" circuit.num_fixed;
@@ -130,6 +165,52 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     let n_chunks = if m = 0 then 0 else (m + chunk - 1) / chunk in
     let ext_factor = next_pow2 d_max in
     let ext_domain = P.Domain.create (circuit.k + (let rec lg x = if x <= 1 then 0 else 1 + lg (x / 2) in lg ext_factor)) in
+    let eval_prog =
+      (* lower the whole quotient combination once; the program rides in
+         the keys (and hence the serve artifact cache) *)
+      let p = Ev.compile circuit ~perm_cols ~deltas ~n_chunks ~chunk in
+      Obs.gauge_int "evaluator.ops" (Array.length p.Ev.p_ops);
+      Obs.gauge_int "evaluator.nodes" p.Ev.p_nodes;
+      Obs.gauge_int "evaluator.cse_hits" p.Ev.p_cse_hits;
+      Obs.gauge_int "evaluator.regs" p.Ev.p_nregs;
+      Obs.gauge_int "evaluator.consts" (Array.length p.Ev.p_consts);
+      p
+    in
+    let rot_omegas =
+      (* every rotation the opening plan or an expression can query:
+         column rotations, the lookup shifts {1, -1}, the permutation
+         shifts {1, u} and 0. One batched inversion covers all negative
+         rotations. *)
+      let u = Circuit.last_row circuit in
+      let rots = ref [ 0 ] in
+      let add r = if not (List.mem r !rots) then rots := r :: !rots in
+      let fixed_rots, advice_rots, instance_rots = column_rotations circuit in
+      Array.iter (List.iter add) fixed_rots;
+      Array.iter (List.iter add) advice_rots;
+      Array.iter (List.iter add) instance_rots;
+      if circuit.lookups <> [] then begin
+        add 1;
+        add (-1)
+      end;
+      if n_chunks > 0 then begin
+        add 1;
+        add u
+      end;
+      let rots = Array.of_list (List.sort compare !rots) in
+      let negs = Array.of_list (List.filter (fun r -> r < 0) (Array.to_list rots)) in
+      let neg_inv =
+        Extra.batch_inv (Array.map (fun r -> F.pow_int domain.omega (-r)) negs)
+      in
+      Array.map
+        (fun r ->
+          if r >= 0 then (r, F.pow_int domain.omega r)
+          else begin
+            let j = ref 0 in
+            Array.iteri (fun i r' -> if r' = r then j := i) negs;
+            (r, neg_inv.(!j))
+          end)
+        rots
+    in
     {
       circuit;
       domain;
@@ -146,7 +227,28 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       ext_domain;
       n_chunks;
       chunk;
+      eval_prog;
+      rot_omegas;
     }
+
+  (** Rotation multiplier [omega^r] from the precomputed per-keys table
+      (negative rotations were inverted together at keygen); falls back
+      to direct computation for a rotation outside the table. *)
+  let omega_rot keys r =
+    let tbl = keys.rot_omegas in
+    let n_tbl = Array.length tbl in
+    let rec find i =
+      if i = n_tbl then
+        if r >= 0 then F.pow_int keys.domain.omega r
+        else F.inv (F.pow_int keys.domain.omega (-r))
+      else
+        let r', v = tbl.(i) in
+        if r' = r then v else find (i + 1)
+    in
+    find 0
+
+  (** The opening point for rotation [r]: [x * omega^r]. *)
+  let point_of_rot keys x r = F.mul x (omega_rot keys r)
 
   (* ------------------------------------------------------------------ *)
   (* Opening plan: which polynomial is opened at which rotation, in a
@@ -161,34 +263,6 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     | Src_look_s of int
     | Src_look_z of int
     | Src_h of int
-
-  let column_rotations (circuit : circuit) =
-    (* per-kind map: column -> sorted rotation list (always includes 0) *)
-    let fixed_rots = Array.make circuit.num_fixed [ 0 ] in
-    let advice_rots = Array.make (Circuit.num_advice circuit) [ 0 ] in
-    let instance_rots = Array.make circuit.num_instance [ 0 ] in
-    let add arr (q : Expr.query) =
-      if not (List.mem q.rot arr.(q.col)) then arr.(q.col) <- q.rot :: arr.(q.col)
-    in
-    let visit e =
-      ignore
-        (Expr.fold_queries
-           (fun () kind q ->
-             (match kind with
-             | Expr.KFixed -> add fixed_rots q
-             | Expr.KAdvice -> add advice_rots q
-             | Expr.KInstance -> add instance_rots q);
-             ())
-           () e)
-    in
-    List.iter (fun g -> List.iter visit g.Circuit.polys) circuit.gates;
-    List.iter
-      (fun l ->
-        List.iter visit l.Circuit.inputs;
-        List.iter visit l.Circuit.tables)
-      circuit.lookups;
-    let sort a = Array.map (List.sort compare) a in
-    (sort fixed_rots, sort advice_rots, sort instance_rots)
 
   let opening_plan keys =
     let circuit = keys.circuit in
@@ -641,40 +715,51 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       | Circuit.Col_advice i -> advice_grid.(i).(row)
       | Circuit.Col_instance i -> inst_cols.(i).(row)
     in
-    let chunks = perm_chunks keys in
+    let chunks = Array.of_list (perm_chunks keys) in
+    let ncs = Array.length chunks in
     let perm_z = Array.make keys.n_chunks [||] in
+    (* Per-row numerator and denominator products of every chunk are
+       independent: compute them in one parallel pass over all
+       (chunk, row) pairs, then invert every denominator of the whole
+       argument with a single batched inversion — O(1) field inversions
+       total instead of one batch per chunk. Only the short prefix
+       recurrence over z and the blinding draws stay sequential, which
+       keeps the rng order (hence the proof bytes) identical. *)
+    let denoms = Array.make (max 1 (ncs * u)) F.one in
+    let nums = Array.make (max 1 (ncs * u)) F.one in
+    if ncs > 0 then
+      Pool.parallel_for_ranges ~seq_below:2048 (ncs * u) (fun lo hi ->
+          for t = lo to hi - 1 do
+            let j = t / u and row = t mod u in
+            let d = ref F.one and nm = ref F.one in
+            List.iter
+              (fun m ->
+                let w = col_value keys.perm_cols.(m) row in
+                d :=
+                  F.mul !d
+                    (F.add w
+                       (F.add (F.mul beta keys.sigma_values.(m).(row)) gamma));
+                nm :=
+                  F.mul !nm
+                    (F.add w
+                       (F.add
+                          (F.mul (F.mul beta keys.deltas.(m)) omega_pows.(row))
+                          gamma)))
+              chunks.(j);
+            denoms.(t) <- !d;
+            nums.(t) <- !nm
+          done);
+    let inv_denoms =
+      if ncs = 0 then [||] else Extra.batch_inv (Array.sub denoms 0 (ncs * u))
+    in
     let carry = ref F.one in
-    List.iteri
-      (fun j cols ->
+    Array.iteri
+      (fun j _cols ->
         let z = Array.make n F.zero in
         z.(0) <- !carry;
-        (* denominators batched *)
-        let denoms = Array.make u F.one in
         for row = 0 to u - 1 do
-          let d = ref F.one in
-          List.iter
-            (fun m ->
-              let w = col_value keys.perm_cols.(m) row in
-              d :=
-                F.mul !d
-                  (F.add w (F.add (F.mul beta keys.sigma_values.(m).(row)) gamma)))
-            cols;
-          denoms.(row) <- !d
-        done;
-        let inv_denoms = Extra.batch_inv denoms in
-        for row = 0 to u - 1 do
-          let num = ref F.one in
-          List.iter
-            (fun m ->
-              let w = col_value keys.perm_cols.(m) row in
-              num :=
-                F.mul !num
-                  (F.add w
-                     (F.add
-                        (F.mul (F.mul beta keys.deltas.(m)) omega_pows.(row))
-                        gamma)))
-            cols;
-          z.(row + 1) <- F.mul z.(row) (F.mul !num inv_denoms.(row))
+          let t = (j * u) + row in
+          z.(row + 1) <- F.mul z.(row) (F.mul nums.(t) inv_denoms.(t))
         done;
         carry := z.(u);
         for r = u + 1 to n - 1 do
@@ -778,54 +863,67 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     let l0_ext = all_ext.(!off)
     and llast_ext = all_ext.(!off + 1)
     and lblind_ext = all_ext.(!off + 2) in
-    let coset_points =
-      (* shift * omega^i from the cached root powers *)
-      let els = P.Domain.elements keys.ext_domain in
-      let r = Array.make ext_n F.zero in
-      Pool.parallel_for_ranges ~seq_below:(1 lsl 14) ext_n (fun lo hi ->
-          for i = lo to hi - 1 do
-            r.(i) <- F.mul shift els.(i)
-          done);
-      r
-    in
-    let rot = rot_index ~ext_n ~factor in
+    let coset_points = P.Domain.coset_points keys.ext_domain ~shift in
     let quotient_evals = Array.make ext_n F.zero in
-    Pool.parallel_for_ranges ~seq_below:256 ext_n (fun row_lo row_hi ->
-    for i = row_lo to row_hi - 1 do
-      let ctx =
-        {
-          c_fixed = (fun col r -> fixed_ext.(col).(rot i r));
-          c_advice = (fun col r -> adv_ext.(col).(rot i r));
-          c_instance = (fun col r -> inst_ext.(col).(rot i r));
-          c_challenge = (fun idx -> challenges.(idx));
-          c_col =
-            (function
-            | Circuit.Col_fixed c -> fixed_ext.(c).(i)
-            | Circuit.Col_advice c -> adv_ext.(c).(i)
-            | Circuit.Col_instance c -> inst_ext.(c).(i));
-          c_sigma = (fun m -> sigma_ext.(m).(i));
-          c_perm_z =
-            (fun j r ->
-              match r with
-              | `R0 -> perm_z_ext.(j).(i)
-              | `R1 -> perm_z_ext.(j).(rot i 1)
-              | `Ru -> perm_z_ext.(j).(rot i u));
-          c_look =
-            (fun li what ->
-              match what with
-              | `Z0 -> look_z_ext.(li).(i)
-              | `Z1 -> look_z_ext.(li).(rot i 1)
-              | `A0 -> look_a'_ext.(li).(i)
-              | `Am1 -> look_a'_ext.(li).(rot i (-1))
-              | `S0 -> look_s'_ext.(li).(i));
-          c_l0 = l0_ext.(i);
-          c_llast = llast_ext.(i);
-          c_lblind = lblind_ext.(i);
-          c_point = coset_points.(i);
-        }
-      in
-      quotient_evals.(i) <- combine_terms keys ~beta ~gamma ~theta ~y ctx
-    done);
+    let use_interp =
+      match Sys.getenv_opt "ZKML_EVAL" with Some "interp" -> true | _ -> false
+    in
+    (if use_interp then (
+       (* Reference oracle: walk the Expr.t ASTs through closures for
+          every row. Kept selectable via ZKML_EVAL=interp so tests can
+          assert the compiled program is byte-identical. *)
+       Obs.Span.with_ ~name:"quotient.interp" @@ fun () ->
+       Obs.count "quotient.rows" ext_n;
+       let rot = rot_index ~ext_n ~factor in
+       Pool.parallel_for_ranges ~seq_below:256 ext_n (fun row_lo row_hi ->
+           for i = row_lo to row_hi - 1 do
+             let ctx =
+               {
+                 c_fixed = (fun col r -> fixed_ext.(col).(rot i r));
+                 c_advice = (fun col r -> adv_ext.(col).(rot i r));
+                 c_instance = (fun col r -> inst_ext.(col).(rot i r));
+                 c_challenge = (fun idx -> challenges.(idx));
+                 c_col =
+                   (function
+                   | Circuit.Col_fixed c -> fixed_ext.(c).(i)
+                   | Circuit.Col_advice c -> adv_ext.(c).(i)
+                   | Circuit.Col_instance c -> inst_ext.(c).(i));
+                 c_sigma = (fun m -> sigma_ext.(m).(i));
+                 c_perm_z =
+                   (fun j r ->
+                     match r with
+                     | `R0 -> perm_z_ext.(j).(i)
+                     | `R1 -> perm_z_ext.(j).(rot i 1)
+                     | `Ru -> perm_z_ext.(j).(rot i u));
+                 c_look =
+                   (fun li what ->
+                     match what with
+                     | `Z0 -> look_z_ext.(li).(i)
+                     | `Z1 -> look_z_ext.(li).(rot i 1)
+                     | `A0 -> look_a'_ext.(li).(i)
+                     | `Am1 -> look_a'_ext.(li).(rot i (-1))
+                     | `S0 -> look_s'_ext.(li).(i));
+                 c_l0 = l0_ext.(i);
+                 c_llast = llast_ext.(i);
+                 c_lblind = lblind_ext.(i);
+                 c_point = coset_points.(i);
+               }
+             in
+             quotient_evals.(i) <- combine_terms keys ~beta ~gamma ~theta ~y ctx
+           done))
+     else
+       (* Compiled path: run the flat register program from keygen over
+          the extended-coset column bank — no per-row closures, no AST
+          walks. The bank layout matches Evaluator.layout: the all_ext
+          concatenation above, with the coset points as the last
+          column. *)
+       Obs.Span.with_ ~name:"quotient.compiled" @@ fun () ->
+       Obs.count "quotient.rows" ext_n;
+       let bank = Array.append all_ext [| coset_points |] in
+       let scalars = Ev.pack_scalars ~challenges ~theta ~beta ~gamma ~y in
+       Pool.parallel_for_ranges ~seq_below:256 ext_n (fun lo hi ->
+           Ev.eval_rows_into keys.eval_prog ~bank ~scalars ~factor
+             ~out:quotient_evals ~lo ~hi));
     (* divide by Z_H(X) = X^n - 1 on the coset: the values cycle with
        period [factor]. *)
     let zh = Array.init factor (fun i -> F.sub (F.pow_int coset_points.(i) n) F.one) in
@@ -858,15 +956,11 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       | Src_look_z li -> look_z_polys.(li)
       | Src_h j -> h_pieces.(j)
     in
-    let point_of_rot r =
-      F.mul x (if r >= 0 then F.pow_int keys.domain.omega r
-               else F.inv (F.pow_int keys.domain.omega (-r)))
-    in
     let evals =
       Obs.Span.with_ ~name:"evals" @@ fun () ->
       Obs.count "proof.evals" (List.length plan);
       Pool.parallel_map_array
-        (fun (src, r) -> P.eval (poly_of_source src) (point_of_rot r))
+        (fun (src, r) -> P.eval (poly_of_source src) (point_of_rot keys x r))
         (Array.of_list plan)
     in
     Ch.absorb_scalars transcript ~label:"evals" (Array.to_list evals);
@@ -886,7 +980,8 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
               vi := F.mul !vi v)
             group;
           let _, pf =
-            Scheme.open_at scheme_params transcript !combined (point_of_rot rot_r)
+            Scheme.open_at scheme_params transcript !combined
+              (point_of_rot keys x rot_r)
           in
           pf)
         rotations
@@ -1001,11 +1096,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
             let poly = inst_polys.(col) in
             List.iter
               (fun r ->
-                let pt =
-                  F.mul x
-                    (if r >= 0 then F.pow_int keys.domain.omega r
-                     else F.inv (F.pow_int keys.domain.omega (-r)))
-                in
+                let pt = point_of_rot keys x r in
                 Hashtbl.replace inst_evals (col, r) (P.eval poly pt))
               rots)
           instance_rots;
@@ -1098,11 +1189,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
                     combined_e := F.add !combined_e (F.mul (get src r) !vi);
                     vi := F.mul !vi v)
                   group;
-                let pt =
-                  F.mul x
-                    (if rot_r >= 0 then F.pow_int keys.domain.omega rot_r
-                     else F.inv (F.pow_int keys.domain.omega (-rot_r)))
-                in
+                let pt = point_of_rot keys x rot_r in
                 match
                   Scheme.verify_deferred scheme_params transcript !combined_c
                     ~point:pt ~value:!combined_e proof.openings.(idx)

@@ -62,6 +62,17 @@ module Make (F : Zkml_ff.Field_intf.S) = struct
     (** All n-th roots in order: 1, w, w^2, ... Cached; do not mutate. *)
     let elements t = t.elements
 
+    (** [coset_points t ~shift] is the table [shift * w^i] — the coset
+        the quotient polynomial is evaluated on. Built from the cached
+        root powers, chunked over the domain pool. *)
+    let coset_points t ~shift =
+      let r = Array.make t.n F.zero in
+      Pool.parallel_for_ranges ~seq_below:(1 lsl 14) t.n (fun lo hi ->
+          for i = lo to hi - 1 do
+            r.(i) <- F.mul shift t.elements.(i)
+          done);
+      r
+
     (** x^n - 1 *)
     let eval_vanishing t x = F.sub (F.pow_int x t.n) F.one
 
