@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt smoke soundness fuzz bench bench-par bench-batch bench-quotient clean
+.PHONY: all build test check fmt smoke soundness fuzz bench bench-par bench-batch bench-quotient bench-regress clean
 
 all: build
 
@@ -20,6 +20,7 @@ test:
 check: fmt build
 	ZKML_JOBS=1 dune runtest --force
 	ZKML_JOBS=4 dune runtest --force
+	-$(MAKE) bench-regress
 
 # Circuit-soundness mutation suite alone, pinned seed (1234 inside the
 # suite): every mutated witness/key/proof must be rejected or refused —
@@ -65,6 +66,26 @@ bench-batch: build
 # are byte-identical, write BENCH_PR5.json with rows/sec per model.
 bench-quotient: build
 	dune exec bench/main.exe -- quotient
+
+# Bench-regression gate: re-measure a reduced par + quotient sample
+# into $(REGRESS_DIR) and compare per-key medians against the committed
+# BENCH_PR2/PR5 baselines. A key regresses when
+# current > baseline * REGRESS_THRESHOLD. Warn-only by default (always
+# exits 0); STRICT=1 makes a regression fail the target. Tune the
+# sample with REGRESS_MODELS / REGRESS_JOBS.
+REGRESS_DIR ?= _build/regress
+REGRESS_MODELS ?= mnist,dlrm
+REGRESS_JOBS ?= 1
+REGRESS_THRESHOLD ?= 1.75
+bench-regress: build
+	ZKML_BENCH_DIR=$(REGRESS_DIR) ZKML_BENCH_JOBS=$(REGRESS_JOBS) \
+		dune exec bench/main.exe -- par
+	ZKML_BENCH_DIR=$(REGRESS_DIR) ZKML_BENCH_MODELS=$(REGRESS_MODELS) \
+		dune exec bench/main.exe -- quotient
+	dune exec bench/regress.exe -- --threshold $(REGRESS_THRESHOLD) \
+		$(if $(STRICT),--strict,) \
+		--baseline BENCH_PR2.json --current $(REGRESS_DIR)/BENCH_PR2.json \
+		--baseline BENCH_PR5.json --current $(REGRESS_DIR)/BENCH_PR5.json
 
 clean:
 	dune clean

@@ -33,6 +33,38 @@ let ipa_params = lazy (Ipa.setup ~max_size:(1 lsl max_k) ~seed:"bench")
 
 let line () = print_endline (String.make 78 '-')
 
+(* Version stamp for every machine-readable artifact this harness
+   writes; bench/regress.ml refuses files it does not understand. *)
+let schema_version = 1
+
+(* ZKML_BENCH_DIR redirects the BENCH_*.json artifacts (default: cwd),
+   so a regression run can write scratch copies without clobbering the
+   committed baselines. *)
+let bench_path name =
+  match Sys.getenv_opt "ZKML_BENCH_DIR" with
+  | None | Some "" -> name
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Filename.concat dir name
+
+(* Comma-separated allow-list in the environment, e.g.
+   ZKML_BENCH_MODELS=mnist,dlrm. None means "no filter". *)
+let env_allow_list var =
+  match Sys.getenv_opt var with
+  | None | Some "" -> None
+  | Some s ->
+      Some
+        (List.filter_map
+           (fun tok ->
+             let tok = String.trim tok in
+             if tok = "" then None else Some tok)
+           (String.split_on_char ',' s))
+
+let allowed var name =
+  match env_allow_list var with
+  | None -> true
+  | Some l -> List.mem name l
+
 (* ------------------------------------------------------------------ *)
 (* --json: machine-readable per-model results *)
 
@@ -88,7 +120,9 @@ let write_json_results () =
   | Some path ->
       let oc = open_out path in
       output_string oc
-        ("{\"results\":[" ^ String.concat "," (List.rev !json_rows) ^ "]}\n");
+        (Printf.sprintf "{\"schema_version\":%d,\"results\":[%s]}\n"
+           schema_version
+           (String.concat "," (List.rev !json_rows)));
       close_out oc;
       Printf.printf "wrote machine-readable results to %s\n" path
 
@@ -599,6 +633,12 @@ let par () =
   (* calibrate once outside the timed loop *)
   ignore (Pipe_kzg.calibrated params);
   let saved = Zkml_util.Pool.jobs () in
+  let job_counts =
+    List.filter
+      (fun j -> allowed "ZKML_BENCH_JOBS" (string_of_int j))
+      [ 1; 2; 4 ]
+  in
+  if job_counts = [] then failwith "par: ZKML_BENCH_JOBS filtered out all runs";
   let runs =
     List.map
       (fun j ->
@@ -616,7 +656,7 @@ let par () =
           r.Pipe_kzg.plan.Opt.ncols digest;
         (j, r.Pipe_kzg.prove_s, r.Pipe_kzg.plan.Opt.k,
          r.Pipe_kzg.plan.Opt.ncols, digest))
-      [ 1; 2; 4 ]
+      job_counts
   in
   Zkml_util.Pool.set_jobs saved;
   let _, t1, k, ncols, d1 = List.hd runs in
@@ -630,10 +670,11 @@ let par () =
     (Domain.recommended_domain_count ())
     (if Domain.recommended_domain_count () = 1 then "" else "s");
   if not identical then failwith "par: proof bytes differ across job counts";
-  let oc = open_out "BENCH_PR2.json" in
+  let path = bench_path "BENCH_PR2.json" in
+  let oc = open_out path in
   Printf.fprintf oc
-    "{\"bench\":\"par\",\"model\":\"%s\",\"backend\":\"kzg\",\"k\":%d,\"ncols\":%d,\"cores\":%d,\"runs\":[%s],\"speedup_j4\":%s,\"proof_identical\":%b}\n"
-    m.Zoo.name k ncols
+    "{\"schema_version\":%d,\"bench\":\"par\",\"model\":\"%s\",\"backend\":\"kzg\",\"k\":%d,\"ncols\":%d,\"cores\":%d,\"runs\":[%s],\"speedup_j4\":%s,\"proof_identical\":%b}\n"
+    schema_version m.Zoo.name k ncols
     (Domain.recommended_domain_count ())
     (String.concat ","
        (List.map
@@ -642,7 +683,7 @@ let par () =
           runs))
     (Obs.json_float speedup) identical;
   close_out oc;
-  Printf.printf "wrote BENCH_PR2.json\n%!"
+  Printf.printf "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* batch: serving-layer amortization (PR 4). Proves and verifies a
@@ -726,6 +767,13 @@ let batch () =
 
 let quotient () =
   let params = Lazy.force kzg_params in
+  let models =
+    List.filter
+      (fun m -> allowed "ZKML_BENCH_MODELS" m.Zoo.name)
+      (Zoo.all ())
+  in
+  if models = [] then
+    failwith "quotient: ZKML_BENCH_MODELS filtered out all models";
   let results =
     List.map
       (fun m ->
@@ -762,7 +810,7 @@ let quotient () =
           m.Zoo.name rows t_i (rs t_i) t_c (rs t_c)
           (t_i /. Float.max t_c 1e-9);
         (m.Zoo.name, rows, t_i, t_c))
-      (Zoo.all ())
+      models
   in
   let best =
     List.fold_left
@@ -770,9 +818,11 @@ let quotient () =
       0.0 results
   in
   Printf.printf "best compiled speedup: %.2fx (proofs byte-identical)\n%!" best;
-  let oc = open_out "BENCH_PR5.json" in
+  let path = bench_path "BENCH_PR5.json" in
+  let oc = open_out path in
   Printf.fprintf oc
-    "{\"bench\":\"quotient\",\"backend\":\"kzg\",\"models\":[%s],\"best_speedup\":%s,\"proofs_identical\":true}\n"
+    "{\"schema_version\":%d,\"bench\":\"quotient\",\"backend\":\"kzg\",\"models\":[%s],\"best_speedup\":%s,\"proofs_identical\":true}\n"
+    schema_version
     (String.concat ","
        (List.map
           (fun (name, rows, t_i, t_c) ->
@@ -786,7 +836,7 @@ let quotient () =
           results))
     (Obs.json_float best);
   close_out oc;
-  Printf.printf "wrote BENCH_PR5.json\n%!"
+  Printf.printf "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* ops: Bechamel microbenchmarks of the primitives the cost model uses *)

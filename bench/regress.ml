@@ -1,0 +1,109 @@
+(* Bench-regression gate driver.
+
+   Compares freshly measured bench JSON against committed baselines:
+
+     regress.exe --threshold 1.75 \
+       --baseline BENCH_PR2.json --current _build/regress/BENCH_PR2.json \
+       --baseline BENCH_PR5.json --current _build/regress/BENCH_PR5.json
+
+   [--baseline]/[--current] pair up in order. Exit status:
+     0  no regression (or regressions found but not --strict)
+     1  regression found and --strict
+     2  usage or parse error
+
+   Without --strict a regression prints WARN lines but exits 0, so
+   `make check` stays green on noisy CI machines; STRICT=1 promotes the
+   gate to a hard failure. *)
+
+module Json = Zkml_util.Json
+module Gate = Zkml_util.Bench_gate
+module Err = Zkml_util.Err
+
+let usage () =
+  prerr_endline
+    "usage: regress.exe [--threshold R] [--strict] (--baseline FILE \
+     --current FILE)...";
+  exit 2
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error e ->
+    Printf.eprintf "regress: cannot read %s: %s\n" path e;
+    exit 2
+
+let parse_series path =
+  let doc =
+    match Json.of_string (read_file path) with
+    | Ok d -> d
+    | Error e ->
+        Printf.eprintf "regress: %s: %s\n" path (Err.to_string e);
+        exit 2
+  in
+  (match Json.member "schema_version" doc with
+  | Some (Json.Num v) when int_of_float v > 1 ->
+      Printf.eprintf
+        "regress: %s: schema_version %d is newer than this gate understands\n"
+        path (int_of_float v);
+      exit 2
+  | _ -> ());
+  let s = Gate.series_of_json doc in
+  if s = [] then begin
+    Printf.eprintf "regress: %s: no recognised bench samples\n" path;
+    exit 2
+  end;
+  s
+
+let () =
+  let threshold = ref 1.75
+  and strict = ref false
+  and baselines = ref []
+  and currents = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: r :: rest ->
+        (match float_of_string_opt r with
+        | Some t when t > 0.0 -> threshold := t
+        | _ ->
+            Printf.eprintf "regress: bad threshold %S\n" r;
+            exit 2);
+        parse rest
+    | "--strict" :: rest ->
+        strict := true;
+        parse rest
+    | "--baseline" :: f :: rest ->
+        baselines := f :: !baselines;
+        parse rest
+    | "--current" :: f :: rest ->
+        currents := f :: !currents;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baselines = List.rev !baselines and currents = List.rev !currents in
+  if baselines = [] || List.length baselines <> List.length currents then
+    usage ();
+  let any_regressed = ref false in
+  List.iter2
+    (fun b c ->
+      let label = Printf.sprintf "%s vs %s" (Filename.basename b) c in
+      let verdict =
+        Gate.compare_series ~threshold:!threshold ~baseline:(parse_series b)
+          ~current:(parse_series c)
+      in
+      List.iter print_endline
+        (Gate.report_lines ~label ~threshold:!threshold verdict);
+      if not (Gate.passed verdict) then any_regressed := true)
+    baselines currents;
+  if !any_regressed then begin
+    if !strict then begin
+      prerr_endline "regress: FAIL (strict mode)";
+      exit 1
+    end
+    else prerr_endline "regress: WARN regressions found (non-strict; exit 0)"
+  end
+  else print_endline "regress: ok"

@@ -18,6 +18,10 @@
                                      accuracy report (paper 9.5)
      zkml fuzz                       deterministic malformed-input fuzzing
                                      of the model / proof-file parsers
+     zkml metrics [MODEL]            dump the always-on metrics registry
+                                     (optionally after a cached prove+
+                                     verify run of MODEL) as a summary,
+                                     Prometheus text or JSON
 
    `zkml verify` exits 0 when the proof is accepted, 1 when it parses
    but the verifier rejects it, and 2 with a one-line diagnostic when
@@ -27,8 +31,11 @@
 
    MODEL is a zoo name (see `zkml models`) or a path to a .zkml file.
    Setting ZKML_TRACE=<path> makes any subcommand record a chrome-trace
-   of its whole execution to <path>. `--jobs N` (or ZKML_JOBS=N) sizes
-   the prover's domain pool; proofs are byte-identical at every N. *)
+   of its whole execution to <path>; ZKML_METRICS=<path> writes the
+   metrics registry there at exit (Prometheus text, or JSON for .json
+   paths) — the textfile-collector style of exposition; ZKML_LOG routes
+   the structured event log. `--jobs N` (or ZKML_JOBS=N) sizes the
+   prover's domain pool; proofs are byte-identical at every N. *)
 
 module T = Zkml_tensor.Tensor
 module Fx = Zkml_fixed.Fixed
@@ -36,6 +43,8 @@ module Zoo = Zkml_models.Zoo
 module Opt = Zkml_compiler.Optimizer
 module Spec = Zkml_compiler.Layout_spec
 module Obs = Zkml_obs.Obs
+module Metrics = Zkml_obs.Metrics
+module Log = Zkml_obs.Log
 module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
 module Kzg = Zkml_commit.Kzg.Make (Sim61)
 module Ipa = Zkml_commit.Ipa.Make (Sim61)
@@ -143,7 +152,7 @@ let print_accuracy rows =
         (if Float.is_nan ratio then "-" else Printf.sprintf "%.2fx" ratio))
     rows
 
-let cmd_profile model backend trace_out =
+let cmd_profile model backend trace_out json =
   let m = load_model model in
   let inputs = Zoo.sample_inputs m in
   let run_traced () =
@@ -175,6 +184,15 @@ let cmd_profile model backend trace_out =
   in
   let verified, prove_s, accuracy, report = run_traced () in
   if not verified then failwith "profile: self-verification failed";
+  if json then begin
+    (* scriptable profile: the summary JSON on stdout, nothing else *)
+    print_endline (Obs.summary_json report);
+    (match trace_out with
+    | Some path -> Obs.write_file path (Obs.chrome_trace report)
+    | None -> ());
+    0
+  end
+  else begin
   Printf.printf "traced proving run of %s (%s backend):\n\n" m.Zoo.name backend;
   print_string (Obs.tree_string report);
   let span_prove = Obs.total_of report "prove" in
@@ -207,6 +225,7 @@ let cmd_profile model backend trace_out =
       Printf.printf "\nwrote chrome-trace to %s (open in about:tracing)\n" path
   | None -> ());
   0
+  end
 
 let print_plan (plan : Opt.plan) =
   Printf.printf "logical layout:   %s\n" (Spec.to_string plan.Opt.spec);
@@ -464,6 +483,10 @@ let cmd_prove model backend out seed =
   close_out oc;
   Printf.printf "proved %s with %s in %.2f s (%d B); wrote %s\n" m.Zoo.name
     backend prove_s proof_bytes out;
+  Log.event "prove.done"
+    [ ("model", Log.S m.Zoo.name); ("backend", Log.S backend);
+      ("prove_s", Log.F prove_s); ("proof_bytes", Log.I proof_bytes);
+      ("out", Log.S out) ];
   0
 
 (* Classify a parsed proof file against a model: [`Accepted], [`Rejected]
@@ -544,17 +567,23 @@ let cmd_verify model proof_path =
             | `Accepted -> `Accepted (m.Zoo.name, pf.pf_backend)
             | (`Rejected | `Malformed _) as v -> v))
   in
+  let log verdict exit_code =
+    Log.event "verify.verdict"
+      [ ("model", Log.S model); ("proof", Log.S proof_path);
+        ("verdict", Log.S verdict); ("exit", Log.I exit_code) ];
+    exit_code
+  in
   match outcome with
   | `Accepted (name, backend) ->
       Printf.printf "proof VERIFIED against model %s (%s backend)\n" name
         backend;
-      0
+      log "accepted" 0
   | `Rejected ->
       Printf.printf "proof REJECTED\n";
-      1
+      log "rejected" 1
   | `Malformed e ->
       Printf.eprintf "malformed input: %s\n" (Err.to_string e);
-      2
+      log "malformed" 2
 
 (* ------------------------------------------------------------------ *)
 (* batch-prove / batch-verify: the serving layer. One compile (loaded
@@ -582,7 +611,8 @@ let cmd_batch_prove model backend out_prefix seeds =
       close_out oc;
       path
     in
-    let t0 = Unix.gettimeofday () in
+    let now = Zkml_util.Timer.default_clock in
+    let t0 = now () in
     let status, prepare_s, prove_s, paths =
       match backend with
       | "ipa" ->
@@ -590,11 +620,11 @@ let cmd_batch_prove model backend out_prefix seeds =
           let entry, status =
             Serve_ipa.prepare ~cfg:m.Zoo.cfg params m.Zoo.graph
           in
-          let t1 = Unix.gettimeofday () in
+          let t1 = now () in
           let pairs =
             Serve_ipa.prove_batch params entry ~cfg:m.Zoo.cfg m.Zoo.graph jobs
           in
-          let t2 = Unix.gettimeofday () in
+          let t2 = now () in
           let batch =
             List.map
               (fun (w, p) ->
@@ -622,11 +652,11 @@ let cmd_batch_prove model backend out_prefix seeds =
           let entry, status =
             Serve_kzg.prepare ~cfg:m.Zoo.cfg params m.Zoo.graph
           in
-          let t1 = Unix.gettimeofday () in
+          let t1 = now () in
           let pairs =
             Serve_kzg.prove_batch params entry ~cfg:m.Zoo.cfg m.Zoo.graph jobs
           in
-          let t2 = Unix.gettimeofday () in
+          let t2 = now () in
           let batch =
             List.map
               (fun (w, p) ->
@@ -651,8 +681,21 @@ let cmd_batch_prove model backend out_prefix seeds =
           (status, t1 -. t0, t2 -. t1, paths)
     in
     let n = List.length seeds in
-    Printf.printf "artifact cache: %s\n"
-      (Zkml_serve.Artifacts.status_string status);
+    (* aggregate hit/miss/corrupt across every lookup this process made
+       (prepare above, plus any earlier ones), from the always-on
+       registry rather than the single per-entry status *)
+    let snap = Metrics.snapshot () in
+    let cache st =
+      int_of_float
+        (Metrics.counter_value
+           ~labels:[ ("status", st) ]
+           snap "zkml_cache_lookups_total")
+    in
+    Printf.printf
+      "artifact cache: %s (lookups: %d hit-mem, %d hit-disk, %d miss, %d \
+       corrupt)\n"
+      (Zkml_serve.Artifacts.status_string status)
+      (cache "hit_mem") (cache "hit_disk") (cache "miss") (cache "corrupt");
     Printf.printf
       "proved %d inputs with %s in %.2f s (%.2f s/proof amortized; prepare \
        %.2f s%s)\n"
@@ -661,6 +704,11 @@ let cmd_batch_prove model backend out_prefix seeds =
       prepare_s
       (if Zkml_serve.Artifacts.is_hit status then ", compile skipped" else "");
     List.iter (fun p -> Printf.printf "wrote %s\n" p) paths;
+    Log.event "batch_prove.done"
+      [ ("model", Log.S m.Zoo.name); ("backend", Log.S backend);
+        ("proofs", Log.I n); ("prepare_s", Log.F prepare_s);
+        ("prove_s", Log.F prove_s);
+        ("cache_hit", Log.B (Zkml_serve.Artifacts.is_hit status)) ];
     0
   end
 
@@ -746,6 +794,12 @@ let cmd_batch_verify model proof_paths =
                   v )
             end)
   in
+  let log n verdict exit_code =
+    Log.event "batch_verify.verdict"
+      [ ("model", Log.S model); ("proofs", Log.I n);
+        ("verdict", Log.S verdict); ("exit", Log.I exit_code) ];
+    exit_code
+  in
   match outcome with
   | `Verdict (n, backend, checks, `Accepted status) ->
       Printf.printf "artifact cache: %s\n"
@@ -754,17 +808,29 @@ let cmd_batch_verify model proof_paths =
         "batch of %d proofs VERIFIED (%s backend, %d batched final check%s)\n"
         n backend checks
         (if checks = 1 then "" else "s");
-      0
+      log n "accepted" 0
   | `Verdict (n, _, _, `Rejected) ->
       Printf.printf "batch of %d proofs REJECTED (at least one member false)\n"
         n;
-      1
-  | `Verdict (_, _, _, `Malformed e) | `Malformed e ->
+      log n "rejected" 1
+  | `Verdict (n, _, _, `Malformed e) ->
       Printf.eprintf "malformed input: %s\n" (Err.to_string e);
-      2
+      log n "malformed" 2
+  | `Malformed e ->
+      Printf.eprintf "malformed input: %s\n" (Err.to_string e);
+      log (List.length proof_paths) "malformed" 2
 
 (* ------------------------------------------------------------------ *)
 (* fuzz: deterministic malformed-input fuzzing of both parse surfaces *)
+
+let log_fuzz_report label (r : Fuzz.report) =
+  Log.event "fuzz.report"
+    [ ("corpus", Log.S label); ("iters", Log.I r.Fuzz.iters);
+      ("malformed", Log.I r.Fuzz.malformed);
+      ("rejected", Log.I r.Fuzz.rejected); ("valid", Log.I r.Fuzz.valid);
+      ("unchanged", Log.I r.Fuzz.unchanged);
+      ("accepted", Log.I (List.length r.Fuzz.accepted_mutants));
+      ("escaped", Log.I (List.length r.Fuzz.escaped)) ]
 
 let cmd_fuzz iters seed =
   let rng = Zkml_util.Rng.create (Int64.of_int seed) in
@@ -789,6 +855,7 @@ let cmd_fuzz iters seed =
       ~classify:classify_model ()
   in
   List.iter print_endline (Fuzz.report_lines ~label:"models" model_report);
+  log_fuzz_report "models" model_report;
   (* corpus 2: real proof files for the two smallest models, one per
      backend. Soundness claim: no mutant may verify. *)
   Printf.printf "building proof corpus (mnist/kzg, dlrm/ipa)...\n%!";
@@ -818,6 +885,7 @@ let cmd_fuzz iters seed =
       ~classify:classify_proof ()
   in
   List.iter print_endline (Fuzz.report_lines ~label:"proofs" proof_report);
+  log_fuzz_report "proofs" proof_report;
   (* corpus 3: artifact-cache entries (the serving layer's disk format,
      binary mutators). The digest-guarded payload means every effective
      mutation must classify as malformed — Marshal never sees unverified
@@ -847,6 +915,7 @@ let cmd_fuzz iters seed =
   in
   List.iter print_endline
     (Fuzz.report_lines ~label:"artifact-cache" cache_report);
+  log_fuzz_report "artifact-cache" cache_report;
   if
     Fuzz.clean model_report && Fuzz.clean proof_report
     && Fuzz.clean cache_report
@@ -858,6 +927,89 @@ let cmd_fuzz iters seed =
     Printf.eprintf "fuzz: FAILURES found\n";
     1
   end
+
+(* ------------------------------------------------------------------ *)
+(* metrics: dump the always-on registry, optionally after exercising a
+   cached prove + batched verify so every pipeline instrument fires *)
+
+let print_metrics_summary snap =
+  let label_str = function
+    | [] -> ""
+    | ls ->
+        "{"
+        ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+        ^ "}"
+  in
+  List.iter
+    (fun (f : Metrics.family_snap) ->
+      List.iter
+        (fun (srs : Metrics.series_snap) ->
+          let name = f.Metrics.f_name ^ label_str srs.Metrics.s_labels in
+          match srs.Metrics.s_value with
+          | Metrics.Counter_v v | Metrics.Gauge_v v ->
+              Printf.printf "%-52s %14s\n" name (Obs.json_float v)
+          | Metrics.Hist_v h ->
+              if h.Metrics.h_count > 0 then
+                Printf.printf
+                  "%-52s count %-6d sum %11.4f  p50 %9.3g  p90 %9.3g  p99 \
+                   %9.3g\n"
+                  name h.Metrics.h_count h.Metrics.h_sum
+                  (Metrics.quantile h 0.50) (Metrics.quantile h 0.90)
+                  (Metrics.quantile h 0.99))
+        f.Metrics.f_series)
+    snap
+
+let cmd_metrics model backend seed fmt =
+  (match model with
+  | None -> ()
+  | Some name ->
+      (* one cached prove + one batched verify: exercises the phase
+         histograms, cache counters, batch-size histograms, verdict and
+         final-check counters in a single run. Progress goes to stderr
+         so stdout stays machine-parseable. *)
+      let m = load_model name in
+      Printf.eprintf "collecting telemetry from a %s prove+verify run...\n%!"
+        m.Zoo.name;
+      let jobs =
+        [ (Zoo.sample_inputs ~seed:(Int64.of_int seed) m, Int64.of_int seed) ]
+      in
+      (match backend with
+      | "ipa" ->
+          let params = Lazy.force ipa_params in
+          let entry, _ = Serve_ipa.prepare ~cfg:m.Zoo.cfg params m.Zoo.graph in
+          let pairs =
+            Serve_ipa.prove_batch params entry ~cfg:m.Zoo.cfg m.Zoo.graph jobs
+          in
+          let batch =
+            List.map
+              (fun (w, p) ->
+                (w.Pipe_ipa.w_instance_ints, Pipe_ipa.Proto.proof_to_bytes p))
+              pairs
+          in
+          (match Serve_ipa.verify_batch params entry ~batch with
+          | Pipe_ipa.Proto.Accepted -> ()
+          | _ -> failwith "metrics: self-verification failed")
+      | _ ->
+          let params = Lazy.force kzg_params in
+          let entry, _ = Serve_kzg.prepare ~cfg:m.Zoo.cfg params m.Zoo.graph in
+          let pairs =
+            Serve_kzg.prove_batch params entry ~cfg:m.Zoo.cfg m.Zoo.graph jobs
+          in
+          let batch =
+            List.map
+              (fun (w, p) ->
+                (w.Pipe_kzg.w_instance_ints, Pipe_kzg.Proto.proof_to_bytes p))
+              pairs
+          in
+          (match Serve_kzg.verify_batch params entry ~batch with
+          | Pipe_kzg.Proto.Accepted -> ()
+          | _ -> failwith "metrics: self-verification failed")));
+  let snap = Metrics.snapshot () in
+  (match fmt with
+  | "prom" -> print_string (Metrics.prometheus_string snap)
+  | "json" -> print_endline (Metrics.json_string snap)
+  | _ -> print_metrics_summary snap);
+  0
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner wiring *)
@@ -895,6 +1047,24 @@ let jobs_term =
     | Some n -> Zkml_util.Pool.set_jobs n
     | None -> ()
   in
+  Term.(const apply $ arg)
+
+(* --metrics-out FILE on the prove/verify/batch family: write the
+   metrics snapshot at process exit. Format by extension: .json gets
+   the JSON snapshot, anything else Prometheus text. *)
+let metrics_out = ref None
+
+let metrics_out_term =
+  let arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics registry to $(docv) at exit (Prometheus \
+             text exposition; JSON when $(docv) ends in .json).")
+  in
+  let apply = function Some _ as p -> metrics_out := p | None -> () in
   Term.(const apply $ arg)
 
 let models_cmd =
@@ -943,14 +1113,22 @@ let profile_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Write a chrome-trace JSON of the proving run to $(docv).")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the profile report as summary JSON on stdout instead of \
+             the pretty-printed tree (scriptable).")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Run a traced prove; print the span tree and the predicted-vs-actual \
           cost-model report (paper 9.5).")
     Term.(
-      const (fun () m b t -> cmd_profile m b t)
-      $ jobs_term $ model_arg $ backend_arg $ trace)
+      const (fun () () m b t j -> cmd_profile m b t j)
+      $ jobs_term $ metrics_out_term $ model_arg $ backend_arg $ trace $ json)
 
 let prove_cmd =
   let out =
@@ -966,8 +1144,8 @@ let prove_cmd =
   Cmd.v
     (Cmd.info "prove" ~doc:"Compile, optimize, prove; write a proof file.")
     Term.(
-      const (fun () m b o s -> cmd_prove m b o s)
-      $ jobs_term $ model_arg $ backend_arg $ out $ seed)
+      const (fun () () m b o s -> cmd_prove m b o s)
+      $ jobs_term $ metrics_out_term $ model_arg $ backend_arg $ out $ seed)
 
 let verify_cmd =
   let proof =
@@ -982,7 +1160,9 @@ let verify_cmd =
          "Verify a proof file against a model. Exits 0 when the proof is \
           accepted, 1 when it is well-formed but rejected, 2 when any input \
           is malformed.")
-    Term.(const (fun () m p -> cmd_verify m p) $ jobs_term $ model_arg $ proof)
+    Term.(
+      const (fun () () m p -> cmd_verify m p)
+      $ jobs_term $ metrics_out_term $ model_arg $ proof)
 
 let batch_prove_cmd =
   let out =
@@ -1005,8 +1185,8 @@ let batch_prove_cmd =
           ~/.cache/zkml), so a second run skips compilation. Proof bytes are \
           identical to `zkml prove` runs with the same seeds.")
     Term.(
-      const (fun () m b o s -> cmd_batch_prove m b o s)
-      $ jobs_term $ model_arg $ backend_arg $ out $ seeds)
+      const (fun () () m b o s -> cmd_batch_prove m b o s)
+      $ jobs_term $ metrics_out_term $ model_arg $ backend_arg $ out $ seeds)
 
 let batch_verify_cmd =
   let proofs =
@@ -1023,8 +1203,8 @@ let batch_verify_cmd =
           some member is false, 2 when any input is malformed. All members \
           must share the proof-file header (same circuit layout).")
     Term.(
-      const (fun () m p -> cmd_batch_verify m p)
-      $ jobs_term $ model_arg $ proofs)
+      const (fun () () m p -> cmd_batch_verify m p)
+      $ jobs_term $ metrics_out_term $ model_arg $ proofs)
 
 let fuzz_cmd =
   let iters =
@@ -1048,6 +1228,40 @@ let fuzz_cmd =
           mutant.")
     Term.(const (fun () i s -> cmd_fuzz i s) $ jobs_term $ iters $ seed)
 
+let metrics_cmd =
+  let model =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL"
+          ~doc:
+            "Optional zoo model (or .zkml path): run one cached prove and \
+             one batched verify of it first, so the dump shows live \
+             pipeline telemetry.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1234
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Input sampling seed.")
+  in
+  let fmt =
+    Arg.(
+      value & opt string "summary"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: summary (human table with p50/p90/p99), prom \
+             (Prometheus text exposition) or json.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Dump the always-on metrics registry: per-phase latency histograms \
+          (ntt, msm, commit, quotient, opening), cache/verdict/batch \
+          counters. With MODEL, exercises the full pipeline first.")
+    Term.(
+      const (fun () () m b s f -> cmd_metrics m b s f)
+      $ jobs_term $ metrics_out_term $ model $ backend_arg $ seed $ fmt)
+
 let main =
   Cmd.group
     (Cmd.info "zkml" ~version:"1.0.0"
@@ -1068,10 +1282,31 @@ let main =
                 reference AST interpreter; anything else (default) uses \
                 the compiled register program. Proof bytes are identical \
                 either way.";
+           Cmd.Env.info "ZKML_METRICS"
+             ~doc:
+               "If set to a path, write the always-on metrics registry \
+                there at exit (Prometheus text; JSON when the path ends \
+                in .json) — textfile-collector style exposition.";
+           Cmd.Env.info "ZKML_LOG"
+             ~doc:
+               "Structured JSON-lines event log destination: a file path \
+                (append), 'stderr', or unset to disable.";
+           Cmd.Env.info "ZKML_LOG_LEVEL"
+             ~doc:
+               "Event-log threshold: debug, info (default), warn or \
+                error.";
          ])
     [ models_cmd; stats_cmd; export_cmd; calibrate_cmd; optimize_cmd;
       prove_cmd; verify_cmd; batch_prove_cmd; batch_verify_cmd; profile_cmd;
-      fuzz_cmd ]
+      fuzz_cmd; metrics_cmd ]
+
+let write_metrics_file path =
+  let snap = Metrics.snapshot () in
+  let data =
+    if Filename.check_suffix path ".json" then Metrics.json_string snap ^ "\n"
+    else Metrics.prometheus_string snap
+  in
+  Obs.write_file path data
 
 let () =
   (* ZKML_TRACE=<path>: trace any subcommand end to end and dump the
@@ -1084,4 +1319,14 @@ let () =
           | Some report -> Obs.write_file path (Obs.chrome_trace report)
           | None -> ())
   | _ -> ());
+  (* metrics exposition at exit: --metrics-out FILE and/or
+     ZKML_METRICS=<path> (both may be set; each gets a copy) *)
+  at_exit (fun () ->
+      (match !metrics_out with
+      | Some path when path <> "" -> write_metrics_file path
+      | _ -> ());
+      match Sys.getenv_opt "ZKML_METRICS" with
+      | Some path when path <> "" && !metrics_out <> Some path ->
+          write_metrics_file path
+      | _ -> ());
   exit (Cmd.eval' main)

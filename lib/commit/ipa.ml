@@ -46,10 +46,22 @@ module Make (G : Zkml_ec.Group_intf.S) :
 
   let max_size t = Array.length t.gens
 
+  let m_commits =
+    Zkml_obs.Metrics.counter
+      ~labels:[ ("backend", name) ]
+      ~help:"Polynomial commitments computed" "zkml_commitments_total"
+
+  let m_final_checks =
+    Zkml_obs.Metrics.counter
+      ~labels:[ ("backend", name) ]
+      ~help:"PCS final checks (one per verify or amortized batch)"
+      "zkml_pcs_final_checks_total"
+
   let commit t coeffs =
     if Array.length coeffs > Array.length t.gens then
       invalid_arg "Ipa.commit: polynomial too large for params";
     Zkml_obs.Obs.count "commitments" 1;
+    Zkml_obs.Metrics.add m_commits 1.0;
     M.msm (Array.sub t.gens 0 (Array.length coeffs)) coeffs
 
   let commit_many t polys =
@@ -66,6 +78,7 @@ module Make (G : Zkml_ec.Group_intf.S) :
     !acc
 
   let open_at t transcript coeffs z =
+    Zkml_obs.Metrics.phase "opening" @@ fun () ->
     Zkml_obs.Obs.Span.with_ ~name:"open" @@ fun () ->
     let n = Array.length t.gens in
     let a = Array.make n F.zero in
@@ -169,6 +182,7 @@ module Make (G : Zkml_ec.Group_intf.S) :
 
   let deferred_check t ~next_coeff ds =
     Zkml_obs.Obs.count "pcs.final_check" 1;
+    Zkml_obs.Metrics.add m_final_checks 1.0;
     let n = Array.length t.gens in
     let acc_scalars = Array.make n F.zero in
     let acc_rhs = ref G.zero in

@@ -46,10 +46,22 @@ module Make (G : Zkml_ec.Group_intf.S) :
 
   module M = Zkml_ec.Msm.Make (G)
 
+  let m_commits =
+    Zkml_obs.Metrics.counter
+      ~labels:[ ("backend", name) ]
+      ~help:"Polynomial commitments computed" "zkml_commitments_total"
+
+  let m_final_checks =
+    Zkml_obs.Metrics.counter
+      ~labels:[ ("backend", name) ]
+      ~help:"PCS final checks (one per verify or amortized batch)"
+      "zkml_pcs_final_checks_total"
+
   let commit t coeffs =
     if Array.length coeffs > Array.length t.srs then
       invalid_arg "Kzg.commit: polynomial too large for SRS";
     Zkml_obs.Obs.count "commitments" 1;
+    Zkml_obs.Metrics.add m_commits 1.0;
     M.msm (Array.sub t.srs 0 (Array.length coeffs)) coeffs
 
   let commit_many t polys =
@@ -61,6 +73,7 @@ module Make (G : Zkml_ec.Group_intf.S) :
   let scale_commitment = G.mul
 
   let open_at t _transcript coeffs z =
+    Zkml_obs.Metrics.phase "opening" @@ fun () ->
     Zkml_obs.Obs.Span.with_ ~name:"open" @@ fun () ->
     let v = P.eval coeffs z in
     let shifted = Array.copy coeffs in
@@ -86,6 +99,7 @@ module Make (G : Zkml_ec.Group_intf.S) :
 
   let deferred_check _t ~next_coeff ds =
     Zkml_obs.Obs.count "pcs.final_check" 1;
+    Zkml_obs.Metrics.add m_final_checks 1.0;
     let acc =
       List.fold_left
         (fun acc d -> G.add acc (G.mul d (next_coeff ())))

@@ -205,9 +205,19 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
   (** Classify serialized proof bytes against keys and the public values
       (the instance column as centered integers). Total: malformed bytes
       come back as {!Proto.Malformed}, never as an exception. *)
+  (* Instance-level parse failures never reach [Proto.verify_bytes], so
+     they are tallied here; together the two sites count every judgement
+     exactly once. *)
+  let tally_malformed v =
+    Zkml_obs.Metrics.inc
+      ~labels:[ ("verdict", "malformed") ]
+      ~help:"Verifier verdicts on untrusted proof bytes"
+      "zkml_verify_verdicts_total" 1.0;
+    v
+
   let verify_verdict params keys ~instance_ints bytes =
     match instance_col_of_ints keys instance_ints with
-    | Error e -> Proto.Malformed e
+    | Error e -> tally_malformed (Proto.Malformed e)
     | Ok instance -> Proto.verify_bytes params keys ~instance bytes
 
   (** Batched {!verify_verdict}: one RLC'd final check for the whole
@@ -226,7 +236,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
           | Ok instance -> cols ((instance, bytes) :: acc) (i + 1) rest)
     in
     match cols [] 0 batch with
-    | Error e -> Proto.Malformed e
+    | Error e -> tally_malformed (Proto.Malformed e)
     | Ok batch -> Proto.verify_many_bytes params keys ~batch
 
   (** Boolean view of {!verify_verdict} for callers that only care

@@ -85,7 +85,14 @@ module Make (G : Group_intf.S) = struct
     if Array.length points <= 4 then naive points scalars
     else pippenger points scalars
 
+  let msm_hist =
+    Zkml_obs.Metrics.histogram
+      ~labels:[ ("phase", "msm") ]
+      ~help:"Per-phase wall time of the proving/verifying pipeline"
+      "zkml_phase_seconds"
+
   let msm points scalars =
+    Zkml_obs.Metrics.time msm_hist @@ fun () ->
     if Zkml_obs.Obs.enabled () then
       Zkml_obs.Obs.Span.with_ ~name:"msm" (fun () ->
           Zkml_obs.Obs.count "msm.points" (Array.length points);

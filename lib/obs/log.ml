@@ -1,0 +1,110 @@
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type field = S of string | I of int | F of float | B of bool
+
+type dest = Off | Chan of out_channel | Fn of (string -> unit)
+
+(* Destination is resolved from the environment once, on first use; the
+   channel (if a file) stays open for the process lifetime and is
+   closed at exit. *)
+let mu = Mutex.create ()
+let env_dest : dest option ref = ref None (* None = not yet resolved *)
+let override : (string -> unit) option ref = ref None
+
+let resolve_env_dest () =
+  match Sys.getenv_opt "ZKML_LOG" with
+  | None | Some "" -> Off
+  | Some "stderr" | Some "-" -> Chan stderr
+  | Some path -> (
+      match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+      | oc ->
+          at_exit (fun () -> try close_out oc with Sys_error _ -> ());
+          Chan oc
+      | exception Sys_error msg ->
+          Printf.eprintf "zkml: ZKML_LOG: %s (logging disabled)\n%!" msg;
+          Off)
+
+let dest () =
+  match !override with
+  | Some fn -> Fn fn
+  | None -> (
+      match !env_dest with
+      | Some d -> d
+      | None ->
+          let d = resolve_env_dest () in
+          env_dest := Some d;
+          d)
+
+let min_level =
+  ref
+    (match Sys.getenv_opt "ZKML_LOG_LEVEL" with
+    | None -> Info
+    | Some s -> (
+        match level_of_string s with
+        | Some l -> l
+        | None -> Info))
+
+let set_level l = min_level := l
+
+let set_sink fn = override := fn
+
+let enabled l =
+  level_rank l >= level_rank !min_level
+  &&
+  match !override with
+  | Some _ -> true
+  | None -> ( match !env_dest with Some Off -> false | _ -> true)
+
+let field_json = function
+  | S s -> Printf.sprintf "\"%s\"" (Obs.json_escape s)
+  | I i -> string_of_int i
+  | F v -> if Float.is_finite v then Obs.json_float v else "null"
+  | B b -> if b then "true" else "false"
+
+let render ~level name fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"ts\":%.6f,\"level\":\"%s\",\"event\":\"%s\""
+       (Unix.gettimeofday ()) (level_name level) (Obs.json_escape name));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"%s\":%s" (Obs.json_escape k) (field_json v)))
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let event ?(level = Info) name fields =
+  if level_rank level >= level_rank !min_level then
+    match dest () with
+    | Off -> ()
+    | Chan oc ->
+        let line = render ~level name fields in
+        Mutex.lock mu;
+        output_string oc line;
+        output_char oc '\n';
+        (try flush oc with Sys_error _ -> ());
+        Mutex.unlock mu
+    | Fn fn ->
+        let line = render ~level name fields in
+        Mutex.lock mu;
+        (match fn line with
+        | () -> Mutex.unlock mu
+        | exception e ->
+            Mutex.unlock mu;
+            raise e)

@@ -1,0 +1,45 @@
+(** Leveled structured event log (JSON lines).
+
+    Complementary to {!Metrics}: metrics aggregate, the log records
+    discrete events (a cache lookup, a verdict, a batch completing)
+    with typed fields. Each event is one JSON object on one line:
+
+    {v {"ts":1722945600.123,"level":"info","event":"cache.prepare","status":"hit_disk"} v}
+
+    Destination comes from [ZKML_LOG]: unset or empty disables logging
+    entirely (events cost one ref read); ["stderr"] or ["-"] writes to
+    stderr; anything else is a file path opened in append mode.
+    [ZKML_LOG_LEVEL] (debug|info|warn|error, default info) filters.
+    Writes are mutex-protected and flushed per event, so lines from
+    worker domains never interleave mid-record. [ts] is wall-clock
+    ([Unix.gettimeofday]) — unlike span/metric timing, log timestamps
+    exist to correlate across processes. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_of_string : string -> level option
+(** Case-insensitive; accepts the four level names. *)
+
+val level_name : level -> string
+
+type field =
+  | S of string
+  | I of int
+  | F of float
+  | B of bool
+
+val event : ?level:level -> string -> (string * field) list -> unit
+(** [event name fields] emits one line if the sink is configured and
+    [level] (default [Info]) passes the filter. [ts], [level] and
+    [event] are reserved keys; user fields keep call-site order. *)
+
+val enabled : level -> bool
+
+(** {1 Configuration overrides (tests, CLI)} *)
+
+val set_level : level -> unit
+
+val set_sink : (string -> unit) option -> unit
+(** Replace the destination with a custom line consumer ([None]
+    restores the [ZKML_LOG]-derived destination). The consumer receives
+    the serialized line without a trailing newline. *)

@@ -1,0 +1,6 @@
+(* CLOCK_MONOTONIC via the bechamel runtime (the only monotonic-clock
+   binding available in the build image; mtime is not vendored). *)
+
+let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+let elapsed_s ~since = Float.max 0.0 (now_s () -. since)

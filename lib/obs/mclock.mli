@@ -1,0 +1,18 @@
+(** Monotonic clock shared by spans, metrics and benches.
+
+    Wall clocks ([Unix.gettimeofday]) can step backwards under NTP
+    adjustment, producing negative span durations mid-trace; all
+    interval timing in the repo therefore reads CLOCK_MONOTONIC. The
+    epoch is arbitrary (boot time on Linux): values are only meaningful
+    as differences, never as timestamps. *)
+
+val now_ns : unit -> int64
+(** Raw monotonic nanoseconds. *)
+
+val now_s : unit -> float
+(** Monotonic seconds as a float; the default clock for {!Obs.enable},
+    {!Metrics} timers and [Zkml_util.Timer]. *)
+
+val elapsed_s : since:float -> float
+(** [elapsed_s ~since] is [now_s () -. since], clamped at [0.] so a
+    degenerate clock source can never yield a negative duration. *)

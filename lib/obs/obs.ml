@@ -36,7 +36,10 @@ let sink_key : sink option ref Domain.DLS.key =
 let sink () = Domain.DLS.get sink_key
 let enabled () = !(sink ()) <> None
 
-let enable ?(clock = Unix.gettimeofday) () =
+(* Default to the monotonic clock: gettimeofday can step backwards
+   (NTP) mid-trace, producing negative durations. Tests still inject
+   dyadic fake clocks through [?clock]. *)
+let enable ?(clock = Mclock.now_s) () =
   let root =
     {
       sp_name = "trace";

@@ -10,7 +10,8 @@
 type clock = unit -> float
 
 val enable : ?clock:clock -> unit -> unit
-(** Install a fresh sink. [clock] defaults to [Unix.gettimeofday]; tests
+(** Install a fresh sink. [clock] defaults to the monotonic
+    {!Mclock.now_s} (wall clocks can step backwards mid-trace); tests
     inject a fake clock for deterministic traces. *)
 
 val disable : unit -> unit

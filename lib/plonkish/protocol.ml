@@ -17,6 +17,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
   module T = Zkml_transcript.Transcript
   module Ch = Zkml_transcript.Transcript.Challenge (F)
   module Obs = Zkml_obs.Obs
+  module Metrics = Zkml_obs.Metrics
   module Ev = Evaluator.Make (F)
 
   type circuit = F.t Circuit.t
@@ -509,6 +510,8 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
 
   let prove scheme_params keys ~(instance : F.t array array)
       ~(advice : F.t array -> F.t array array) ~rng =
+    Metrics.phase "prove" @@ fun () ->
+    Metrics.inc ~help:"Proofs produced" "zkml_proofs_total" 1.0;
     Obs.Span.with_ ~name:"prove" @@ fun () ->
     let circuit = keys.circuit in
     let n = Circuit.n circuit in
@@ -516,6 +519,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     let transcript = init_transcript keys ~instance in
     let num_adv = Circuit.num_advice circuit in
     let adv_polys, adv_commits, challenges, advice_grid =
+      Metrics.phase "commit" @@ fun () ->
       Obs.Span.with_ ~name:"advice-commit" @@ fun () ->
       Obs.count "advice.cols" num_adv;
       (* --- phase 0 advice --- *)
@@ -685,6 +689,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       look_s'.(li) <- s_full
     done;
     let look_a_polys, look_s_polys, look_a_commits, look_s_commits =
+      Metrics.phase "commit" @@ fun () ->
       Obs.Span.with_ ~name:"lookup-commit" @@ fun () ->
       (* one batch over inputs and tables together *)
       let polys =
@@ -872,6 +877,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
        (* Reference oracle: walk the Expr.t ASTs through closures for
           every row. Kept selectable via ZKML_EVAL=interp so tests can
           assert the compiled program is byte-identical. *)
+       Metrics.phase "quotient_interp" @@ fun () ->
        Obs.Span.with_ ~name:"quotient.interp" @@ fun () ->
        Obs.count "quotient.rows" ext_n;
        let rot = rot_index ~ext_n ~factor in
@@ -917,6 +923,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
           walks. The bank layout matches Evaluator.layout: the all_ext
           concatenation above, with the coset points as the last
           column. *)
+       Metrics.phase "quotient_compiled" @@ fun () ->
        Obs.Span.with_ ~name:"quotient.compiled" @@ fun () ->
        Obs.count "quotient.rows" ext_n;
        let bank = Array.append all_ext [| coset_points |] in
@@ -1014,6 +1021,10 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
   let prove_many scheme_params keys jobs =
     Obs.Span.with_ ~name:"prove_many" @@ fun () ->
     Obs.count "batch.proofs" (List.length jobs);
+    Metrics.observe_in
+      ~labels:[ ("op", "prove") ]
+      ~help:"Batch sizes seen by prove_many/verify_many" "zkml_batch_size"
+      (float_of_int (List.length jobs));
     List.map
       (fun job ->
         prove scheme_params keys ~instance:job.job_instance
@@ -1204,6 +1215,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     end
 
   let verify scheme_params keys ~(instance : F.t array array) proof =
+    Metrics.phase "verify" @@ fun () ->
     Obs.Span.with_ ~name:"verify" @@ fun () ->
     match verify_collect scheme_params keys ~instance proof with
     | None -> false
@@ -1230,6 +1242,10 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       =
     Obs.Span.with_ ~name:"verify_many" @@ fun () ->
     Obs.count "batch.verified" (List.length batch);
+    Metrics.observe_in
+      ~labels:[ ("op", "verify") ]
+      ~help:"Batch sizes seen by prove_many/verify_many" "zkml_batch_size"
+      (float_of_int (List.length batch));
     let collected =
       List.map
         (fun (instance, proof) ->
@@ -1272,8 +1288,25 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     | Rejected -> "rejected"
     | Malformed e -> "malformed: " ^ Err.to_string e
 
+  (* Verdict-by-code tally: the single library-level counting point for
+     proof judgements on untrusted bytes (the pipeline adds its own
+     instance-level malformed short-circuits; see Pipeline). *)
+  let tally_verdict v =
+    let code =
+      match v with
+      | Accepted -> "accepted"
+      | Rejected -> "rejected"
+      | Malformed _ -> "malformed"
+    in
+    Metrics.inc
+      ~labels:[ ("verdict", code) ]
+      ~help:"Verifier verdicts on untrusted proof bytes"
+      "zkml_verify_verdicts_total" 1.0;
+    v
+
   let verify_bytes scheme_params keys ~instance bytes =
-    match proof_of_bytes scheme_params keys bytes with
+    tally_verdict
+    @@ match proof_of_bytes scheme_params keys bytes with
     | Error e -> Malformed e
     | Ok proof -> (
         (* [verify] on a structurally complete proof has no raising
@@ -1303,7 +1336,8 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
               Error (Err.with_context (Printf.sprintf "batch[%d]" i) e)
           | Ok proof -> parse ((instance, proof) :: acc) (i + 1) rest)
     in
-    match parse [] 0 batch with
+    tally_verdict
+    @@ match parse [] 0 batch with
     | Error e -> Malformed e
     | Ok parsed -> (
         match

@@ -157,8 +157,17 @@ module Make (F : Zkml_ff.Field_intf.S) = struct
 
   (* Every forward/inverse/coset transform funnels through this leaf, so
      one instrumentation point covers the whole "fft" op class of the
-     cost model. The disabled branch is a single ref read. *)
+     cost model. The disabled branch is a single ref read; the phase
+     histogram is always on (pre-resolved handle, one mutex op per
+     transform). *)
+  let ntt_hist =
+    Zkml_obs.Metrics.histogram
+      ~labels:[ ("phase", "ntt") ]
+      ~help:"Per-phase wall time of the proving/verifying pipeline"
+      "zkml_phase_seconds"
+
   let ntt_with_table a tw =
+    Zkml_obs.Metrics.time ntt_hist @@ fun () ->
     if Zkml_obs.Obs.enabled () then
       Zkml_obs.Obs.Span.with_ ~name:"ntt" (fun () ->
           Zkml_obs.Obs.count "ntt.size" (Array.length a);

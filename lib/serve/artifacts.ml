@@ -69,6 +69,24 @@ let status_string = function
 
 let is_hit = function Hit_mem | Hit_disk -> true | Miss | Corrupt _ -> false
 
+(* Stable short code for metric labels / log fields (unlike
+   [status_string], which is a human-facing diagnostic). *)
+let status_code = function
+  | Hit_mem -> "hit_mem"
+  | Hit_disk -> "hit_disk"
+  | Miss -> "miss"
+  | Corrupt _ -> "corrupt"
+
+(* Every lookup lands here exactly once: counter for the exposition,
+   debug event for the log. *)
+let tally_status status =
+  let code = status_code status in
+  Zkml_obs.Metrics.inc
+    ~labels:[ ("status", code) ]
+    ~help:"Artifact-cache lookups by result" "zkml_cache_lookups_total" 1.0;
+  Zkml_obs.Log.event ~level:Zkml_obs.Log.Debug "cache.lookup"
+    [ ("status", Zkml_obs.Log.S code) ]
+
 module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
   module Pipe = Zkml_compiler.Pipeline.Make (Scheme)
   module Proto = Pipe.Proto
@@ -317,6 +335,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     match mem_find key with
     | Some e ->
         Obs.count "cache.hit.mem" 1;
+        tally_status Hit_mem;
         (e, Hit_mem)
     | None -> (
         let finish status e =
@@ -329,13 +348,16 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
         match load_entry key with
         | Some (Ok e) ->
             Obs.count "cache.hit.disk" 1;
+            tally_status Hit_disk;
             mem_add key e;
             (e, Hit_disk)
         | Some (Error err) ->
             Obs.count "cache.corrupt" 1;
+            tally_status (Corrupt err);
             finish (Corrupt err) (build ())
         | None ->
             Obs.count "cache.miss" 1;
+            tally_status Miss;
             finish Miss (build ()))
 
   (** The serving entry point: artifacts for proving [graph], from the
@@ -358,6 +380,7 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
     match mem_find key with
     | Some e ->
         Obs.count "cache.hit.mem" 1;
+        tally_status Hit_mem;
         Ok (e, Hit_mem)
     | None -> (
         let build status =
@@ -373,13 +396,16 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
         match load_entry key with
         | Some (Ok e) ->
             Obs.count "cache.hit.disk" 1;
+            tally_status Hit_disk;
             mem_add key e;
             Ok (e, Hit_disk)
         | Some (Error err) ->
             Obs.count "cache.corrupt" 1;
+            tally_status (Corrupt err);
             build (Corrupt err)
         | None ->
             Obs.count "cache.miss" 1;
+            tally_status Miss;
             build Miss)
 
   (* ---------------------------------------------------------------- *)

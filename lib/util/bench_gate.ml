@@ -1,0 +1,156 @@
+type series = (string * float) list
+
+(* Time-like fields only: comparing throughput or speedup as "bigger =
+   regression" would be backwards. *)
+let time_like name =
+  let suffix s = String.length name >= String.length s
+    && String.sub name (String.length name - String.length s) (String.length s) = s
+  in
+  suffix "_s" || String.length name > 5 && String.sub name 0 5 = "span."
+
+let of_par j =
+  match Json.mem_list "runs" j with
+  | None -> []
+  | Some runs ->
+      List.filter_map
+        (fun run ->
+          match (Json.mem_float "jobs" run, Json.mem_float "prove_s" run) with
+          | Some jobs, Some t ->
+              Some (Printf.sprintf "par/jobs=%.0f/prove_s" jobs, t)
+          | _ -> None)
+        runs
+
+let of_quotient j =
+  match Json.mem_list "models" j with
+  | None -> []
+  | Some models ->
+      List.concat_map
+        (fun m ->
+          match Json.mem_string "model" m with
+          | None -> []
+          | Some name ->
+              List.filter_map
+                (fun field ->
+                  match Json.mem_float field m with
+                  | Some t when time_like field ->
+                      Some (Printf.sprintf "quotient/%s/%s" name field, t)
+                  | _ -> None)
+                [ "interp_s"; "compiled_s" ])
+        models
+
+let of_results j =
+  match Json.mem_list "results" j with
+  | None -> []
+  | Some rows ->
+      List.concat_map
+        (fun row ->
+          match (Json.mem_string "section" row, Json.mem_string "model" row) with
+          | Some section, Some model ->
+              let base field =
+                match Json.mem_float field row with
+                | Some t -> [ (Printf.sprintf "%s/%s/%s" section model field, t) ]
+                | None -> []
+              in
+              let spans =
+                match Json.member "spans" row with
+                | Some (Json.Obj fields) ->
+                    List.filter_map
+                      (fun (k, v) ->
+                        Option.map
+                          (fun t ->
+                            (Printf.sprintf "%s/%s/span.%s" section model k, t))
+                          (Json.to_float v))
+                      fields
+                | _ -> []
+              in
+              base "prove_s" @ base "verify_s" @ spans
+          | _ -> [])
+        rows
+
+let series_of_json j =
+  match Json.mem_string "bench" j with
+  | Some "par" -> of_par j
+  | Some "quotient" -> of_quotient j
+  | Some _ -> []
+  | None -> of_results j
+
+let medians series =
+  let tbl : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt tbl k with
+      | Some l -> l := v :: !l
+      | None -> Hashtbl.replace tbl k (ref [ v ]))
+    series;
+  Hashtbl.fold
+    (fun k l acc ->
+      let a = Array.of_list !l in
+      Array.sort compare a;
+      (k, a.(Array.length a / 2)) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+type cmp = {
+  c_key : string;
+  c_baseline : float;
+  c_current : float;
+  c_ratio : float;
+}
+
+type verdict = {
+  v_ok : cmp list;
+  v_regressed : cmp list;
+  v_missing : string list;
+  v_extra : string list;
+}
+
+let compare_series ~threshold ~baseline ~current =
+  let baseline = medians baseline and current = medians current in
+  let ok = ref [] and bad = ref [] and missing = ref [] in
+  List.iter
+    (fun (k, b) ->
+      match List.assoc_opt k current with
+      | Some c when b > 0.0 ->
+          let cmp =
+            { c_key = k; c_baseline = b; c_current = c; c_ratio = c /. b }
+          in
+          if cmp.c_ratio > threshold then bad := cmp :: !bad
+          else ok := cmp :: !ok
+      | Some _ | None -> missing := k :: !missing)
+    baseline;
+  let extra =
+    List.filter_map
+      (fun (k, _) ->
+        if List.mem_assoc k baseline then None else Some k)
+      current
+  in
+  {
+    v_ok = List.rev !ok;
+    v_regressed =
+      List.sort (fun a b -> compare b.c_ratio a.c_ratio) (List.rev !bad);
+    v_missing = List.rev !missing;
+    v_extra = extra;
+  }
+
+let passed v = v.v_regressed = []
+
+let report_lines ?(label = "bench") ~threshold v =
+  let cmp_line tag c =
+    Printf.sprintf "  %-4s %-32s baseline %9.4fs  current %9.4fs  x%.2f" tag
+      c.c_key c.c_baseline c.c_current c.c_ratio
+  in
+  let header =
+    Printf.sprintf "%s: %d compared, %d regressed (threshold x%.2f)%s" label
+      (List.length v.v_ok + List.length v.v_regressed)
+      (List.length v.v_regressed)
+      threshold
+      (if v.v_missing = [] then ""
+       else Printf.sprintf ", %d baseline key(s) not measured" (List.length v.v_missing))
+  in
+  (header :: List.map (cmp_line "FAIL") v.v_regressed)
+  @ List.map (cmp_line "ok") v.v_ok
+  @ (if v.v_missing = [] then []
+     else [ "  skipped (baseline-only): " ^ String.concat ", " v.v_missing ])
+  @
+  if v.v_extra = [] then []
+  else [ "  new (no baseline): " ^ String.concat ", " v.v_extra ]

@@ -1,0 +1,53 @@
+(** Bench-regression gate: compare a current bench JSON against a
+    committed baseline.
+
+    Understands the three JSON shapes the bench harness writes:
+    - [{"bench":"par", "runs":[{"jobs":J,"prove_s":T}]}]
+      (BENCH_PR2.json) — keys [par/jobs=J/prove_s];
+    - [{"bench":"quotient","models":[{"model":M,"interp_s":..,
+      "compiled_s":..}]}] (BENCH_PR5.json) — keys
+      [quotient/M/interp_s] and [quotient/M/compiled_s];
+    - [{"results":[{"section":S,"model":M,"prove_s":..,"verify_s":..,
+      "spans":{..}}]}] ([--json] output) — keys [S/M/prove_s],
+      [S/M/verify_s], [S/M/span.K].
+
+    Only time-like metrics are extracted (throughputs and speedups are
+    skipped: a higher rows/s is not a regression). Duplicate keys
+    collapse to their median, so repeated runs of the same subject
+    stabilise the comparison. A key regresses when
+    [current > baseline *. threshold]. Missing/extra keys are reported
+    but never regressions — baselines outlive bench-section reshapes. *)
+
+type series = (string * float) list
+(** Extracted (key, seconds) samples; keys as documented above. *)
+
+val series_of_json : Json.t -> series
+(** All recognised samples in one document; [] if no shape matches. *)
+
+val medians : series -> series
+(** Collapse duplicate keys to their median, sorted by key. *)
+
+type cmp = {
+  c_key : string;
+  c_baseline : float;
+  c_current : float;
+  c_ratio : float;  (** current / baseline *)
+}
+
+type verdict = {
+  v_ok : cmp list;
+  v_regressed : cmp list;  (** ratio above threshold *)
+  v_missing : string list;  (** in baseline, absent from current *)
+  v_extra : string list;  (** in current, absent from baseline *)
+}
+
+val compare_series : threshold:float -> baseline:series -> current:series -> verdict
+(** Median-collapses both sides, then compares key-by-key.
+    [threshold] is the allowed ratio (e.g. [1.75] tolerates up to 75%
+    slower). Baseline values <= 0 are skipped (reported missing). *)
+
+val passed : verdict -> bool
+(** No regressed keys. *)
+
+val report_lines : ?label:string -> threshold:float -> verdict -> string list
+(** Human-readable verdict, one line per compared key, worst first. *)

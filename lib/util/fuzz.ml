@@ -201,6 +201,14 @@ let text_mutators =
 let mutate rng s = pick_mutation rng s binary_mutators
 let mutate_text rng s = pick_mutation rng s text_mutators
 
+(* Per-outcome tallies feed the always-on metrics registry so a fuzz
+   run's outcome mix shows up in the same exposition as everything
+   else. *)
+let outcome_metric outcome =
+  Zkml_obs.Metrics.inc
+    ~labels:[ ("outcome", outcome) ]
+    ~help:"Fuzz-harness mutant classifications" "zkml_fuzz_outcomes_total" 1.0
+
 let run ?(text = false) ~rng ~iters ~corpus ~classify () =
   if corpus = [] then invalid_arg "Fuzz.run: empty corpus";
   let corpus = Array.of_list corpus in
@@ -217,13 +225,26 @@ let run ?(text = false) ~rng ~iters ~corpus ~classify () =
     let in_corpus = Array.exists (fun c -> c = mutant) corpus in
     match classify mutant with
     | Accepted ->
-        if in_corpus then incr unchanged
-        else accepted := (it, descr) :: !accepted
-    | Valid -> incr valid
-    | Rejected -> incr rejected
-    | Malformed _ -> incr malformed
+        if in_corpus then begin
+          incr unchanged;
+          outcome_metric "unchanged"
+        end
+        else begin
+          accepted := (it, descr) :: !accepted;
+          outcome_metric "accepted"
+        end
+    | Valid ->
+        incr valid;
+        outcome_metric "valid"
+    | Rejected ->
+        incr rejected;
+        outcome_metric "rejected"
+    | Malformed _ ->
+        incr malformed;
+        outcome_metric "malformed"
     | exception e ->
-        escaped := (it, descr, Printexc.to_string e) :: !escaped
+        escaped := (it, descr, Printexc.to_string e) :: !escaped;
+        outcome_metric "escaped"
   done;
   {
     iters;

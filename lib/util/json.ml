@@ -1,0 +1,275 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let max_depth = 128
+
+(* Recursive descent over a string with an explicit cursor. All
+   failures go through [Err.fail] with the current byte offset. *)
+
+type state = { src : string; mutable pos : int }
+
+let fail st code msg = Err.fail ~offset:(Err.Byte st.pos) code msg
+let ( let* ) = Err.( let* )
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  let n = String.length st.src in
+  while
+    st.pos < n
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some x when x = c ->
+      st.pos <- st.pos + 1;
+      Ok ()
+  | Some x ->
+      fail st Err.Bad_field (Printf.sprintf "expected '%c', found '%c'" c x)
+  | None -> fail st Err.Truncated (Printf.sprintf "expected '%c' at end" c)
+
+let lit st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    Ok value
+  end
+  else fail st Err.Bad_field (Printf.sprintf "invalid literal (expected %s)" word)
+
+let parse_string st =
+  let* () = expect st '"' in
+  let buf = Buffer.create 16 in
+  let n = String.length st.src in
+  let rec go () =
+    if st.pos >= n then fail st Err.Truncated "unterminated string"
+    else
+      match st.src.[st.pos] with
+      | '"' ->
+          st.pos <- st.pos + 1;
+          Ok (Buffer.contents buf)
+      | '\\' ->
+          if st.pos + 1 >= n then fail st Err.Truncated "unterminated escape"
+          else begin
+            let c = st.src.[st.pos + 1] in
+            st.pos <- st.pos + 2;
+            match c with
+            | '"' | '\\' | '/' ->
+                Buffer.add_char buf c;
+                go ()
+            | 'b' ->
+                Buffer.add_char buf '\b';
+                go ()
+            | 'f' ->
+                Buffer.add_char buf '\012';
+                go ()
+            | 'n' ->
+                Buffer.add_char buf '\n';
+                go ()
+            | 'r' ->
+                Buffer.add_char buf '\r';
+                go ()
+            | 't' ->
+                Buffer.add_char buf '\t';
+                go ()
+            | 'u' ->
+                if st.pos + 4 > n then
+                  fail st Err.Truncated "unterminated \\u escape"
+                else begin
+                  let hex = String.sub st.src st.pos 4 in
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | None ->
+                      fail st Err.Invalid_encoding
+                        (Printf.sprintf "bad \\u escape %S" hex)
+                  | Some cp ->
+                      st.pos <- st.pos + 4;
+                      (* encode the code point as UTF-8; surrogate
+                         pairs are not recombined (kept as two
+                         3-byte sequences) — sufficient for the
+                         ASCII-only JSON this repo writes *)
+                      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+                      else if cp < 0x800 then begin
+                        Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+                        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+                      end
+                      else begin
+                        Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+                        Buffer.add_char buf
+                          (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+                      end;
+                      go ()
+                end
+            | c ->
+                st.pos <- st.pos - 1;
+                fail st Err.Invalid_encoding
+                  (Printf.sprintf "bad escape '\\%c'" c)
+          end
+      | c when Char.code c < 0x20 ->
+          fail st Err.Invalid_encoding "raw control character in string"
+      | c ->
+          Buffer.add_char buf c;
+          st.pos <- st.pos + 1;
+          go ()
+  in
+  go ()
+
+let parse_number st =
+  let n = String.length st.src in
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while st.pos < n && is_num_char st.src.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  let tok = String.sub st.src start (st.pos - start) in
+  (* [float_of_string] is laxer than the JSON grammar ("01", ".5",
+     "1.", "+1" all convert), so validate the token shape first:
+     -? int frac? exp?  with int = 0 | [1-9][0-9]* *)
+  let grammar_ok =
+    let n = String.length tok in
+    let i = if n > 0 && tok.[0] = '-' then 1 else 0 in
+    let digits j =
+      let k = ref j in
+      while !k < n && tok.[!k] >= '0' && tok.[!k] <= '9' do
+        incr k
+      done;
+      !k
+    in
+    let j = digits i in
+    if j = i || (tok.[i] = '0' && j > i + 1) then false
+    else begin
+      let j =
+        if j < n && tok.[j] = '.' then
+          let k = digits (j + 1) in
+          if k = j + 1 then -1 else k
+        else j
+      in
+      if j < 0 then false
+      else if j = n then true
+      else if tok.[j] <> 'e' && tok.[j] <> 'E' then false
+      else begin
+        let j = j + 1 in
+        let j = if j < n && (tok.[j] = '+' || tok.[j] = '-') then j + 1 else j in
+        let k = digits j in
+        k > j && k = n
+      end
+    end
+  in
+  match float_of_string_opt tok with
+  | Some v when grammar_ok && Float.is_finite v -> Ok (Num v)
+  | _ ->
+      st.pos <- start;
+      fail st Err.Bad_field (Printf.sprintf "invalid number %S" tok)
+
+let rec parse_value st depth =
+  if depth > max_depth then fail st Err.Out_of_range "nesting too deep"
+  else begin
+    skip_ws st;
+    match peek st with
+    | None -> fail st Err.Truncated "expected a value"
+    | Some '"' ->
+        let* s = parse_string st in
+        Ok (Str s)
+    | Some 't' -> lit st "true" (Bool true)
+    | Some 'f' -> lit st "false" (Bool false)
+    | Some 'n' -> lit st "null" Null
+    | Some '[' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek st = Some ']' then begin
+          st.pos <- st.pos + 1;
+          Ok (Arr [])
+        end
+        else
+          let rec items acc =
+            let* v = parse_value st (depth + 1) in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                st.pos <- st.pos + 1;
+                items (v :: acc)
+            | Some ']' ->
+                st.pos <- st.pos + 1;
+                Ok (Arr (List.rev (v :: acc)))
+            | Some c ->
+                fail st Err.Bad_field
+                  (Printf.sprintf "expected ',' or ']', found '%c'" c)
+            | None -> fail st Err.Truncated "unterminated array"
+          in
+          items []
+    | Some '{' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek st = Some '}' then begin
+          st.pos <- st.pos + 1;
+          Ok (Obj [])
+        end
+        else
+          let rec fields acc =
+            skip_ws st;
+            let* k = parse_string st in
+            skip_ws st;
+            let* () = expect st ':' in
+            let* v = parse_value st (depth + 1) in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                st.pos <- st.pos + 1;
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                st.pos <- st.pos + 1;
+                Ok (Obj (List.rev ((k, v) :: acc)))
+            | Some c ->
+                fail st Err.Bad_field
+                  (Printf.sprintf "expected ',' or '}', found '%c'" c)
+            | None -> fail st Err.Truncated "unterminated object"
+          in
+          fields []
+    | Some ('-' | '0' .. '9') -> parse_number st
+    | Some c ->
+        fail st Err.Bad_field (Printf.sprintf "unexpected character '%c'" c)
+  end
+
+let of_string src =
+  let st = { src; pos = 0 } in
+  Err.in_context "json"
+    (let* v = parse_value st 0 in
+     skip_ws st;
+     if st.pos = String.length src then Ok v
+     else fail st Err.Trailing_data "trailing data after value")
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function Num v -> Some v | _ -> None
+
+let to_int = function
+  | Num v
+    when Float.is_integer v
+         && v >= Int.to_float min_int
+         && v <= Int.to_float max_int ->
+      Some (int_of_float v)
+  | _ -> None
+
+let to_string = function Str s -> Some s | _ -> None
+let to_list = function Arr l -> Some l | _ -> None
+
+let bind_opt o f = match o with Some x -> f x | None -> None
+let mem_float key j = bind_opt (member key j) to_float
+let mem_string key j = bind_opt (member key j) to_string
+let mem_list key j = bind_opt (member key j) to_list

@@ -1,0 +1,41 @@
+(** Minimal total JSON parser.
+
+    The build image has no JSON library, and the bench-regression gate
+    plus telemetry tests need to read the JSON the repo itself writes
+    (bench results, metrics snapshots, log lines). This is a strict
+    recursive-descent parser over the full JSON grammar: numbers become
+    [float]s, objects keep field order, and errors surface as typed
+    {!Err.t} values with byte offsets — the same discipline as every
+    other untrusted-input boundary in the repo. No printer is provided:
+    writers build their output by hand for byte-determinism. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** field order preserved; dup keys kept *)
+
+val of_string : string -> (t, Err.t) result
+(** Parse one JSON value; trailing non-whitespace is [Trailing_data].
+    Nesting depth is capped (protects the gate from adversarial or
+    corrupt input). *)
+
+(** {1 Accessors} — total; [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** First binding of a key in an object. *)
+
+val to_float : t -> float option
+(** [Num]; also [Bool] as 0/1 is {e not} accepted. *)
+
+val to_int : t -> int option
+(** [Num] holding an exact integer within [int] range. *)
+
+val to_string : t -> string option
+val to_list : t -> t list option
+
+val mem_float : string -> t -> float option
+val mem_string : string -> t -> string option
+val mem_list : string -> t -> t list option

@@ -1,4 +1,4 @@
-let default_clock = Unix.gettimeofday
+let default_clock = Zkml_obs.Mclock.now_s
 
 let time f =
   let t0 = default_clock () in

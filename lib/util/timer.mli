@@ -1,7 +1,8 @@
-(** Wall-clock timing used by the cost-model calibration and benches. *)
+(** Interval timing used by the cost-model calibration and benches. *)
 
 val default_clock : unit -> float
-(** [Unix.gettimeofday]. *)
+(** Monotonic seconds ({!Zkml_obs.Mclock.now_s}); immune to wall-clock
+    steps. The epoch is arbitrary — use differences only. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result and the elapsed seconds. *)

@@ -175,6 +175,245 @@ let test_summary_json_shape () =
       "\"children\":[]";
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Metrics registry (always-on, domain-safe) *)
+
+module Metrics = Zkml_obs.Metrics
+module Log = Zkml_obs.Log
+module Pool = Zkml_util.Pool
+
+let get_hist snap name =
+  match Metrics.find_series snap name with
+  | Some (Metrics.Hist_v h) -> h
+  | _ -> Alcotest.failf "histogram %s missing from snapshot" name
+
+let test_metrics_basics () =
+  Metrics.reset ();
+  (* the registry records regardless of the trace sink *)
+  Alcotest.(check bool) "trace sink disabled" false (Obs.enabled ());
+  let c = Metrics.counter ~labels:[ ("a", "1") ] ~help:"h" "t_counter" in
+  Metrics.add c 2.0;
+  Metrics.inc ~labels:[ ("a", "1") ] "t_counter" 3.0;
+  let g = Metrics.gauge "t_gauge" in
+  Metrics.set g 7.0;
+  Metrics.set g 5.0;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (float 0.0))
+    "counter accumulates through handle and one-shot" 5.0
+    (Metrics.counter_value ~labels:[ ("a", "1") ] snap "t_counter");
+  Alcotest.(check (float 0.0))
+    "gauge is last-write-wins" 5.0
+    (Metrics.counter_value snap "t_gauge");
+  Alcotest.(check (float 0.0))
+    "absent series reads 0" 0.0
+    (Metrics.counter_value snap "t_no_such");
+  (match Metrics.add c (-1.0) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative counter add accepted");
+  Metrics.reset ();
+  Alcotest.(check (float 0.0))
+    "reset zeroes in place" 0.0
+    (Metrics.counter_value ~labels:[ ("a", "1") ] (Metrics.snapshot ())
+       "t_counter")
+
+let test_hist_boundaries () =
+  (* spot values: 1.0 is the lower edge of [1, 1.125);
+     0.75 = 1.5 * 2^-1 sits in [0.75, 0.8125). *)
+  let upper_of v = Metrics.bucket_upper (Option.get (Metrics.bucket_index v)) in
+  Alcotest.(check (float 0.0)) "upper(1.0)" 1.125 (upper_of 1.0);
+  Alcotest.(check (float 0.0)) "upper(0.75)" 0.8125 (upper_of 0.75);
+  (* out-of-domain values have no bucket *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no bucket for %g" v)
+        true
+        (Metrics.bucket_index v = None))
+    [ 0.0; -3.0; Float.nan; Float.infinity; 1e-10 ];
+  (* huge values clamp into one shared top bucket *)
+  Alcotest.(check bool)
+    "top-edge clamp" true
+    (Metrics.bucket_index 1e12 = Metrics.bucket_index 1e15);
+  (* buckets tile [lower, upper): every value sits strictly below its
+     bucket's upper bound and at/above the previous bucket's bound *)
+  List.iter
+    (fun v ->
+      let i = Option.get (Metrics.bucket_index v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%g < upper" v)
+        true
+        (v < Metrics.bucket_upper i);
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "%g >= previous upper" v)
+          true
+          (v >= Metrics.bucket_upper (i - 1)))
+    [ 1e-9; 0.001; 0.5; 0.9999; 1.0; 1.1249; 1.125; 3.14159; 42.0; 1e6 ]
+
+let test_pool_merge () =
+  let n = 1000 in
+  let vals = Array.init n (fun i -> 0.001 *. float_of_int (i + 1)) in
+  let h = Metrics.histogram "t_par_hist" in
+  let c = Metrics.counter "t_par_counter" in
+  (* sequential reference *)
+  Metrics.reset ();
+  Array.iter (Metrics.observe h) vals;
+  let r = get_hist (Metrics.snapshot ()) "t_par_hist" in
+  let ref_q =
+    List.map (fun q -> Metrics.quantile r q) [ 0.5; 0.9; 0.99 ]
+  in
+  (* same observations from a 4-domain pool *)
+  Metrics.reset ();
+  let saved = Pool.jobs () in
+  Pool.set_jobs 4;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs saved) @@ fun () ->
+  Pool.parallel_for ~chunk:16 ~seq_below:1 n (fun i ->
+      Metrics.add c 1.0;
+      Metrics.observe h vals.(i));
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (float 0.0))
+    "counter sums exactly across domains" (float_of_int n)
+    (Metrics.counter_value snap "t_par_counter");
+  let p = get_hist snap "t_par_hist" in
+  Alcotest.(check int) "histogram count exact" n p.Metrics.h_count;
+  Alcotest.(check (float 1e-9)) "sum matches" r.Metrics.h_sum p.Metrics.h_sum;
+  (* bucket assignment depends only on the value, so the cumulative
+     bucket lists — and hence the quantiles — are identical regardless
+     of interleaving *)
+  Alcotest.(check bool)
+    "bucket lists identical" true
+    (r.Metrics.h_buckets = p.Metrics.h_buckets);
+  List.iter2
+    (fun q want ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "p%.0f deterministic" (q *. 100.))
+        want (Metrics.quantile p q))
+    [ 0.5; 0.9; 0.99 ] ref_q
+
+(* Line-level check of the Prometheus text format: every line is a
+   comment ("# HELP "/"# TYPE ") or a sample "name[{labels}] value";
+   histogram le= bounds ascend and the +Inf bucket equals _count. *)
+let test_prometheus_format () =
+  Metrics.reset ();
+  Metrics.inc ~labels:[ ("op", "x") ] ~help:"c" "t_prom_counter" 2.0;
+  let h = Metrics.histogram ~labels:[ ("op", "x") ] ~help:"h" "t_prom_hist" in
+  List.iter (Metrics.observe h) [ 0.1; 0.5; 0.5; 2.0 ];
+  let s = Metrics.prometheus_string (Metrics.snapshot ()) in
+  let name_ok name =
+    name <> ""
+    && String.for_all
+         (fun ch ->
+           (ch >= 'a' && ch <= 'z')
+           || (ch >= 'A' && ch <= 'Z')
+           || (ch >= '0' && ch <= '9')
+           || ch = '_' || ch = ':')
+         name
+  in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+  in
+  Alcotest.(check bool) "non-empty exposition" true (lines <> []);
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] = '#' then
+        Alcotest.(check bool)
+          ("comment line: " ^ line)
+          true
+          (String.starts_with ~prefix:"# HELP " line
+          || String.starts_with ~prefix:"# TYPE " line)
+      else begin
+        let sp = String.rindex line ' ' in
+        let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+        (match float_of_string_opt value with
+        | Some _ -> ()
+        | None -> Alcotest.failf "unparseable sample value in %S" line);
+        let series = String.sub line 0 sp in
+        let name =
+          match String.index_opt series '{' with
+          | None -> series
+          | Some lb ->
+              Alcotest.(check bool)
+                ("labels close: " ^ line)
+                true
+                (series.[String.length series - 1] = '}');
+              String.sub series 0 lb
+        in
+        Alcotest.(check bool) ("metric name: " ^ name) true (name_ok name)
+      end)
+    lines;
+  (* histogram invariants on the series we just wrote; [le] is appended
+     after the series labels, so locate it by substring *)
+  let le_of line =
+    let n = String.length line in
+    let rec find i =
+      if i + 4 > n then Alcotest.failf "no le= label in %S" line
+      else if String.sub line i 4 = "le=\"" then i + 4
+      else find (i + 1)
+    in
+    let i = find 0 in
+    let j = String.index_from line i '"' in
+    String.sub line i (j - i)
+  in
+  let bucket_lines =
+    List.filter (String.starts_with ~prefix:"t_prom_hist_bucket{") lines
+  in
+  Alcotest.(check bool) "has buckets" true (List.length bucket_lines >= 2);
+  let les = List.map le_of bucket_lines in
+  Alcotest.(check string) "last bucket is +Inf" "+Inf"
+    (List.nth les (List.length les - 1));
+  let finite = List.filter (fun l -> l <> "+Inf") les in
+  let floats = List.map float_of_string finite in
+  Alcotest.(check bool)
+    "le bounds ascend" true
+    (List.sort compare floats = floats);
+  let value_of l =
+    let sp = String.rindex l ' ' in
+    float_of_string (String.sub l (sp + 1) (String.length l - sp - 1))
+  in
+  let count_line =
+    match
+      List.find_opt (String.starts_with ~prefix:"t_prom_hist_count") lines
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "missing t_prom_hist_count line"
+  in
+  let inf_line =
+    match List.find_opt (fun l -> le_of l = "+Inf") bucket_lines with
+    | Some l -> l
+    | None -> Alcotest.fail "missing +Inf bucket line"
+  in
+  Alcotest.(check (float 0.0))
+    "+Inf bucket equals _count" (value_of count_line) (value_of inf_line)
+
+let test_log_sink () =
+  let got = ref [] in
+  Log.set_sink (Some (fun line -> got := line :: !got));
+  Log.set_level Log.Debug;
+  Fun.protect ~finally:(fun () ->
+      Log.set_sink None;
+      Log.set_level Log.Info)
+  @@ fun () ->
+  Log.event ~level:Log.Debug "t.event"
+    [ ("s", Log.S "x\"y\n"); ("i", Log.I 3); ("f", Log.F 1.5);
+      ("b", Log.B true) ];
+  Log.event "t.plain" [];
+  let lines = List.rev !got in
+  Alcotest.(check int) "two lines" 2 (List.length lines);
+  let module J = Zkml_util.Json in
+  let parse l =
+    match J.of_string l with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "log line not JSON (%s): %S" (Zkml_util.Err.to_string e) l
+  in
+  let d = parse (List.hd lines) in
+  Alcotest.(check (option string)) "event" (Some "t.event") (J.mem_string "event" d);
+  Alcotest.(check (option string)) "level" (Some "debug") (J.mem_string "level" d);
+  Alcotest.(check (option string)) "escaped string field" (Some "x\"y\n")
+    (J.mem_string "s" d);
+  Alcotest.(check (option (float 0.0))) "int field" (Some 3.0) (J.mem_float "i" d);
+  Alcotest.(check (option (float 0.0))) "float field" (Some 1.5) (J.mem_float "f" d);
+  Alcotest.(check bool) "ts present" true (J.mem_float "ts" (parse (List.nth lines 1)) <> None)
+
 let () =
   Alcotest.run "obs"
     [
@@ -199,4 +438,17 @@ let () =
           Alcotest.test_case "summary json shape" `Quick
             test_summary_json_shape;
         ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters, gauges, reset" `Quick
+            test_metrics_basics;
+          Alcotest.test_case "histogram bucket boundaries" `Quick
+            test_hist_boundaries;
+          Alcotest.test_case "4-domain pool merge determinism" `Quick
+            test_pool_merge;
+          Alcotest.test_case "prometheus text format" `Quick
+            test_prometheus_format;
+        ] );
+      ( "log",
+        [ Alcotest.test_case "sink override and JSON lines" `Quick test_log_sink ] );
     ]

@@ -7,6 +7,173 @@ let test_hex_roundtrip () =
       Zkml_util.Bytes_util.(of_hex (to_hex s))
   done
 
+(* ------------------------------------------------------------------ *)
+(* JSON parser *)
+
+module J = Zkml_util.Json
+
+let parse_ok s =
+  match J.of_string s with
+  | Ok d -> d
+  | Error e ->
+      Alcotest.failf "expected Ok for %S, got %s" s (Zkml_util.Err.to_string e)
+
+let test_json_values () =
+  (match parse_ok "[1, -2.5e3, 0.125, true, false, null]" with
+  | J.Arr [ J.Num a; J.Num b; J.Num c; J.Bool true; J.Bool false; J.Null ] ->
+      Alcotest.(check (float 0.0)) "int" 1.0 a;
+      Alcotest.(check (float 0.0)) "exponent" (-2500.0) b;
+      Alcotest.(check (float 0.0)) "fraction" 0.125 c
+  | _ -> Alcotest.fail "array shape mismatch");
+  (* escapes, including \u to UTF-8 *)
+  (match parse_ok {|"a\n\t\"\\\u0041\u00e9"|} with
+  | J.Str s -> Alcotest.(check string) "escapes" "a\n\t\"\\A\xc3\xa9" s
+  | _ -> Alcotest.fail "string expected");
+  (* nesting + accessors *)
+  let d = parse_ok {|{"k":1,"o":{"l":[{"x":2}]},"s":"v"}|} in
+  Alcotest.(check (option (float 0.0))) "mem_float" (Some 1.0) (J.mem_float "k" d);
+  Alcotest.(check (option string)) "mem_string" (Some "v") (J.mem_string "s" d);
+  (match J.member "o" d with
+  | Some o -> (
+      match J.mem_list "l" o with
+      | Some [ inner ] ->
+          Alcotest.(check (option (float 0.0)))
+            "nested" (Some 2.0) (J.mem_float "x" inner)
+      | _ -> Alcotest.fail "l shape")
+  | None -> Alcotest.fail "o missing");
+  Alcotest.(check (option int)) "to_int exact" (Some 42)
+    (J.to_int (parse_ok "42"));
+  Alcotest.(check (option int)) "to_int rejects fraction" None
+    (J.to_int (parse_ok "42.5"))
+
+let test_json_errors () =
+  let is_err s =
+    Alcotest.(check bool)
+      (Printf.sprintf "reject %S" s)
+      true
+      (Result.is_error (J.of_string s))
+  in
+  List.iter is_err
+    [ ""; "{"; "[1,"; "tru"; "\"unterminated"; "1 2"; "{\"k\" 1}";
+      "nan"; "01"; "- 1"; "\"bad \\q escape\"" ];
+  (* depth cap: 200 nested arrays exceed the limit *)
+  is_err (String.make 200 '[' ^ String.make 200 ']');
+  (* round numbers of whitespace and trailing newline are fine *)
+  (match J.of_string " { } \n" with
+  | Ok (J.Obj []) -> ()
+  | _ -> Alcotest.fail "whitespace handling")
+
+(* ------------------------------------------------------------------ *)
+(* Bench-regression gate *)
+
+module Gate = Zkml_util.Bench_gate
+
+let par_doc t1 =
+  parse_ok
+    (Printf.sprintf
+       {|{"schema_version":1,"bench":"par","model":"m","runs":[{"jobs":1,"prove_s":%g},{"jobs":4,"prove_s":3.0}],"speedup_j4":2.0}|}
+       t1)
+
+let quotient_doc scale =
+  parse_ok
+    (Printf.sprintf
+       {|{"schema_version":1,"bench":"quotient","models":[{"model":"mnist","interp_s":%g,"compiled_s":%g,"interp_rows_per_s":1000.0,"speedup":1.4}]}|}
+       (0.2 *. scale) (0.1 *. scale))
+
+let test_gate_extraction () =
+  let s = Gate.series_of_json (par_doc 6.0) in
+  Alcotest.(check bool)
+    "par keys" true
+    (List.mem ("par/jobs=1/prove_s", 6.0) s
+    && List.mem ("par/jobs=4/prove_s", 3.0) s);
+  (* speedup_j4 is not time-like, must not be extracted *)
+  Alcotest.(check int) "par extracts exactly the runs" 2 (List.length s);
+  let q = Gate.series_of_json (quotient_doc 1.0) in
+  Alcotest.(check bool)
+    "quotient keys" true
+    (List.mem_assoc "quotient/mnist/interp_s" q
+    && List.mem_assoc "quotient/mnist/compiled_s" q);
+  Alcotest.(check bool)
+    "rows/s skipped" true
+    (not (List.exists (fun (k, _) -> k = "quotient/mnist/interp_rows_per_s") q));
+  (* results shape *)
+  let r =
+    Gate.series_of_json
+      (parse_ok
+         {|{"results":[{"section":"table6","model":"mnist","prove_s":1.0,"verify_s":0.5,"proof_bytes":99,"spans":{"ntt":0.25}}]}|})
+  in
+  Alcotest.(check bool)
+    "results keys" true
+    (List.mem ("table6/mnist/prove_s", 1.0) r
+    && List.mem ("table6/mnist/verify_s", 0.5) r
+    && List.mem ("table6/mnist/span.ntt", 0.25) r);
+  Alcotest.(check bool)
+    "proof_bytes is not a time" true
+    (not (List.exists (fun (k, _) -> k = "table6/mnist/proof_bytes") r))
+
+let test_gate_verdicts () =
+  let baseline = Gate.series_of_json (quotient_doc 1.0) in
+  (* identical run passes *)
+  let v =
+    Gate.compare_series ~threshold:1.75 ~baseline
+      ~current:(Gate.series_of_json (quotient_doc 1.0))
+  in
+  Alcotest.(check bool) "identical passes" true (Gate.passed v);
+  (* within threshold passes *)
+  let v =
+    Gate.compare_series ~threshold:1.75 ~baseline
+      ~current:(Gate.series_of_json (quotient_doc 1.5))
+  in
+  Alcotest.(check bool) "1.5x within 1.75x passes" true (Gate.passed v);
+  (* 3x inflated fails and the report names the key *)
+  let v =
+    Gate.compare_series ~threshold:1.75 ~baseline
+      ~current:(Gate.series_of_json (quotient_doc 3.0))
+  in
+  Alcotest.(check bool) "3x regresses" false (Gate.passed v);
+  Alcotest.(check int) "both keys regress" 2 (List.length v.Gate.v_regressed);
+  let report =
+    String.concat "\n" (Gate.report_lines ~threshold:1.75 v)
+  in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool)
+    "report names the key" true
+    (contains "quotient/mnist/interp_s" report);
+  Alcotest.(check bool) "report says FAIL" true (contains "FAIL" report);
+  (* missing/extra keys are reported, never regressions *)
+  let v =
+    Gate.compare_series ~threshold:1.75
+      ~baseline:(baseline @ [ ("quotient/ghost/interp_s", 1.0) ])
+      ~current:(Gate.series_of_json (quotient_doc 1.0))
+  in
+  Alcotest.(check bool) "missing key still passes" true (Gate.passed v);
+  Alcotest.(check (list string))
+    "missing reported"
+    [ "quotient/ghost/interp_s" ]
+    v.Gate.v_missing;
+  (* duplicate keys collapse to the median *)
+  let m =
+    Gate.medians
+      [ ("k", 1.0); ("k", 100.0); ("k", 2.0) ]
+  in
+  Alcotest.(check (list (pair string (float 0.0))))
+    "median of duplicates"
+    [ ("k", 2.0) ]
+    m
+
 let () =
   Alcotest.run "util"
-    [ ("hex", [ Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip ]) ]
+    [ ("hex", [ Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip ]);
+      ( "json",
+        [ Alcotest.test_case "values and accessors" `Quick test_json_values;
+          Alcotest.test_case "malformed inputs" `Quick test_json_errors ] );
+      ( "bench-gate",
+        [ Alcotest.test_case "series extraction" `Quick test_gate_extraction;
+          Alcotest.test_case "verdicts and report" `Quick test_gate_verdicts ] )
+    ]
