@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt smoke soundness fuzz bench bench-par bench-batch bench-quotient bench-regress clean
+.PHONY: all build test check fmt smoke soundness fuzz bench bench-par bench-batch bench-quotient bench-kernels bench-ff bench-msm bench-regress clean
 
 all: build
 
@@ -67,9 +67,28 @@ bench-batch: build
 bench-quotient: build
 	dune exec bench/main.exe -- quotient
 
+# Field / MSM / NTT kernel microbenchmarks (PR 7): allocating vs
+# in-place field arithmetic, Jacobian vs batch-affine+GLV Pippenger
+# (paths asserted equal), stage-major vs cache-blocked NTT (asserted
+# element-identical), plus the retuned window table. The full run
+# regenerates the committed BENCH_PR7.json baseline.
+bench-kernels: build
+	dune exec bench/main.exe -- kernels
+
+# Filtered kernel runs for quick iteration; they write a partial
+# BENCH_PR7.json, so it goes to a scratch dir instead of clobbering
+# the committed baseline (regenerate that with bench-kernels).
+bench-ff: build
+	ZKML_BENCH_DIR=_build/bench ZKML_BENCH_KERNELS=ff \
+		dune exec bench/main.exe -- kernels
+
+bench-msm: build
+	ZKML_BENCH_DIR=_build/bench ZKML_BENCH_KERNELS=msm,ntt \
+		dune exec bench/main.exe -- kernels
+
 # Bench-regression gate: re-measure a reduced par + quotient sample
-# into $(REGRESS_DIR) and compare per-key medians against the committed
-# BENCH_PR2/PR5 baselines. A key regresses when
+# plus the kernel microbenchmarks into $(REGRESS_DIR) and compare
+# per-key medians against the committed BENCH_PR2/PR5/PR7 baselines. A key regresses when
 # current > baseline * REGRESS_THRESHOLD. Warn-only by default (always
 # exits 0); STRICT=1 makes a regression fail the target. Tune the
 # sample with REGRESS_MODELS / REGRESS_JOBS.
@@ -82,10 +101,13 @@ bench-regress: build
 		dune exec bench/main.exe -- par
 	ZKML_BENCH_DIR=$(REGRESS_DIR) ZKML_BENCH_MODELS=$(REGRESS_MODELS) \
 		dune exec bench/main.exe -- quotient
+	ZKML_BENCH_DIR=$(REGRESS_DIR) \
+		dune exec bench/main.exe -- kernels
 	dune exec bench/regress.exe -- --threshold $(REGRESS_THRESHOLD) \
 		$(if $(STRICT),--strict,) \
 		--baseline BENCH_PR2.json --current $(REGRESS_DIR)/BENCH_PR2.json \
-		--baseline BENCH_PR5.json --current $(REGRESS_DIR)/BENCH_PR5.json
+		--baseline BENCH_PR5.json --current $(REGRESS_DIR)/BENCH_PR5.json \
+		--baseline BENCH_PR7.json --current $(REGRESS_DIR)/BENCH_PR7.json
 
 clean:
 	dune clean

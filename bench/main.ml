@@ -839,6 +839,206 @@ let quotient () =
   Printf.printf "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* kernels: field / MSM / NTT kernel microbenchmarks (PR 7). Times the
+   allocating vs in-place (destination-passing) field arithmetic, the
+   Jacobian vs batch-affine+GLV Pippenger on Pallas, and the
+   stage-major reference vs cache-blocked NTT — asserting the fast and
+   reference paths agree — then writes BENCH_PR7.json for
+   bench/regress.ml. ZKML_BENCH_KERNELS=ff,msm,ntt selects groups
+   (default: all three; make bench-ff / bench-msm run the filtered
+   subsets into a scratch dir). *)
+
+module Field_kernel_rows (F : Zkml_ff.Limb4.S_EXT) = struct
+  (* (field, op, iters, total seconds) rows; a sink reference keeps the
+     allocating ops from being dead-code-eliminated. *)
+  let rows label =
+    let rng = Zkml_util.Rng.create 7L in
+    let a = F.random rng and b = F.random rng in
+    let dst = F.scratch () in
+    let sink = ref F.zero in
+    let time name iters f =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        f ()
+      done;
+      (label, name, iters, Unix.gettimeofday () -. t0)
+    in
+    let rows =
+      [ time "add" 2_000_000 (fun () -> sink := F.add a b);
+        time "mul" 500_000 (fun () -> sink := F.mul a b);
+        time "mul_ref" 100_000 (fun () -> sink := F.mul_ref a b);
+        time "add_into" 2_000_000 (fun () -> F.add_into dst a b);
+        time "mul_into" 500_000 (fun () -> F.mul_into dst a b);
+        time "square_into" 500_000 (fun () -> F.square_into dst a)
+      ]
+    in
+    ignore !sink;
+    rows
+end
+
+module Ntt_kernel_rows (F : Zkml_ff.Field_intf.S) = struct
+  let rows label ks =
+    let module P = Zkml_poly.Polynomial.Make (F) in
+    let rng = Zkml_util.Rng.create 7L in
+    List.map
+      (fun k ->
+        let d = P.Domain.create k in
+        let base = P.random rng (1 lsl k) in
+        let a = Array.copy base and b = Array.copy base in
+        (* repeat small transforms so each timed sample is tens of
+           milliseconds — sub-ms samples are too noisy for the x1.75
+           regression gate. Re-transforming in place is the same work
+           as a fresh input, and both paths get the same rep count so
+           the element-wise comparison still holds. *)
+        let reps = max 1 (1 lsl (16 - k)) in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          P.ntt_reference a d.P.Domain.elements
+        done;
+        let t_ref = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          P.ntt_core b d.P.Domain.elements
+        done;
+        let t_blk = Unix.gettimeofday () -. t0 in
+        Array.iteri
+          (fun i v ->
+            if not (F.equal v b.(i)) then
+              failwith "kernels: blocked NTT disagrees with reference")
+          a;
+        Printf.printf
+          "ntt  %-8s k=%-2d x%-4d reference %8.3f s  blocked %8.3f s  %5.2fx\n%!"
+          label k reps t_ref t_blk
+          (t_ref /. Float.max t_blk 1e-9);
+        (label, k, reps, t_ref, t_blk))
+      ks
+end
+
+let kernels () =
+  let module G = Zkml_ec.Pallas in
+  let module M = Zkml_ec.Msm.Make (G) in
+  let group name = allowed "ZKML_BENCH_KERNELS" name in
+  let ff_rows =
+    if not (group "ff") then []
+    else begin
+      let module Fp_rows = Field_kernel_rows (Zkml_ff.Pasta.Fp) in
+      let module Fq_rows = Field_kernel_rows (Zkml_ff.Pasta.Fq) in
+      let fp61_rows =
+        (* Fp61 has no in-place variants (immutable repr); time the
+           allocating ops it actually runs in the Sim61 pipeline. *)
+        let rng = Zkml_util.Rng.create 7L in
+        let a = Zkml_ff.Fp61.random rng and b = Zkml_ff.Fp61.random rng in
+        let sink = ref Zkml_ff.Fp61.zero in
+        let time name iters f =
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to iters do
+            f ()
+          done;
+          ("fp61", name, iters, Unix.gettimeofday () -. t0)
+        in
+        let rows =
+          [ time "add" 20_000_000 (fun () -> sink := Zkml_ff.Fp61.add a b);
+            time "mul" 20_000_000 (fun () -> sink := Zkml_ff.Fp61.mul a b)
+          ]
+        in
+        ignore !sink;
+        rows
+      in
+      let rows = Fp_rows.rows "pasta_fp" @ Fq_rows.rows "pasta_fq" @ fp61_rows in
+      List.iter
+        (fun (field, op, iters, t) ->
+          Printf.printf "ff   %-8s %-12s %9.1f ns/op\n%!" field op
+            (t *. 1e9 /. float_of_int iters))
+        rows;
+      rows
+    end
+  in
+  let msm_rows =
+    if not (group "msm") then []
+    else begin
+      let rng = Zkml_util.Rng.create 7L in
+      List.map
+        (fun n ->
+          (* incrementally-built points: MSM cost does not depend on the
+             point values, and n full scalar muls would dominate setup *)
+          let points = Array.make n (G.random rng) in
+          for i = 1 to n - 1 do
+            points.(i) <- G.add points.(i - 1) G.generator
+          done;
+          let scalars = Array.init n (fun _ -> G.Scalar.random rng) in
+          let t0 = Unix.gettimeofday () in
+          let jac = M.pippenger_jacobian points scalars in
+          let t_jac = Unix.gettimeofday () -. t0 in
+          let t0 = Unix.gettimeofday () in
+          let aff = M.pippenger points scalars in
+          let t_aff = Unix.gettimeofday () -. t0 in
+          if not (G.equal jac aff) then
+            failwith "kernels: affine+GLV MSM disagrees with Jacobian";
+          (* GLV doubles the item count, so the window is chosen on 2n *)
+          let c = M.window_size_affine (2 * n) in
+          Printf.printf
+            "msm  n=%-6d c=%-2d jacobian %8.3f s  affine+glv %8.3f s  %5.2fx\n%!"
+            n c t_jac t_aff
+            (t_jac /. Float.max t_aff 1e-9);
+          (n, c, t_jac, t_aff))
+        [ 256; 1024; 4096; 16384 ]
+    end
+  in
+  let ntt_rows =
+    if not (group "ntt") then []
+    else begin
+      let module R61 = Ntt_kernel_rows (Zkml_ff.Fp61) in
+      let module Rfq = Ntt_kernel_rows (Zkml_ff.Pasta.Fq) in
+      R61.rows "fp61" [ 10; 12; 14 ] @ Rfq.rows "pasta_fq" [ 10; 12; 14 ]
+    end
+  in
+  (* Sampled values of the retuned batch-affine window table (on item
+     count, i.e. 2x the point count under GLV), recorded so the tuning
+     that produced the measurements above is part of the artifact. *)
+  let window_table =
+    String.concat ","
+      (List.map
+         (fun n -> Printf.sprintf "{\"items\":%d,\"c\":%d}" n (M.window_size_affine n))
+         [ 64; 512; 1024; 8192; 32768; 65536 ])
+  in
+  let path = bench_path "BENCH_PR7.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"schema_version\":%d,\"bench\":\"kernels\",\"window_table\":[%s],\"field_ops\":[%s],\"msm\":[%s],\"ntt\":[%s]}\n"
+    schema_version window_table
+    (String.concat ","
+       (List.map
+          (fun (field, op, iters, t) ->
+            Printf.sprintf
+              "{\"field\":\"%s\",\"op\":\"%s\",\"iters\":%d,\"total_s\":%s,\"ns_per_op\":%s,\"mops_per_s\":%s}"
+              field op iters (Obs.json_float t)
+              (Obs.json_float (t *. 1e9 /. float_of_int iters))
+              (Obs.json_float
+                 (float_of_int iters /. Float.max t 1e-9 /. 1e6)))
+          ff_rows))
+    (String.concat ","
+       (List.map
+          (fun (n, c, t_jac, t_aff) ->
+            Printf.sprintf
+              "{\"n\":%d,\"c\":%d,\"jacobian_s\":%s,\"affine_glv_s\":%s,\"points_per_s\":%s,\"speedup\":%s}"
+              n c (Obs.json_float t_jac) (Obs.json_float t_aff)
+              (Obs.json_float (float_of_int n /. Float.max t_aff 1e-9))
+              (Obs.json_float (t_jac /. Float.max t_aff 1e-9)))
+          msm_rows))
+    (String.concat ","
+       (List.map
+          (fun (field, k, reps, t_ref, t_blk) ->
+            Printf.sprintf
+              "{\"field\":\"%s\",\"k\":%d,\"reps\":%d,\"reference_s\":%s,\"blocked_s\":%s,\"rows_per_s\":%s,\"speedup\":%s}"
+              field k reps (Obs.json_float t_ref) (Obs.json_float t_blk)
+              (Obs.json_float
+                 (float_of_int (reps * (1 lsl k)) /. Float.max t_blk 1e-9))
+              (Obs.json_float (t_ref /. Float.max t_blk 1e-9)))
+          ntt_rows));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* ops: Bechamel microbenchmarks of the primitives the cost model uses *)
 
 let ops () =
@@ -913,6 +1113,7 @@ let sections =
     ("par", "multicore prover scaling and determinism (PR 2)", par);
     ("batch", "batch-of-8 vs 8x single prove/verify (serving layer)", batch);
     ("quotient", "interpreter vs compiled quotient evaluator (PR 5)", quotient);
+    ("kernels", "field / MSM / NTT kernel microbenchmarks (PR 7)", kernels);
     ("ops", "primitive operation microbenchmarks (bechamel)", ops) ]
 
 let () =

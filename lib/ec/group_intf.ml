@@ -4,6 +4,16 @@
     whose discrete logs are known; see DESIGN.md for why this
     substitution preserves the paper's experiments). *)
 
+type glv_split = {
+  k1_neg : bool;
+  k1 : int64 array;  (** little-endian magnitude of the short scalar k1 *)
+  k2_neg : bool;
+  k2 : int64 array;
+}
+(** GLV decomposition of a scalar [k]: [k = (-1)^k1_neg * k1
+    + lambda * (-1)^k2_neg * k2 (mod group order)], with both
+    magnitudes about half the scalar width. *)
+
 module type S = sig
   module Scalar : Zkml_ff.Field_intf.S
 
@@ -38,4 +48,48 @@ module type S = sig
       deterministically (hash-to-group); used for IPA parameter setup. *)
 
   val random : Zkml_util.Rng.t -> t
+
+  (** {1 Affine batch kernels}
+
+      The batch-affine Pippenger path accumulates MSM buckets in affine
+      coordinates: an affine addition costs ~3 field multiplications
+      against ~16 for a Jacobian one, provided the per-addition field
+      inversion is amortized — {!Affine.batch_add} performs any number
+      of independent accumulations with a single inversion
+      (Montgomery's batch-inversion trick). For the simulated group the
+      "affine" representation is the element itself and no inversions
+      exist. *)
+  module Affine : sig
+    type point
+    (** A mutable affine accumulator cell, owned by the caller. *)
+
+    val infinity : unit -> point
+    (** A fresh cell holding the identity. *)
+
+    val is_infinity : point -> bool
+
+    val neg : point -> point
+    (** Fresh negated copy; the argument is not mutated. *)
+
+    val to_group : point -> t
+
+    val batch_of_group : t array -> point array
+    (** Fresh affine cells for a batch of group elements, normalizing
+        all of them with one shared inversion. *)
+
+    val batch_add : point array -> dst:int array -> src:point array ->
+      len:int -> unit
+    (** [batch_add acc ~dst ~src ~len] performs
+        [acc.(dst.(i)) <- acc.(dst.(i)) + src.(i)] for [i < len] with at
+        most one field inversion, handling identity, doubling and
+        cancellation cases. The [dst] indices must be pairwise distinct
+        within one call (the MSM scheduler's collision queue guarantees
+        this); [src] cells are read only. *)
+  end
+
+  val endo : ((t -> t) * (Scalar.t -> glv_split)) option
+  (** GLV endomorphism, when the curve has one: [Some (phi, split)]
+      with [phi p = lambda * p] for the cube root of unity [lambda]
+      implied by {!glv_split}. [None] disables the decomposition (the
+      simulated group, and fields without a cube root of unity). *)
 end

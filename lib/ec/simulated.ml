@@ -39,4 +39,30 @@ struct
         F.add (F.of_int64 a) (F.mul (F.of_int64 b) (F.pow_int (F.of_int 2) 64)))
 
   let random = F.random
+
+  (* The "affine" representation of a simulated element is the element
+     itself: additions are field additions, so batching buys no
+     inversions — but the cells still satisfy the mutable-accumulator
+     contract the batch-affine MSM scheduler relies on. *)
+  module Affine = struct
+    type point = { mutable v : F.t }
+
+    let infinity () = { v = F.zero }
+    let is_infinity p = F.is_zero p.v
+    let neg p = { v = F.neg p.v }
+    let to_group p = p.v
+    let batch_of_group pts = Array.map (fun g -> { v = g }) pts
+
+    let batch_add (acc : point array) ~(dst : int array) ~(src : point array)
+        ~(len : int) =
+      for i = 0 to len - 1 do
+        let a = acc.(dst.(i)) in
+        a.v <- F.add a.v src.(i).v
+      done
+  end
+
+  (* No efficient endomorphism: a cube root of unity would need
+     3 | |F| - 1, which e.g. Fp61 lacks; scalar decomposition buys
+     nothing when group adds are single field adds anyway. *)
+  let endo = None
 end

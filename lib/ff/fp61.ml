@@ -131,3 +131,18 @@ let random rng =
 let to_hex a = Printf.sprintf "%016Lx" (to_canonical a)
 let pp fmt a = Format.fprintf fmt "0x%s" (to_hex a)
 let _ = p_int
+
+(* In-place capability surface: a boxed [int64] is immutable, so the
+   destination-passing ops cannot exist here. Generic hot loops branch
+   on [mutable_repr] and stay on the allocating API for this field. *)
+let mutable_repr = false
+let scratch () = 0L
+let unshare (a : t) = a
+
+let immutable op = invalid_arg ("Fp61." ^ op ^ ": immutable representation")
+let set _ _ = immutable "set"
+let add_into _ _ _ = immutable "add_into"
+let sub_into _ _ _ = immutable "sub_into"
+let neg_into _ _ = immutable "neg_into"
+let mul_into _ _ _ = immutable "mul_into"
+let square_into _ _ = immutable "square_into"

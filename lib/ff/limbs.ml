@@ -1,0 +1,204 @@
+(** Unsigned multiprecision arithmetic on little-endian [int64] limb
+    vectors, plus a thin sign-magnitude layer.
+
+    This backs the GLV lattice derivation in [zkml_ec]: the
+    extended-Euclid short-vector search and the Barrett-style reciprocal
+    precomputation run once per curve (at functor-force time), and the
+    per-scalar split needs only [mul]/[add]/[sub] on 2-4 limb values.
+    Nothing here is performance-critical except that it must not be
+    wrong: every function is total over its stated domain and the qcheck
+    suite in test_ff cross-checks the ring ops against [Zarith]-free
+    schoolbook identities. *)
+
+type t = int64 array
+(** Little-endian limbs; no canonical length (trailing zero limbs ok). *)
+
+let zero_of len = Array.make (max 1 len) 0L
+
+let is_zero a = Array.for_all (fun l -> l = 0L) a
+
+(* Drop trailing zero limbs (keeping at least one). Every operation
+   below returns a trimmed result: without this, iterated arithmetic —
+   the extended-Euclid loop especially, whose remainders feed back into
+   the next division — accretes thousands of zero limbs and turns
+   microsecond ops into milliseconds. *)
+let trim a =
+  let n = Array.length a in
+  let rec top i = if i <= 0 then 0 else if a.(i) <> 0L then i else top (i - 1) in
+  let t = top (n - 1) in
+  if t = n - 1 then a else Array.sub a 0 (t + 1)
+
+let limb a i = if i < Array.length a then a.(i) else 0L
+
+(* carry(x+y=s) and borrow(x-y=d) as 0/1 without branches. *)
+let carry_bit x y s =
+  Int64.shift_right_logical
+    (Int64.logor (Int64.logand x y)
+       (Int64.logand (Int64.logor x y) (Int64.lognot s)))
+    63
+
+let borrow_bit x y d =
+  Int64.shift_right_logical
+    (Int64.logor
+       (Int64.logand (Int64.lognot x) y)
+       (Int64.logand (Int64.lognot (Int64.logxor x y)) d))
+    63
+
+(* Unsigned compare; lengths may differ. *)
+let compare a b =
+  let n = max (Array.length a) (Array.length b) in
+  let rec go i =
+    if i < 0 then 0
+    else
+      let c = Int64.unsigned_compare (limb a i) (limb b i) in
+      if c <> 0 then c else go (i - 1)
+  in
+  go (n - 1)
+
+(* a + b, result one limb longer than the wider input. *)
+let add a b =
+  let n = max (Array.length a) (Array.length b) + 1 in
+  let r = zero_of n in
+  let c = ref 0L in
+  for i = 0 to n - 1 do
+    let x = limb a i and y = limb b i in
+    let s1 = Int64.add x y in
+    let c1 = carry_bit x y s1 in
+    let s2 = Int64.add s1 !c in
+    let c2 = carry_bit s1 !c s2 in
+    r.(i) <- s2;
+    c := Int64.logor c1 c2
+  done;
+  trim r
+
+(* a - b; requires a >= b. *)
+let sub_exn a b =
+  if compare a b < 0 then invalid_arg "Limbs.sub_exn: underflow";
+  let n = Array.length a in
+  let r = zero_of n in
+  let bw = ref 0L in
+  for i = 0 to n - 1 do
+    let x = limb a i and y = limb b i in
+    let d1 = Int64.sub x y in
+    let w1 = borrow_bit x y d1 in
+    let d2 = Int64.sub d1 !bw in
+    let w2 = borrow_bit d1 !bw d2 in
+    r.(i) <- d2;
+    bw := Int64.logor w1 w2
+  done;
+  trim r
+
+(* Schoolbook product, len a + len b limbs. *)
+let mul a b =
+  let na = Array.length a and nb = Array.length b in
+  let r = zero_of (na + nb) in
+  for i = 0 to na - 1 do
+    if a.(i) <> 0L then begin
+      let c = ref 0L in
+      for j = 0 to nb - 1 do
+        let hi, lo = Int64_arith.umul a.(i) b.(j) in
+        let s1 = Int64.add r.(i + j) lo in
+        let c1 = carry_bit r.(i + j) lo s1 in
+        let s2 = Int64.add s1 !c in
+        let c2 = carry_bit s1 !c s2 in
+        r.(i + j) <- s2;
+        c := Int64.add hi (Int64.add c1 c2)
+      done;
+      (* propagate the final carry word *)
+      let k = ref (i + nb) in
+      while !c <> 0L do
+        let s = Int64.add r.(!k) !c in
+        let cy = carry_bit r.(!k) !c s in
+        r.(!k) <- s;
+        c := cy;
+        incr k
+      done
+    end
+  done;
+  trim r
+
+let shift_left a k =
+  let words = k / 64 and bits = k mod 64 in
+  let n = Array.length a + words + 1 in
+  let r = zero_of n in
+  for i = Array.length a - 1 downto 0 do
+    let v = a.(i) in
+    r.(i + words) <- Int64.logor r.(i + words) (Int64.shift_left v bits);
+    if bits > 0 then
+      r.(i + words + 1) <-
+        Int64.logor r.(i + words + 1) (Int64.shift_right_logical v (64 - bits))
+  done;
+  trim r
+
+let shift_right a k =
+  let words = k / 64 and bits = k mod 64 in
+  let n = max 1 (Array.length a - words) in
+  let r = zero_of n in
+  for i = 0 to n - 1 do
+    let lo = Int64.shift_right_logical (limb a (i + words)) bits in
+    let hi =
+      if bits = 0 then 0L
+      else Int64.shift_left (limb a (i + words + 1)) (64 - bits)
+    in
+    r.(i) <- Int64.logor lo hi
+  done;
+  trim r
+
+(* Index of the highest set bit, plus one (0 for zero). *)
+let bits a =
+  let rec top i = if i < 0 then -1 else if a.(i) <> 0L then i else top (i - 1) in
+  match top (Array.length a - 1) with
+  | -1 -> 0
+  | i ->
+      let v = ref a.(i) and n = ref 0 in
+      while !v <> 0L do
+        v := Int64.shift_right_logical !v 1;
+        incr n
+      done;
+      (64 * i) + !n
+
+(* Long division by shift-and-subtract: O(bits a * limbs) — derivation
+   time only (the per-scalar GLV split uses reciprocal multiplication
+   instead). *)
+let div_rem a b =
+  if is_zero b then raise Division_by_zero;
+  let n = Array.length a in
+  let q = zero_of n and r = ref (zero_of (Array.length b)) in
+  for i = bits a - 1 downto 0 do
+    r := shift_left !r 1;
+    let bit =
+      Int64.logand (Int64.shift_right_logical a.(i / 64) (i mod 64)) 1L
+    in
+    if bit = 1L then !r.(0) <- Int64.logor !r.(0) 1L;
+    if compare !r b >= 0 then begin
+      r := sub_exn !r b;
+      q.(i / 64) <- Int64.logor q.(i / 64) (Int64.shift_left 1L (i mod 64))
+    end
+  done;
+  (trim q, trim !r)
+
+let of_int64 x = [| x |]
+
+(** {1 Sign-magnitude integers} *)
+
+module Signed = struct
+  type nonrec t = { neg : bool; mag : t }
+  (** [neg] is ignored when [mag] is zero. *)
+
+  let of_limbs ?(neg = false) mag = { neg; mag }
+  let zero = { neg = false; mag = [| 0L |] }
+  let is_zero s = is_zero s.mag
+  let neg s = { s with neg = not s.neg }
+
+  let add x y =
+    if x.neg = y.neg then { neg = x.neg; mag = add x.mag y.mag }
+    else begin
+      let c = compare x.mag y.mag in
+      if c = 0 then zero
+      else if c > 0 then { neg = x.neg; mag = sub_exn x.mag y.mag }
+      else { neg = y.neg; mag = sub_exn y.mag x.mag }
+    end
+
+  let sub x y = add x (neg y)
+  let mul x y = { neg = x.neg <> y.neg; mag = mul x.mag y.mag }
+end

@@ -124,8 +124,12 @@ module Make (F : Zkml_ff.Field_intf.S) = struct
      each stage's butterflies can be chunked across domains. Butterfly
      pairs of one stage touch disjoint indices, so the writes race-free;
      values are canonical residues either way, hence bit-identical to
-     the sequential transform at any job count. *)
-  let ntt_core a tw =
+     the sequential transform at any job count.
+
+     This stage-major loop is kept verbatim as the differential
+     reference for the cache-blocked [ntt_core] below (test_poly checks
+     them equal on every size up to the largest model domain). *)
+  let ntt_reference a tw =
     let n = Array.length a in
     assert (n land (n - 1) = 0);
     bit_reverse_permute a;
@@ -154,6 +158,119 @@ module Make (F : Zkml_ff.Field_intf.S) = struct
           done);
       len := !len * 2
     done
+
+  (* Elements per phase-1 block of the cache-blocked transform. A block
+     of 2^11 four-limb elements is ~100 KB including boxing — resident
+     in L2 across all ~11 early stages, where the stage-major loop would
+     stream the whole array from memory once per stage. *)
+  let ntt_block_log = 11
+
+  (* Cache-blocked NTT. Two phases:
+
+     - phase 1 runs every stage with butterfly span [len <= block size]
+       one block at a time: a block's data is loaded once and all early
+       stages run over it while it is cache-resident (blocks are aligned
+       to [len], so a butterfly never crosses a block boundary, and the
+       twiddle index [j * (n / len)] depends only on the position within
+       the sub-block, not on the block offset);
+     - phase 2 runs the remaining global stages stage-major, exactly
+       like [ntt_reference].
+
+     Both phases execute the same butterflies on the same indices with
+     the same twiddles as the reference — only the traversal order over
+     independent butterflies changes — so results are bit-identical.
+
+     When the field exposes a mutable representation the butterflies run
+     allocation-free on the in-place API. The entry pass below replaces
+     every cell with [F.unshare] first: callers routinely build inputs
+     with [Array.make n F.zero] (one shared buffer) or blit in
+     coefficient arrays they still own, and the originals must not be
+     written through. *)
+  let ntt_core a tw =
+    let n = Array.length a in
+    assert (n land (n - 1) = 0);
+    bit_reverse_permute a;
+    if F.mutable_repr then
+      for i = 0 to n - 1 do
+        a.(i) <- F.unshare a.(i)
+      done;
+    if n >= 2 then begin
+      let bsz = min n (1 lsl ntt_block_log) in
+      let nblocks = n / bsz in
+      if Zkml_obs.Obs.enabled () then Zkml_obs.Obs.count "ntt.blocks" nblocks;
+      let seq_below = if n >= 1 lsl 13 then 2 else max_int in
+      Pool.parallel_for ~chunk:1 ~seq_below nblocks (fun b ->
+          let base = b * bsz in
+          let tmp = F.scratch () in
+          let len = ref 2 in
+          while !len <= bsz do
+            let len_ = !len in
+            let half = len_ / 2 in
+            let stride = n / len_ in
+            let sb = ref base in
+            while !sb < base + bsz do
+              let s = !sb in
+              if F.mutable_repr then
+                for j = 0 to half - 1 do
+                  let w = tw.(j * stride) in
+                  let u = a.(s + j) and v = a.(s + j + half) in
+                  F.mul_into tmp v w;
+                  F.sub_into v u tmp;
+                  F.add_into u u tmp
+                done
+              else
+                for j = 0 to half - 1 do
+                  let w = tw.(j * stride) in
+                  let u = a.(s + j) and v = F.mul a.(s + j + half) w in
+                  a.(s + j) <- F.add u v;
+                  a.(s + j + half) <- F.sub u v
+                done;
+              sb := s + len_
+            done;
+            len := !len * 2
+          done);
+      let len = ref (2 * bsz) in
+      while !len <= n do
+        let len_ = !len in
+        let half = len_ / 2 in
+        let stride = n / len_ in
+        Pool.parallel_for_ranges ~seq_below:(1 lsl 13) ~chunk:(1 lsl 11)
+          (n / 2) (fun lo hi ->
+            let tmp = F.scratch () in
+            let blk = ref (lo / half) and j = ref (lo mod half) in
+            let idx = ref ((!blk * len_) + !j) in
+            if F.mutable_repr then
+              for _ = lo to hi - 1 do
+                let w = tw.(!j * stride) in
+                let u = a.(!idx) and v = a.(!idx + half) in
+                F.mul_into tmp v w;
+                F.sub_into v u tmp;
+                F.add_into u u tmp;
+                incr j;
+                incr idx;
+                if !j = half then begin
+                  j := 0;
+                  incr blk;
+                  idx := !blk * len_
+                end
+              done
+            else
+              for _ = lo to hi - 1 do
+                let w = tw.(!j * stride) in
+                let u = a.(!idx) and v = F.mul a.(!idx + half) w in
+                a.(!idx) <- F.add u v;
+                a.(!idx + half) <- F.sub u v;
+                incr j;
+                incr idx;
+                if !j = half then begin
+                  j := 0;
+                  incr blk;
+                  idx := !blk * len_
+                end
+              done);
+        len := !len * 2
+      done
+    end
 
   (* Every forward/inverse/coset transform funnels through this leaf, so
      one instrumentation point covers the whole "fft" op class of the
@@ -184,10 +301,17 @@ module Make (F : Zkml_ff.Field_intf.S) = struct
   let intt (d : Domain.t) a =
     assert (Array.length a = d.n);
     ntt_with_table a d.elements_inv;
+    (* after ntt_core every cell is a fresh unshared buffer, so the
+       n_inv scaling may write in place *)
     Pool.parallel_for_ranges ~seq_below:(1 lsl 14) d.n (fun lo hi ->
-        for i = lo to hi - 1 do
-          a.(i) <- F.mul a.(i) d.n_inv
-        done)
+        if F.mutable_repr then
+          for i = lo to hi - 1 do
+            F.mul_into a.(i) a.(i) d.n_inv
+          done
+        else
+          for i = lo to hi - 1 do
+            a.(i) <- F.mul a.(i) d.n_inv
+          done)
 
   (** Evaluate coefficient array [coeffs] (length <= d.n) on the coset
       [shift * H]; returns a fresh array of evaluations. Passing a

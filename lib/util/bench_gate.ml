@@ -38,6 +38,48 @@ let of_quotient j =
                 [ "interp_s"; "compiled_s" ])
         models
 
+let of_kernels j =
+  (* BENCH_PR7.json: field-op totals plus both MSM and both NTT path
+     timings. Only the [_s]-suffixed keys are time-like; ns_per_op and
+     speedup are derived and skipped. *)
+  let rows list_field subject fields =
+    match Json.mem_list list_field j with
+    | None -> []
+    | Some rows ->
+        List.concat_map
+          (fun row ->
+            match subject row with
+            | None -> []
+            | Some name ->
+                List.filter_map
+                  (fun field ->
+                    match Json.mem_float field row with
+                    | Some t when time_like field ->
+                        Some
+                          ( Printf.sprintf "kernels/%s/%s/%s" list_field name
+                              field,
+                            t )
+                    | _ -> None)
+                  fields)
+          rows
+  in
+  rows "field_ops"
+    (fun row ->
+      match (Json.mem_string "field" row, Json.mem_string "op" row) with
+      | Some f, Some op -> Some (f ^ "." ^ op)
+      | _ -> None)
+    [ "total_s" ]
+  @ rows "msm"
+      (fun row ->
+        Option.map (fun n -> Printf.sprintf "n=%.0f" n) (Json.mem_float "n" row))
+      [ "jacobian_s"; "affine_glv_s" ]
+  @ rows "ntt"
+      (fun row ->
+        match (Json.mem_string "field" row, Json.mem_float "k" row) with
+        | Some f, Some k -> Some (Printf.sprintf "%s.k=%.0f" f k)
+        | _ -> None)
+      [ "reference_s"; "blocked_s" ]
+
 let of_results j =
   match Json.mem_list "results" j with
   | None -> []
@@ -71,6 +113,7 @@ let series_of_json j =
   match Json.mem_string "bench" j with
   | Some "par" -> of_par j
   | Some "quotient" -> of_quotient j
+  | Some "kernels" -> of_kernels j
   | Some _ -> []
   | None -> of_results j
 

@@ -1,12 +1,16 @@
 (** Bench-regression gate: compare a current bench JSON against a
     committed baseline.
 
-    Understands the three JSON shapes the bench harness writes:
+    Understands the four JSON shapes the bench harness writes:
     - [{"bench":"par", "runs":[{"jobs":J,"prove_s":T}]}]
       (BENCH_PR2.json) — keys [par/jobs=J/prove_s];
     - [{"bench":"quotient","models":[{"model":M,"interp_s":..,
       "compiled_s":..}]}] (BENCH_PR5.json) — keys
       [quotient/M/interp_s] and [quotient/M/compiled_s];
+    - [{"bench":"kernels","field_ops":[..],"msm":[..],"ntt":[..]}]
+      (BENCH_PR7.json) — keys [kernels/field_ops/F.OP/total_s],
+      [kernels/msm/n=N/jacobian_s|affine_glv_s] and
+      [kernels/ntt/F.k=K/reference_s|blocked_s];
     - [{"results":[{"section":S,"model":M,"prove_s":..,"verify_s":..,
       "spans":{..}}]}] ([--json] output) — keys [S/M/prove_s],
       [S/M/verify_s], [S/M/span.K].

@@ -69,12 +69,109 @@ module Group_suite (G : Zkml_ec.Group_intf.S) = struct
           (M.pippenger points scalars))
       [ 1; 2; 7; 33; 100 ]
 
+  (* Boundary scalars the signed-digit recoding and GLV split must get
+     right: 0, 1, -1 (= order - 1), +-small, and values with all-ones
+     digit patterns. Duplicate and negated points stress the affine
+     scheduler's collision queue (same bucket repeatedly). *)
+  let test_msm_boundary_scalars () =
+    let s = G.Scalar.of_int in
+    let specials =
+      [| G.Scalar.zero; G.Scalar.one; G.Scalar.neg G.Scalar.one; s 2;
+         G.Scalar.neg (s 2); s 0xFFFF; G.Scalar.neg (s 0xFFFF);
+         G.Scalar.inv (s 3); G.Scalar.random rng
+      |]
+    in
+    let base = G.random rng in
+    (* enough duplicates of one point to force every path past the
+       affine/GLV threshold *)
+    let n = 80 in
+    let points =
+      Array.init n (fun i -> if i mod 3 = 0 then base else G.random rng)
+    in
+    let scalars =
+      Array.init n (fun i -> specials.(i mod Array.length specials))
+    in
+    check_eq "boundary msm" (M.naive points scalars)
+      (M.pippenger points scalars);
+    (* all-identical points: every digit lands in the same bucket *)
+    let points = Array.make n base in
+    check_eq "duplicate-point msm" (M.naive points scalars)
+      (M.pippenger points scalars);
+    (* identity points mixed in *)
+    let points = Array.init n (fun i -> if i mod 4 = 0 then G.zero else base) in
+    check_eq "identity-point msm" (M.naive points scalars)
+      (M.pippenger points scalars)
+
+  (* The explicit-window affine path (with GLV when available) against
+     naive, across window widths including degenerate ones. *)
+  let test_msm_affine_windows () =
+    let n = 70 in
+    let points = Array.init n (fun _ -> G.random rng) in
+    let scalars = Array.init n (fun _ -> G.Scalar.random rng) in
+    let reference = M.naive points scalars in
+    List.iter
+      (fun c ->
+        check_eq
+          (Printf.sprintf "affine msm c=%d" c)
+          reference
+          (M.pippenger_affine_with_window ~c points scalars))
+      [ 2; 3; 8; 13 ]
+
+  let test_affine_kernels () =
+    (* batch_of_group / to_group round-trip, including the identity *)
+    let pts = Array.init 17 (fun i -> if i = 5 then G.zero else G.random rng) in
+    let aff = G.Affine.batch_of_group pts in
+    Array.iteri
+      (fun i a ->
+        check_eq "affine roundtrip" pts.(i) (G.Affine.to_group a);
+        Alcotest.(check bool)
+          "infinity flag" (G.is_zero pts.(i))
+          (G.Affine.is_infinity a))
+      aff;
+    (* neg is an involution on the group image and leaves the argument
+       alone *)
+    let a = G.Affine.batch_of_group [| G.random rng |] in
+    let n = G.Affine.neg a.(0) in
+    check_eq "affine neg" (G.neg (G.Affine.to_group a.(0)))
+      (G.Affine.to_group n);
+    (* batch_add against group addition over every special case: copy
+       into an empty accumulator, generic add, doubling, cancellation,
+       and identity sources *)
+    let p = G.random rng and q = G.random rng in
+    let cells pts = G.Affine.batch_of_group pts in
+    let acc = cells [| G.zero; p; p; p; p |] in
+    let src = cells [| p; q; p; G.neg p; G.zero |] in
+    let expected = [| p; G.add p q; G.double p; G.zero; p |] in
+    G.Affine.batch_add acc ~dst:[| 0; 1; 2; 3; 4 |] ~src ~len:5;
+    Array.iteri
+      (fun i e ->
+        check_eq
+          (Printf.sprintf "batch_add case %d" i)
+          e
+          (G.Affine.to_group acc.(i)))
+      expected;
+    (* chaining: accumulate k random points into one cell one at a time
+       and compare with the group sum *)
+    let pts = Array.init 9 (fun _ -> G.random rng) in
+    let srcs = cells pts in
+    let acc = [| G.Affine.infinity () |] in
+    Array.iter
+      (fun s -> G.Affine.batch_add acc ~dst:[| 0 |] ~src:[| s |] ~len:1)
+      srcs;
+    check_eq "chained batch_add"
+      (Array.fold_left G.add G.zero pts)
+      (G.Affine.to_group acc.(0))
+
   let suite =
     [ Alcotest.test_case "group_laws" `Quick test_group_laws;
       Alcotest.test_case "scalar_mul" `Quick test_scalar_mul;
       Alcotest.test_case "serialization" `Quick test_serialization;
       Alcotest.test_case "derive_generators" `Quick test_derive_generators;
-      Alcotest.test_case "msm_matches_naive" `Quick test_msm_matches_naive
+      Alcotest.test_case "msm_matches_naive" `Quick test_msm_matches_naive;
+      Alcotest.test_case "msm_boundary_scalars" `Quick
+        test_msm_boundary_scalars;
+      Alcotest.test_case "msm_affine_windows" `Quick test_msm_affine_windows;
+      Alcotest.test_case "affine_kernels" `Quick test_affine_kernels
     ]
 end
 
@@ -92,10 +189,64 @@ let test_pallas_order () =
     "qG = 0" true
     (is_zero (add p generator))
 
+(* GLV decomposition on Pallas: the endomorphism must be additive and
+   of order 3, and every split must recombine to the original scalar —
+   verified on the group, k*P = k1*(+-P) + k2*(+-phi P) — with both
+   halves near half-width. *)
+let test_pallas_glv () =
+  let open Zkml_ec.Pallas in
+  let rng = Zkml_util.Rng.create 31L in
+  match endo with
+  | None -> Alcotest.fail "Pallas must expose a GLV endomorphism"
+  | Some (phi, split) ->
+      let p = random rng and q = random rng in
+      Alcotest.(check bool)
+        "phi additive" true
+        (equal (phi (add p q)) (add (phi p) (phi q)));
+      Alcotest.(check bool)
+        "phi^3 = id" true
+        (equal (phi (phi (phi p))) p);
+      Alcotest.(check bool) "phi <> id" false (equal (phi p) p);
+      Alcotest.(check bool) "phi 0 = 0" true (is_zero (phi zero));
+      let scalar_of_limbs limbs =
+        let two64 = Scalar.pow_int (Scalar.of_int 2) 64 in
+        let acc = ref Scalar.zero in
+        for i = Array.length limbs - 1 downto 0 do
+          acc := Scalar.add (Scalar.mul !acc two64) (Scalar.of_int64 limbs.(i))
+        done;
+        !acc
+      in
+      let check_split k =
+        let s = split k in
+        let open Zkml_ec.Group_intf in
+        Alcotest.(check bool)
+          "k1 half-width" true
+          (Zkml_ff.Limbs.bits s.k1 <= 130);
+        Alcotest.(check bool)
+          "k2 half-width" true
+          (Zkml_ff.Limbs.bits s.k2 <= 130);
+        let base = random rng in
+        let t1 = mul base (scalar_of_limbs s.k1) in
+        let t1 = if s.k1_neg then neg t1 else t1 in
+        let t2 = mul (phi base) (scalar_of_limbs s.k2) in
+        let t2 = if s.k2_neg then neg t2 else t2 in
+        Alcotest.(check bool)
+          "split recombines" true
+          (equal (mul base k) (add t1 t2))
+      in
+      for _ = 1 to 40 do
+        check_split (Scalar.random rng)
+      done;
+      List.iter check_split
+        [ Scalar.zero; Scalar.one; Scalar.neg Scalar.one; Scalar.of_int 2;
+          Scalar.neg (Scalar.of_int 2); Scalar.inv (Scalar.of_int 3)
+        ]
+
 let () =
   Alcotest.run "ec"
     [ ("sha256", [ Alcotest.test_case "vectors" `Quick test_sha256_vectors ]);
       ("pallas", Pallas_suite.suite);
       ("simulated", Sim_suite.suite);
-      ("pallas_order", [ Alcotest.test_case "order" `Quick test_pallas_order ])
+      ("pallas_order", [ Alcotest.test_case "order" `Quick test_pallas_order ]);
+      ("pallas_glv", [ Alcotest.test_case "glv" `Quick test_pallas_glv ])
     ]

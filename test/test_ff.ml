@@ -95,6 +95,117 @@ module Make_suite (F : Zkml_ff.Field_intf.S) = struct
           (F.compare a b = 0) = F.equal a b)
     ]
 
+  (* [compare] must order by canonical residue, not by internal
+     (Montgomery) representation: its sign has to match a lexicographic
+     compare of the canonical limbs. The seed implementation got this
+     wrong for the 4-limb fields. *)
+  let canonical_cmp a b =
+    let la = F.to_canonical_limbs a and lb = F.to_canonical_limbs b in
+    let rec go i =
+      if i < 0 then 0
+      else
+        let c = Int64.unsigned_compare la.(i) lb.(i) in
+        if c <> 0 then c else go (i - 1)
+    in
+    go (Array.length la - 1)
+
+  let sign x = Stdlib.compare x 0
+
+  let compare_props =
+    let open QCheck in
+    [ Test.make ~name:"compare_canonical" ~count:300 (pair arb arb)
+        (fun (a, b) -> sign (F.compare a b) = sign (canonical_cmp a b));
+      Test.make ~name:"compare_antisym" ~count:100 (pair arb arb)
+        (fun (a, b) -> sign (F.compare a b) = -sign (F.compare b a))
+    ]
+
+  (* Destination-passing API: every [_into] op must agree with its
+     allocating counterpart, including when the destination aliases an
+     operand. For immutable representations the ops must refue loudly
+     rather than silently misbehave. *)
+  let into_props =
+    let open QCheck in
+    if not F.mutable_repr then
+      [ Test.make ~name:"into_immutable_raises" ~count:10 (pair arb arb)
+          (fun (a, b) ->
+            let raises f =
+              match f () with
+              | () -> false
+              | exception Invalid_argument _ -> true
+            in
+            raises (fun () -> F.add_into (F.scratch ()) a b)
+            && raises (fun () -> F.mul_into (F.scratch ()) a b)
+            && raises (fun () -> F.set (F.scratch ()) a))
+      ]
+    else
+      [ Test.make ~name:"mul_into" ~count:300 (pair arb arb) (fun (a, b) ->
+            let d = F.scratch () in
+            F.mul_into d a b;
+            F.equal d (F.mul a b));
+        Test.make ~name:"add_into" ~count:300 (pair arb arb) (fun (a, b) ->
+            let d = F.scratch () in
+            F.add_into d a b;
+            F.equal d (F.add a b));
+        Test.make ~name:"sub_into" ~count:300 (pair arb arb) (fun (a, b) ->
+            let d = F.scratch () in
+            F.sub_into d a b;
+            F.equal d (F.sub a b));
+        Test.make ~name:"neg_into" ~count:300 arb (fun a ->
+            let d = F.scratch () in
+            F.neg_into d a;
+            F.equal d (F.neg a));
+        Test.make ~name:"square_into" ~count:300 arb (fun a ->
+            let d = F.scratch () in
+            F.square_into d a;
+            F.equal d (F.square a));
+        Test.make ~name:"mul_into_alias_left" ~count:300 (pair arb arb)
+          (fun (a, b) ->
+            let d = F.unshare a in
+            F.mul_into d d b;
+            F.equal d (F.mul a b));
+        Test.make ~name:"mul_into_alias_right" ~count:300 (pair arb arb)
+          (fun (a, b) ->
+            let d = F.unshare b in
+            F.mul_into d a d;
+            F.equal d (F.mul a b));
+        Test.make ~name:"mul_into_alias_both" ~count:300 arb (fun a ->
+            let d = F.unshare a in
+            F.mul_into d d d;
+            F.equal d (F.square a));
+        Test.make ~name:"add_into_alias" ~count:300 arb (fun a ->
+            let d = F.unshare a in
+            F.add_into d d d;
+            F.equal d (F.add a a));
+        Test.make ~name:"sub_into_alias" ~count:300 (pair arb arb)
+          (fun (a, b) ->
+            let d = F.unshare a in
+            F.sub_into d d b;
+            F.equal d (F.sub a b));
+        Test.make ~name:"set_unshare" ~count:100 (pair arb arb)
+          (fun (a, b) ->
+            (* unshare detaches: writing the copy must not disturb the
+               original *)
+            let d = F.unshare a in
+            F.set d b;
+            F.equal d b && F.equal a (F.mul F.one a));
+        Test.make ~name:"into_edge_cases" ~count:1
+          (always ())
+          (fun () ->
+            let pm1 = F.neg F.one in
+            List.for_all
+              (fun (x, y) ->
+                let d = F.scratch () in
+                F.mul_into d x y;
+                let ok_mul = F.equal d (F.mul x y) in
+                F.add_into d x y;
+                let ok_add = F.equal d (F.add x y) in
+                F.sub_into d x y;
+                ok_mul && ok_add && F.equal d (F.sub x y))
+              [ (F.zero, F.zero); (F.zero, F.one); (F.one, F.zero);
+                (pm1, pm1); (pm1, F.one); (F.one, pm1)
+              ])
+      ]
+
   let suite =
     [ Alcotest.test_case "basic_identities" `Quick test_basic_identities;
       Alcotest.test_case "generator_order" `Quick test_generator_order;
@@ -104,7 +215,8 @@ module Make_suite (F : Zkml_ff.Field_intf.S) = struct
       Alcotest.test_case "batch_inv" `Quick test_batch_inv;
       Alcotest.test_case "inv_zero" `Quick test_inv_zero
     ]
-    @ List.map (QCheck_alcotest.to_alcotest ~long:false) prop_tests
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+        (prop_tests @ compare_props @ into_props)
 end
 
 module Fp61_suite = Make_suite (Zkml_ff.Fp61)
@@ -170,6 +282,106 @@ let test_fp61_against_reference () =
     Alcotest.(check int64) "mulmod" (Int64.of_int expected) got
   done
 
+(* The unrolled CIOS kernel against the original tuple-based reference
+   multiplier kept in Limb4 for exactly this purpose. *)
+let test_mul_ref_equiv () =
+  let module Check (F : Zkml_ff.Limb4.S_EXT) (N : sig
+    val name : string
+  end) =
+  struct
+    let () =
+      let rng = Zkml_util.Rng.create 2024L in
+      for _ = 1 to 2000 do
+        let a = F.random rng and b = F.random rng in
+        Alcotest.(check bool)
+          (N.name ^ " mul = mul_ref") true
+          (F.equal (F.mul a b) (F.mul_ref a b))
+      done;
+      let pm1 = F.neg F.one in
+      List.iter
+        (fun (a, b) ->
+          Alcotest.(check bool)
+            (N.name ^ " mul = mul_ref edge") true
+            (F.equal (F.mul a b) (F.mul_ref a b)))
+        [ (F.zero, F.zero); (F.one, F.one); (pm1, pm1); (pm1, F.one) ]
+  end in
+  let module _ =
+    Check
+      (Zkml_ff.Pasta.Fp)
+      (struct
+        let name = "fp"
+      end)
+  in
+  let module _ =
+    Check
+      (Zkml_ff.Pasta.Fq)
+      (struct
+        let name = "fq"
+      end)
+  in
+  ()
+
+(* Multiprecision limb layer backing the GLV derivation: cross-check the
+   ring ops against native ints on small values and internal identities
+   (division, shifts) on multi-limb ones. *)
+let limbs_tests =
+  let module L = Zkml_ff.Limbs in
+  let open QCheck in
+  let small = Gen.map Int64.abs Gen.int64 in
+  let arb_small = make ~print:Int64.to_string small in
+  let arb_wide =
+    make
+      ~print:(fun a ->
+        String.concat ","
+          (Array.to_list (Array.map (Printf.sprintf "%Lx") a)))
+      (Gen.map
+         (fun (n, s) ->
+           let st = Random.State.make [| Int64.to_int s |] in
+           Array.init (1 + (abs n mod 5)) (fun _ -> Random.State.int64 st Int64.max_int))
+         Gen.(pair int int64))
+  in
+  [ Test.make ~name:"limbs_add_small" ~count:500 (pair arb_small arb_small)
+      (fun (a, b) ->
+        let a = Int64.shift_right_logical a 2
+        and b = Int64.shift_right_logical b 2 in
+        L.compare (L.add [| a |] [| b |]) [| Int64.add a b |] = 0);
+    Test.make ~name:"limbs_mul_small" ~count:500 (pair arb_small arb_small)
+      (fun (a, b) ->
+        let a = Int64.logand a 0xFFFFFFFFL and b = Int64.logand b 0xFFFFFFFFL in
+        L.compare (L.mul [| a |] [| b |]) [| Int64.mul a b |] = 0);
+    Test.make ~name:"limbs_sub_roundtrip" ~count:500 (pair arb_wide arb_wide)
+      (fun (a, b) ->
+        let s = L.add a b in
+        L.compare (L.sub_exn s b) a = 0 && L.compare (L.sub_exn s a) b = 0);
+    Test.make ~name:"limbs_div_rem" ~count:500 (pair arb_wide arb_wide)
+      (fun (a, b) ->
+        if L.is_zero b then true
+        else begin
+          let q, r = L.div_rem a b in
+          L.compare r b < 0 && L.compare (L.add (L.mul q b) r) a = 0
+        end);
+    Test.make ~name:"limbs_shift_roundtrip" ~count:500 arb_wide (fun a ->
+        List.for_all
+          (fun k -> L.compare (L.shift_right (L.shift_left a k) k) a = 0)
+          [ 1; 63; 64; 65; 200 ]);
+    Test.make ~name:"limbs_bits" ~count:500 arb_wide (fun a ->
+        let n = L.bits a in
+        if L.is_zero a then n = 0
+        else
+          L.compare a (L.shift_left [| 1L |] n) < 0
+          && L.compare a (L.shift_left [| 1L |] (n - 1)) >= 0);
+    Test.make ~name:"limbs_compare_padding" ~count:200 arb_wide (fun a ->
+        L.compare a (Array.append a [| 0L; 0L |]) = 0);
+    Test.make ~name:"limbs_signed_ring" ~count:500 (pair arb_wide arb_wide)
+      (fun (a, b) ->
+        let module S = L.Signed in
+        let sa = S.of_limbs a and sb = S.of_limbs ~neg:true b in
+        (* (a - b) + b = a in sign-magnitude *)
+        let d = S.add sa sb in
+        let back = S.sub d sb in
+        (not back.S.neg || S.is_zero back) && L.compare back.S.mag a = 0)
+  ]
+
 (* Known-answer test for the Pasta moduli: -1 serializes to p - 1. *)
 let test_pasta_minus_one () =
   let open Zkml_ff in
@@ -188,6 +400,9 @@ let () =
       ( "cross_checks",
         [ Alcotest.test_case "fp61_vs_reference" `Quick
             test_fp61_against_reference;
-          Alcotest.test_case "pasta_minus_one" `Quick test_pasta_minus_one
-        ] )
+          Alcotest.test_case "pasta_minus_one" `Quick test_pasta_minus_one;
+          Alcotest.test_case "mul_ref_equiv" `Quick test_mul_ref_equiv
+        ] );
+      ( "limbs",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) limbs_tests )
     ]

@@ -135,6 +135,53 @@ module Make_suite (F : Zkml_ff.Field_intf.S) = struct
           (P.coset_intt_many d ~shift evals))
       [ 4; 13 ]
 
+  (* The cache-blocked transform against the stage-major reference, on
+     every domain size up to the largest model domain (bench max_k =
+     15), forward and inverse twiddles. The transforms must agree
+     element-wise — the proof pipeline's byte-identity depends on it. *)
+  let test_blocked_matches_reference () =
+    List.iter
+      (fun k ->
+        let d = P.Domain.create k in
+        let base = P.random rng d.n in
+        List.iter
+          (fun tw ->
+            let a = Array.copy base and b = Array.copy base in
+            P.ntt_core a tw;
+            P.ntt_reference b tw;
+            Array.iteri
+              (fun i v ->
+                check_eq (Printf.sprintf "blocked k=%d i=%d" k i) v a.(i))
+              b)
+          [ d.P.Domain.elements; d.P.Domain.elements_inv ])
+      [ 0; 1; 2; 3; 5; 8; 10; 11; 12; 13; 15 ]
+
+  (* The in-place transform must never write through the caller's
+     element objects: inputs routinely share cells (Array.make) or are
+     blitted from arrays the caller keeps. *)
+  let test_ntt_preserves_inputs () =
+    let d = P.Domain.create 8 in
+    let base = P.random rng d.n in
+    let snapshot = Array.map F.to_hex base in
+    let a = Array.copy base in
+    (* [a] shares element pointers with [base] *)
+    P.ntt d a;
+    Array.iteri
+      (fun i v ->
+        Alcotest.(check string)
+          (Printf.sprintf "input %d intact" i)
+          snapshot.(i) (F.to_hex v))
+      base;
+    (* shared-cell input (every entry the same object), checked against
+       the allocating reference which cannot corrupt anything *)
+    let expect = Array.make d.n base.(0) in
+    P.ntt_reference expect d.P.Domain.elements;
+    let got = Array.make d.n base.(0) in
+    P.ntt d got;
+    Array.iteri
+      (fun i v -> check_eq (Printf.sprintf "shared-cell %d" i) v got.(i))
+      expect
+
   let test_vanishing () =
     let d = P.Domain.create 6 in
     let roots = P.Domain.elements d in
@@ -153,6 +200,10 @@ module Make_suite (F : Zkml_ff.Field_intf.S) = struct
       Alcotest.test_case "div_by_linear" `Quick test_div_by_linear;
       Alcotest.test_case "lagrange" `Quick test_lagrange;
       Alcotest.test_case "batch_apis" `Quick test_batch_apis;
+      Alcotest.test_case "blocked_matches_reference" `Quick
+        test_blocked_matches_reference;
+      Alcotest.test_case "ntt_preserves_inputs" `Quick
+        test_ntt_preserves_inputs;
       Alcotest.test_case "vanishing" `Quick test_vanishing
     ]
 end
