@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt smoke soundness fuzz bench bench-par bench-batch bench-quotient bench-kernels bench-ff bench-msm bench-regress clean
+.PHONY: all build test check check-constraints fmt smoke soundness fuzz bench bench-par bench-batch bench-quotient bench-kernels bench-ff bench-msm bench-regress clean
 
 all: build
 
@@ -20,7 +20,16 @@ test:
 check: fmt build
 	ZKML_JOBS=1 dune runtest --force
 	ZKML_JOBS=4 dune runtest --force
+	$(MAKE) check-constraints
 	-$(MAKE) bench-regress
+
+# Under-constraint detector (hard gate): run the gadget isolation suite
+# and every zoo model's compiled circuit through the randomized
+# second-witness search over the typed constraint IR. Pinned seed, so a
+# finding replays exactly; exits non-zero on any under-constrained cell
+# or honest-witness violation.
+check-constraints: build
+	dune exec bin/zkml_cli.exe -- check-constraints --seed 1234
 
 # Circuit-soundness mutation suite alone, pinned seed (1234 inside the
 # suite): every mutated witness/key/proof must be rejected or refused —

@@ -264,6 +264,99 @@ let cmd_optimize model backend objective =
   print_plan plan;
   0
 
+(* ------------------------------------------------------------------ *)
+(* check-constraints: the under-constraint detector (DESIGN.md
+   "Constraint IR & under-constraint checking") over the gadget
+   isolation suite and the zoo models' compiled circuits. *)
+
+module CC = Zkml_compiler.Constraint_check.Make (Zkml_ff.Fp61)
+
+let cmd_check_constraints model backend seed =
+  let seed64 = Int64.of_int seed in
+  let failures = ref 0 in
+  let report name (r : CC.report) =
+    let issues = List.length r.CC.r_honest + List.length r.CC.r_findings in
+    if issues = 0 then
+      Printf.printf "  %-14s OK    (%d cells, %d second-witness candidates)\n"
+        name r.CC.r_cells r.CC.r_candidates
+    else begin
+      incr failures;
+      Printf.printf "  %-14s FAIL  (%d cells, %d candidates, %d issues)\n" name
+        r.CC.r_cells r.CC.r_candidates issues;
+      List.iter
+        (fun v ->
+          Printf.printf "    honest witness rejected: %s\n"
+            (Zkml_plonkish.Cs.violation_to_string v))
+        r.CC.r_honest;
+      let shown, rest =
+        let rec split k = function
+          | x :: tl when k > 0 ->
+              let a, b = split (k - 1) tl in
+              (x :: a, b)
+          | tl -> ([], tl)
+        in
+        split 20 r.CC.r_findings
+      in
+      List.iter (fun f -> Printf.printf "    %s\n" (CC.pp_finding f)) shown;
+      if rest <> [] then
+        Printf.printf "    ... and %d more under-constrained cells\n"
+          (List.length rest)
+    end
+  in
+  Printf.printf
+    "== gadget isolation suite (scale_bits=5, table_bits=9, seed %d) ==\n" seed;
+  let gcfg = { Fx.scale_bits = 5; table_bits = 9 } in
+  List.iter
+    (fun (name, r) -> report name r)
+    (CC.gadget_suite ~seed:seed64 ~cfg:gcfg ());
+  let models =
+    match model with None -> Zoo.all () | Some name -> [ load_model name ]
+  in
+  Printf.printf "== zoo model circuits ==\n";
+  List.iter
+    (fun (m : Zoo.model) ->
+      let inputs = Zoo.sample_inputs ~seed:seed64 m in
+      let qinputs = List.map (T.map (Fx.quantize m.Zoo.cfg)) inputs in
+      let exec =
+        Zkml_nn.Quant_exec.run m.Zoo.cfg m.Zoo.graph ~inputs:qinputs
+      in
+      let plan, _ =
+        match backend with
+        | "ipa" ->
+            let params = Lazy.force ipa_params in
+            Opt.optimize ~times:(Pipe_ipa.calibrated params)
+              ~backend:Zkml_compiler.Costmodel.Ipa
+              ~group_bytes:Ipa.G.size_bytes
+              ~field_bytes:Zkml_ff.Fp61.size_bytes ~cfg:m.Zoo.cfg m.Zoo.graph
+              exec
+        | _ ->
+            let params = Lazy.force kzg_params in
+            Opt.optimize ~times:(Pipe_kzg.calibrated params)
+              ~backend:Zkml_compiler.Costmodel.Kzg
+              ~group_bytes:Kzg.G.size_bytes
+              ~field_bytes:Zkml_ff.Fp61.size_bytes ~cfg:m.Zoo.cfg m.Zoo.graph
+              exec
+      in
+      let lowered =
+        Zkml_compiler.Lower.lower_with ~spec_fn:plan.Opt.spec_fn
+          ~cfg:m.Zoo.cfg ~ncols:plan.Opt.ncols ~counting:false m.Zoo.graph exec
+      in
+      let built =
+        Zkml_compiler.Layouter.finalize lowered.Zkml_compiler.Lower.layouter
+          ~blinding:Opt.blinding ~k:plan.Opt.k
+      in
+      report m.Zoo.name (CC.check_built ~seed:seed64 built))
+    models;
+  if !failures = 0 then begin
+    Printf.printf "constraint check clean: no under-constrained cells\n";
+    0
+  end
+  else begin
+    Printf.printf "constraint check FAILED: %d circuit(s) with issues\n"
+      !failures;
+    1
+  end
+
 (* proof file format *)
 let proof_file_string ~backend ~(m : Zoo.model) ~spec ~ncols ~k
     ~instance_ints ~proof_hex =
@@ -1105,6 +1198,30 @@ let optimize_cmd =
       const (fun () m b o -> cmd_optimize m b o)
       $ jobs_term $ model_arg $ backend_arg $ objective)
 
+let check_constraints_cmd =
+  let model =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL" ~doc:"Zoo model or .zkml path (default: all).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1234
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Deterministic seed for inputs and perturbation candidates.")
+  in
+  Cmd.v
+    (Cmd.info "check-constraints"
+       ~doc:
+         "Run the under-constraint detector: every gadget in isolation plus \
+          each zoo model's compiled circuit; perturb tracked advice cells \
+          and search for a second witness the constraints accept. Exits 1 \
+          if any cell is not pinned down.")
+    Term.(
+      const (fun () m b s -> cmd_check_constraints m b s)
+      $ jobs_term $ model $ backend_arg $ seed)
+
 let profile_cmd =
   let trace =
     Arg.(
@@ -1298,7 +1415,7 @@ let main =
          ])
     [ models_cmd; stats_cmd; export_cmd; calibrate_cmd; optimize_cmd;
       prove_cmd; verify_cmd; batch_prove_cmd; batch_verify_cmd; profile_cmd;
-      fuzz_cmd; metrics_cmd ]
+      check_constraints_cmd; fuzz_cmd; metrics_cmd ]
 
 let write_metrics_file path =
   let snap = Metrics.snapshot () in

@@ -1,0 +1,359 @@
+(** Automated under-constraint detection over the typed constraint IR.
+
+    A gadget is sound only if its constraints pin down every cell it is
+    responsible for: given the (copy-tied) operands, the outputs and
+    auxiliary witness cells must be uniquely determined, or a malicious
+    prover can substitute a second witness and prove a wrong inference
+    result. The layouter records exactly those cells
+    ({!Layouter.built.tracked}: gadget outputs, auxiliary witnesses like
+    division remainders and decomposition bits, io cells), and this
+    module runs a randomized second-witness search against them: perturb
+    one tracked cell at a time through a battery of candidate values
+    (the PR 4 soundness-mutation battery, extended with ±1 / 0 / negate
+    / random candidates) and re-check every constraint touching the
+    cell with the {!Cs.Check} reference evaluator. A cell that survives
+    some perturbation is {e under-constrained}: the perturbed grid is a
+    second witness for the same instance, and the cell is reported with
+    both witness values.
+
+    What this does and does not guarantee is documented in DESIGN.md
+    ("Constraint IR & under-constraint checking"): single-cell
+    perturbations cannot exhibit second witnesses that require moving
+    several cells at once, and untracked cells (weights — existentially
+    quantified — and dead lane-prefill cells) are out of scope by
+    design. *)
+
+module C = Zkml_plonkish.Circuit
+module Cs = Zkml_plonkish.Cs
+module E = Zkml_plonkish.Expr
+module Fx = Zkml_fixed.Fixed
+module L = Layouter
+module Metrics = Zkml_obs.Metrics
+
+module Make (F : Zkml_ff.Field_intf.S) = struct
+  module Chk = Cs.Check (F)
+
+  type finding = {
+    f_gadget : string;  (** gadget kind owning the row *)
+    f_col : int;  (** advice column *)
+    f_row : int;
+    f_original : F.t;  (** the honest witness's cell value *)
+    f_alternative : F.t;
+        (** a second value accepted by every constraint — the two
+            witnesses differ in exactly this cell *)
+  }
+
+  type report = {
+    r_honest : Cs.violation list;
+        (** reference-checker violations of the honest witness itself
+            (non-empty means the gadget's constraints are wrong, not
+            just incomplete) *)
+    r_cells : int;  (** tracked cells perturbed *)
+    r_candidates : int;  (** candidate second witnesses tried *)
+    r_findings : finding list;
+  }
+
+  let pp_finding f =
+    Printf.sprintf
+      "under-constrained cell in gadget '%s': advice[%d] row %d — honest \
+       witness has %s, second witness has %s (all other cells identical)"
+      (if f.f_gadget = "" then "?" else f.f_gadget)
+      f.f_col f.f_row (F.to_hex f.f_original) (F.to_hex f.f_alternative)
+
+  let clean r = r.r_honest = [] && r.r_findings = []
+
+  (** Exhaustive single-cell second-witness search over the tracked
+      cells of a finalized layout. Deterministic for a given [seed]. *)
+  let check_built ?(seed = 1234L) (built : L.built) : report =
+    let circuit = built.L.circuit in
+    let n = 1 lsl circuit.C.k in
+    let usable = C.last_row circuit in
+    let grids =
+      {
+        Chk.n;
+        usable;
+        fixed = Array.map (Array.map F.of_int) built.L.fixed;
+        advice = Array.map (Array.map F.of_int) built.L.advice;
+        instance = [| Array.map F.of_int built.L.instance_col |];
+      }
+    in
+    let cs = Cs.map_const F.of_int built.L.cs in
+    (* the honest witness must satisfy the reference semantics before
+       perturbations mean anything *)
+    let honest = Chk.check cs grids in
+    let gates = Array.of_list cs.Cs.cs_gates in
+    let lookups = Array.of_list cs.Cs.cs_lookups in
+    let tables = Array.map (fun l -> Chk.table_rows grids l) lookups in
+    (* query indexes: advice column -> constraints reading it (with the
+       rotation, so the affected row can be recovered) *)
+    let gate_idx : (int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+    let lookup_idx : (int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+    let index tbl i e =
+      ignore
+        (E.fold_queries
+           (fun () kind (q : E.query) ->
+             if kind = E.KAdvice then begin
+               let prev =
+                 Option.value ~default:[] (Hashtbl.find_opt tbl q.E.col)
+               in
+               if not (List.mem (i, q.E.rot) prev) then
+                 Hashtbl.replace tbl q.E.col ((i, q.E.rot) :: prev)
+             end)
+           () e)
+    in
+    Array.iteri
+      (fun i (g : F.t Cs.gate) -> List.iter (index gate_idx i) g.Cs.g_bodies)
+      gates;
+    Array.iteri
+      (fun i (l : F.t Cs.lookup) ->
+        List.iter
+          (function
+            | Cs.Li_gated e | Cs.Li_gated_default (e, _) -> index lookup_idx i e)
+          l.Cs.l_inputs)
+      lookups;
+    let copy_idx : (int * int, (Cs.cell * Cs.cell) list) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    List.iter
+      (fun ((a, b) as pair) ->
+        let note = function
+          | C.Col_advice col, row ->
+              let prev =
+                Option.value ~default:[]
+                  (Hashtbl.find_opt copy_idx (col, row))
+              in
+              Hashtbl.replace copy_idx (col, row) (pair :: prev)
+          | _ -> ()
+        in
+        note a;
+        note b)
+      cs.Cs.cs_copies;
+    (* does the (mutated) grid satisfy every constraint that can see
+       advice cell (col, row)? *)
+    let cell_still_accepted ~col ~row =
+      let wrap r = ((r mod n) + n) mod n in
+      List.for_all
+        (fun (gi, rot) ->
+          Chk.gate_holds_at grids gates.(gi) ~row:(wrap (row - rot)) = `Ok)
+        (Option.value ~default:[] (Hashtbl.find_opt gate_idx col))
+      && List.for_all
+           (fun (li, rot) ->
+             let r = wrap (row - rot) in
+             r >= usable
+             || Chk.lookup_holds_at grids lookups.(li) ~table:tables.(li)
+                  ~row:r)
+           (Option.value ~default:[] (Hashtbl.find_opt lookup_idx col))
+      && List.for_all
+           (fun (a, b) -> F.equal (Chk.cell_at grids a) (Chk.cell_at grids b))
+           (Option.value ~default:[] (Hashtbl.find_opt copy_idx (col, row)))
+    in
+    let rng = Zkml_util.Rng.create seed in
+    let candidates_tried = ref 0 in
+    let findings = ref [] in
+    Array.iter
+      (fun (col, row) ->
+        let v = grids.Chk.advice.(col).(row) in
+        let candidates =
+          [
+            F.add v F.one;
+            F.sub v F.one;
+            F.zero;
+            F.neg v;
+            F.random rng;
+            F.random rng;
+          ]
+        in
+        let found = ref None in
+        List.iter
+          (fun cand ->
+            if !found = None && not (F.equal cand v) then begin
+              incr candidates_tried;
+              grids.Chk.advice.(col).(row) <- cand;
+              if cell_still_accepted ~col ~row then found := Some cand;
+              grids.Chk.advice.(col).(row) <- v
+            end)
+          candidates;
+        match !found with
+        | None -> ()
+        | Some alt ->
+            let gadget =
+              if row < Array.length built.L.row_kinds then
+                built.L.row_kinds.(row)
+              else ""
+            in
+            findings :=
+              {
+                f_gadget = gadget;
+                f_col = col;
+                f_row = row;
+                f_original = v;
+                f_alternative = alt;
+              }
+              :: !findings)
+      built.L.tracked;
+    let report =
+      {
+        r_honest = honest;
+        r_cells = Array.length built.L.tracked;
+        r_candidates = !candidates_tried;
+        r_findings = List.rev !findings;
+      }
+    in
+    Metrics.inc "zkml_constraint_check_cells_total"
+      ~help:"Tracked advice cells perturbed by the under-constraint detector"
+      (float_of_int report.r_cells);
+    Metrics.inc "zkml_constraint_check_candidates_total"
+      ~help:"Candidate second witnesses tried by the under-constraint detector"
+      (float_of_int report.r_candidates);
+    Metrics.inc "zkml_constraint_check_violations_total"
+      ~help:
+        "Under-constrained cells found plus honest-witness constraint \
+         violations"
+      (float_of_int (List.length report.r_findings + List.length honest));
+    report
+
+  (** {1 Gadget isolation suite} *)
+
+  let blinding = Optimizer.blinding
+
+  let check_gadget ?seed ~cfg ~ncols emit : report =
+    let ly = L.create ~ncols ~cfg ~counting:false in
+    emit ly;
+    let k = L.optimal_k ly ~blinding in
+    let built = L.finalize ly ~blinding ~k in
+    let r = check_built ?seed built in
+    Metrics.inc "zkml_constraint_check_gadgets_total"
+      ~help:"Gadget circuits checked in isolation" 1.;
+    r
+
+  (* Every gadget from the §5 library emitted in isolation with pinned
+     (constant-copied) operands, several instances per gadget so packing
+     and lane prefill are exercised. Mirrors test_gadgets coverage. *)
+  let gadget_suite ?seed ~cfg () : (string * report) list =
+    let spec = Layout_spec.default in
+    let via = { Layout_spec.default with Layout_spec.arith = Layout_spec.Via_dot } in
+    let c ly v = Lower.const_opnd ly v in
+    let expose_out ly (o : Lower.opnd) =
+      match o.Lower.cell with
+      | Some cell -> L.expose ly cell o.Lower.v
+      | None -> ()
+    in
+    let tb = cfg.Fx.table_bits in
+    let cases =
+      [
+        ( "sum",
+          9,
+          fun ly ->
+            expose_out ly
+              (Lower.emit_sum ly
+                 (List.map (c ly) [ 3; 1; 4; 1; 5; 9; 2; 6; 5; 3; 5 ])) );
+        ( "dot_plain",
+          9,
+          fun ly ->
+            expose_out ly
+              (Lower.emit_dot_plain ly
+                 (List.map
+                    (fun (a, b) -> (c ly a, c ly b))
+                    [ (2, 3); (4, 5); (6, 7); (1, 8); (3, 3) ])) );
+        ( "dot_bias",
+          10,
+          fun ly ->
+            expose_out ly
+              (Lower.emit_dot_bias ly
+                 (List.map
+                    (fun (a, b) -> (c ly a, c ly b))
+                    [ (2, 3); (4, 5); (6, 7); (1, 8); (3, 3) ])
+                 (c ly 2)) );
+        ( "divround",
+          9,
+          fun ly ->
+            List.iter
+              (fun v ->
+                expose_out ly (Lower.emit_divround ly (c ly v) ~divisor:7))
+              [ 0; 13; -9; 20 ] );
+        ( "vardiv",
+          8,
+          fun ly ->
+            List.iter
+              (fun (a, b) ->
+                expose_out ly (Lower.emit_vardiv ly (c ly a) (c ly b)))
+              [ (10, 3); (0, 1); (-4, 5) ] );
+        ( "add",
+          9,
+          fun ly ->
+            expose_out ly (Lower.emit_binary_custom ly Lower.Badd (c ly 5) (c ly 7))
+        );
+        ( "sub",
+          9,
+          fun ly ->
+            expose_out ly (Lower.emit_binary_custom ly Lower.Bsub (c ly 5) (c ly 9))
+        );
+        ( "mul_raw",
+          9,
+          fun ly ->
+            expose_out ly
+              (Lower.emit_binary_custom ly Lower.Bmul_raw (c ly (-4)) (c ly 7)) );
+        ( "sqdiff_raw",
+          9,
+          fun ly ->
+            expose_out ly
+              (Lower.emit_binary_custom ly Lower.Bsqdiff_raw (c ly 3) (c ly 8)) );
+        ( "max",
+          9,
+          fun ly ->
+            List.iter
+              (fun (a, b) ->
+                expose_out ly
+                  (Lower.emit_binary_custom ly Lower.Bmax (c ly a) (c ly b)))
+              [ (3, 9); (9, 3); (4, 4); (-2, -7) ] );
+        ( "min",
+          9,
+          fun ly ->
+            List.iter
+              (fun (a, b) ->
+                expose_out ly
+                  (Lower.emit_binary_custom ly Lower.Bmin (c ly a) (c ly b)))
+              [ (3, 9); (9, 3); (4, 4); (-2, -7) ] );
+        ( "add_via_dot",
+          9,
+          fun ly ->
+            expose_out ly (Lower.emit_binary ly ~spec:via Lower.Badd (c ly 5) (c ly 7))
+        );
+        ( "square_raw",
+          8,
+          fun ly -> expose_out ly (Lower.emit_square ly ~spec (c ly 6)) );
+        ( "act_relu",
+          8,
+          fun ly ->
+            List.iter
+              (fun v -> expose_out ly (Lower.emit_act_lookup ly "relu" Fx.relu (c ly v)))
+              [ -3; 0; 5 ] );
+        ( "act_exp",
+          8,
+          fun ly ->
+            List.iter
+              (fun v -> expose_out ly (Lower.emit_act_lookup ly "exp" Fx.exp' (c ly v)))
+              [ -7; 0; 2 ] );
+        ( "relu_bits",
+          2 * (tb + 2),
+          fun ly ->
+            List.iter
+              (fun v -> expose_out ly (Lower.emit_relu_bitdecomp ly (c ly v)))
+              [ -5; 0; 7 ] );
+        ( "max_tree",
+          9,
+          fun ly ->
+            expose_out ly
+              (Lower.emit_max_tree ly ~spec (List.map (c ly) [ 4; -2; 9; 9; 1 ]))
+        );
+        ( "softmax",
+          9,
+          fun ly ->
+            List.iter (expose_out ly)
+              (Lower.emit_softmax ly ~spec (List.map (c ly) [ 1; 5; 3 ])) );
+      ]
+    in
+    List.map
+      (fun (name, ncols, emit) -> (name, check_gadget ?seed ~cfg ~ncols emit))
+      cases
+end

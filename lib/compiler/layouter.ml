@@ -11,6 +11,7 @@
 
 module Fx = Zkml_fixed.Fixed
 module C = Zkml_plonkish.Circuit
+module Cs = Zkml_plonkish.Cs
 module E = Zkml_plonkish.Expr
 module Vec = Zkml_util.Vec
 
@@ -37,14 +38,22 @@ type t = {
   fixed_meta : (int * fixed_content) Vec.t;  (* (is_selector as 0/1 via content) *)
   selector_cols : (string, int) Hashtbl.t;
   table_cols : (string, int) Hashtbl.t;  (* first column of the table *)
-  mutable gates : int C.gate list;  (* reverse order *)
-  mutable lookups : int C.lookup list;
+  mutable gates : int Cs.gate list;  (* typed IR, reverse order *)
+  mutable lookups : int Cs.lookup list;
   mutable num_lookup_tables : int;
   mutable copies : (cref * cref) list;
   instance : int Vec.t;
   mutable instance_copies : (cref * int) list;  (* cell = instance row *)
   constants : (int, int) Hashtbl.t;  (* value -> row in constants column *)
   const_values : int Vec.t;
+  row_kinds : string Vec.t;  (* gadget kind owning each content row *)
+  tracked : (int * int, unit) Hashtbl.t;
+      (* semantic advice cells (col, row): gadget outputs, auxiliary
+         witnesses and io cells — the cells the constraint system is
+         supposed to pin down, and so the under-constraint detector's
+         perturbation targets. Operand placements that merely *claim* a
+         fresh cell (weights: existentially quantified) and lane
+         prefills (dead filler) are written with [~track:false]. *)
 }
 
 let create ~ncols ~cfg ~counting =
@@ -69,6 +78,8 @@ let create ~ncols ~cfg ~counting =
       instance_copies = [];
       constants = Hashtbl.create 16;
       const_values = Vec.create 0;
+      row_kinds = Vec.create "";
+      tracked = Hashtbl.create 256;
     }
   in
   (* column 0 is the shared constants column *)
@@ -110,10 +121,51 @@ let new_table t key cols =
   t.num_lookup_tables <- t.num_lookup_tables + 1;
   first
 
-let add_gate t name polys = t.gates <- { C.gate_name = name; polys } :: t.gates
+(** Install a custom gate for the typed IR: on every row,
+    [sel * body = 0] for each of [bodies]. *)
+let add_gate t ~sel name bodies =
+  t.gates <- { Cs.g_name = name; g_sel = sel; g_bodies = bodies } :: t.gates
 
-let add_lookup t name inputs tables =
-  t.lookups <- { C.lookup_name = name; inputs; tables } :: t.lookups
+let table_column t col =
+  match Vec.get t.fixed_meta col with
+  | _, Table_col content -> content
+  | _ ->
+      raise
+        (Layout_invalid
+           (Printf.sprintf "lookup table column %d is not a table" col))
+
+(** Install a lookup argument: typed inputs against the table columns
+    [tables]. Statically checks that the tuple of disabled-row defaults
+    (0 for {!Cs.Li_gated}, [d] for {!Cs.Li_gated_default}) is a real
+    table row — the selector only covers rows the gadget owns, so every
+    other usable row (other kinds' rows, padding) looks the defaults up,
+    and a table missing that tuple would make those rows unprovable. *)
+let add_lookup t ~sel name inputs tables =
+  if List.length inputs <> List.length tables then
+    raise
+      (Layout_invalid (Printf.sprintf "lookup '%s': input/table arity" name));
+  let defaults = List.map (Cs.disabled_value ~zero:0) inputs in
+  let cols = List.map (table_column t) tables in
+  (match cols with
+  | [] -> ()
+  | first :: _ ->
+      let rows =
+        List.fold_left (fun m c -> min m (Array.length c)) (Array.length first)
+          cols
+      in
+      let ok = ref false in
+      for r = 0 to rows - 1 do
+        if (not !ok) && List.for_all2 (fun d c -> c.(r) = d) defaults cols then
+          ok := true
+      done;
+      if not !ok then
+        raise
+          (Layout_invalid
+             (Printf.sprintf
+                "lookup '%s': disabled-row default tuple not in table" name)));
+  t.lookups <-
+    { Cs.l_name = name; l_sel = sel; l_inputs = inputs; l_tables = tables }
+    :: t.lookups
 
 (** Allocate a lane of [width] cells for gadget [kind]. On the kind's
     first use, [register sel_col lanes] must install its gates, lookups
@@ -146,17 +198,25 @@ let alloc_lane ?(prefill = fun ~row:_ ~base:_ -> ()) t ~kind ~width ~register =
         (match Vec.get t.fixed_meta sel_col with
         | _, Selector rows -> rows := row :: !rows
         | _ -> assert false);
-        if not t.counting then
+        if not t.counting then begin
+          Vec.set t.row_kinds row kind;
           for l = 0 to lanes - 1 do
             prefill ~row ~base:(l * width)
-          done;
+          done
+        end;
         (row, 0)
   in
   (row, lane * width)
 
-(** Write a freshly computed value into an advice cell. *)
-let put t ~row ~col ~value =
-  if not t.counting then Vec.set t.advice.(col) row value;
+(** Write a freshly computed value into an advice cell. [track] (default
+    true) marks the cell as one the constraint system must pin down;
+    pass [~track:false] for cells the circuit semantics leaves free
+    (fresh operand claims, lane prefill). *)
+let put ?(track = true) t ~row ~col ~value =
+  if not t.counting then begin
+    Vec.set t.advice.(col) row value;
+    if track then Hashtbl.replace t.tracked (col, row) ()
+  end;
   Adv (col, row)
 
 (** Write an operand: the value plus, when it already lives in a cell, a
@@ -179,12 +239,17 @@ let expose t cell value =
 
 type built = {
   circuit : int C.t;
+  cs : int Cs.t;  (** the typed IR the circuit was erased from *)
   fixed : int array array;
   advice : int array array;
   instance_col : int array;
   rows_content : int;
   table_rows : int;
   copies_count : int;
+  row_kinds : string array;
+      (** gadget kind owning each content row ([""] past the content) *)
+  tracked : (int * int) array;
+      (** semantic advice cells (col, row), sorted by (row, col) *)
 }
 
 let ceil_log2 x =
@@ -252,6 +317,16 @@ let finalize t ~blinding ~k =
   let is_selector =
     Array.init t.num_fixed (fun i -> fst (Vec.get t.fixed_meta i) = 1)
   in
+  let cs : int Cs.t =
+    {
+      Cs.cs_num_fixed = t.num_fixed;
+      cs_num_advice = t.ncols;
+      cs_num_instance = 1;
+      cs_gates = List.rev t.gates;
+      cs_lookups = List.rev t.lookups;
+      cs_copies = copies;
+    }
+  in
   let circuit : int C.t =
     {
       C.k;
@@ -260,20 +335,35 @@ let finalize t ~blinding ~k =
       advice_phases = Array.make t.ncols 0;
       num_instance = 1;
       num_challenges = 0;
-      gates = List.rev t.gates;
-      lookups = List.rev t.lookups;
+      gates = List.map Cs.to_gate cs.Cs.cs_gates;
+      lookups = List.map (Cs.to_lookup ~one:1) cs.Cs.cs_lookups;
       copies;
       blinding;
     }
   in
+  let row_kinds =
+    Array.init t.nrows (fun r ->
+        if r < Vec.length t.row_kinds then Vec.get t.row_kinds r else "")
+  in
+  let tracked =
+    let cells = Hashtbl.fold (fun c () acc -> c :: acc) t.tracked [] in
+    let a = Array.of_list cells in
+    Array.sort
+      (fun (c1, r1) (c2, r2) -> compare (r1, c1) (r2, c2))
+      a;
+    a
+  in
   {
     circuit;
+    cs;
     fixed;
     advice;
     instance_col;
     rows_content = t.nrows;
     table_rows = table_rows t;
     copies_count = List.length copies;
+    row_kinds;
+    tracked;
   }
 
 (** Layout statistics for cost estimation, available in counting mode
@@ -293,13 +383,14 @@ type summary = {
 let summary t =
   let max_deg =
     List.fold_left
-      (fun acc (g : int C.gate) ->
-        List.fold_left (fun a p -> max a (E.degree p)) acc g.polys)
+      (fun acc g ->
+        let g = Cs.to_gate g in
+        List.fold_left (fun a p -> max a (E.degree p)) acc g.C.polys)
       3 t.gates
   in
   let max_deg =
     List.fold_left
-      (fun acc (l : int C.lookup) -> max acc (C.lookup_degree l))
+      (fun acc l -> max acc (C.lookup_degree (Cs.to_lookup ~one:1 l)))
       max_deg t.lookups
   in
   {

@@ -18,6 +18,7 @@
 
 module T = Zkml_tensor.Tensor
 module Fx = Zkml_fixed.Fixed
+module Cs = Zkml_plonkish.Cs
 module E = Zkml_plonkish.Expr
 module L = Layouter
 
@@ -37,24 +38,28 @@ let fresh v = { v; cell = None; slot = None }
 let const_opnd ly c = { v = c; cell = Some (L.constant_cell ly c); slot = None }
 
 (** Place an operand at (row, col): writes the value and adds the copy
-    constraint against its existing cell, or claims the slot. *)
+    constraint against its existing cell, or claims the slot. Slot
+    claims and free placements are written [~track:false]: a fresh
+    operand cell (a weight, or a literal with no home) is existentially
+    quantified by the statement, not a value the constraints must pin
+    down. Copy-tied placements are tracked — the permutation argument
+    pins them to their source. *)
 let place ly ~row ~col o =
   match o.cell with
   | Some c -> ignore (L.put_operand ly ~row ~col (o.v, Some c))
   | None -> (
       match o.slot with
-      | None -> ignore (L.put ly ~row ~col ~value:o.v)
+      | None -> ignore (L.put ly ~track:false ~row ~col ~value:o.v)
       | Some slot -> (
           match !slot with
           | Some c -> ignore (L.put_operand ly ~row ~col (o.v, Some c))
           | None ->
-              let cell = L.put ly ~row ~col ~value:o.v in
+              let cell = L.put ly ~track:false ~row ~col ~value:o.v in
               slot := Some cell))
 
 (** Write a gadget output cell. *)
 let output ly ~row ~col v = of_cell v (L.put ly ~row ~col ~value:v)
 
-let sel col = E.fixed col
 let adv = E.advice
 
 (* ------------------------------------------------------------------ *)
@@ -78,10 +83,12 @@ let act_table ly name fn =
       let t_out = Array.init n (fun i -> Fx.apply_real ly.L.cfg fn (lo + i)) in
       L.new_table ly key [| t_in; t_out |]
 
-(* A range lookup on an input expression gated by selector s. *)
-let add_range_lookup ly ~name ~s expr =
+(* A range lookup on an input expression gated by selector [sel]. The
+   plainly-gated input reads 0 on disabled rows, so Layouter.add_lookup
+   verifies 0 is present in the range table (it is: entry 0). *)
+let add_range_lookup ly ~name ~sel expr =
   let rcol = range_table ly in
-  L.add_lookup ly name [ E.Mul (s, expr) ] [ E.fixed rcol ]
+  L.add_lookup ly ~sel name [ Cs.Li_gated expr ] [ rcol ]
 
 (* ------------------------------------------------------------------ *)
 (* Core gadgets *)
@@ -96,10 +103,9 @@ let rec emit_sum ly (xs : opnd list) : opnd =
       let width = ly.L.ncols in
       let m = width - 1 in
       let register s_col _lanes =
-        let s = sel s_col in
         let terms = List.init m (fun i -> adv i) in
         let total = List.fold_left (fun acc t -> E.Add (acc, t)) (E.Const 0) terms in
-        L.add_gate ly "sum" [ E.Mul (s, E.Sub (adv m, total)) ]
+        L.add_gate ly ~sel:s_col "sum" [ E.Sub (adv m, total) ]
       in
       let rec chunks acc = function
         | [] -> List.rev acc
@@ -132,10 +138,9 @@ let emit_dot_plain ly (pairs : (opnd * opnd) list) : opnd =
   let m = (width - 1) / 2 in
   if m < 1 then raise (L.Layout_invalid "dot needs >= 3 columns");
   let register s_col _lanes =
-    let s = sel s_col in
     let prods = List.init m (fun i -> E.Mul (adv i, adv (m + i))) in
     let total = List.fold_left (fun acc t -> E.Add (acc, t)) (E.Const 0) prods in
-    L.add_gate ly "dot_plain" [ E.Mul (s, E.Sub (adv (2 * m), total)) ]
+    L.add_gate ly ~sel:s_col "dot_plain" [ E.Sub (adv (2 * m), total) ]
   in
   let rec chunks acc = function
     | [] -> List.rev acc
@@ -175,20 +180,16 @@ let emit_dot_bias ly (pairs : (opnd * opnd) list) (bias : opnd) : opnd =
   if m < 1 then raise (L.Layout_invalid "dot_bias needs >= 4 columns");
   let sf = L.sf ly in
   let register_first s_col _ =
-    let s = sel s_col in
     let prods = List.init m (fun i -> E.Mul (adv i, adv (m + i))) in
     let total = List.fold_left (fun acc t -> E.Add (acc, t)) (E.Const 0) prods in
-    L.add_gate ly "dot_bias_first"
-      [ E.Mul
-          (s, E.Sub (adv ((2 * m) + 1), E.Add (E.Scaled (adv (2 * m), sf), total)))
-      ]
+    L.add_gate ly ~sel:s_col "dot_bias_first"
+      [ E.Sub (adv ((2 * m) + 1), E.Add (E.Scaled (adv (2 * m), sf), total)) ]
   in
   let register_acc s_col _ =
-    let s = sel s_col in
     let prods = List.init m (fun i -> E.Mul (adv i, adv (m + i))) in
     let total = List.fold_left (fun acc t -> E.Add (acc, t)) (E.Const 0) prods in
-    L.add_gate ly "dot_bias_acc"
-      [ E.Mul (s, E.Sub (adv ((2 * m) + 1), E.Add (adv (2 * m), total))) ]
+    L.add_gate ly ~sel:s_col "dot_bias_acc"
+      [ E.Sub (adv ((2 * m) + 1), E.Add (adv (2 * m), total)) ]
   in
   let rec chunks acc = function
     | [] -> List.rev acc
@@ -239,27 +240,24 @@ let emit_divround ly (x : opnd) ~divisor : opnd =
   let kind = Printf.sprintf "divround_%d" divisor in
   let width = 3 in
   let register s_col lanes =
-    let s = sel s_col in
-    let polys =
+    let bodies =
       List.init lanes (fun j ->
           let b = j * width in
-          E.Mul
-            ( s,
-              E.Sub
-                ( E.Add (E.Scaled (adv b, 2), E.Const divisor),
-                  E.Add (E.Scaled (adv (b + 1), 2 * divisor), adv (b + 2)) ) ))
+          E.Sub
+            ( E.Add (E.Scaled (adv b, 2), E.Const divisor),
+              E.Add (E.Scaled (adv (b + 1), 2 * divisor), adv (b + 2)) ))
     in
-    L.add_gate ly kind polys;
+    L.add_gate ly ~sel:s_col kind bodies;
     for j = 0 to lanes - 1 do
       let b = j * width in
-      add_range_lookup ly ~name:(kind ^ "-r") ~s (adv (b + 2));
-      add_range_lookup ly ~name:(kind ^ "-rhi") ~s
+      add_range_lookup ly ~name:(kind ^ "-r") ~sel:s_col (adv (b + 2));
+      add_range_lookup ly ~name:(kind ^ "-rhi") ~sel:s_col
         (E.Sub (E.Const ((2 * divisor) - 1), adv (b + 2)))
     done
   in
   (* unused lanes must satisfy 2a + c = 2c q + r: a=0, q=0 forces r=c *)
   let prefill ~row ~base =
-    ignore (L.put ly ~row ~col:(base + 2) ~value:divisor)
+    ignore (L.put ly ~track:false ~row ~col:(base + 2) ~value:divisor)
   in
   let row, base = L.alloc_lane ly ~kind ~width ~register ~prefill in
   place ly ~row ~col:base x;
@@ -275,31 +273,26 @@ let emit_vardiv ly (num : opnd) (den : opnd) : opnd =
   let kind = "vardiv" in
   let width = 4 in
   let register s_col lanes =
-    let s = sel s_col in
-    let polys =
+    let bodies =
       List.init lanes (fun j ->
           let b = j * width in
-          E.Mul
-            ( s,
-              E.Sub
-                ( E.Add (E.Scaled (adv b, 2 * sf), adv (b + 1)),
-                  E.Add
-                    ( E.Scaled (E.Mul (adv (b + 2), adv (b + 1)), 2),
-                      adv (b + 3) ) ) ))
+          E.Sub
+            ( E.Add (E.Scaled (adv b, 2 * sf), adv (b + 1)),
+              E.Add (E.Scaled (E.Mul (adv (b + 2), adv (b + 1)), 2), adv (b + 3))
+            ))
     in
-    L.add_gate ly kind polys;
+    L.add_gate ly ~sel:s_col kind bodies;
     for j = 0 to lanes - 1 do
       let b = j * width in
-      add_range_lookup ly ~name:"vardiv-r" ~s (adv (b + 3));
-      add_range_lookup ly ~name:"vardiv-rhi" ~s
-        (E.Sub
-           (E.Sub (E.Scaled (adv (b + 1), 2), E.Const 1), adv (b + 3)))
+      add_range_lookup ly ~name:"vardiv-r" ~sel:s_col (adv (b + 3));
+      add_range_lookup ly ~name:"vardiv-rhi" ~sel:s_col
+        (E.Sub (E.Sub (E.Scaled (adv (b + 1), 2), E.Const 1), adv (b + 3)))
     done
   in
   (* unused lanes: a=0, b=1, y=0 forces r=1 and keeps 2b-1-r = 0 in range *)
   let prefill ~row ~base =
-    ignore (L.put ly ~row ~col:(base + 1) ~value:1);
-    ignore (L.put ly ~row ~col:(base + 3) ~value:1)
+    ignore (L.put ly ~track:false ~row ~col:(base + 1) ~value:1);
+    ignore (L.put ly ~track:false ~row ~col:(base + 3) ~value:1)
   in
   let row, base = L.alloc_lane ly ~kind ~width ~register ~prefill in
   place ly ~row ~col:base num;
@@ -325,37 +318,33 @@ let emit_binary_custom ly kind (a : opnd) (b : opnd) : opnd =
   let name = binary_name kind in
   let width = 3 in
   let register s_col lanes =
-    let s = sel s_col in
-    let polys =
+    let bodies =
       List.init lanes (fun j ->
           let base = j * width in
           let a = adv base and b = adv (base + 1) and c = adv (base + 2) in
-          let body =
-            match kind with
-            | Badd -> E.Sub (c, E.Add (a, b))
-            | Bsub -> E.Sub (c, E.Sub (a, b))
-            | Bmul_raw -> E.Sub (c, E.Mul (a, b))
-            | Bsqdiff_raw -> E.Sub (c, E.Mul (E.Sub (a, b), E.Sub (a, b)))
-            | Bmax | Bmin -> E.Mul (E.Sub (c, a), E.Sub (c, b))
-          in
-          E.Mul (s, body))
+          match kind with
+          | Badd -> E.Sub (c, E.Add (a, b))
+          | Bsub -> E.Sub (c, E.Sub (a, b))
+          | Bmul_raw -> E.Sub (c, E.Mul (a, b))
+          | Bsqdiff_raw -> E.Sub (c, E.Mul (E.Sub (a, b), E.Sub (a, b)))
+          | Bmax | Bmin -> E.Mul (E.Sub (c, a), E.Sub (c, b)))
     in
-    L.add_gate ly name polys;
+    L.add_gate ly ~sel:s_col name bodies;
     match kind with
     | Bmax ->
         for j = 0 to lanes - 1 do
           let base = j * width in
-          add_range_lookup ly ~name:"max-ca" ~s
+          add_range_lookup ly ~name:"max-ca" ~sel:s_col
             (E.Sub (adv (base + 2), adv base));
-          add_range_lookup ly ~name:"max-cb" ~s
+          add_range_lookup ly ~name:"max-cb" ~sel:s_col
             (E.Sub (adv (base + 2), adv (base + 1)))
         done
     | Bmin ->
         for j = 0 to lanes - 1 do
           let base = j * width in
-          add_range_lookup ly ~name:"min-ac" ~s
+          add_range_lookup ly ~name:"min-ac" ~sel:s_col
             (E.Sub (adv base, adv (base + 2)));
-          add_range_lookup ly ~name:"min-bc" ~s
+          add_range_lookup ly ~name:"min-bc" ~sel:s_col
             (E.Sub (adv (base + 1), adv (base + 2)))
         done
     | _ -> ()
@@ -398,13 +387,12 @@ let emit_square ly ~(spec : Layout_spec.t) a =
   | Layout_spec.Custom_arith ->
       let width = 2 in
       let register s_col lanes =
-        let s = sel s_col in
-        let polys =
+        let bodies =
           List.init lanes (fun j ->
               let b = j * width in
-              E.Mul (s, E.Sub (adv (b + 1), E.Mul (adv b, adv b))))
+              E.Sub (adv (b + 1), E.Mul (adv b, adv b)))
         in
-        L.add_gate ly "square_raw" polys
+        L.add_gate ly ~sel:s_col "square_raw" bodies
       in
       let row, base = L.alloc_lane ly ~kind:"square_raw" ~width ~register in
       place ly ~row ~col:base a;
@@ -418,20 +406,18 @@ let emit_act_lookup ly name fn (x : opnd) : opnd =
   let width = 2 in
   let d1 = Fx.apply_real ly.L.cfg fn 0 in
   let register s_col lanes =
-    let s = sel s_col in
+    (* gated-with-default inputs: disabled rows read the valid table
+       pair (0, f(0)) — d1 may be nonzero, so plain gating would not do *)
     for j = 0 to lanes - 1 do
       let b = j * width in
-      let gate e default =
-        E.Add (E.Mul (s, e), E.Mul (E.Sub (E.Const 1, s), E.Const default))
-      in
-      L.add_lookup ly kind
-        [ gate (adv b) 0; gate (adv (b + 1)) d1 ]
-        [ E.fixed tcol; E.fixed (tcol + 1) ]
+      L.add_lookup ly ~sel:s_col kind
+        [ Cs.Li_gated_default (adv b, 0); Cs.Li_gated_default (adv (b + 1), d1) ]
+        [ tcol; tcol + 1 ]
     done
   in
   (* unused lanes must hold a valid table pair: (0, f(0)) *)
   let prefill ~row ~base =
-    ignore (L.put ly ~row ~col:(base + 1) ~value:d1)
+    ignore (L.put ly ~track:false ~row ~col:(base + 1) ~value:d1)
   in
   let row, base = L.alloc_lane ly ~kind ~width ~register ~prefill in
   place ly ~row ~col:base x;
@@ -450,15 +436,15 @@ let emit_relu_bitdecomp ly (x : opnd) : opnd =
   let width = tb + 2 in
   let kind = "relu_bits" in
   let register s_col lanes =
-    let s = sel s_col in
-    let polys =
+    let bodies =
       List.concat
         (List.init lanes (fun j ->
              let base = j * width in
              let bit i = adv (base + 2 + i) in
+             (* one explicit booleanity constraint per decomposition bit,
+                per lane — every bit cell the kind occupies on a row *)
              let booleans =
-               List.init tb (fun i ->
-                   E.Mul (s, E.Mul (bit i, E.Sub (bit i, E.Const 1))))
+               List.init tb (fun i -> E.Mul (bit i, E.Sub (bit i, E.Const 1)))
              in
              let weighted =
                List.init tb (fun i -> E.Scaled (bit i, 1 lsl i))
@@ -467,20 +453,18 @@ let emit_relu_bitdecomp ly (x : opnd) : opnd =
                List.fold_left (fun acc t -> E.Add (acc, t)) (E.Const 0) weighted
              in
              let recompose =
-               E.Mul
-                 ( s,
-                   E.Sub (E.Add (adv base, E.Const (1 lsl (tb - 1))), total) )
+               E.Sub (E.Add (adv base, E.Const (1 lsl (tb - 1))), total)
              in
              let relu =
-               E.Mul (s, E.Sub (adv (base + 1), E.Mul (adv base, bit (tb - 1))))
+               E.Sub (adv (base + 1), E.Mul (adv base, bit (tb - 1)))
              in
              booleans @ [ recompose; relu ]))
     in
-    L.add_gate ly kind polys
+    L.add_gate ly ~sel:s_col kind bodies
   in
   (* unused lanes: x=0 has offset 2^(tb-1), i.e. only the sign bit set *)
   let prefill ~row ~base =
-    ignore (L.put ly ~row ~col:(base + 2 + (tb - 1)) ~value:1)
+    ignore (L.put ly ~track:false ~row ~col:(base + 2 + (tb - 1)) ~value:1)
   in
   let row, base = L.alloc_lane ly ~kind ~width ~register ~prefill in
   place ly ~row ~col:base x;

@@ -38,10 +38,18 @@ let evaluate ?(k_max = max_int) ~times ~backend ~group_bytes ~field_bytes ~cfg
       in
       Some (k, est_cost, est_size, summary)
 
-let better objective (cost, size) (cost', size') =
+(* Strictly better under the objective. Ties on the primary criterion
+   are broken deterministically — Min_time by (size, k), Min_size by
+   (cost, k) — so the chosen layout does not depend on the candidate
+   iteration order. *)
+let better objective (cost, size, k) (cost', size', k') =
   match objective with
-  | Min_time -> cost < cost'
-  | Min_size -> size < size' || (size = size' && cost < cost')
+  | Min_time ->
+      cost < cost'
+      || (cost = cost' && (size < size' || (size = size' && k < k')))
+  | Min_size ->
+      size < size'
+      || (size = size' && (cost < cost' || (cost = cost' && k < k')))
 
 (** Pruned search (the default, §7.2): one gadget choice per layer class
     for the whole model; sweep the column count. *)
@@ -75,7 +83,9 @@ let optimize ?(specs = Layout_spec.all) ?(ncols_min = 4) ?(ncols_max = 40)
             (match !best with
             | None -> best := Some plan
             | Some b ->
-                if better objective (est_cost, est_size) (b.est_cost, b.est_size)
+                if
+                  better objective (est_cost, est_size, k)
+                    (b.est_cost, b.est_size, b.k)
                 then best := Some plan)
       done)
     specs;
@@ -118,8 +128,8 @@ let optimize_unpruned ?(specs = Layout_spec.all) ?(ncols_min = 4)
                 assignment.(node) <- old
             | Some (k, est_cost, est_size, summary) ->
                 if
-                  better objective (est_cost, est_size)
-                    (!current.est_cost, !current.est_size)
+                  better objective (est_cost, est_size, k)
+                    (!current.est_cost, !current.est_size, !current.k)
                 then begin
                   current :=
                     {

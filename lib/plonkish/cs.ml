@@ -1,0 +1,294 @@
+(** Typed constraint IR.
+
+    {!Circuit} is the untyped wire format the protocol consumes: a bag
+    of polynomial expressions that must vanish, with selector gating,
+    lookup defaults and table references all pre-flattened into the
+    expression trees. This module is the typed source of truth the
+    compiler emits instead (the koika [interp_circuit] idiom: a typed
+    circuit datatype plus a reference interpreter):
+
+    - a {!gate} is a named selector column plus a list of {e ungated}
+      constraint bodies — the semantics "on every row where the selector
+      is 1, each body evaluates to 0" is carried by the type, not by an
+      [E.Mul (sel, body)] convention;
+    - a {!lookup} names its selector, its typed inputs (plainly gated or
+      gated-with-default) and the {e fixed table columns} it reads — not
+      arbitrary expressions, so a checker can enumerate table rows;
+    - copies are cell pairs, as in {!Circuit}.
+
+    {!to_circuit} erases the types back into exactly the expression
+    trees the legacy emission produced (structurally identical ASTs), so
+    keys, transcripts and proofs are byte-for-byte unchanged.
+
+    {!Check} is a total reference evaluator for the IR, independent of
+    the quotient machinery in {!Evaluator}: it walks every constraint on
+    every row directly (the denotational reading of the circuit as
+    equality constraints) and returns the list of violations. The
+    under-constraint detector in [lib/compiler] is built on it. *)
+
+type cell = Circuit.any_col * int
+
+(** A custom gate: on every row, [sel * body = 0] for each body. The
+    selector column is 0/1-valued, so the bodies must vanish on every
+    row the selector covers. *)
+type 'f gate = {
+  g_name : string;
+  g_sel : int;  (** fixed (selector) column *)
+  g_bodies : 'f Expr.t list;  (** un-gated constraint bodies *)
+}
+
+(** A lookup input, typed by its behaviour on rows where the selector is
+    0 (rows owned by other gadget kinds, padding rows): *)
+type 'f lookup_input =
+  | Li_gated of 'f Expr.t
+      (** [sel * e]: reads as [e] on active rows and as [0] on disabled
+          rows — the table must therefore contain 0 in this coordinate *)
+  | Li_gated_default of 'f Expr.t * 'f
+      (** [sel * e + (1 - sel) * d]: reads as [e] on active rows and as
+          the default [d] on disabled rows *)
+
+(** A lookup argument: on every usable row, the tuple of evaluated
+    inputs must equal the tuple of table-column entries of {e some}
+    usable row. *)
+type 'f lookup = {
+  l_name : string;
+  l_sel : int;  (** fixed (selector) column gating the inputs *)
+  l_inputs : 'f lookup_input list;
+  l_tables : int list;  (** fixed table columns, one per input *)
+}
+
+type 'f t = {
+  cs_num_fixed : int;
+  cs_num_advice : int;
+  cs_num_instance : int;
+  cs_gates : 'f gate list;
+  cs_lookups : 'f lookup list;
+  cs_copies : (cell * cell) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Erasure to the wire-format circuit pieces. The reconstructed ASTs
+   must match the legacy emission *structurally* (same constructors in
+   the same places), because expression identity feeds the compiled
+   evaluator's CSE and the degree computation. *)
+
+let sel_expr sel = Expr.Fixed { Expr.col = sel; rot = 0 }
+
+let gate_poly ~sel body = Expr.Mul (sel_expr sel, body)
+
+let lookup_input_expr ~one ~sel = function
+  | Li_gated e -> Expr.Mul (sel_expr sel, e)
+  | Li_gated_default (e, d) ->
+      Expr.Add
+        ( Expr.Mul (sel_expr sel, e),
+          Expr.Mul (Expr.Sub (Expr.Const one, sel_expr sel), Expr.Const d) )
+
+let to_gate (g : 'f gate) : 'f Circuit.gate =
+  {
+    Circuit.gate_name = g.g_name;
+    polys = List.map (gate_poly ~sel:g.g_sel) g.g_bodies;
+  }
+
+let to_lookup ~one (l : 'f lookup) : 'f Circuit.lookup =
+  {
+    Circuit.lookup_name = l.l_name;
+    inputs = List.map (lookup_input_expr ~one ~sel:l.l_sel) l.l_inputs;
+    tables = List.map (fun c -> Expr.Fixed { Expr.col = c; rot = 0 }) l.l_tables;
+  }
+
+(** The value an input takes on a row where the selector is 0. *)
+let disabled_value ~zero = function
+  | Li_gated _ -> zero
+  | Li_gated_default (_, d) -> d
+
+let map_input f = function
+  | Li_gated e -> Li_gated (Expr.map_const f e)
+  | Li_gated_default (e, d) -> Li_gated_default (Expr.map_const f e, f d)
+
+let map_const f t =
+  {
+    t with
+    cs_gates =
+      List.map
+        (fun g -> { g with g_bodies = List.map (Expr.map_const f) g.g_bodies })
+        t.cs_gates;
+    cs_lookups =
+      List.map
+        (fun l -> { l with l_inputs = List.map (map_input f) l.l_inputs })
+        t.cs_lookups;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reference checker *)
+
+type violation =
+  | V_gate of { gate : string; body : int; row : int }
+      (** [body]-th constraint of [gate] does not vanish at [row] *)
+  | V_lookup of { lookup : string; row : int }
+      (** the input tuple at [row] is not a usable table row *)
+  | V_lookup_default of { lookup : string }
+      (** the disabled-row tuple (the inputs' defaults) is missing from
+          the table, so every row not owned by the gadget is
+          unsatisfiable *)
+  | V_copy of { a : cell; b : cell }  (** copied cells hold different values *)
+  | V_structure of { what : string }
+      (** malformed IR: a query outside the declared grids *)
+
+let pp_col = function
+  | Circuit.Col_fixed i -> Printf.sprintf "fixed[%d]" i
+  | Circuit.Col_advice i -> Printf.sprintf "advice[%d]" i
+  | Circuit.Col_instance i -> Printf.sprintf "instance[%d]" i
+
+let violation_to_string = function
+  | V_gate { gate; body; row } ->
+      Printf.sprintf "gate '%s' constraint %d violated at row %d" gate body row
+  | V_lookup { lookup; row } ->
+      Printf.sprintf "lookup '%s' input tuple at row %d not in table" lookup row
+  | V_lookup_default { lookup } ->
+      Printf.sprintf "lookup '%s': disabled-row default tuple not in table"
+        lookup
+  | V_copy { a = ca, ra; b = cb, rb } ->
+      Printf.sprintf "copy constraint violated: %s row %d <> %s row %d"
+        (pp_col ca) ra (pp_col cb) rb
+  | V_structure { what } -> Printf.sprintf "malformed constraint system: %s" what
+
+(** Total reference interpreter over any field. Evaluates the
+    denotational semantics of the IR directly: gates on all [n] rows
+    (blinding rows are covered because selectors vanish there), lookups
+    and copies on the usable-row prefix, mirroring the protocol's
+    active-row factor. Never raises — structural problems come back as
+    {!V_structure}. *)
+module Check (F : sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val neg : t -> t
+  val equal : t -> t -> bool
+  val is_zero : t -> bool
+  val to_bytes : t -> string
+end) =
+struct
+  exception Bad_structure of string
+
+  type grids = {
+    n : int;  (** 2^k rows *)
+    usable : int;  (** rows [0, usable) carry content and tables *)
+    fixed : F.t array array;
+    advice : F.t array array;
+    instance : F.t array array;
+  }
+
+  let cell_at g (col, row) =
+    let grab grid i what =
+      if i < 0 || i >= Array.length grid then
+        raise (Bad_structure (Printf.sprintf "%s column %d out of range" what i))
+      else grid.(i).(row)
+    in
+    match col with
+    | Circuit.Col_fixed i -> grab g.fixed i "fixed"
+    | Circuit.Col_advice i -> grab g.advice i "advice"
+    | Circuit.Col_instance i -> grab g.instance i "instance"
+
+  let eval_at g ~row e =
+    let at grid what (col : int) rot =
+      if col < 0 || col >= Array.length grid then
+        raise
+          (Bad_structure (Printf.sprintf "%s column %d out of range" what col))
+      else begin
+        let r = (row + rot) mod g.n in
+        let r = if r < 0 then r + g.n else r in
+        grid.(col).(r)
+      end
+    in
+    Expr.eval ~fixed_at:(at g.fixed "fixed") ~advice_at:(at g.advice "advice")
+      ~instance_at:(at g.instance "instance")
+      ~challenge:(fun _ -> raise (Bad_structure "challenge in compiler IR"))
+      ~add:F.add ~sub:F.sub ~mul:F.mul ~neg:F.neg ~scale:F.mul e
+
+  (* Lookup membership works on serialized tuples so collision-free
+     hashing needs nothing from the field beyond [to_bytes]. *)
+  let tuple_key vs = String.concat "|" (List.map F.to_bytes vs)
+
+  let table_rows g (l : F.t lookup) =
+    let set = Hashtbl.create 256 in
+    for row = 0 to g.usable - 1 do
+      let tup = List.map (fun c -> cell_at g (Circuit.Col_fixed c, row)) l.l_tables in
+      Hashtbl.replace set (tuple_key tup) ()
+    done;
+    set
+
+  let input_value g ~row ~sel input =
+    let s = cell_at g (Circuit.Col_fixed sel, row) in
+    match input with
+    | Li_gated e -> F.mul s (eval_at g ~row e)
+    | Li_gated_default (e, d) ->
+        F.add (F.mul s (eval_at g ~row e)) (F.mul (F.sub F.one s) d)
+
+  (** Check one gate on one row. *)
+  let gate_holds_at g (gate : F.t gate) ~row =
+    let s = cell_at g (Circuit.Col_fixed gate.g_sel, row) in
+    if F.is_zero s then `Ok
+    else begin
+      let rec go i = function
+        | [] -> `Ok
+        | b :: rest ->
+            if F.is_zero (F.mul s (eval_at g ~row b)) then go (i + 1) rest
+            else `Violated i
+      in
+      go 0 gate.g_bodies
+    end
+
+  (** Check one lookup's input tuple on one row against a precomputed
+      table-row set. *)
+  let lookup_holds_at g (l : F.t lookup) ~table ~row =
+    let tup = List.map (input_value g ~row ~sel:l.l_sel) l.l_inputs in
+    Hashtbl.mem table (tuple_key tup)
+
+  (** Static check: the all-defaults tuple must be a table row, or every
+      row not owned by the gadget is unsatisfiable (and a malicious
+      table could make them spuriously pass; see lower.ml
+      [add_range_lookup]). *)
+  let defaults_in_table (l : F.t lookup) ~table =
+    let tup = List.map (disabled_value ~zero:F.zero) l.l_inputs in
+    Hashtbl.mem table (tuple_key tup)
+
+  let check (cs : F.t t) (g : grids) : violation list =
+    let out = ref [] in
+    let push v = out := v :: !out in
+    (try
+       (* gates: every row of the domain (selectors vanish outside the
+          rows their kind owns, including blinding rows) *)
+       List.iter
+         (fun gate ->
+           for row = 0 to g.n - 1 do
+             match gate_holds_at g gate ~row with
+             | `Ok -> ()
+             | `Violated body -> push (V_gate { gate = gate.g_name; body; row })
+           done)
+         cs.cs_gates;
+       (* lookups: the protocol's active-row factor covers [0, usable) *)
+       List.iter
+         (fun l ->
+           let table = table_rows g l in
+           if not (defaults_in_table l ~table) then
+             push (V_lookup_default { lookup = l.l_name });
+           for row = 0 to g.usable - 1 do
+             if not (lookup_holds_at g l ~table ~row) then
+               push (V_lookup { lookup = l.l_name; row })
+           done)
+         cs.cs_lookups;
+       (* copies (the permutation argument's semantics over usable rows) *)
+       List.iter
+         (fun (a, b) ->
+           if not (F.equal (cell_at g a) (cell_at g b)) then
+             push (V_copy { a; b }))
+         cs.cs_copies
+     with Bad_structure what -> push (V_structure { what }));
+    List.rev !out
+
+  let accepts cs g = check cs g = []
+end

@@ -156,6 +156,33 @@ let test_optimizer_monotone_rows () =
   Alcotest.(check bool) "16 <= 8 cols" true (rows 16 <= rows 8);
   Alcotest.(check bool) "32 <= 16 cols" true (rows 32 <= rows 16)
 
+let test_better_tiebreak () =
+  let check name exp got = Alcotest.(check bool) name exp got in
+  (* primary criteria *)
+  check "time: lower cost wins" true
+    (Opt.better Opt.Min_time (1.0, 500, 9) (2.0, 10, 5));
+  check "size: smaller size wins" true
+    (Opt.better Opt.Min_size (9.0, 10, 9) (1.0, 11, 5));
+  (* two equal-cost candidates: Min_time breaks the tie by size, then
+     k, so the chosen layout cannot depend on iteration order *)
+  check "time tie: smaller size wins" true
+    (Opt.better Opt.Min_time (1.0, 10, 9) (1.0, 11, 5));
+  check "time tie: larger size loses" false
+    (Opt.better Opt.Min_time (1.0, 11, 5) (1.0, 10, 9));
+  check "time tie: equal size, smaller k wins" true
+    (Opt.better Opt.Min_time (1.0, 10, 5) (1.0, 10, 6));
+  check "time: identical candidate is not better" false
+    (Opt.better Opt.Min_time (1.0, 10, 5) (1.0, 10, 5));
+  (* two equal-size candidates: Min_size breaks the tie by cost, then k *)
+  check "size tie: cheaper wins" true
+    (Opt.better Opt.Min_size (1.0, 10, 9) (2.0, 10, 5));
+  check "size tie: costlier loses" false
+    (Opt.better Opt.Min_size (2.0, 10, 5) (1.0, 10, 9));
+  check "size tie: equal cost, smaller k wins" true
+    (Opt.better Opt.Min_size (1.0, 10, 5) (1.0, 10, 6));
+  check "size: identical candidate is not better" false
+    (Opt.better Opt.Min_size (1.0, 10, 5) (1.0, 10, 5))
+
 let test_unpruned_not_worse () =
   let g = small_mlp () in
   let qinput = T.map (Fx.quantize cfg) (sample_input ()) in
@@ -255,6 +282,7 @@ let () =
       ( "optimizer",
         [ Alcotest.test_case "row_exactness" `Quick test_optimizer_row_exactness;
           Alcotest.test_case "monotone_rows" `Quick test_optimizer_monotone_rows;
+          Alcotest.test_case "better_tiebreak" `Quick test_better_tiebreak;
           Alcotest.test_case "unpruned" `Slow test_unpruned_not_worse;
           Alcotest.test_case "size_objective" `Slow test_size_objective
         ] )

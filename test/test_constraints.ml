@@ -1,0 +1,358 @@
+(* Constraint-IR and under-constraint-detector tests.
+
+   Covers the typed IR's reference checker ({!Cs.Check}), the
+   second-witness detector ({!Constraint_check}), the construction-time
+   lookup-default validation in {!Layouter.add_lookup}, the bitdecomp
+   ReLU booleanity regression, the optimizer tie-break, and a
+   differential property: on random small circuits the reference
+   checker and the full prove/verify pipeline accept exactly the same
+   witnesses. *)
+
+module C = Zkml_plonkish.Circuit
+module Cs = Zkml_plonkish.Cs
+module E = Zkml_plonkish.Expr
+module L = Zkml_compiler.Layouter
+module Lo = Zkml_compiler.Lower
+module Fx = Zkml_fixed.Fixed
+module Spec = Zkml_compiler.Layout_spec
+module Opt = Zkml_compiler.Optimizer
+module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Kzg = Zkml_commit.Kzg.Make (Sim61)
+module Proto = Zkml_plonkish.Protocol.Make (Kzg)
+module F = Zkml_ff.Fp61
+module CC = Zkml_compiler.Constraint_check.Make (F)
+module Chk = CC.Chk
+
+let cfg = { Fx.scale_bits = 5; table_bits = 9 }
+let blinding = 5
+let params = lazy (Kzg.setup ~max_size:(1 lsl 11) ~seed:"constraint-test")
+
+let build ?(ncols = 9) emit =
+  let ly = L.create ~ncols ~cfg ~counting:false in
+  emit ly;
+  let k = L.optimal_k ly ~blinding in
+  L.finalize ly ~blinding ~k
+
+let grids_of (built : L.built) =
+  {
+    Chk.n = 1 lsl built.L.circuit.C.k;
+    usable = C.last_row built.L.circuit;
+    fixed = Array.map (Array.map F.of_int) built.L.fixed;
+    advice = Array.map (Array.map F.of_int) built.L.advice;
+    instance = [| Array.map F.of_int built.L.instance_col |];
+  }
+
+let cs_of (built : L.built) = Cs.map_const F.of_int built.L.cs
+
+let circuit_f (built : L.built) =
+  let c = built.L.circuit in
+  {
+    C.k = c.C.k;
+    num_fixed = c.C.num_fixed;
+    is_selector = c.C.is_selector;
+    advice_phases = c.C.advice_phases;
+    num_instance = c.C.num_instance;
+    num_challenges = c.C.num_challenges;
+    gates =
+      List.map
+        (fun (g : int C.gate) ->
+          { C.gate_name = g.C.gate_name;
+            polys = List.map (E.map_const F.of_int) g.C.polys
+          })
+        c.C.gates;
+    lookups =
+      List.map
+        (fun (l : int C.lookup) ->
+          { C.lookup_name = l.C.lookup_name;
+            inputs = List.map (E.map_const F.of_int) l.C.inputs;
+            tables = List.map (E.map_const F.of_int) l.C.tables
+          })
+        c.C.lookups;
+    copies = c.C.copies;
+    blinding = c.C.blinding;
+  }
+
+let keys_of (built : L.built) =
+  Proto.keygen (Lazy.force params) (circuit_f built)
+    ~fixed:(Array.map (Array.map F.of_int) built.L.fixed)
+
+(* Prove with the given advice grid and verify against the honest keys
+   and instance. The prover refusing (raising) counts as a rejection. *)
+let protocol_accepts (built : L.built) keys ~advice =
+  let instance = [| Array.map F.of_int built.L.instance_col |] in
+  match
+    Proto.prove (Lazy.force params) keys ~instance
+      ~advice:(fun _ -> Array.map Array.copy advice)
+      ~rng:(Zkml_util.Rng.create 5L)
+  with
+  | exception _ -> false
+  | proof -> Proto.verify (Lazy.force params) keys ~instance proof
+
+let check_no_violations name vs =
+  Alcotest.(check (list string)) name [] (List.map Cs.violation_to_string vs)
+
+(* ------------------------------------------------------------------ *)
+(* Detector: the whole gadget library is fully constrained *)
+
+let test_gadget_suite_clean () =
+  List.iter
+    (fun (name, r) ->
+      check_no_violations (name ^ ": honest witness") r.CC.r_honest;
+      (match r.CC.r_findings with
+      | [] -> ()
+      | f :: _ -> Alcotest.failf "%s: %s" name (CC.pp_finding f));
+      Alcotest.(check bool) (name ^ ": perturbed some cells") true
+        (r.CC.r_cells > 0))
+    (CC.gadget_suite ~seed:99L ~cfg ())
+
+(* Detector efficacy: a tracked cell no constraint reads must be
+   flagged as a second witness. *)
+let test_detector_flags_free_cell () =
+  let built =
+    build ~ncols:4 (fun ly ->
+        let register s_col _lanes =
+          L.add_gate ly ~sel:s_col "leaky" [ E.Sub (E.advice 1, E.advice 0) ]
+        in
+        let row, base = L.alloc_lane ly ~kind:"leaky" ~width:4 ~register in
+        ignore (L.put ly ~row ~col:base ~value:3);
+        ignore (L.put ly ~row ~col:(base + 1) ~value:3);
+        ignore (L.put ly ~row ~col:(base + 2) ~value:7))
+  in
+  let r = CC.check_built ~seed:7L built in
+  check_no_violations "honest witness" r.CC.r_honest;
+  match r.CC.r_findings with
+  | [ f ] ->
+      Alcotest.(check int) "free cell column" 2 f.CC.f_col;
+      Alcotest.(check string) "owning gadget" "leaky" f.CC.f_gadget
+  | fs ->
+      Alcotest.failf "expected exactly the free cell flagged, got %d findings"
+        (List.length fs)
+
+(* Detector efficacy on the classic gadget bug: a max-style gate
+   (c - a)(c - b) = 0 without the range lookups that pick the larger
+   root. The output can move to the other root — a second witness. *)
+let test_detector_flags_missing_range () =
+  let built =
+    build ~ncols:4 (fun ly ->
+        let register s_col _lanes =
+          L.add_gate ly ~sel:s_col "bad_max"
+            [
+              E.Mul
+                ( E.Sub (E.advice 2, E.advice 0),
+                  E.Sub (E.advice 2, E.advice 1) );
+            ]
+        in
+        let row, base = L.alloc_lane ly ~kind:"bad_max" ~width:4 ~register in
+        ignore (L.put ly ~track:false ~row ~col:base ~value:0);
+        ignore (L.put ly ~track:false ~row ~col:(base + 1) ~value:1);
+        ignore (L.put ly ~row ~col:(base + 2) ~value:1))
+  in
+  let r = CC.check_built ~seed:7L built in
+  check_no_violations "honest witness" r.CC.r_honest;
+  match r.CC.r_findings with
+  | [ f ] ->
+      Alcotest.(check int) "unranged output column" 2 f.CC.f_col;
+      Alcotest.(check string) "second witness is the other root"
+        (F.to_hex F.zero)
+        (F.to_hex f.CC.f_alternative)
+  | fs ->
+      Alcotest.failf "expected the unranged max output flagged, got %d findings"
+        (List.length fs)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: padding rows and the range table's 0 entry *)
+
+let test_padding_rows_and_range_zero () =
+  let rcol = ref (-1) in
+  let built =
+    build ~ncols:9 (fun ly ->
+        List.iter
+          (fun v ->
+            ignore (Lo.emit_divround ly (Lo.const_opnd ly v) ~divisor:7))
+          [ 0; 13; -9; 20 ];
+        rcol := Hashtbl.find ly.L.table_cols "range")
+  in
+  let grids = grids_of built and cs = cs_of built in
+  (* the circuit really has padding rows between content and blinding *)
+  Alcotest.(check bool) "padding rows exist" true
+    (grids.Chk.usable > built.L.rows_content);
+  Alcotest.(check string) "range table contains 0" (F.to_hex F.zero)
+    (F.to_hex grids.Chk.fixed.(!rcol).(0));
+  check_no_violations "honest witness (padding rows included)"
+    (Chk.check cs grids);
+  (* remove 0 from the range table: every row not owned by the gadget
+     reads the gated input as 0 and must now fail, including padding *)
+  grids.Chk.fixed.(!rcol).(0) <- F.one;
+  let vs = Chk.check cs grids in
+  Alcotest.(check bool) "default tuple flagged" true
+    (List.exists (function Cs.V_lookup_default _ -> true | _ -> false) vs);
+  Alcotest.(check bool) "a padding row fails the lookup" true
+    (List.exists
+       (function
+         | Cs.V_lookup { row; _ } -> row >= built.L.rows_content
+         | _ -> false)
+       vs)
+
+let test_add_lookup_rejects_missing_default () =
+  let ly = L.create ~ncols:4 ~cfg ~counting:false in
+  let tcol = L.new_table ly "no_zero" [| [| 1; 2; 3 |] |] in
+  let sel = L.new_selector ly "t" in
+  Alcotest.check_raises "plainly-gated input needs 0 in the table"
+    (L.Layout_invalid "lookup 'bad': disabled-row default tuple not in table")
+    (fun () -> L.add_lookup ly ~sel "bad" [ Cs.Li_gated (E.advice 0) ] [ tcol ]);
+  (* a default that is a real table entry registers fine *)
+  L.add_lookup ly ~sel "good" [ Cs.Li_gated_default (E.advice 0, 2) ] [ tcol ]
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: bitdecomp ReLU booleanity / bit-flip second witness *)
+
+let test_relu_bit_flip_rejected () =
+  let tb = cfg.Fx.table_bits in
+  let built =
+    build
+      ~ncols:(2 * (tb + 2))
+      (fun ly ->
+        List.iter
+          (fun v ->
+            let o = Lo.emit_relu_bitdecomp ly (Lo.const_opnd ly v) in
+            L.expose ly (Option.get o.Lo.cell) o.Lo.v)
+          [ -5; 0; 7 ])
+  in
+  let grids = grids_of built and cs = cs_of built in
+  check_no_violations "honest witness" (Chk.check cs grids);
+  let keys = keys_of built in
+  Alcotest.(check bool) "honest proof verifies" true
+    (protocol_accepts built keys ~advice:grids.Chk.advice);
+  (* flipping any single decomposition bit of the first lane must break
+     a constraint: booleanity keeps the cell in {0,1} and the offset
+     recomposition pins the weighted bit sum *)
+  for row = 0 to built.L.rows_content - 1 do
+    for i = 0 to tb - 1 do
+      let col = 2 + i in
+      let v = grids.Chk.advice.(col).(row) in
+      grids.Chk.advice.(col).(row) <- (if F.is_zero v then F.one else F.zero);
+      Alcotest.(check bool)
+        (Printf.sprintf "bit %d flip on row %d caught" i row)
+        false (Chk.accepts cs grids);
+      grids.Chk.advice.(col).(row) <- v
+    done
+  done;
+  (* one representative bit flip through the real prover/verifier *)
+  let flipped = Array.map Array.copy grids.Chk.advice in
+  flipped.(2).(0) <-
+    (if F.is_zero flipped.(2).(0) then F.one else F.zero);
+  Alcotest.(check bool) "flipped-bit witness rejected by protocol" false
+    (protocol_accepts built keys ~advice:flipped);
+  (* a non-boolean bit value trips the explicit booleanity constraint *)
+  let nonbool = Array.map Array.copy grids.Chk.advice in
+  nonbool.(2).(0) <- F.of_int 2;
+  Alcotest.(check bool) "non-boolean bit caught by reference checker" false
+    (Chk.accepts cs { grids with Chk.advice = nonbool });
+  Alcotest.(check bool) "non-boolean bit rejected by protocol" false
+    (protocol_accepts built keys ~advice:nonbool)
+
+(* ------------------------------------------------------------------ *)
+(* Differential property: reference checker == prove/verify *)
+
+(* A random small circuit over the real gadget library: binary
+   arithmetic, max (range lookups), sums, relu lookups, with operand
+   reuse inducing copy constraints. Values are kept small enough that
+   every range/act lookup stays in table. *)
+let random_circuit st =
+  let nops = 2 + Random.State.int st 5 in
+  build ~ncols:9 (fun ly ->
+      let pool =
+        ref
+          (List.map
+             (fun v -> Lo.const_opnd ly v)
+             [ Random.State.int st 15 - 7; Random.State.int st 15 - 7; 5 ])
+      in
+      let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+      let push (o : Lo.opnd) = if abs o.Lo.v <= 120 then pool := o :: !pool in
+      for _ = 1 to nops do
+        match Random.State.int st 5 with
+        | 0 -> push (Lo.emit_binary_custom ly Lo.Badd (pick ()) (pick ()))
+        | 1 -> push (Lo.emit_binary_custom ly Lo.Bsub (pick ()) (pick ()))
+        | 2 -> push (Lo.emit_binary_custom ly Lo.Bmax (pick ()) (pick ()))
+        | 3 -> push (Lo.emit_sum ly [ pick (); pick (); pick () ])
+        | 4 ->
+            let x = pick () in
+            if x.Lo.v >= Fx.table_min cfg && x.Lo.v <= Fx.table_max cfg then
+              push (Lo.emit_act_lookup ly "relu" Fx.relu x)
+            else push (Lo.emit_binary_custom ly Lo.Badd x (Lo.const_opnd ly 1))
+        | _ -> assert false
+      done;
+      List.iteri
+        (fun i (o : Lo.opnd) ->
+          if i < 2 then
+            match o.Lo.cell with
+            | Some cell -> L.expose ly cell o.Lo.v
+            | None -> ())
+        !pool)
+
+let prop_reference_matches_protocol seed =
+  let st = Random.State.make [| seed |] in
+  let built = random_circuit st in
+  let grids = grids_of built and cs = cs_of built in
+  let keys = keys_of built in
+  let agree advice =
+    let ref_ok = Chk.accepts cs { grids with Chk.advice = advice } in
+    let proto_ok = protocol_accepts built keys ~advice in
+    if ref_ok <> proto_ok then
+      QCheck.Test.fail_reportf
+        "seed %d: reference checker says %b, protocol says %b" seed ref_ok
+        proto_ok;
+    ref_ok
+  in
+  if not (agree grids.Chk.advice) then
+    QCheck.Test.fail_reportf "seed %d: honest witness rejected by both" seed;
+  (* random single-cell perturbations anywhere in the content region:
+     both sides must reach the same verdict (almost always reject;
+     agreeing accepts — e.g. a dead prefill cell — are equally fine) *)
+  for _ = 1 to 2 do
+    let col = Random.State.int st 9 in
+    let row = Random.State.int st built.L.rows_content in
+    let advice = Array.map Array.copy grids.Chk.advice in
+    advice.(col).(row) <-
+      F.add advice.(col).(row) (F.of_int (1 + Random.State.int st 5));
+    ignore (agree advice)
+  done;
+  true
+
+let prop_tests =
+  [
+    QCheck.Test.make ~name:"reference checker agrees with prove/verify"
+      ~count:8
+      QCheck.(int_range 0 10_000)
+      prop_reference_matches_protocol;
+  ]
+
+let () =
+  Alcotest.run "constraints"
+    ([
+       ( "detector",
+         [
+           Alcotest.test_case "gadget suite clean" `Quick
+             test_gadget_suite_clean;
+           Alcotest.test_case "flags free cell" `Quick
+             test_detector_flags_free_cell;
+           Alcotest.test_case "flags missing range" `Quick
+             test_detector_flags_missing_range;
+         ] );
+       ( "lookup_defaults",
+         [
+           Alcotest.test_case "padding rows and range zero" `Quick
+             test_padding_rows_and_range_zero;
+           Alcotest.test_case "add_lookup validation" `Quick
+             test_add_lookup_rejects_missing_default;
+         ] );
+       ( "relu_bits",
+         [
+           Alcotest.test_case "bit flip rejected" `Quick
+             test_relu_bit_flip_rejected;
+         ] );
+     ]
+    @ [
+        ( "differential",
+          List.map (QCheck_alcotest.to_alcotest ~long:false) prop_tests );
+      ])
