@@ -1,4 +1,4 @@
-.PHONY: all build test check check-constraints fmt smoke soundness fuzz bench bench-par bench-batch bench-quotient bench-kernels bench-ff bench-msm bench-regress clean
+.PHONY: all build test check check-constraints fmt smoke serve-smoke soundness fuzz bench bench-par bench-batch bench-quotient bench-kernels bench-ff bench-msm bench-serve bench-regress clean
 
 all: build
 
@@ -21,6 +21,7 @@ check: fmt build
 	ZKML_JOBS=1 dune runtest --force
 	ZKML_JOBS=4 dune runtest --force
 	$(MAKE) check-constraints
+	$(MAKE) serve-smoke
 	-$(MAKE) bench-regress
 
 # Under-constraint detector (hard gate): run the gadget isolation suite
@@ -50,9 +51,23 @@ smoke: build
 	dune exec bin/zkml_cli.exe -- profile mnist --trace /tmp/zkml-trace.json
 	@echo "chrome trace written to /tmp/zkml-trace.json"
 
-# Long deterministic malformed-input fuzz over the model-text and
-# proof-file corpora. Seeded, so a failure reproduces exactly; exits
-# non-zero if any mutant is accepted or any exception escapes.
+# Serving-daemon smoke test: fork a unix-socket daemon, replay 30
+# seeded mixed requests (proves, verifies of honest and tampered
+# proofs, malformed frames, pings) at concurrency 3, then shut it down
+# over the wire. The loadgen asserts every expected answer — tampered
+# proofs must come back verdict 1, malformed frames verdict 2, the
+# daemon must survive all of it and exit 0 — and itself exits non-zero
+# on any miss, so this target is a hard gate in `make check`.
+SERVE_SMOKE_SOCK ?= /tmp/zkml-serve-smoke-$(shell echo $$$$).sock
+serve-smoke: build
+	dune exec bin/zkml_cli.exe -- loadgen --spawn \
+		--socket $(SERVE_SMOKE_SOCK) \
+		--seed 9 --requests 30 --concurrency 3 --models mnist,dlrm
+
+# Long deterministic malformed-input fuzz over the model-text,
+# proof-file and wire-frame corpora. Seeded, so a failure reproduces
+# exactly; exits non-zero if any mutant is accepted or any exception
+# escapes.
 fuzz: build
 	dune exec bin/zkml_cli.exe -- fuzz --iters 2000 --seed 42
 
@@ -95,9 +110,19 @@ bench-msm: build
 	ZKML_BENCH_DIR=_build/bench ZKML_BENCH_KERNELS=msm,ntt \
 		dune exec bench/main.exe -- kernels
 
+# Serving-daemon load benchmark: spawn a daemon, replay the full seeded
+# mix and write the per-kind latency percentiles + proofs/sec to the
+# committed BENCH_PR9.json baseline (schema {"bench":"serve",...}).
+bench-serve: build
+	dune exec bin/zkml_cli.exe -- loadgen --spawn \
+		--socket /tmp/zkml-bench-serve-$(shell echo $$$$).sock \
+		--seed 9 --requests 60 --concurrency 4 --models mnist,dlrm \
+		--bench-out BENCH_PR9.json
+
 # Bench-regression gate: re-measure a reduced par + quotient sample
-# plus the kernel microbenchmarks into $(REGRESS_DIR) and compare
-# per-key medians against the committed BENCH_PR2/PR5/PR7 baselines. A key regresses when
+# plus the kernel microbenchmarks and a serving-daemon load sample into
+# $(REGRESS_DIR) and compare
+# per-key medians against the committed BENCH_PR2/PR5/PR7/PR9 baselines. A key regresses when
 # current > baseline * REGRESS_THRESHOLD. Warn-only by default (always
 # exits 0); STRICT=1 makes a regression fail the target. Tune the
 # sample with REGRESS_MODELS / REGRESS_JOBS.
@@ -112,11 +137,16 @@ bench-regress: build
 		dune exec bench/main.exe -- quotient
 	ZKML_BENCH_DIR=$(REGRESS_DIR) \
 		dune exec bench/main.exe -- kernels
+	dune exec bin/zkml_cli.exe -- loadgen --spawn \
+		--socket /tmp/zkml-regress-serve-$(shell echo $$$$).sock \
+		--seed 9 --requests 30 --concurrency 3 --models $(REGRESS_MODELS) \
+		--bench-out $(REGRESS_DIR)/BENCH_PR9.json
 	dune exec bench/regress.exe -- --threshold $(REGRESS_THRESHOLD) \
 		$(if $(STRICT),--strict,) \
 		--baseline BENCH_PR2.json --current $(REGRESS_DIR)/BENCH_PR2.json \
 		--baseline BENCH_PR5.json --current $(REGRESS_DIR)/BENCH_PR5.json \
-		--baseline BENCH_PR7.json --current $(REGRESS_DIR)/BENCH_PR7.json
+		--baseline BENCH_PR7.json --current $(REGRESS_DIR)/BENCH_PR7.json \
+		--baseline BENCH_PR9.json --current $(REGRESS_DIR)/BENCH_PR9.json
 
 clean:
 	dune clean

@@ -22,6 +22,14 @@
                                      (optionally after a cached prove+
                                      verify run of MODEL) as a summary,
                                      Prometheus text or JSON
+     zkml serve                      persistent proving daemon: binary
+                                     wire protocol over unix socket or
+                                     loopback TCP, queued multi-tenant
+                                     prove/verify jobs, admission control
+     zkml loadgen                    seeded deterministic traffic replay
+                                     against a daemon; asserts every
+                                     answer, reports latency percentiles
+                                     and proofs/sec
 
    `zkml verify` exits 0 when the proof is accepted, 1 when it parses
    but the verifier rejects it, and 2 with a one-line diagnostic when
@@ -45,23 +53,27 @@ module Spec = Zkml_compiler.Layout_spec
 module Obs = Zkml_obs.Obs
 module Metrics = Zkml_obs.Metrics
 module Log = Zkml_obs.Log
-module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
-module Kzg = Zkml_commit.Kzg.Make (Sim61)
-module Ipa = Zkml_commit.Ipa.Make (Sim61)
-module Serve_kzg = Zkml_serve.Artifacts.Make (Kzg)
-module Serve_ipa = Zkml_serve.Artifacts.Make (Ipa)
-
-(* Applicative functors: [Serve_*.Pipe] IS [Zkml_compiler.Pipeline.Make]
-   applied to the same scheme, so all pipeline types line up. *)
-module Pipe_kzg = Serve_kzg.Pipe
-module Pipe_ipa = Serve_ipa.Pipe
+(* The scheme instantiations and SRS parameters live in
+   [Zkml_serve.Backends] so the daemon, the load generator and this CLI
+   provably share one setup — byte-identical proofs across all three. *)
+module B = Zkml_serve.Backends
+module Kzg = B.Kzg
+module Ipa = B.Ipa
+module Serve_kzg = B.Serve_kzg
+module Serve_ipa = B.Serve_ipa
+module Pipe_kzg = B.Pipe_kzg
+module Pipe_ipa = B.Pipe_ipa
+module PF = Zkml_serve.Proof_file
 
 module Err = Zkml_util.Err
 module Fuzz = Zkml_util.Fuzz
 
-let srs_k = 15
-let kzg_params = lazy (Kzg.setup ~max_size:(1 lsl srs_k) ~seed:"zkml-cli")
-let ipa_params = lazy (Ipa.setup ~max_size:(1 lsl srs_k) ~seed:"zkml-cli")
+let kzg_params = B.kzg_params
+let ipa_params = B.ipa_params
+
+(* The --backend flag's historical semantics: "ipa" selects IPA,
+   anything else the KZG default. *)
+let backend_of_flag s = if s = "ipa" then B.Ipa else B.Kzg
 
 (* Models arrive from outside the process, so loading is total; the
    raising [load_model] below serves the subcommands whose failure mode
@@ -357,220 +369,9 @@ let cmd_check_constraints model backend seed =
     1
   end
 
-(* proof file format *)
-let proof_file_string ~backend ~(m : Zoo.model) ~spec ~ncols ~k
-    ~instance_ints ~proof_hex =
-  let buf = Buffer.create 1024 in
-  Printf.bprintf buf "zkml-proof v1\n";
-  Printf.bprintf buf "model %s\n" m.Zoo.name;
-  Printf.bprintf buf "backend %s\n" backend;
-  Printf.bprintf buf "spec %s\n" (Spec.to_string spec);
-  Printf.bprintf buf "ncols %d\n" ncols;
-  Printf.bprintf buf "k %d\n" k;
-  Printf.bprintf buf "scale_bits %d\n" m.Zoo.cfg.Fx.scale_bits;
-  Printf.bprintf buf "table_bits %d\n" m.Zoo.cfg.Fx.table_bits;
-  Printf.bprintf buf "instance %s\n"
-    (String.concat "," (List.map string_of_int (Array.to_list instance_ints)));
-  Printf.bprintf buf "proof %s\n" proof_hex;
-  Buffer.contents buf
-
-type proof_file = {
-  pf_model : string;
-  pf_backend : string;
-  pf_spec : Spec.t;
-  pf_ncols : int;
-  pf_k : int;
-  pf_cfg : Fx.config;
-  pf_instance : int array;
-  pf_proof : string;
-}
-
-(* Sanity bounds on header fields, so a hostile header cannot demand a
-   huge circuit rebuild before the proof is even looked at. The zoo's
-   real plans sit far inside all of them. *)
-let max_ncols = 256
-let max_scale_bits = 30
-let max_table_bits = 20
-
-(* Total parser for the proof-file format. Line-oriented and strict:
-   the file must end with a newline (so byte-level truncation is always
-   detectable — [proof] is the last line), every line is a known
-   [key value] pair, no key repeats, every numeric field is bounded. *)
-let proof_file_of_string text =
-  let open Err in
-  in_context "proof-file"
-  @@
-  let n = String.length text in
-  if n = 0 || text.[n - 1] <> '\n' then
-    fail Truncated "file does not end with a newline"
-  else
-    match String.split_on_char '\n' text with
-    | [] -> fail Bad_header "empty file"
-    | header :: rest ->
-        let* () =
-          if header = "zkml-proof v1" then Ok ()
-          else fail ~offset:(Line 1) Bad_header "expected 'zkml-proof v1'"
-        in
-        (* fields must appear exactly once, in the writer's order — a
-           key-value map would classify reordered lines as equal to the
-           original, hiding tampering from byte-level comparison *)
-        let known =
-          [ "model"; "backend"; "spec"; "ncols"; "k"; "scale_bits";
-            "table_bits"; "instance"; "proof" ]
-        in
-        let rec collect ln expect acc = function
-          | [] | [ "" ] -> (
-              (* the final newline's empty tail *)
-              match expect with
-              | [] -> Ok (List.rev acc)
-              | k :: _ -> failf Missing_field "missing field %s" k)
-          | "" :: _ -> fail ~offset:(Line ln) Bad_field "blank line"
-          | line :: rest -> (
-              match String.index_opt line ' ' with
-              | None ->
-                  failf ~offset:(Line ln) Bad_field
-                    "expected '<key> <value>', got %S"
-                    (String.sub line 0 (min 24 (String.length line)))
-              | Some i -> (
-                  let k = String.sub line 0 i in
-                  let v =
-                    String.sub line (i + 1) (String.length line - i - 1)
-                  in
-                  match expect with
-                  | e :: expect' when k = e ->
-                      collect (ln + 1) expect' ((k, (ln, v)) :: acc) rest
-                  | [] ->
-                      failf ~offset:(Line ln) Trailing_data
-                        "unexpected line after proof"
-                  | e :: _ ->
-                      if List.mem_assoc k acc then
-                        failf ~offset:(Line ln) Duplicate_field
-                          "field %s repeated" k
-                      else if List.mem k known then
-                        failf ~offset:(Line ln) Bad_field
-                          "field %s out of order (expected %s)" k e
-                      else failf ~offset:(Line ln) Unknown_variant "field %S" k))
-        in
-        let* fields = collect 2 known [] rest in
-        let get k = Ok (List.assoc k fields) in
-        let int_get what ~min ~max =
-          let* ln, v = get what in
-          bounded_int_field ~offset:(Line ln) ~what ~min ~max v
-        in
-        let* _, pf_model = get "model" in
-        let* bln, pf_backend = get "backend" in
-        let* () =
-          match pf_backend with
-          | "kzg" | "ipa" -> Ok ()
-          | s -> failf ~offset:(Line bln) Unknown_variant "backend %S" s
-        in
-        let* sln, spec_s = get "spec" in
-        let* pf_spec =
-          guard ~offset:(Line sln) Bad_field (fun () -> Spec.of_string spec_s)
-        in
-        let* pf_ncols = int_get "ncols" ~min:1 ~max:max_ncols in
-        let* pf_k = int_get "k" ~min:1 ~max:srs_k in
-        let* scale_bits = int_get "scale_bits" ~min:1 ~max:max_scale_bits in
-        let* table_bits = int_get "table_bits" ~min:1 ~max:max_table_bits in
-        let* iln, inst_s = get "instance" in
-        let* inst =
-          if inst_s = "" then Ok []
-          else
-            map_list
-              (int_field ~offset:(Line iln) ~what:"instance")
-              (String.split_on_char ',' inst_s)
-        in
-        let* () =
-          if List.length inst > 1 lsl srs_k then
-            failf ~offset:(Line iln) Out_of_range
-              "instance holds %d values; SRS caps circuits at %d rows"
-              (List.length inst) (1 lsl srs_k)
-          else Ok ()
-        in
-        let* pln, hex = get "proof" in
-        let* pf_proof =
-          guard ~offset:(Line pln) Invalid_encoding (fun () ->
-              Zkml_util.Bytes_util.of_hex hex)
-        in
-        Ok
-          {
-            pf_model;
-            pf_backend;
-            pf_spec;
-            pf_ncols;
-            pf_k;
-            pf_cfg = { Fx.scale_bits; table_bits };
-            pf_instance = Array.of_list inst;
-            pf_proof;
-          }
-
-let read_proof_file path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | text -> proof_file_of_string text
-  | exception Sys_error m -> Err.fail ~context:[ "proof-file" ] Err.Io_error m
-
-(* Prove and render the proof file; shared by `zkml prove` and the fuzz
-   corpus builder. Returns (file text, prove seconds, proof bytes). *)
-let prove_proof_file (m : Zoo.model) backend seed =
-  let inputs = Zoo.sample_inputs ~seed:(Int64.of_int seed) m in
-  (* rebuild artifacts to recover the instance column *)
-  let instance_for spec_fn ncols k =
-    let qinputs = List.map (T.map (Fx.quantize m.Zoo.cfg)) inputs in
-    let exec = Zkml_nn.Quant_exec.run m.Zoo.cfg m.Zoo.graph ~inputs:qinputs in
-    let lowered =
-      Zkml_compiler.Lower.lower_with ~spec_fn ~cfg:m.Zoo.cfg ~ncols
-        ~counting:false m.Zoo.graph exec
-    in
-    let built =
-      Zkml_compiler.Layouter.finalize lowered.Zkml_compiler.Lower.layouter
-        ~blinding:Opt.blinding ~k
-    in
-    built.Zkml_compiler.Layouter.instance_col
-  in
-  match backend with
-  | "ipa" ->
-      let params = Lazy.force ipa_params in
-      let r =
-        Pipe_ipa.run ~cfg:m.Zoo.cfg ~params m.Zoo.graph inputs
-          ~seed:(Int64.of_int seed)
-      in
-      if not r.Pipe_ipa.verified then failwith "self-verification failed";
-      let bytes = Pipe_ipa.Proto.proof_to_bytes r.Pipe_ipa.proof in
-      let plan = r.Pipe_ipa.plan in
-      let instance_ints =
-        instance_for plan.Opt.spec_fn plan.Opt.ncols plan.Opt.k
-      in
-      ( proof_file_string ~backend ~m ~spec:plan.Opt.spec ~ncols:plan.Opt.ncols
-          ~k:plan.Opt.k ~instance_ints
-          ~proof_hex:(Zkml_util.Bytes_util.to_hex bytes),
-        r.Pipe_ipa.prove_s,
-        r.Pipe_ipa.proof_bytes )
-  | _ ->
-      let params = Lazy.force kzg_params in
-      let r =
-        Pipe_kzg.run ~cfg:m.Zoo.cfg ~params m.Zoo.graph inputs
-          ~seed:(Int64.of_int seed)
-      in
-      if not r.Pipe_kzg.verified then failwith "self-verification failed";
-      let bytes = Pipe_kzg.Proto.proof_to_bytes r.Pipe_kzg.proof in
-      let plan = r.Pipe_kzg.plan in
-      let instance_ints =
-        instance_for plan.Opt.spec_fn plan.Opt.ncols plan.Opt.k
-      in
-      ( proof_file_string ~backend ~m ~spec:plan.Opt.spec ~ncols:plan.Opt.ncols
-          ~k:plan.Opt.k ~instance_ints
-          ~proof_hex:(Zkml_util.Bytes_util.to_hex bytes),
-        r.Pipe_kzg.prove_s,
-        r.Pipe_kzg.proof_bytes )
-
 let cmd_prove model backend out seed =
   let m = load_model model in
-  let text, prove_s, proof_bytes = prove_proof_file m backend seed in
+  let text, prove_s, proof_bytes = PF.prove m (backend_of_flag backend) seed in
   let oc = open_out out in
   output_string oc text;
   close_out oc;
@@ -582,66 +383,6 @@ let cmd_prove model backend out seed =
       ("out", Log.S out) ];
   0
 
-(* Classify a parsed proof file against a model: [`Accepted], [`Rejected]
-   (well-formed but false) or [`Malformed of Err.t]. Total — a hostile
-   header that breaks the circuit rebuild surfaces as [`Malformed].
-   [kzg_keys]/[ipa_keys] memoize rebuilt keys per header so the fuzzer
-   does not re-run keygen for every mutant. *)
-let verdict_of_proof_file ~kzg_keys ~ipa_keys (m : Zoo.model) pf =
-  if pf.pf_model <> m.Zoo.name then
-    `Malformed
-      (Err.make ~context:[ "proof-file" ] Err.Bad_field
-         (Printf.sprintf "proof is for model %S, not %S" pf.pf_model
-            m.Zoo.name))
-  else begin
-    let header =
-      Printf.sprintf "%s|%s|%s|%d|%d|%d|%d" m.Zoo.name pf.pf_backend
-        (Spec.to_string pf.pf_spec) pf.pf_ncols pf.pf_k
-        pf.pf_cfg.Fx.scale_bits pf.pf_cfg.Fx.table_bits
-    in
-    let memo cache rebuild =
-      match Hashtbl.find_opt cache header with
-      | Some keys -> keys
-      | None ->
-          let keys = Err.guard Err.Bad_field rebuild in
-          Hashtbl.add cache header keys;
-          keys
-    in
-    match pf.pf_backend with
-    | "ipa" -> (
-        let params = Lazy.force ipa_params in
-        match
-          memo ipa_keys (fun () ->
-              Pipe_ipa.rebuild_keys params ~spec:pf.pf_spec ~ncols:pf.pf_ncols
-                ~k:pf.pf_k ~cfg:pf.pf_cfg m.Zoo.graph)
-        with
-        | Error e -> `Malformed (Err.with_context "rebuild-keys" e)
-        | Ok keys -> (
-            match
-              Pipe_ipa.verify_verdict params keys
-                ~instance_ints:pf.pf_instance pf.pf_proof
-            with
-            | Pipe_ipa.Proto.Accepted -> `Accepted
-            | Pipe_ipa.Proto.Rejected -> `Rejected
-            | Pipe_ipa.Proto.Malformed e -> `Malformed e))
-    | _ -> (
-        let params = Lazy.force kzg_params in
-        match
-          memo kzg_keys (fun () ->
-              Pipe_kzg.rebuild_keys params ~spec:pf.pf_spec ~ncols:pf.pf_ncols
-                ~k:pf.pf_k ~cfg:pf.pf_cfg m.Zoo.graph)
-        with
-        | Error e -> `Malformed (Err.with_context "rebuild-keys" e)
-        | Ok keys -> (
-            match
-              Pipe_kzg.verify_verdict params keys
-                ~instance_ints:pf.pf_instance pf.pf_proof
-            with
-            | Pipe_kzg.Proto.Accepted -> `Accepted
-            | Pipe_kzg.Proto.Rejected -> `Rejected
-            | Pipe_kzg.Proto.Malformed e -> `Malformed e))
-  end
-
 (* Exit contract: 0 accepted, 1 well-formed-but-rejected, 2 malformed
    input (with a one-line diagnostic on stderr). Nothing an outsider
    puts in the model or proof file reaches the user as a backtrace. *)
@@ -650,14 +391,15 @@ let cmd_verify model proof_path =
     match load_model_result model with
     | Error e -> `Malformed (Err.with_context "model" e)
     | Ok m -> (
-        match read_proof_file proof_path with
+        match PF.read_file proof_path with
         | Error e -> `Malformed e
         | Ok pf -> (
             match
-              verdict_of_proof_file ~kzg_keys:(Hashtbl.create 1)
+              PF.verdict ~kzg_keys:(Hashtbl.create 1)
                 ~ipa_keys:(Hashtbl.create 1) m pf
             with
-            | `Accepted -> `Accepted (m.Zoo.name, pf.pf_backend)
+            | `Accepted ->
+                `Accepted (m.Zoo.name, B.backend_name pf.PF.pf_backend)
             | (`Rejected | `Malformed _) as v -> v))
   in
   let log verdict exit_code =
@@ -699,8 +441,8 @@ let cmd_batch_prove model backend out_prefix seeds =
       let path = Printf.sprintf "%s-%d.zkp" out_prefix seed in
       let oc = open_out path in
       output_string oc
-        (proof_file_string ~backend ~m ~spec ~ncols ~k ~instance_ints
-           ~proof_hex);
+        (PF.to_string ~backend:(backend_of_flag backend) ~model_name:m.Zoo.name
+           ~cfg:m.Zoo.cfg ~spec ~ncols ~k ~instance_ints ~proof_hex);
       close_out oc;
       path
     in
@@ -818,7 +560,7 @@ let cmd_batch_verify model proof_paths =
         let rec parse acc i = function
           | [] -> Ok (List.rev acc)
           | path :: rest -> (
-              match read_proof_file path with
+              match PF.read_file path with
               | Error e ->
                   Error (Err.with_context (Printf.sprintf "batch[%d]" i) e)
               | Ok pf -> parse (pf :: acc) (i + 1) rest)
@@ -829,15 +571,15 @@ let cmd_batch_verify model proof_paths =
             `Malformed
               (Err.make Err.Missing_field "at least one PROOF is required")
         | Ok (first :: _ as pfs) ->
-            let header pf =
-              ( pf.pf_model, pf.pf_backend, Spec.to_string pf.pf_spec,
-                pf.pf_ncols, pf.pf_k, pf.pf_cfg )
+            let header (pf : PF.t) =
+              ( pf.PF.pf_model, pf.PF.pf_backend, Spec.to_string pf.PF.pf_spec,
+                pf.PF.pf_ncols, pf.PF.pf_k, pf.PF.pf_cfg )
             in
-            if first.pf_model <> m.Zoo.name then
+            if first.PF.pf_model <> m.Zoo.name then
               `Malformed
                 (Err.make ~context:[ "proof-file" ] Err.Bad_field
                    (Printf.sprintf "proofs are for model %S, not %S"
-                      first.pf_model m.Zoo.name))
+                      first.PF.pf_model m.Zoo.name))
             else if
               not (List.for_all (fun pf -> header pf = header first) pfs)
             then
@@ -847,16 +589,16 @@ let cmd_batch_verify model proof_paths =
                     verification needs one shared layout")
             else begin
               let batch =
-                List.map (fun pf -> (pf.pf_instance, pf.pf_proof)) pfs
+                List.map (fun pf -> (pf.PF.pf_instance, pf.PF.pf_proof)) pfs
               in
               let run () =
-                match first.pf_backend with
-                | "ipa" -> (
+                match first.PF.pf_backend with
+                | B.Ipa -> (
                     let params = Lazy.force ipa_params in
                     match
-                      Serve_ipa.prepare_for_header ~spec:first.pf_spec
-                        ~ncols:first.pf_ncols ~k:first.pf_k ~cfg:first.pf_cfg
-                        params m.Zoo.graph
+                      Serve_ipa.prepare_for_header ~spec:first.PF.pf_spec
+                        ~ncols:first.PF.pf_ncols ~k:first.PF.pf_k
+                        ~cfg:first.PF.pf_cfg params m.Zoo.graph
                     with
                     | Error e -> `Malformed (Err.with_context "rebuild-keys" e)
                     | Ok (entry, status) -> (
@@ -864,12 +606,12 @@ let cmd_batch_verify model proof_paths =
                         | Pipe_ipa.Proto.Accepted -> `Accepted status
                         | Pipe_ipa.Proto.Rejected -> `Rejected
                         | Pipe_ipa.Proto.Malformed e -> `Malformed e))
-                | _ -> (
+                | B.Kzg -> (
                     let params = Lazy.force kzg_params in
                     match
-                      Serve_kzg.prepare_for_header ~spec:first.pf_spec
-                        ~ncols:first.pf_ncols ~k:first.pf_k ~cfg:first.pf_cfg
-                        params m.Zoo.graph
+                      Serve_kzg.prepare_for_header ~spec:first.PF.pf_spec
+                        ~ncols:first.PF.pf_ncols ~k:first.PF.pf_k
+                        ~cfg:first.PF.pf_cfg params m.Zoo.graph
                     with
                     | Error e -> `Malformed (Err.with_context "rebuild-keys" e)
                     | Ok (entry, status) -> (
@@ -882,7 +624,7 @@ let cmd_batch_verify model proof_paths =
               let v, report = Obs.with_enabled run in
               `Verdict
                 ( List.length pfs,
-                  first.pf_backend,
+                  B.backend_name first.PF.pf_backend,
                   int_of_float (Obs.counter_total report "pcs.final_check"),
                   v )
             end)
@@ -953,22 +695,22 @@ let cmd_fuzz iters seed =
      backend. Soundness claim: no mutant may verify. *)
   Printf.printf "building proof corpus (mnist/kzg, dlrm/ipa)...\n%!";
   let m_mnist = Zoo.by_name "mnist" and m_dlrm = Zoo.by_name "dlrm" in
-  let p_mnist, _, _ = prove_proof_file m_mnist "kzg" 1234 in
-  let p_dlrm, _, _ = prove_proof_file m_dlrm "ipa" 1234 in
+  let p_mnist, _, _ = PF.prove m_mnist B.Kzg 1234 in
+  let p_dlrm, _, _ = PF.prove m_dlrm B.Ipa 1234 in
   let kzg_keys = Hashtbl.create 16 and ipa_keys = Hashtbl.create 16 in
   let classify_proof text =
-    match proof_file_of_string text with
+    match PF.of_string text with
     | Error e -> Fuzz.Malformed (Err.to_string e)
     | Ok pf -> (
         let m =
-          if pf.pf_model = "mnist" then Some m_mnist
-          else if pf.pf_model = "dlrm" then Some m_dlrm
+          if pf.PF.pf_model = "mnist" then Some m_mnist
+          else if pf.PF.pf_model = "dlrm" then Some m_dlrm
           else None
         in
         match m with
         | None -> Fuzz.Malformed "unknown model name"
         | Some m -> (
-            match verdict_of_proof_file ~kzg_keys ~ipa_keys m pf with
+            match PF.verdict ~kzg_keys ~ipa_keys m pf with
             | `Accepted -> Fuzz.Accepted
             | `Rejected -> Fuzz.Rejected
             | `Malformed e -> Fuzz.Malformed (Err.to_string e)))
@@ -1009,9 +751,43 @@ let cmd_fuzz iters seed =
   List.iter print_endline
     (Fuzz.report_lines ~label:"artifact-cache" cache_report);
   log_fuzz_report "artifact-cache" cache_report;
+  (* corpus 4: wire-protocol frames (the daemon's network surface,
+     binary mutators). The encoding is canonical — fixed-width
+     big-endian integers, exact length prefixes, a closed kind set and
+     an end-of-payload check — so a decoded mutant must re-encode to
+     the very same bytes; a mutant that decodes but re-encodes
+     differently (e.g. a non-canonical length) would be a parser
+     soundness failure. Truncated frames, over-cap lengths, zero/short
+     lengths, duplicated headers and trailing bytes all land here via
+     the generic mutators. *)
+  let wire_corpus =
+    let module W = Zkml_serve.Wire in
+    List.map W.encode_request
+      [ W.Ping;
+        W.Prove
+          { tenant = "fuzz"; backend = B.Kzg; model = "mnist";
+            seeds = [ 1L; 2L; 3L ] };
+        W.Verify { tenant = "fuzz"; model = "mnist"; proof = p_mnist };
+        W.Shutdown ]
+    @ List.map W.encode_response
+        [ W.Pong; W.Proofs [ p_mnist; p_dlrm ];
+          W.Verdict { code = 2; detail = "malformed input" }; W.Overloaded;
+          W.Stopping ]
+  in
+  let classify_wire text =
+    let module W = Zkml_serve.Wire in
+    match W.decode_any text with
+    | Error e -> Fuzz.Malformed (Err.to_string e)
+    | Ok v -> if String.equal (W.encode_any v) text then Fuzz.Valid else Fuzz.Accepted
+  in
+  let wire_report =
+    Fuzz.run ~rng ~iters ~corpus:wire_corpus ~classify:classify_wire ()
+  in
+  List.iter print_endline (Fuzz.report_lines ~label:"wire" wire_report);
+  log_fuzz_report "wire" wire_report;
   if
     Fuzz.clean model_report && Fuzz.clean proof_report
-    && Fuzz.clean cache_report
+    && Fuzz.clean cache_report && Fuzz.clean wire_report
   then begin
     Printf.printf "fuzz: clean (0 escaped exceptions, 0 accepted mutants)\n";
     0
@@ -1103,6 +879,112 @@ let cmd_metrics model backend seed fmt =
   | "json" -> print_endline (Metrics.json_string snap)
   | _ -> print_metrics_summary snap);
   0
+
+(* ------------------------------------------------------------------ *)
+(* serve / loadgen: the proving daemon and its seeded traffic replayer *)
+
+module Server = Zkml_serve.Server
+
+let addr_of_flags socket port =
+  match (socket, port) with
+  | Some path, None -> Ok (Server.Unix_sock path)
+  | None, Some p when p > 0 && p < 65536 -> Ok (Server.Tcp p)
+  | None, Some _ -> Error "--port must be in 1..65535"
+  | Some _, Some _ -> Error "--socket and --port are mutually exclusive"
+  | None, None -> Error "one of --socket PATH or --port PORT is required"
+
+(* --warm all / --warm mnist,dlrm → zoo names to pre-compile *)
+let warm_names = function
+  | "" -> []
+  | "all" -> List.map (fun m -> m.Zoo.name) (Zoo.all ())
+  | s -> List.filter (fun x -> x <> "") (String.split_on_char ',' s)
+
+let cmd_serve socket port workers queue warm =
+  match addr_of_flags socket port with
+  | Error msg ->
+      Printf.eprintf "serve: %s\n" msg;
+      2
+  | Ok addr ->
+      if workers < 1 || queue < 1 then begin
+        Printf.eprintf "serve: --workers and --queue must be positive\n";
+        2
+      end
+      else begin
+        let config =
+          {
+            Server.workers;
+            queue_capacity = queue;
+            warm = warm_names warm;
+            job_hook = None;
+          }
+        in
+        Printf.printf "zkml serve: listening on %s (%d worker(s), queue %d)\n%!"
+          (Server.addr_string addr) workers queue;
+        Server.run ~config addr;
+        0
+      end
+
+let cmd_loadgen socket port spawn seed requests concurrency models bench
+    bench_out workers queue =
+  match addr_of_flags socket port with
+  | Error msg ->
+      Printf.eprintf "loadgen: %s\n" msg;
+      2
+  | Ok addr ->
+      let models = warm_names (if models = "" then "mnist,dlrm" else models) in
+      let unknown =
+        List.filter
+          (fun name ->
+            match Err.guard Err.Unknown_variant (fun () -> Zoo.by_name name) with
+            | Ok _ -> false
+            | Error _ -> true)
+          models
+      in
+      if unknown <> [] then begin
+        Printf.eprintf "loadgen: unknown model(s): %s\n"
+          (String.concat ", " unknown);
+        2
+      end
+      else begin
+        let bench_out =
+          match (bench_out, bench) with
+          | Some path, _ -> Some path
+          | None, true ->
+              let dir =
+                match Sys.getenv_opt "ZKML_BENCH_DIR" with
+                | Some d when d <> "" -> d
+                | _ -> "."
+              in
+              (try Unix.mkdir dir 0o755
+               with Unix.Unix_error (Unix.EEXIST, _, _) | Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+              Some (Filename.concat dir "BENCH_PR9.json")
+          | None, false -> None
+        in
+        let opts =
+          {
+            Zkml_serve.Loadgen.lg_addr = addr;
+            lg_seed = seed;
+            lg_requests = requests;
+            lg_concurrency = concurrency;
+            lg_models = models;
+            lg_spawn =
+              (if spawn then
+                 Some
+                   {
+                     Server.workers;
+                     queue_capacity = queue;
+                     (* warm everything the schedule can touch, so
+                        measured latencies are serve-time, not
+                        compile-time *)
+                     warm = models;
+                     job_hook = None;
+                   }
+               else None);
+            lg_bench_out = bench_out;
+          }
+        in
+        Zkml_serve.Loadgen.run opts
+      end
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner wiring *)
@@ -1379,6 +1261,143 @@ let metrics_cmd =
       const (fun () () m b s f -> cmd_metrics m b s f)
       $ jobs_term $ metrics_out_term $ model $ backend_arg $ seed $ fmt)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on (or connect to) a unix-domain socket at $(docv).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Listen on (or connect to) loopback TCP port $(docv).")
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~env:(Cmd.Env.info "ZKML_SERVE_WORKERS")
+          ~doc:"Proving worker threads draining the job queue.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 16
+      & info [ "queue" ] ~docv:"N"
+          ~env:(Cmd.Env.info "ZKML_SERVE_QUEUE")
+          ~doc:
+            "Admission-control capacity: queued plus in-flight jobs. A \
+             request arriving at a full queue is answered Overloaded \
+             immediately, never parked.")
+  in
+  let warm =
+    Arg.(
+      value & opt string ""
+      & info [ "warm" ] ~docv:"MODELS"
+          ~env:(Cmd.Env.info "ZKML_SERVE_WARM")
+          ~doc:
+            "Comma-separated zoo models (or 'all') whose artifacts are \
+             compiled before the listener opens, so first requests hit a \
+             warm cache.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent proving daemon: a length-prefixed binary \
+          protocol over a unix socket (--socket) or loopback TCP (--port); \
+          prove and verify requests from concurrent tenants are queued, \
+          proved by worker threads against the shared artifact cache, and \
+          answered with the `verify` 0/1/2 verdict contract. Malformed \
+          frames are answered with verdict 2 — the daemon never dies on \
+          bad input. A Shutdown frame stops it cleanly.")
+    Term.(
+      const (fun () s p w q wa -> cmd_serve s p w q wa)
+      $ jobs_term $ socket_arg $ port_arg $ workers $ queue $ warm)
+
+let loadgen_cmd =
+  let spawn =
+    Arg.(
+      value & flag
+      & info [ "spawn" ]
+          ~doc:
+            "Fork the daemon on the given address first, drive it, shut it \
+             down over the wire and check its exit status — a \
+             self-contained smoke/bench run.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 9
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Schedule seed; a (seed, requests, models) triple replays \
+             exactly.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 30
+      & info [ "requests" ] ~docv:"N"
+          ~doc:
+            "Total requests: one warm-up prove per model, then a seeded \
+             mixed schedule of proves, verifications (genuine and \
+             tampered), pings and malformed frames.")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 4
+      & info [ "concurrency" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let models =
+    Arg.(
+      value & opt string "mnist,dlrm"
+      & info [ "models" ] ~docv:"MODELS"
+          ~doc:"Comma-separated zoo models (or 'all') to draw traffic from.")
+  in
+  let bench =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:
+            "Write the serve benchmark (per-kind p50/p90/p99 latency, \
+             proofs/sec) as BENCH_PR9.json under ZKML_BENCH_DIR (default \
+             the current directory).")
+  in
+  let bench_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE"
+          ~doc:"Write the serve benchmark JSON to $(docv) (overrides --bench).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker threads for the spawned daemon (with --spawn).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 16
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Queue capacity for the spawned daemon (with --spawn).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Replay a deterministic seeded mix of prove/verify/ping/malformed \
+          traffic against a running daemon (or --spawn one), assert every \
+          answer — proofs for proves, verdict 0/1/2 for \
+          genuine/tampered/malformed — and report per-kind latency \
+          percentiles and proofs/sec. Exits 1 if any request was \
+          misanswered.")
+    Term.(
+      const (fun () s p sp se r c m b bo w q ->
+          cmd_loadgen s p sp se r c m b bo w q)
+      $ jobs_term $ socket_arg $ port_arg $ spawn $ seed $ requests
+      $ concurrency $ models $ bench $ bench_out $ workers $ queue)
+
 let main =
   Cmd.group
     (Cmd.info "zkml" ~version:"1.0.0"
@@ -1412,10 +1431,23 @@ let main =
              ~doc:
                "Event-log threshold: debug, info (default), warn or \
                 error.";
+           Cmd.Env.info "ZKML_SERVE_WORKERS"
+             ~doc:
+               "Proving worker threads for `zkml serve` (same as \
+                --workers; default 2).";
+           Cmd.Env.info "ZKML_SERVE_QUEUE"
+             ~doc:
+               "Admission-control capacity for `zkml serve` (same as \
+                --queue; default 16): queued plus in-flight jobs before \
+                new requests are answered Overloaded.";
+           Cmd.Env.info "ZKML_SERVE_WARM"
+             ~doc:
+               "Models `zkml serve` pre-compiles before listening (same \
+                as --warm): comma-separated zoo names or 'all'.";
          ])
     [ models_cmd; stats_cmd; export_cmd; calibrate_cmd; optimize_cmd;
       prove_cmd; verify_cmd; batch_prove_cmd; batch_verify_cmd; profile_cmd;
-      check_constraints_cmd; fuzz_cmd; metrics_cmd ]
+      check_constraints_cmd; fuzz_cmd; metrics_cmd; serve_cmd; loadgen_cmd ]
 
 let write_metrics_file path =
   let snap = Metrics.snapshot () in

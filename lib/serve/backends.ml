@@ -1,0 +1,36 @@
+(** The process-wide backend instantiations shared by the CLI, the
+    proving daemon and the load generator.
+
+    Proof bytes depend on the scheme modules AND the SRS (setup seed +
+    size), so every entry point that promises byte-identical proofs —
+    `zkml prove`, `zkml batch-prove`, the daemon's Prove handler — must
+    draw from one shared instantiation. This module is that single
+    source: the simulated-pairing curve over Fp61, the KZG and IPA
+    schemes on top of it, the artifact-cache functors, and the lazily
+    forced CLI parameters (seed ["zkml-cli"], 2^{!srs_k} rows). *)
+
+module Sim61 = Zkml_ec.Simulated.Make (Zkml_ff.Fp61)
+module Kzg = Zkml_commit.Kzg.Make (Sim61)
+module Ipa = Zkml_commit.Ipa.Make (Sim61)
+module Serve_kzg = Artifacts.Make (Kzg)
+module Serve_ipa = Artifacts.Make (Ipa)
+
+(* Applicative functors: [Serve_*.Pipe] IS [Zkml_compiler.Pipeline.Make]
+   applied to the same scheme, so all pipeline types line up. *)
+module Pipe_kzg = Serve_kzg.Pipe
+module Pipe_ipa = Serve_ipa.Pipe
+
+let srs_k = 15
+let kzg_params = lazy (Kzg.setup ~max_size:(1 lsl srs_k) ~seed:"zkml-cli")
+let ipa_params = lazy (Ipa.setup ~max_size:(1 lsl srs_k) ~seed:"zkml-cli")
+
+(** The closed backend universe. The wire protocol and the proof-file
+    header both range over exactly these two. *)
+type backend = Kzg | Ipa
+
+let backend_name = function Kzg -> "kzg" | Ipa -> "ipa"
+
+let backend_of_string = function
+  | "kzg" -> Some Kzg
+  | "ipa" -> Some Ipa
+  | _ -> None

@@ -80,6 +80,27 @@ let of_kernels j =
         | _ -> None)
       [ "reference_s"; "blocked_s" ]
 
+let of_serve j =
+  (* BENCH_PR9.json: per-kind latency percentiles from the seeded load
+     generator. proofs_per_s is throughput and wall_s scales with the
+     request count, so only the per-kind percentile keys are gated. *)
+  match Json.mem_list "kinds" j with
+  | None -> []
+  | Some kinds ->
+      List.concat_map
+        (fun row ->
+          match Json.mem_string "kind" row with
+          | None -> []
+          | Some kind ->
+              List.filter_map
+                (fun field ->
+                  match Json.mem_float field row with
+                  | Some t when time_like field ->
+                      Some (Printf.sprintf "serve/%s/%s" kind field, t)
+                  | _ -> None)
+                [ "p50_s"; "p90_s"; "p99_s" ])
+        kinds
+
 let of_results j =
   match Json.mem_list "results" j with
   | None -> []
@@ -114,6 +135,7 @@ let series_of_json j =
   | Some "par" -> of_par j
   | Some "quotient" -> of_quotient j
   | Some "kernels" -> of_kernels j
+  | Some "serve" -> of_serve j
   | Some _ -> []
   | None -> of_results j
 

@@ -1,7 +1,7 @@
 (** Bench-regression gate: compare a current bench JSON against a
     committed baseline.
 
-    Understands the four JSON shapes the bench harness writes:
+    Understands the JSON shapes the bench harness writes:
     - [{"bench":"par", "runs":[{"jobs":J,"prove_s":T}]}]
       (BENCH_PR2.json) — keys [par/jobs=J/prove_s];
     - [{"bench":"quotient","models":[{"model":M,"interp_s":..,
@@ -11,6 +11,10 @@
       (BENCH_PR7.json) — keys [kernels/field_ops/F.OP/total_s],
       [kernels/msm/n=N/jacobian_s|affine_glv_s] and
       [kernels/ntt/F.k=K/reference_s|blocked_s];
+    - [{"bench":"serve","kinds":[{"kind":K,"p50_s":..,"p90_s":..,
+      "p99_s":..}]}] (BENCH_PR9.json, the serving-daemon load
+      generator) — keys [serve/K/p50_s|p90_s|p99_s]; [proofs_per_s]
+      and [wall_s] are skipped (throughput / request-count scaled);
     - [{"results":[{"section":S,"model":M,"prove_s":..,"verify_s":..,
       "spans":{..}}]}] ([--json] output) — keys [S/M/prove_s],
       [S/M/verify_s], [S/M/span.K].

@@ -297,6 +297,68 @@ let test_fuzz_proof_bytes () =
   Alcotest.(check bool) "some malformed" true (report.Fuzz.malformed > 0);
   Alcotest.(check bool) "some rejected" true (report.Fuzz.rejected > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Wire frames: pinned finds from `zkml fuzz`'s wire corpus, plus a
+   short fixed-seed binary fuzz of the frame decoder *)
+
+module Wire = Zkml_serve.Wire
+module B = Zkml_serve.Backends
+
+let wire_corpus () =
+  let proof = "zkml-proof v1\nmodel mnist\n" in
+  List.map Wire.encode_request
+    [ Wire.Ping;
+      Wire.Prove
+        { tenant = "fuzz"; backend = B.Kzg; model = "mnist"; seeds = [ 1L; 2L ] };
+      Wire.Verify { tenant = "fuzz"; model = "mnist"; proof };
+      Wire.Shutdown ]
+  @ List.map Wire.encode_response
+      [ Wire.Pong; Wire.Proofs [ proof ];
+        Wire.Verdict { code = 2; detail = "malformed input" };
+        Wire.Overloaded; Wire.Stopping ]
+
+(* pinned mutants: each shape the daemon must classify as a typed error *)
+let test_wire_pins () =
+  let expect what code bytes = expect_code what code (Wire.decode_any bytes) in
+  let ping = Wire.encode_request Wire.Ping in
+  expect "empty input" Err.Truncated "";
+  expect "truncated header" Err.Truncated (String.sub ping 0 5);
+  expect "truncated payload" Err.Truncated "ZKW1\x01\x00\x00\x00\x08zk";
+  expect "bad magic" Err.Bad_header ("zkw1" ^ String.sub ping 4 5);
+  expect "over-cap length" Err.Out_of_range "ZKW1\x02\xff\xff\xff\xff";
+  expect "length just over cap" Err.Out_of_range "ZKW1\x02\x01\x00\x00\x01";
+  expect "trailing bytes" Err.Trailing_data (ping ^ "\x00");
+  expect "duplicate header" Err.Trailing_data (ping ^ ping);
+  expect "unknown request kind" Err.Unknown_variant
+    (Wire.encode_frame ~kind:0x00 "");
+  expect "unknown response kind" Err.Unknown_variant
+    (Wire.encode_frame ~kind:0xff "");
+  (* seed count 0: a Prove frame must carry 1..max_batch seeds *)
+  expect "zero seeds" Err.Out_of_range
+    (Wire.encode_frame ~kind:0x02 "\x00\x04fuzz\x00\x00\x05mnist\x00\x00");
+  (* name length field over the cap *)
+  expect "oversized tenant" Err.Out_of_range
+    (Wire.encode_frame ~kind:0x02 "\xff\xfffuzz")
+
+(* short fixed-seed fuzz: decode must be total, and anything accepted
+   must re-encode to exactly the input bytes (canonical encoding) *)
+let test_fuzz_wire () =
+  let classify bytes =
+    match Wire.decode_any bytes with
+    | Error e -> Fuzz.Malformed (Err.to_string e)
+    | Ok v ->
+        if String.equal (Wire.encode_any v) bytes then Fuzz.Valid
+        else Fuzz.Accepted
+  in
+  let rng = Zkml_util.Rng.create 13L in
+  let report =
+    Fuzz.run ~rng ~iters:400 ~corpus:(wire_corpus ()) ~classify ()
+  in
+  if not (Fuzz.clean report) then
+    Alcotest.failf "wire fuzz not clean:\n%s"
+      (String.concat "\n" (Fuzz.report_lines ~label:"wire" report));
+  Alcotest.(check bool) "some malformed" true (report.Fuzz.malformed > 0)
+
 let () =
   Alcotest.run "fuzz_inputs"
     [ ( "err",
@@ -314,5 +376,9 @@ let () =
           Alcotest.test_case "all truncated prefixes" `Quick
             test_proof_prefixes;
           Alcotest.test_case "fuzz" `Quick test_fuzz_proof_bytes
+        ] );
+      ( "wire",
+        [ Alcotest.test_case "pinned mutants" `Quick test_wire_pins;
+          Alcotest.test_case "fuzz" `Quick test_fuzz_wire
         ] )
     ]
