@@ -1,4 +1,4 @@
-.PHONY: all build test check check-constraints fmt smoke serve-smoke soundness fuzz bench bench-par bench-batch bench-quotient bench-kernels bench-ff bench-msm bench-serve bench-regress clean
+.PHONY: all build test check check-constraints fmt smoke serve-smoke segments-smoke soundness fuzz bench bench-par bench-batch bench-quotient bench-kernels bench-ff bench-msm bench-serve bench-segments bench-regress clean
 
 all: build
 
@@ -22,6 +22,7 @@ check: fmt build
 	ZKML_JOBS=4 dune runtest --force
 	$(MAKE) check-constraints
 	$(MAKE) serve-smoke
+	$(MAKE) segments-smoke
 	-$(MAKE) bench-regress
 
 # Under-constraint detector (hard gate): run the gadget isolation suite
@@ -63,6 +64,13 @@ serve-smoke: build
 	dune exec bin/zkml_cli.exe -- loadgen --spawn \
 		--socket $(SERVE_SMOKE_SOCK) \
 		--seed 9 --requests 30 --concurrency 3 --models mnist,dlrm
+
+# Split-and-aggregate smoke test (hard gate in `make check`): prove
+# mnist monolithically and at --segments 4, assert both are accepted
+# and that seam-tampered / spliced / truncated variants are rejected
+# with the documented verdicts. Exits non-zero on any miss.
+segments-smoke: build
+	dune exec bin/zkml_cli.exe -- segments-smoke
 
 # Long deterministic malformed-input fuzz over the model-text,
 # proof-file and wire-frame corpora. Seeded, so a failure reproduces
@@ -119,10 +127,18 @@ bench-serve: build
 		--seed 9 --requests 60 --concurrency 4 --models mnist,dlrm \
 		--bench-out BENCH_PR9.json
 
+# Split-and-aggregate proving benchmark: per model the monolithic vs
+# 4-segment prove wall, aggregate verify wall and the row counts (peak
+# segment rows must undercut the monolithic circuit). The full run
+# regenerates the committed BENCH_PR10.json baseline.
+bench-segments: build
+	dune exec bench/main.exe -- segments
+
 # Bench-regression gate: re-measure a reduced par + quotient sample
-# plus the kernel microbenchmarks and a serving-daemon load sample into
-# $(REGRESS_DIR) and compare
-# per-key medians against the committed BENCH_PR2/PR5/PR7/PR9 baselines. A key regresses when
+# plus the kernel microbenchmarks, a serving-daemon load sample and a
+# split-and-aggregate proving sample into $(REGRESS_DIR) and compare
+# per-key medians against the committed BENCH_PR2/PR5/PR7/PR9/PR10
+# baselines. A key regresses when
 # current > baseline * REGRESS_THRESHOLD. Warn-only by default (always
 # exits 0); STRICT=1 makes a regression fail the target. Tune the
 # sample with REGRESS_MODELS / REGRESS_JOBS.
@@ -141,12 +157,15 @@ bench-regress: build
 		--socket /tmp/zkml-regress-serve-$(shell echo $$$$).sock \
 		--seed 9 --requests 30 --concurrency 3 --models $(REGRESS_MODELS) \
 		--bench-out $(REGRESS_DIR)/BENCH_PR9.json
+	ZKML_BENCH_DIR=$(REGRESS_DIR) ZKML_BENCH_MODELS=$(REGRESS_MODELS) \
+		dune exec bench/main.exe -- segments
 	dune exec bench/regress.exe -- --threshold $(REGRESS_THRESHOLD) \
 		$(if $(STRICT),--strict,) \
 		--baseline BENCH_PR2.json --current $(REGRESS_DIR)/BENCH_PR2.json \
 		--baseline BENCH_PR5.json --current $(REGRESS_DIR)/BENCH_PR5.json \
 		--baseline BENCH_PR7.json --current $(REGRESS_DIR)/BENCH_PR7.json \
-		--baseline BENCH_PR9.json --current $(REGRESS_DIR)/BENCH_PR9.json
+		--baseline BENCH_PR9.json --current $(REGRESS_DIR)/BENCH_PR9.json \
+		--baseline BENCH_PR10.json --current $(REGRESS_DIR)/BENCH_PR10.json
 
 clean:
 	dune clean

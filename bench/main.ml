@@ -1039,6 +1039,96 @@ let kernels () =
   Printf.printf "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* segments: split-and-aggregate proving (PR 10). For each selected
+   model, proves the monolithic circuit and the 4-segment split, checks
+   the aggregated verdict accepts the segmented proof file, and writes
+   BENCH_PR10.json: per model the monolithic and segmented prove walls,
+   the aggregate verify wall and the content-row counts. Peak segment
+   rows must undercut the monolithic row count — that is the
+   memory-shape claim of the split. ZKML_BENCH_MODELS filters the model
+   set (default mnist, dlrm, gpt2). *)
+
+module SPF = Zkml_serve.Seg_proof
+
+let segments () =
+  let nsegs = 4 in
+  let default = [ "mnist"; "dlrm"; "gpt2" ] in
+  let models =
+    List.filter
+      (fun m ->
+        List.mem m.Zoo.name default
+        && allowed "ZKML_BENCH_MODELS" m.Zoo.name)
+      (Zoo.all ())
+  in
+  if models = [] then
+    failwith "segments: ZKML_BENCH_MODELS filtered out all models";
+  let kzg_keys = Hashtbl.create 16 and ipa_keys = Hashtbl.create 16 in
+  let rows =
+    List.map
+      (fun m ->
+        let mono = run_kzg m in
+        if not mono.Pipe_kzg.verified then
+          failwith
+            (Printf.sprintf "segments: monolithic verification failed on %s"
+               m.Zoo.name);
+        let p = SPF.prove m Zkml_serve.Backends.Kzg 1234 ~segments:nsegs in
+        let sp =
+          match SPF.of_string p.SPF.p_text with
+          | Ok sp -> sp
+          | Error e ->
+              failwith
+                (Printf.sprintf "segments: re-parse failed on %s: %s"
+                   m.Zoo.name (Zkml_util.Err.to_string e))
+        in
+        let verdict, verify_s =
+          Zkml_util.Timer.time (fun () -> SPF.verdict ~kzg_keys ~ipa_keys m sp)
+        in
+        (match verdict with
+        | `Accepted -> ()
+        | `Rejected ->
+            failwith
+              (Printf.sprintf "segments: honest proof rejected on %s"
+                 m.Zoo.name)
+        | `Malformed e ->
+            failwith
+              (Printf.sprintf "segments: honest proof malformed on %s: %s"
+                 m.Zoo.name (Zkml_util.Err.to_string e)));
+        if p.SPF.p_peak_rows >= p.SPF.p_mono_rows then
+          failwith
+            (Printf.sprintf
+               "segments: peak segment rows %d do not undercut monolithic %d \
+                on %s"
+               p.SPF.p_peak_rows p.SPF.p_mono_rows m.Zoo.name);
+        Printf.printf
+          "%-12s mono %7.2f s (%5d rows)   %d segs %7.2f s (peak %5d rows, k \
+           %s)   verify %7.4f s\n%!"
+          m.Zoo.name mono.Pipe_kzg.prove_s p.SPF.p_mono_rows nsegs
+          p.SPF.p_prove_s p.SPF.p_peak_rows
+          (String.concat "," (List.map string_of_int p.SPF.p_ks))
+          verify_s;
+        (m.Zoo.name, mono.Pipe_kzg.prove_s, p, verify_s))
+      models
+  in
+  let path = bench_path "BENCH_PR10.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"schema_version\":%d,\"bench\":\"segments\",\"backend\":\"kzg\",\"segments\":%d,\"models\":[%s]}\n"
+    schema_version nsegs
+    (String.concat ","
+       (List.map
+          (fun (name, mono_s, p, verify_s) ->
+            Printf.sprintf
+              "{\"model\":\"%s\",\"mono_rows\":%d,\"peak_rows\":%d,\"ks\":[%s],\"prove_mono_s\":%s,\"prove_seg_s\":%s,\"verify_seg_s\":%s}"
+              name p.SPF.p_mono_rows p.SPF.p_peak_rows
+              (String.concat "," (List.map string_of_int p.SPF.p_ks))
+              (Obs.json_float mono_s)
+              (Obs.json_float p.SPF.p_prove_s)
+              (Obs.json_float verify_s))
+          rows));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* ops: Bechamel microbenchmarks of the primitives the cost model uses *)
 
 let ops () =
@@ -1114,6 +1204,7 @@ let sections =
     ("batch", "batch-of-8 vs 8x single prove/verify (serving layer)", batch);
     ("quotient", "interpreter vs compiled quotient evaluator (PR 5)", quotient);
     ("kernels", "field / MSM / NTT kernel microbenchmarks (PR 7)", kernels);
+    ("segments", "split-and-aggregate proving (PR 10)", segments);
     ("ops", "primitive operation microbenchmarks (bechamel)", ops) ]
 
 let () =

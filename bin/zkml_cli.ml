@@ -64,6 +64,7 @@ module Serve_ipa = B.Serve_ipa
 module Pipe_kzg = B.Pipe_kzg
 module Pipe_ipa = B.Pipe_ipa
 module PF = Zkml_serve.Proof_file
+module SPF = Zkml_serve.Seg_proof
 
 module Err = Zkml_util.Err
 module Fuzz = Zkml_util.Fuzz
@@ -164,8 +165,55 @@ let print_accuracy rows =
         (if Float.is_nan ratio then "-" else Printf.sprintf "%.2fx" ratio))
     rows
 
-let cmd_profile model backend trace_out json =
+(* Segmented profile: trace a split-and-aggregate prove and attribute
+   the ntt/msm/lookup/commit phase totals to each segment's labelled
+   span, so cost-model accuracy is inspectable per segment. *)
+let cmd_profile_segmented (m : Zoo.model) backend trace_out json segments =
+  (match backend with
+  | "ipa" -> ignore (Pipe_ipa.calibrated (Lazy.force ipa_params))
+  | _ -> ignore (Pipe_kzg.calibrated (Lazy.force kzg_params)));
+  let p, report =
+    Obs.with_enabled (fun () ->
+        SPF.prove m (backend_of_flag backend) 1234 ~segments)
+  in
+  if json then begin
+    print_endline (Obs.summary_json report);
+    (match trace_out with
+    | Some path -> Obs.write_file path (Obs.chrome_trace report)
+    | None -> ());
+    0
+  end
+  else begin
+    Printf.printf
+      "traced segmented proving run of %s (%s backend, %d segments):\n\n"
+      m.Zoo.name backend (List.length p.SPF.p_ks);
+    print_string (Obs.tree_string report);
+    Printf.printf
+      "\nprove_s %.4f s; peak segment rows %d vs %d monolithic\n"
+      p.SPF.p_prove_s p.SPF.p_peak_rows p.SPF.p_mono_rows;
+    Printf.printf "\nper-segment phase breakdown (seconds):\n";
+    Printf.printf "  %-12s %4s %10s %10s %10s %10s\n" "segment" "k" "ntt"
+      "msm" "lookup" "total";
+    List.iteri
+      (fun i k ->
+        let under = Printf.sprintf "segment-%d" i in
+        let t name = Obs.total_of ~under report name in
+        Printf.printf "  %-12s %4d %10.4f %10.4f %10.4f %10.4f\n" under k
+          (t "ntt") (t "msm") (t "lookup") (Obs.total_of report under))
+      p.SPF.p_ks;
+    (match trace_out with
+    | Some path ->
+        Obs.write_file path (Obs.chrome_trace report);
+        Printf.printf "\nwrote chrome-trace to %s (open in about:tracing)\n"
+          path
+    | None -> ());
+    0
+  end
+
+let cmd_profile model backend trace_out json segments =
   let m = load_model model in
+  if segments >= 1 then cmd_profile_segmented m backend trace_out json segments
+  else
   let inputs = Zoo.sample_inputs m in
   let run_traced () =
     match backend with
@@ -369,38 +417,87 @@ let cmd_check_constraints model backend seed =
     1
   end
 
-let cmd_prove model backend out seed =
+let cmd_prove model backend out seed segments =
   let m = load_model model in
-  let text, prove_s, proof_bytes = PF.prove m (backend_of_flag backend) seed in
-  let oc = open_out out in
-  output_string oc text;
-  close_out oc;
-  Printf.printf "proved %s with %s in %.2f s (%d B); wrote %s\n" m.Zoo.name
-    backend prove_s proof_bytes out;
-  Log.event "prove.done"
-    [ ("model", Log.S m.Zoo.name); ("backend", Log.S backend);
-      ("prove_s", Log.F prove_s); ("proof_bytes", Log.I proof_bytes);
-      ("out", Log.S out) ];
-  0
+  if segments >= 1 then begin
+    let p = SPF.prove m (backend_of_flag backend) seed ~segments in
+    let oc = open_out out in
+    output_string oc p.SPF.p_text;
+    close_out oc;
+    Printf.printf
+      "proved %s with %s in %d segments (k %s; peak rows %d vs %d \
+       monolithic) in %.2f s; wrote %s\n"
+      m.Zoo.name backend (List.length p.SPF.p_ks)
+      (String.concat "," (List.map string_of_int p.SPF.p_ks))
+      p.SPF.p_peak_rows p.SPF.p_mono_rows p.SPF.p_prove_s out;
+    Log.event "prove.done"
+      [ ("model", Log.S m.Zoo.name); ("backend", Log.S backend);
+        ("segments", Log.I (List.length p.SPF.p_ks));
+        ("peak_rows", Log.I p.SPF.p_peak_rows);
+        ("prove_s", Log.F p.SPF.p_prove_s); ("out", Log.S out) ];
+    0
+  end
+  else begin
+    let text, prove_s, proof_bytes =
+      PF.prove m (backend_of_flag backend) seed
+    in
+    let oc = open_out out in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "proved %s with %s in %.2f s (%d B); wrote %s\n" m.Zoo.name
+      backend prove_s proof_bytes out;
+    Log.event "prove.done"
+      [ ("model", Log.S m.Zoo.name); ("backend", Log.S backend);
+        ("prove_s", Log.F prove_s); ("proof_bytes", Log.I proof_bytes);
+        ("out", Log.S out) ];
+    0
+  end
 
 (* Exit contract: 0 accepted, 1 well-formed-but-rejected, 2 malformed
    input (with a one-line diagnostic on stderr). Nothing an outsider
    puts in the model or proof file reaches the user as a backtrace. *)
 let cmd_verify model proof_path =
+  (* the proof file's first line selects the monolithic or the
+     segmented format; both share the 0/1/2 exit contract *)
+  let read_text path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | text -> Ok text
+    | exception Sys_error msg ->
+        Err.fail ~context:[ "proof-file" ] Err.Io_error msg
+  in
   let outcome =
     match load_model_result model with
     | Error e -> `Malformed (Err.with_context "model" e)
     | Ok m -> (
-        match PF.read_file proof_path with
+        match read_text proof_path with
         | Error e -> `Malformed e
-        | Ok pf -> (
-            match
-              PF.verdict ~kzg_keys:(Hashtbl.create 1)
-                ~ipa_keys:(Hashtbl.create 1) m pf
-            with
-            | `Accepted ->
-                `Accepted (m.Zoo.name, B.backend_name pf.PF.pf_backend)
-            | (`Rejected | `Malformed _) as v -> v))
+        | Ok text when SPF.looks_segmented text -> (
+            match SPF.of_string text with
+            | Error e -> `Malformed e
+            | Ok sp -> (
+                match
+                  SPF.verdict ~kzg_keys:(Hashtbl.create 1)
+                    ~ipa_keys:(Hashtbl.create 1) m sp
+                with
+                | `Accepted ->
+                    `Accepted (m.Zoo.name, B.backend_name sp.SPF.sp_backend)
+                | (`Rejected | `Malformed _) as v -> v))
+        | Ok text -> (
+            match PF.of_string text with
+            | Error e -> `Malformed e
+            | Ok pf -> (
+                match
+                  PF.verdict ~kzg_keys:(Hashtbl.create 1)
+                    ~ipa_keys:(Hashtbl.create 1) m pf
+                with
+                | `Accepted ->
+                    `Accepted (m.Zoo.name, B.backend_name pf.PF.pf_backend)
+                | (`Rejected | `Malformed _) as v -> v)))
   in
   let log verdict exit_code =
     Log.event "verify.verdict"
@@ -425,10 +522,40 @@ let cmd_verify model proof_path =
    from the artifact cache after the first run), N proofs; one batched
    final check for N verifications. *)
 
-let cmd_batch_prove model backend out_prefix seeds =
+let cmd_batch_prove model backend out_prefix seeds segments =
   if seeds = [] then begin
     Printf.eprintf "batch-prove: at least one input SEED is required\n";
     2
+  end
+  else if segments >= 1 then begin
+    (* segmented batch: per-segment keys ride the artifact cache, so
+       after the first seed every later proof skips keygen entirely *)
+    let m = load_model model in
+    let t0 = Zkml_util.Timer.default_clock () in
+    let paths =
+      List.map
+        (fun seed ->
+          let p = SPF.prove m (backend_of_flag backend) seed ~segments in
+          let path = Printf.sprintf "%s-%d.zkp" out_prefix seed in
+          let oc = open_out path in
+          output_string oc p.SPF.p_text;
+          close_out oc;
+          path)
+        seeds
+    in
+    let total_s = Zkml_util.Timer.default_clock () -. t0 in
+    let n = List.length seeds in
+    Printf.printf
+      "proved %d inputs with %s in %d segments in %.2f s (%.2f s/proof \
+       amortized)\n"
+      n backend segments total_s
+      (total_s /. float_of_int n);
+    List.iter (fun p -> Printf.printf "wrote %s\n" p) paths;
+    Log.event "batch_prove.done"
+      [ ("model", Log.S m.Zoo.name); ("backend", Log.S backend);
+        ("segments", Log.I segments); ("proofs", Log.I n);
+        ("prove_s", Log.F total_s) ];
+    0
   end
   else begin
     let m = load_model model in
@@ -656,6 +783,83 @@ let cmd_batch_verify model proof_paths =
       log (List.length proof_paths) "malformed" 2
 
 (* ------------------------------------------------------------------ *)
+(* segments-smoke: the split-and-aggregate hard gate in `make check` *)
+
+(* Prove mnist at --segments 1 and 4: both files must verify (and agree
+   with each other on the model statement); a flipped seam digest must
+   come back verdict 1; a dropped segment group verdict 2. Exits
+   non-zero on any miss, like serve-smoke. *)
+let cmd_segments_smoke () =
+  let m = Zoo.by_name "mnist" in
+  let kzg_keys = Hashtbl.create 8 and ipa_keys = Hashtbl.create 8 in
+  let verdict_of text =
+    match SPF.of_string text with
+    | Error e -> `Malformed e
+    | Ok sp -> SPF.verdict ~kzg_keys ~ipa_keys m sp
+  in
+  let verdict_name = function
+    | `Accepted -> "accepted"
+    | `Rejected -> "rejected"
+    | `Malformed _ -> "malformed"
+  in
+  let failures = ref 0 in
+  let expect name want got =
+    let ok = want = verdict_name got in
+    if not ok then incr failures;
+    Printf.printf "  %-44s %-9s %s\n%!" name (verdict_name got)
+      (if ok then "ok" else Printf.sprintf "FAIL (expected %s)" want)
+  in
+  Printf.printf "segments-smoke: proving mnist at --segments 1 and 4...\n%!";
+  let p1 = SPF.prove m B.Kzg 1234 ~segments:1 in
+  let p4 = SPF.prove m B.Kzg 1234 ~segments:4 in
+  Printf.printf "  peak rows: %d (1 seg) / %d (4 segs)\n%!" p1.SPF.p_peak_rows
+    p4.SPF.p_peak_rows;
+  expect "honest --segments 1" "accepted" (verdict_of p1.SPF.p_text);
+  expect "honest --segments 4" "accepted" (verdict_of p4.SPF.p_text);
+  (match SPF.of_string p4.SPF.p_text with
+  | Error e -> failwith (Err.to_string e)
+  | Ok sp ->
+      if Array.length sp.SPF.sp_seams = 0 then begin
+        incr failures;
+        Printf.printf "  FAIL: 4-segment mnist proof has no seams\n%!"
+      end
+      else begin
+        (* seam-digest tamper: well-formed file, false statement *)
+        let d = Bytes.of_string sp.SPF.sp_seams.(0) in
+        Bytes.set d 0 (Char.chr (Char.code (Bytes.get d 0) lxor 1));
+        let orig = sp.SPF.sp_seams.(0) in
+        sp.SPF.sp_seams.(0) <- Bytes.to_string d;
+        expect "seam-digest tamper" "rejected" (verdict_of (SPF.render sp));
+        sp.SPF.sp_seams.(0) <- orig;
+        (* seam-value tamper in a consumer segment's import region *)
+        let g = sp.SPF.sp_groups.(1) in
+        let inst = Array.copy g.SPF.sg_instance in
+        inst.(0) <- inst.(0) + 1;
+        let groups = Array.copy sp.SPF.sp_groups in
+        groups.(1) <- { g with SPF.sg_instance = inst };
+        expect "seam-value tamper" "rejected"
+          (verdict_of (SPF.render { sp with SPF.sp_groups = groups }));
+        (* dropped segment: framing no longer matches the derived plan *)
+        let dropped =
+          {
+            sp with
+            SPF.sp_groups =
+              Array.sub sp.SPF.sp_groups 0
+                (Array.length sp.SPF.sp_groups - 1);
+          }
+        in
+        expect "dropped segment" "malformed" (verdict_of (SPF.render dropped))
+      end);
+  if !failures = 0 then begin
+    Printf.printf "segments-smoke: ok\n";
+    0
+  end
+  else begin
+    Printf.eprintf "segments-smoke: %d FAILURES\n" !failures;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* fuzz: deterministic malformed-input fuzzing of both parse surfaces *)
 
 let log_fuzz_report label (r : Fuzz.report) =
@@ -767,6 +971,9 @@ let cmd_fuzz iters seed =
         W.Prove
           { tenant = "fuzz"; backend = B.Kzg; model = "mnist";
             seeds = [ 1L; 2L; 3L ] };
+        W.Prove_seg
+          { tenant = "fuzz"; backend = B.Kzg; model = "mnist"; segments = 4;
+            seeds = [ 1L; 2L ] };
         W.Verify { tenant = "fuzz"; model = "mnist"; proof = p_mnist };
         W.Shutdown ]
     @ List.map W.encode_response
@@ -785,9 +992,42 @@ let cmd_fuzz iters seed =
   in
   List.iter print_endline (Fuzz.report_lines ~label:"wire" wire_report);
   log_fuzz_report "wire" wire_report;
+  (* corpus 5: segmented proof files. Soundness claim: no mutant may be
+     accepted, and an accepted (i.e. unchanged) file must re-render to
+     itself — the canonical re-encode oracle over the seam digests and
+     per-segment groups. *)
+  Printf.printf "building segmented proof corpus (mnist/kzg, 3 segments)...\n%!";
+  let p_seg = (SPF.prove m_mnist B.Kzg 1234 ~segments:3).SPF.p_text in
+  let seg_kzg_keys = Hashtbl.create 16 and seg_ipa_keys = Hashtbl.create 16 in
+  let classify_seg text =
+    match SPF.of_string text with
+    | Error e -> Fuzz.Malformed (Err.to_string e)
+    | Ok sp ->
+        if sp.SPF.sp_model <> "mnist" then Fuzz.Malformed "unknown model name"
+        else if SPF.render sp <> text then
+          (* parsed but not canonical: a parser soundness failure *)
+          Fuzz.Accepted
+        else begin
+          match
+            SPF.verdict ~kzg_keys:seg_kzg_keys ~ipa_keys:seg_ipa_keys m_mnist
+              sp
+          with
+          | `Accepted -> if text = p_seg then Fuzz.Valid else Fuzz.Accepted
+          | `Rejected -> Fuzz.Rejected
+          | `Malformed e -> Fuzz.Malformed (Err.to_string e)
+        end
+  in
+  let seg_report =
+    Fuzz.run ~text:true ~rng ~iters:(min iters 250) ~corpus:[ p_seg ]
+      ~classify:classify_seg ()
+  in
+  List.iter print_endline
+    (Fuzz.report_lines ~label:"segmented-proofs" seg_report);
+  log_fuzz_report "segmented-proofs" seg_report;
   if
     Fuzz.clean model_report && Fuzz.clean proof_report
     && Fuzz.clean cache_report && Fuzz.clean wire_report
+    && Fuzz.clean seg_report
   then begin
     Printf.printf "fuzz: clean (0 escaped exceptions, 0 accepted mutants)\n";
     0
@@ -1042,6 +1282,21 @@ let metrics_out_term =
   let apply = function Some _ as p -> metrics_out := p | None -> () in
   Term.(const apply $ arg)
 
+(* --segments N on the prove family: 0 (the default) keeps the
+   monolithic pipeline; N >= 1 switches to split-and-aggregate
+   proving (N layer-boundary segments, seam-digest binding, one
+   aggregated final check). *)
+let segments_term =
+  Arg.(
+    value & opt int 0
+    & info [ "segments" ] ~docv:"N"
+        ~doc:
+          "Prove in $(docv) independently-proved segments cut at layer \
+           boundaries (0 = monolithic, the default). Segment proofs are \
+           bound by seam digests over the shared boundary values and \
+           verified with one aggregated final check; acceptance is \
+           identical to the monolithic pipeline.")
+
 let models_cmd =
   Cmd.v (Cmd.info "models" ~doc:"List the built-in model zoo.")
     Term.(const cmd_models $ const ())
@@ -1124,10 +1379,13 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:
          "Run a traced prove; print the span tree and the predicted-vs-actual \
-          cost-model report (paper 9.5).")
+          cost-model report (paper 9.5). With --segments N, trace a \
+          split-and-aggregate prove and print the per-segment phase \
+          breakdown instead.")
     Term.(
-      const (fun () () m b t j -> cmd_profile m b t j)
-      $ jobs_term $ metrics_out_term $ model_arg $ backend_arg $ trace $ json)
+      const (fun () () m b t j s -> cmd_profile m b t j s)
+      $ jobs_term $ metrics_out_term $ model_arg $ backend_arg $ trace $ json
+      $ segments_term)
 
 let prove_cmd =
   let out =
@@ -1141,10 +1399,16 @@ let prove_cmd =
       & info [ "seed" ] ~docv:"SEED" ~doc:"Input sampling seed.")
   in
   Cmd.v
-    (Cmd.info "prove" ~doc:"Compile, optimize, prove; write a proof file.")
+    (Cmd.info "prove"
+       ~doc:
+         "Compile, optimize, prove; write a proof file. With --segments N, \
+          cut the circuit at layer boundaries into N independently-proved \
+          segments bound by seam digests and write a `zkml-proof-seg v1` \
+          file instead.")
     Term.(
-      const (fun () () m b o s -> cmd_prove m b o s)
-      $ jobs_term $ metrics_out_term $ model_arg $ backend_arg $ out $ seed)
+      const (fun () () m b o s n -> cmd_prove m b o s n)
+      $ jobs_term $ metrics_out_term $ model_arg $ backend_arg $ out $ seed
+      $ segments_term)
 
 let verify_cmd =
   let proof =
@@ -1184,8 +1448,9 @@ let batch_prove_cmd =
           ~/.cache/zkml), so a second run skips compilation. Proof bytes are \
           identical to `zkml prove` runs with the same seeds.")
     Term.(
-      const (fun () () m b o s -> cmd_batch_prove m b o s)
-      $ jobs_term $ metrics_out_term $ model_arg $ backend_arg $ out $ seeds)
+      const (fun () () m b o s n -> cmd_batch_prove m b o s n)
+      $ jobs_term $ metrics_out_term $ model_arg $ backend_arg $ out $ seeds
+      $ segments_term)
 
 let batch_verify_cmd =
   let proofs =
@@ -1226,6 +1491,16 @@ let fuzz_cmd =
           mutant is cleanly classified — no escaped exception, no accepted \
           mutant.")
     Term.(const (fun () i s -> cmd_fuzz i s) $ jobs_term $ iters $ seed)
+
+let segments_smoke_cmd =
+  Cmd.v
+    (Cmd.info "segments-smoke"
+       ~doc:
+         "End-to-end smoke test for split-and-aggregate proving: prove \
+          mnist monolithically and at --segments 4, check both are \
+          accepted, then check a seam-tampered and a truncated variant \
+          are rejected. Exits non-zero on any failure.")
+    Term.(const (fun () -> cmd_segments_smoke ()) $ jobs_term)
 
 let metrics_cmd =
   let model =
@@ -1444,10 +1719,16 @@ let main =
              ~doc:
                "Models `zkml serve` pre-compiles before listening (same \
                 as --warm): comma-separated zoo names or 'all'.";
+           Cmd.Env.info "ZKML_SEGMENTS"
+             ~doc:
+               "If set to N >= 1, `zkml serve` answers Prove requests \
+                with split-and-aggregate proving at N segments (the \
+                wire Prove_seg request overrides per call).";
          ])
     [ models_cmd; stats_cmd; export_cmd; calibrate_cmd; optimize_cmd;
       prove_cmd; verify_cmd; batch_prove_cmd; batch_verify_cmd; profile_cmd;
-      check_constraints_cmd; fuzz_cmd; metrics_cmd; serve_cmd; loadgen_cmd ]
+      check_constraints_cmd; fuzz_cmd; segments_smoke_cmd; metrics_cmd;
+      serve_cmd; loadgen_cmd ]
 
 let write_metrics_file path =
   let snap = Metrics.snapshot () in

@@ -188,6 +188,24 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
       w_instance_ints = built.Layouter.instance_col;
     }
 
+  (** {!witness} for callers that already hold quantized integer
+      tensors — the segmented prover feeds exact intermediate values of
+      the full-model execution into each segment, so no re-quantization
+      may happen here. *)
+  let witness_ints ~spec ~ncols ~k ~cfg graph (qinputs : int T.t list) =
+    Zkml_obs.Obs.Span.with_ ~name:"witness" @@ fun () ->
+    let exec = Zkml_nn.Quant_exec.run cfg graph ~inputs:qinputs in
+    let lowered = Lower.lower ~spec ~cfg ~ncols ~counting:false graph exec in
+    let built =
+      Layouter.finalize lowered.Lower.layouter ~blinding:Optimizer.blinding ~k
+    in
+    {
+      w_advice =
+        Array.map (fun col -> Array.map F.of_int col) built.Layouter.advice;
+      w_instance = [| Array.map F.of_int built.Layouter.instance_col |];
+      w_instance_ints = built.Layouter.instance_col;
+    }
+
   let instance_col_of_ints keys instance_ints =
     let module Err = Zkml_util.Err in
     let n = 1 lsl keys.Proto.circuit.Zkml_plonkish.Circuit.k in

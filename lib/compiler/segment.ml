@@ -1,0 +1,252 @@
+(** Split-and-aggregate planning: cut a model graph at layer boundaries
+    into N contiguous segments, each compiled to its own (smaller)
+    plonkish circuit. Inter-segment values become "seams": the producing
+    segment re-exposes them as public outputs, every consuming segment
+    re-imports them as public inputs, and the aggregate verifier checks
+    that all public copies agree (plus a digest binding carried in the
+    proof file). Planning is deterministic — prover and verifier derive
+    the identical plan from (graph, spec, ncols, cfg, segments), so the
+    plan itself never travels with the proof. *)
+
+module G = Zkml_nn.Graph
+module Op = Zkml_nn.Op
+module T = Zkml_tensor.Tensor
+
+(* Wire-format bound: segment counts live in a u8 with headroom, and a
+   16-way split already exceeds the useful parallelism of one host. *)
+let max_segments = 16
+
+type seg = {
+  sg_index : int;
+  sg_graph : G.t;  (** imports as Input nodes first, then the chunk *)
+  sg_imports : int list;  (** full-graph node ids, ascending *)
+  sg_exports : int list;  (** full-graph node ids, ascending *)
+  sg_import_off : (int * int) list;  (** full id -> instance offset *)
+  sg_export_off : (int * int) list;  (** full id -> instance offset *)
+  sg_inst_len : int;  (** imports + exports, in field elements *)
+  sg_rows : int;  (** content rows (counting lower) *)
+  sg_k : int;  (** minimal k for this segment *)
+}
+
+type seam = {
+  sm_node : int;  (** full-graph node id of the crossing value *)
+  sm_numel : int;
+  sm_src : int * int;  (** canonical copy: (segment, instance offset) *)
+  sm_dsts : (int * int) list;  (** every other public copy *)
+}
+
+type plan = { p_segments : seg array; p_seams : seam array }
+
+let is_compute (n : G.node) =
+  match n.G.op with Op.Input _ | Op.Weight _ -> false | _ -> true
+
+(* Contiguous weight-balanced chunking of the compute nodes: chunk
+   boundaries fall where the running output-numel crosses the
+   proportional share, every chunk keeps at least one node. *)
+let chunk_bounds weights n =
+  let m = Array.length weights in
+  let total = max 1 (Array.fold_left ( + ) 0 weights) in
+  let bounds = Array.make (n + 1) 0 in
+  let i = ref 0 in
+  let cum = ref 0 in
+  for j = 0 to n - 1 do
+    let limit = m - (n - 1 - j) in
+    (* at least one node per chunk *)
+    cum := !cum + weights.(!i);
+    incr i;
+    while !i < limit && !cum * n < total * (j + 1) do
+      cum := !cum + weights.(!i);
+      incr i
+    done;
+    bounds.(j + 1) <- !i
+  done;
+  bounds.(n) <- m;
+  bounds
+
+let plan ~spec ~ncols ~cfg ~segments graph =
+  let nodes = G.nodes graph in
+  (* Shapes of every intermediate value, from a structure-only run. *)
+  let shape_exec =
+    Zkml_nn.Quant_exec.run ~saturate:true cfg graph
+      ~inputs:
+        (Array.to_list nodes
+        |> List.filter_map (fun (n : G.node) ->
+               match n.G.op with
+               | Op.Input { shape } -> Some (T.create shape 0)
+               | _ -> None))
+  in
+  let numel id = T.numel shape_exec.Zkml_nn.Quant_exec.values.(id) in
+  let shape id = T.shape shape_exec.Zkml_nn.Quant_exec.values.(id) in
+  let compute = Array.of_list (List.filter is_compute (Array.to_list nodes)) in
+  let m = Array.length compute in
+  if m = 0 then invalid_arg "Segment.plan: graph has no compute nodes";
+  let n = max 1 (min segments (min max_segments m)) in
+  let bounds = chunk_bounds (Array.map (fun c -> numel c.G.id) compute) n in
+  let chunk_of = Array.make (Array.length nodes) (-1) in
+  for j = 0 to n - 1 do
+    for i = bounds.(j) to bounds.(j + 1) - 1 do
+      chunk_of.(compute.(i).G.id) <- j
+    done
+  done;
+  (* Model outputs must be compute nodes: an Input/Weight output would
+     have no producing segment to export it from. *)
+  List.iter
+    (fun id ->
+      if chunk_of.(id) < 0 then
+        invalid_arg "Segment.plan: model output is not a compute node")
+    (G.outputs graph);
+  let consumer_chunks = Array.make (Array.length nodes) [] in
+  Array.iter
+    (fun (nd : G.node) ->
+      if is_compute nd then
+        Array.iter
+          (fun src ->
+            let c = chunk_of.(nd.G.id) in
+            if not (List.mem c consumer_chunks.(src)) then
+              consumer_chunks.(src) <- consumer_chunks.(src) @ [ c ])
+          nd.G.inputs)
+    nodes;
+  (* Imports of chunk j: values produced outside j that j consumes —
+     full-graph Inputs and earlier-chunk compute nodes. Weights are not
+     imported; each segment embeds its own copy of the tensor (weight
+     lowering is position-independent, so copies cost nothing extra).
+     Inputs nobody consumes still belong to the public statement: they
+     are assigned to segment 0. *)
+  let imports = Array.make n [] in
+  Array.iteri
+    (fun id (nd : G.node) ->
+      match nd.G.op with
+      | Op.Weight _ -> ()
+      | Op.Input _ ->
+          let cs = consumer_chunks.(id) in
+          let cs = if cs = [] then [ 0 ] else cs in
+          List.iter (fun c -> imports.(c) <- imports.(c) @ [ id ]) cs
+      | _ ->
+          List.iter
+            (fun c ->
+              if c > chunk_of.(id) then imports.(c) <- imports.(c) @ [ id ])
+            consumer_chunks.(id))
+    nodes;
+  let imports = Array.map (List.sort_uniq compare) imports in
+  (* Exports of chunk j: compute nodes consumed by a later chunk, plus
+     the model outputs that live in j. *)
+  let exports = Array.make n [] in
+  Array.iter
+    (fun (c : G.node) ->
+      let id = c.G.id in
+      let j = chunk_of.(id) in
+      let crosses = List.exists (fun c' -> c' > j) consumer_chunks.(id) in
+      if crosses || List.mem id (G.outputs graph) then
+        exports.(j) <- exports.(j) @ [ id ])
+    compute;
+  let exports = Array.map (List.sort_uniq compare) exports in
+  let offsets ids =
+    let off = ref 0 in
+    List.map
+      (fun id ->
+        let o = !off in
+        off := o + numel id;
+        (id, o))
+      ids
+  in
+  let segs =
+    Array.init n (fun j ->
+        let sg = G.create (Printf.sprintf "%s.seg%d" (G.name graph) j) in
+        (* full-graph id -> id inside the segment graph *)
+        let local = Hashtbl.create 32 in
+        List.iter
+          (fun id -> Hashtbl.replace local id (G.input sg (shape id)))
+          imports.(j);
+        let local_of src =
+          match Hashtbl.find_opt local src with
+          | Some l -> l
+          | None -> (
+              (* only Weight producers materialize lazily *)
+              match (G.node graph src).G.op with
+              | Op.Weight { tensor } ->
+                  let l =
+                    G.add ~label:(G.node graph src).G.label sg
+                      (Op.Weight { tensor }) [||]
+                  in
+                  Hashtbl.replace local src l;
+                  l
+              | _ ->
+                  invalid_arg "Segment.plan: consumed value has no segment")
+        in
+        for i = bounds.(j) to bounds.(j + 1) - 1 do
+          let nd = compute.(i) in
+          let l =
+            G.add ~label:nd.G.label sg nd.G.op
+              (Array.map local_of nd.G.inputs)
+          in
+          Hashtbl.replace local nd.G.id l
+        done;
+        List.iter (fun id -> G.mark_output sg (Hashtbl.find local id))
+          exports.(j);
+        let import_off = offsets imports.(j) in
+        let import_len =
+          List.fold_left (fun a id -> a + numel id) 0 imports.(j)
+        in
+        let export_off =
+          List.map (fun (id, o) -> (id, o + import_len))
+            (offsets exports.(j))
+        in
+        let inst_len =
+          import_len
+          + List.fold_left (fun a id -> a + numel id) 0 exports.(j)
+        in
+        let seg_exec =
+          Zkml_nn.Quant_exec.run ~saturate:true cfg sg
+            ~inputs:(List.map (fun id -> T.create (shape id) 0) imports.(j))
+        in
+        let lowered =
+          Lower.lower ~spec ~cfg ~ncols ~counting:true sg seg_exec
+        in
+        let ly = lowered.Lower.layouter in
+        {
+          sg_index = j;
+          sg_graph = sg;
+          sg_imports = imports.(j);
+          sg_exports = exports.(j);
+          sg_import_off = import_off;
+          sg_export_off = export_off;
+          sg_inst_len = inst_len;
+          sg_rows = (Layouter.summary ly).Layouter.rows_content;
+          sg_k = Layouter.optimal_k ly ~blinding:Optimizer.blinding;
+        })
+  in
+  (* Seams: one per value with more than one public copy. The canonical
+     copy of a compute node is its export slot; of a full-graph Input,
+     its first import slot. *)
+  let seams = ref [] in
+  Array.iteri
+    (fun id (nd : G.node) ->
+      let copies =
+        Array.to_list segs
+        |> List.concat_map (fun s ->
+               let at l = List.assoc_opt id l in
+               List.filter_map
+                 (fun o -> Option.map (fun off -> (s.sg_index, off)) o)
+                 [ at s.sg_export_off; at s.sg_import_off ])
+      in
+      match copies with
+      | [] | [ _ ] -> ()
+      | src :: dsts ->
+          ignore nd;
+          seams :=
+            { sm_node = id; sm_numel = numel id; sm_src = src; sm_dsts = dsts }
+            :: !seams)
+    nodes;
+  { p_segments = segs; p_seams = Array.of_list (List.rev !seams) }
+
+(** Largest per-segment content-row count — the peak memory proxy the
+    bench reports against the monolithic row count. *)
+let peak_rows plan =
+  Array.fold_left (fun a s -> max a s.sg_rows) 0 plan.p_segments
+
+(** Slice one seam copy out of a segment's (padded) integer instance
+    column. Returns [None] when the column is too short — a malformed
+    proof file, never an internal error. *)
+let slice_copy (inst : int array) ~off ~numel =
+  if off < 0 || numel < 0 || off + numel > Array.length inst then None
+  else Some (Array.sub inst off numel)

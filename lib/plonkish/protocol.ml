@@ -1347,4 +1347,102 @@ module Make (Scheme : Zkml_commit.Scheme_intf.S) = struct
         | Ok true -> Accepted
         | Ok false -> Rejected
         | Error e -> Malformed (Err.with_context "verify_many" e))
+
+  (* ------------------------------------------------------------------ *)
+  (* Split-and-aggregate: a model cut into segments, each its own
+     circuit with its own (smaller) keys. [prove_segmented] mirrors
+     [prove_many] but carries per-segment keys and wraps each segment in
+     a labelled span, so profiles attribute ntt/msm/commit/quotient time
+     per segment; [verify_segmented] folds every segment's deferred
+     opening claims into a single RLC final check — one group equation
+     regardless of segment count. The claims live at the commitment-
+     scheme level over the shared SRS, so combining across different
+     circuits is exactly as sound as [verify_many]'s combination across
+     proofs. *)
+
+  let segment_seconds phase =
+    Metrics.histogram
+      ~labels:[ ("phase", phase) ]
+      ~help:"Per-segment wall-clock by phase" "zkml_segment_seconds"
+
+  let prove_segmented scheme_params (jobs : (keys * prove_job) list) =
+    Obs.Span.with_ ~name:"prove_segmented" @@ fun () ->
+    Obs.count "segments.proved" (List.length jobs);
+    Metrics.observe_in
+      ~labels:[ ("op", "prove") ]
+      ~help:"Batch sizes seen by prove_many/verify_many" "zkml_batch_size"
+      (float_of_int (List.length jobs));
+    let h = segment_seconds "prove" in
+    List.mapi
+      (fun i (keys, job) ->
+        Obs.Span.with_ ~name:(Printf.sprintf "segment-%d" i) @@ fun () ->
+        Metrics.time h @@ fun () ->
+        prove scheme_params keys ~instance:job.job_instance
+          ~advice:job.job_advice ~rng:job.job_rng)
+      jobs
+
+  (** Verify one proof per segment with a single deferred final check:
+      each segment's transcript is replayed against its own keys and
+      every scalar check evaluated as usual, then the opening claims of
+      all segments are combined by an RLC whose coefficients are
+      squeezed from a transcript bound to every (instance, proof) pair.
+      Seam equality between segment instances is the caller's check
+      (see Seg_proof) — this function judges only the proofs. *)
+  let verify_segmented scheme_params
+      ~(batch : (keys * F.t array array * proof) list) =
+    Obs.Span.with_ ~name:"verify_segmented" @@ fun () ->
+    Obs.count "segments.verified" (List.length batch);
+    let h = segment_seconds "verify" in
+    let collected =
+      List.map
+        (fun (keys, instance, proof) ->
+          Metrics.time h @@ fun () ->
+          verify_collect scheme_params keys ~instance proof)
+        batch
+    in
+    if List.exists (fun c -> c = None) collected then false
+    else begin
+      let deferred =
+        List.concat_map (function Some ds -> ds | None -> []) collected
+      in
+      (* RLC coefficients bound to the full multi-segment statement *)
+      let bt = T.create "zkml-segment-verify" in
+      List.iter
+        (fun (_, instance, proof) ->
+          Array.iter
+            (fun col ->
+              Ch.absorb_scalars bt ~label:"instance" (Array.to_list col))
+            instance;
+          T.absorb_bytes bt ~label:"proof"
+            (Zkml_util.Sha256.digest (proof_to_bytes proof)))
+        batch;
+      deferred = []
+      || Scheme.deferred_check scheme_params
+           ~next_coeff:(fun () -> Ch.squeeze_nonzero bt ~label:"segment-rlc")
+           deferred
+    end
+
+  (** {!verify_segmented} over untrusted proof bytes: total, with the
+      failing segment's index in the error context. *)
+  let verify_segmented_bytes scheme_params
+      ~(batch : (keys * F.t array array * string) list) =
+    let rec parse acc i = function
+      | [] -> Ok (List.rev acc)
+      | (keys, instance, bytes) :: rest -> (
+          match proof_of_bytes scheme_params keys bytes with
+          | Error e ->
+              Error (Err.with_context (Printf.sprintf "segment[%d]" i) e)
+          | Ok proof -> parse ((keys, instance, proof) :: acc) (i + 1) rest)
+    in
+    tally_verdict
+    @@ match parse [] 0 batch with
+    | Error e -> Malformed e
+    | Ok parsed -> (
+        match
+          Err.guard Err.Invalid_encoding (fun () ->
+              verify_segmented scheme_params ~batch:parsed)
+        with
+        | Ok true -> Accepted
+        | Ok false -> Rejected
+        | Error e -> Malformed (Err.with_context "verify_segmented" e))
 end

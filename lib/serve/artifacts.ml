@@ -34,7 +34,7 @@ open Err
 
 (* Bumping this invalidates every cached artifact (the version feeds the
    content hash as well as the file header). *)
-let cache_version = "zkml-artifact v3"
+let cache_version = "zkml-artifact v4"
 
 let cache_dir () =
   match Sys.getenv_opt "ZKML_CACHE_DIR" with

@@ -72,16 +72,39 @@ let schedule ~rng ~models n =
 
 (* A tampered proof that must draw verdict 1: bump one public instance
    value. The proof still parses and the header still rebuilds, but the
-   proof no longer binds the altered instance — well-formed and false. *)
+   proof no longer binds the altered instance — well-formed and false.
+   Handles both proof formats, so a daemon running with ZKML_SEGMENTS
+   set (corpus proofs come back segmented) is load-testable too: there
+   the bumped slot is a boundary value of the last segment, which the
+   seam equality check rejects. *)
 let tamper_proof text =
-  match Proof_file.of_string text with
-  | Error e -> failwith ("loadgen: stored proof does not parse: " ^ Err.to_string e)
-  | Ok pf ->
-      if Array.length pf.Proof_file.pf_instance = 0 then
-        failwith "loadgen: stored proof has an empty instance";
-      let instance = Array.copy pf.Proof_file.pf_instance in
-      instance.(0) <- instance.(0) + 1;
-      Proof_file.render { pf with Proof_file.pf_instance = instance }
+  if Seg_proof.looks_segmented text then
+    match Seg_proof.of_string text with
+    | Error e ->
+        failwith
+          ("loadgen: stored segmented proof does not parse: "
+         ^ Err.to_string e)
+    | Ok sp ->
+        let n = Array.length sp.Seg_proof.sp_groups in
+        if n = 0 then failwith "loadgen: stored segmented proof is empty";
+        let g = sp.Seg_proof.sp_groups.(n - 1) in
+        if Array.length g.Seg_proof.sg_instance = 0 then
+          failwith "loadgen: stored segmented proof has an empty instance";
+        let instance = Array.copy g.Seg_proof.sg_instance in
+        instance.(0) <- instance.(0) + 1;
+        let groups = Array.copy sp.Seg_proof.sp_groups in
+        groups.(n - 1) <- { g with Seg_proof.sg_instance = instance };
+        Seg_proof.render { sp with Seg_proof.sp_groups = groups }
+  else
+    match Proof_file.of_string text with
+    | Error e ->
+        failwith ("loadgen: stored proof does not parse: " ^ Err.to_string e)
+    | Ok pf ->
+        if Array.length pf.Proof_file.pf_instance = 0 then
+          failwith "loadgen: stored proof has an empty instance";
+        let instance = Array.copy pf.Proof_file.pf_instance in
+        instance.(0) <- instance.(0) + 1;
+        Proof_file.render { pf with Proof_file.pf_instance = instance }
 
 (* ------------------------------------------------------------------ *)
 (* client connections *)

@@ -60,6 +60,7 @@ let sanitize_tenant t =
 let request_kind = function
   | Wire.Ping -> "ping"
   | Wire.Prove _ -> "prove"
+  | Wire.Prove_seg _ -> "prove_seg"
   | Wire.Verify _ -> "verify"
   | Wire.Shutdown -> "shutdown"
 
@@ -84,6 +85,35 @@ let zoo_model name =
   match Err.guard Err.Unknown_variant (fun () -> Zoo.by_name name) with
   | Ok m -> Ok m
   | Error e -> Error (Err.with_context "model" e)
+
+(* Split-and-aggregate prove. [Seg_proof.prove] interleaves artifact-
+   cache lookups (per-segment keys) with proving, so the whole call runs
+   under [prepare_mu] — segmented proves serialize against each other
+   and against compilation, while each segment's prover still fans out
+   over the domain pool. *)
+let handle_prove_seg ~backend ~model ~segments ~seeds =
+  match zoo_model model with
+  | Error e -> Wire.Verdict { code = 2; detail = Err.to_string e }
+  | Ok m ->
+      Wire.Proofs
+        (List.map
+           (fun seed ->
+             let p =
+               Mutex.protect prepare_mu (fun () ->
+                   Seg_proof.prove m backend (Int64.to_int seed) ~segments)
+             in
+             p.Seg_proof.p_text)
+           seeds)
+
+(* ZKML_SEGMENTS=<n> reroutes plain Prove requests through the
+   segmented prover, so existing clients opt in by environment. *)
+let env_segments () =
+  match Sys.getenv_opt "ZKML_SEGMENTS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+  | None -> None
 
 let handle_prove ~backend ~model ~seeds =
   match zoo_model model with
@@ -140,7 +170,33 @@ let handle_prove ~backend ~model ~seeds =
    judgement; pre-pipeline failures (unknown model, parse error, header
    rebuild failure) are the daemon's own malformed answers and do not
    touch the verifier's verdict counter. *)
+(* Segmented-verify memoization: rebuilt per-segment keys are shared
+   across requests. The tables (and the segment-plan derivation inside
+   [Seg_proof.verdict]) are not thread-safe, so the whole verdict runs
+   under [prepare_mu]. *)
+let seg_kzg_keys = Hashtbl.create 16
+let seg_ipa_keys = Hashtbl.create 16
+
+let handle_verify_seg ~model ~proof =
+  match zoo_model model with
+  | Error e -> Wire.Verdict { code = 2; detail = Err.to_string e }
+  | Ok m -> (
+      match Seg_proof.of_string proof with
+      | Error e -> Wire.Verdict { code = 2; detail = Err.to_string e }
+      | Ok sp -> (
+          match
+            Mutex.protect prepare_mu (fun () ->
+                Seg_proof.verdict ~kzg_keys:seg_kzg_keys
+                  ~ipa_keys:seg_ipa_keys m sp)
+          with
+          | `Accepted -> Wire.Verdict { code = 0; detail = "" }
+          | `Rejected -> Wire.Verdict { code = 1; detail = "" }
+          | `Malformed e ->
+              Wire.Verdict { code = 2; detail = Err.to_string e }))
+
 let handle_verify ~model ~proof =
+  if Seg_proof.looks_segmented proof then handle_verify_seg ~model ~proof
+  else
   match zoo_model model with
   | Error e -> Wire.Verdict { code = 2; detail = Err.to_string e }
   | Ok m -> (
@@ -215,8 +271,12 @@ let process req =
     match req with
     | Wire.Ping -> Wire.Pong
     | Wire.Shutdown -> Wire.Stopping
-    | Wire.Prove { backend; model; seeds; _ } ->
-        handle_prove ~backend ~model ~seeds
+    | Wire.Prove { backend; model; seeds; _ } -> (
+        match env_segments () with
+        | Some segments -> handle_prove_seg ~backend ~model ~segments ~seeds
+        | None -> handle_prove ~backend ~model ~seeds)
+    | Wire.Prove_seg { backend; model; segments; seeds; _ } ->
+        handle_prove_seg ~backend ~model ~segments ~seeds
     | Wire.Verify { model; proof; _ } -> handle_verify ~model ~proof
   with
   | resp -> resp
@@ -468,7 +528,9 @@ let conn_loop st fd =
         | Ok Wire.Shutdown ->
             send Wire.Stopping;
             st.cs_stop ()
-        | Ok ((Wire.Prove { tenant; _ } | Wire.Verify { tenant; _ }) as req) ->
+        | Ok
+            ((Wire.Prove { tenant; _ } | Wire.Prove_seg { tenant; _ }
+             | Wire.Verify { tenant; _ }) as req) ->
             (match Engine.submit st.cs_engine ~tenant req with
             | `Ticket tk -> send (Engine.await tk)
             | `Overloaded -> send Wire.Overloaded

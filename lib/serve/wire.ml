@@ -41,8 +41,16 @@ type request =
       model : string;
       seeds : int64 list;  (** one proof per input-sampling seed *)
     }
+  | Prove_seg of {
+      tenant : string;
+      backend : Backends.backend;
+      model : string;
+      segments : int;  (** requested segment count, 1..16 *)
+      seeds : int64 list;
+    }  (** split-and-aggregate prove; answers `zkml-proof-seg v1` texts *)
   | Verify of { tenant : string; model : string; proof : string }
-      (** [proof] is a full `zkml-proof v1` file text *)
+      (** [proof] is a full `zkml-proof v1` or `zkml-proof-seg v1` file
+          text; the daemon dispatches on the first line *)
   | Shutdown
 
 type response =
@@ -60,6 +68,7 @@ let k_ping = 0x01
 let k_prove = 0x02
 let k_verify = 0x03
 let k_shutdown = 0x04
+let k_prove_seg = 0x05
 let k_pong = 0x11
 let k_proofs = 0x12
 let k_verdict = 0x13
@@ -199,6 +208,14 @@ let encode_request req =
         put_u16 buf (List.length seeds);
         List.iter (put_i64 buf) seeds;
         k_prove
+    | Prove_seg { tenant; backend; model; segments; seeds } ->
+        put_str16 buf tenant;
+        put_u8 buf (match backend with Backends.Kzg -> 0 | Backends.Ipa -> 1);
+        put_str16 buf model;
+        put_u8 buf segments;
+        put_u16 buf (List.length seeds);
+        List.iter (put_i64 buf) seeds;
+        k_prove_seg
     | Verify { tenant; model; proof } ->
         put_str16 buf tenant;
         put_str16 buf model;
@@ -260,6 +277,43 @@ let request_of_payload kind payload =
       in
       let* seeds = seeds [] n in
       Ok (Prove { tenant; backend; model; seeds })
+    end
+    else if kind = k_prove_seg then begin
+      let* tenant = get_name r ~what:"tenant" in
+      let* b = get_u8 r ~what:"backend" in
+      let* backend =
+        match b with
+        | 0 -> Ok Backends.Kzg
+        | 1 -> Ok Backends.Ipa
+        | _ ->
+            failf ~offset:(Byte (Reader.pos r - 1)) Unknown_variant
+              "backend tag %d" b
+      in
+      let* model = get_name r ~what:"model" in
+      let sstart = Reader.pos r in
+      let* segments = get_u8 r ~what:"segment count" in
+      let* () =
+        if segments < 1 || segments > 16 then
+          failf ~offset:(Byte sstart) Out_of_range
+            "segment count %d outside [1, 16]" segments
+        else Ok ()
+      in
+      let nstart = Reader.pos r in
+      let* n = get_u16 r ~what:"seed count" in
+      let* () =
+        if n < 1 || n > max_batch then
+          failf ~offset:(Byte nstart) Out_of_range
+            "seed count %d outside [1, %d]" n max_batch
+        else Ok ()
+      in
+      let rec seeds acc i =
+        if i = 0 then Ok (List.rev acc)
+        else
+          let* s = get_i64 r ~what:"seed" in
+          seeds (s :: acc) (i - 1)
+      in
+      let* seeds = seeds [] n in
+      Ok (Prove_seg { tenant; backend; model; segments; seeds })
     end
     else if kind = k_verify then begin
       let* tenant = get_name r ~what:"tenant" in

@@ -101,6 +101,28 @@ let of_serve j =
                 [ "p50_s"; "p90_s"; "p99_s" ])
         kinds
 
+let of_segments j =
+  (* BENCH_PR10.json: split-and-aggregate proving. Per model both the
+     monolithic and the segmented prove walls plus the segmented verify
+     wall are time-like; the row counts (mono_rows / peak_rows) are
+     sizes, not times, and are skipped. *)
+  match Json.mem_list "models" j with
+  | None -> []
+  | Some models ->
+      List.concat_map
+        (fun m ->
+          match Json.mem_string "model" m with
+          | None -> []
+          | Some name ->
+              List.filter_map
+                (fun field ->
+                  match Json.mem_float field m with
+                  | Some t when time_like field ->
+                      Some (Printf.sprintf "segments/%s/%s" name field, t)
+                  | _ -> None)
+                [ "prove_mono_s"; "prove_seg_s"; "verify_seg_s" ])
+        models
+
 let of_results j =
   match Json.mem_list "results" j with
   | None -> []
@@ -136,6 +158,7 @@ let series_of_json j =
   | Some "quotient" -> of_quotient j
   | Some "kernels" -> of_kernels j
   | Some "serve" -> of_serve j
+  | Some "segments" -> of_segments j
   | Some _ -> []
   | None -> of_results j
 

@@ -15,6 +15,11 @@
       "p99_s":..}]}] (BENCH_PR9.json, the serving-daemon load
       generator) — keys [serve/K/p50_s|p90_s|p99_s]; [proofs_per_s]
       and [wall_s] are skipped (throughput / request-count scaled);
+    - [{"bench":"segments","models":[{"model":M,"prove_mono_s":..,
+      "prove_seg_s":..,"verify_seg_s":..}]}] (BENCH_PR10.json,
+      split-and-aggregate proving) — keys [segments/M/prove_mono_s],
+      [segments/M/prove_seg_s], [segments/M/verify_seg_s]; the
+      [mono_rows]/[peak_rows] fields are sizes and are skipped;
     - [{"results":[{"section":S,"model":M,"prove_s":..,"verify_s":..,
       "spans":{..}}]}] ([--json] output) — keys [S/M/prove_s],
       [S/M/verify_s], [S/M/span.K].

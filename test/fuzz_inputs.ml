@@ -18,6 +18,14 @@ module Pipe = Zkml_compiler.Pipeline.Make (Kzg)
 
 let kzg_params = Kzg.setup ~max_size:(1 lsl 13) ~seed:"fuzz-inputs"
 
+(* the segmented-proof corpus below proves through the artifact cache;
+   keep it hermetic *)
+let () =
+  Unix.putenv "ZKML_CACHE_DIR"
+    (Filename.concat
+       (Filename.get_temp_dir_name ())
+       (Printf.sprintf "zkml-test-fuzz-inputs-%d" (Unix.getpid ())))
+
 let expect_code name code = function
   | Ok _ -> Alcotest.failf "%s: parsed fine, expected %s" name (Err.code_name code)
   | Error (e : Err.t) ->
@@ -310,6 +318,9 @@ let wire_corpus () =
     [ Wire.Ping;
       Wire.Prove
         { tenant = "fuzz"; backend = B.Kzg; model = "mnist"; seeds = [ 1L; 2L ] };
+      Wire.Prove_seg
+        { tenant = "fuzz"; backend = B.Kzg; model = "mnist"; segments = 4;
+          seeds = [ 1L; 2L ] };
       Wire.Verify { tenant = "fuzz"; model = "mnist"; proof };
       Wire.Shutdown ]
   @ List.map Wire.encode_response
@@ -338,7 +349,26 @@ let test_wire_pins () =
     (Wire.encode_frame ~kind:0x02 "\x00\x04fuzz\x00\x00\x05mnist\x00\x00");
   (* name length field over the cap *)
   expect "oversized tenant" Err.Out_of_range
-    (Wire.encode_frame ~kind:0x02 "\xff\xfffuzz")
+    (Wire.encode_frame ~kind:0x02 "\xff\xfffuzz");
+  (* Prove_seg: the segments byte must be in [1, 16]. Patch it in place
+     in a valid frame — it sits just before the u16 seed count and the
+     seeds. *)
+  let seg_frame =
+    Wire.encode_request
+      (Wire.Prove_seg
+         { tenant = "fuzz"; backend = B.Kzg; model = "mnist"; segments = 4;
+           seeds = [ 1L; 2L ] })
+  in
+  let with_segments v =
+    let b = Bytes.of_string seg_frame in
+    Bytes.set b (Bytes.length b - (2 + (8 * 2)) - 1) (Char.chr v);
+    Bytes.to_string b
+  in
+  (match Wire.decode_any (with_segments 4) with
+  | Ok (`Req (Wire.Prove_seg { segments = 4; _ })) -> ()
+  | _ -> Alcotest.fail "segments-byte patch does not hit the segments field");
+  expect "zero segments" Err.Out_of_range (with_segments 0);
+  expect "17 segments" Err.Out_of_range (with_segments 17)
 
 (* short fixed-seed fuzz: decode must be total, and anything accepted
    must re-encode to exactly the input bytes (canonical encoding) *)
@@ -357,6 +387,150 @@ let test_fuzz_wire () =
   if not (Fuzz.clean report) then
     Alcotest.failf "wire fuzz not clean:\n%s"
       (String.concat "\n" (Fuzz.report_lines ~label:"wire" report));
+  Alcotest.(check bool) "some malformed" true (report.Fuzz.malformed > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Segmented proof files (PR 10): pinned finds from `zkml fuzz`'s
+   fifth corpus, plus a short fixed-seed fuzz of the strict parser +
+   aggregate verdict. The format is covered by a total-decode oracle
+   (every mutant is a typed error, a rejected-but-well-formed file, or
+   re-encodes byte-identically) just like model text and wire frames. *)
+
+module SPF = Zkml_serve.Seg_proof
+
+let seg_mnist = lazy (Zoo.mnist ())
+let seg_honest = lazy (SPF.prove (Lazy.force seg_mnist) B.Kzg 1234 ~segments:3)
+let seg_kzg_keys : (string, _) Hashtbl.t = Hashtbl.create 8
+let seg_ipa_keys : (string, _) Hashtbl.t = Hashtbl.create 8
+
+let seg_verdict sp =
+  SPF.verdict ~kzg_keys:seg_kzg_keys ~ipa_keys:seg_ipa_keys
+    (Lazy.force seg_mnist) sp
+
+(* patch one whole line of the canonical text *)
+let patch_line text ~from ~to_ =
+  let lines = String.split_on_char '\n' text in
+  let hit = ref false in
+  let lines =
+    List.filter_map
+      (fun l ->
+        if l = from then begin
+          hit := true;
+          match to_ with None -> None | Some l' -> Some l'
+        end
+        else Some l)
+      lines
+  in
+  if not !hit then Alcotest.failf "patch_line: no line %S" from;
+  String.concat "\n" lines
+
+let test_seg_pins () =
+  let text = (Lazy.force seg_honest).SPF.p_text in
+  (* honest file: parses, canonical, accepted *)
+  let sp =
+    match SPF.of_string text with
+    | Ok sp -> sp
+    | Error e -> Alcotest.failf "honest parse: %s" (Err.to_string e)
+  in
+  Alcotest.(check string) "canonical" text (SPF.render sp);
+  (match seg_verdict sp with
+  | `Accepted -> ()
+  | `Rejected -> Alcotest.fail "honest segmented proof rejected"
+  | `Malformed e ->
+      Alcotest.failf "honest segmented proof malformed: %s" (Err.to_string e));
+  (* pinned find: every truncated prefix is a typed parse error — the
+     parser demands a trailing newline and a complete line script, so
+     no strict prefix can decode *)
+  for cut = 0 to String.length text - 1 do
+    if cut mod 37 = 0 then
+      expect_error
+        (Printf.sprintf "truncated seg proof @%d" cut)
+        (SPF.of_string (String.sub text 0 cut))
+  done;
+  (* pinned find: dropping the last seam line and decrementing the
+     declared count still parses (indices stay sequential), but the
+     verdict is malformed — the seam count is pinned by the plan, so a
+     prover cannot simply omit a binding *)
+  let nseams = Array.length sp.SPF.sp_seams in
+  Alcotest.(check bool) "has seams" true (nseams > 0);
+  let last_seam =
+    Printf.sprintf "seam %d %s" (nseams - 1)
+      (Zkml_util.Bytes_util.to_hex sp.SPF.sp_seams.(nseams - 1))
+  in
+  let dropped =
+    patch_line
+      (patch_line text ~from:last_seam ~to_:None)
+      ~from:(Printf.sprintf "seams %d" nseams)
+      ~to_:(Some (Printf.sprintf "seams %d" (nseams - 1)))
+  in
+  (match SPF.of_string dropped with
+  | Error e -> Alcotest.failf "dropped seam should parse: %s" (Err.to_string e)
+  | Ok sp' -> (
+      match seg_verdict sp' with
+      | `Malformed _ -> ()
+      | `Accepted -> Alcotest.fail "dropped seam ACCEPTED"
+      | `Rejected -> Alcotest.fail "dropped seam: expected malformed"));
+  (* pinned find: an uppercase hex digit in a digest must be refused at
+     parse time (canonical format is lowercase-only), not silently
+     re-encoded differently *)
+  let seam0 = Zkml_util.Bytes_util.to_hex sp.SPF.sp_seams.(0) in
+  let upper = String.uppercase_ascii seam0 in
+  if upper <> seam0 then
+    expect_code "uppercase seam hex" Err.Invalid_encoding
+      (SPF.of_string
+         (patch_line text ~from:("seam 0 " ^ seam0)
+            ~to_:(Some ("seam 0 " ^ upper))));
+  (* a flipped digest nibble parses but is rejected by the seam check *)
+  let flipped =
+    let b = Bytes.of_string seam0 in
+    Bytes.set b 0 (if Bytes.get b 0 = '0' then '1' else '0');
+    Bytes.to_string b
+  in
+  (match
+     SPF.of_string
+       (patch_line text ~from:("seam 0 " ^ seam0)
+          ~to_:(Some ("seam 0 " ^ flipped)))
+   with
+  | Error e -> Alcotest.failf "flipped digest should parse: %s" (Err.to_string e)
+  | Ok sp' -> (
+      match seg_verdict sp' with
+      | `Rejected -> ()
+      | `Accepted -> Alcotest.fail "flipped seam digest ACCEPTED"
+      | `Malformed e ->
+          Alcotest.failf "flipped seam digest: expected rejected, got %s"
+            (Err.to_string e)));
+  (* segment counts outside [1, max_segments] are refused at parse *)
+  let nseg = Array.length sp.SPF.sp_groups in
+  let with_count v =
+    patch_line text
+      ~from:(Printf.sprintf "segments %d" nseg)
+      ~to_:(Some (Printf.sprintf "segments %d" v))
+  in
+  expect_code "zero segments" Err.Out_of_range (SPF.of_string (with_count 0));
+  expect_code "over-cap segments" Err.Out_of_range
+    (SPF.of_string (with_count 99))
+
+let test_fuzz_seg_proofs () =
+  let honest = (Lazy.force seg_honest).SPF.p_text in
+  let classify text =
+    match SPF.of_string text with
+    | Error e -> Fuzz.Malformed (Err.to_string e)
+    | Ok sp ->
+        if SPF.render sp <> text then Fuzz.Accepted
+          (* canonicity violation: decoded but re-encodes differently *)
+        else (
+          match seg_verdict sp with
+          | `Accepted -> if text = honest then Fuzz.Valid else Fuzz.Accepted
+          | `Rejected -> Fuzz.Rejected
+          | `Malformed e -> Fuzz.Malformed (Err.to_string e))
+  in
+  let rng = Zkml_util.Rng.create 17L in
+  let report =
+    Fuzz.run ~text:true ~rng ~iters:150 ~corpus:[ honest ] ~classify ()
+  in
+  if not (Fuzz.clean report) then
+    Alcotest.failf "segmented-proof fuzz not clean:\n%s"
+      (String.concat "\n" (Fuzz.report_lines ~label:"segmented" report));
   Alcotest.(check bool) "some malformed" true (report.Fuzz.malformed > 0)
 
 let () =
@@ -380,5 +554,9 @@ let () =
       ( "wire",
         [ Alcotest.test_case "pinned mutants" `Quick test_wire_pins;
           Alcotest.test_case "fuzz" `Quick test_fuzz_wire
+        ] );
+      ( "segmented",
+        [ Alcotest.test_case "pinned mutants" `Quick test_seg_pins;
+          Alcotest.test_case "fuzz" `Quick test_fuzz_seg_proofs
         ] )
     ]

@@ -1,0 +1,276 @@
+(* Split-and-aggregate proving tests (PR 10).
+
+   Three layers, cheapest first:
+   - plan/executor equivalence: for every zoo model and segment count,
+     cutting the graph at layer boundaries and re-running the quantized
+     executor per segment (imports fed from the monolithic run)
+     reproduces every exported intermediate bit-for-bit;
+   - instance-slice wiring: each seam's source and destination slices
+     of the per-segment instance columns carry exactly the monolithic
+     flattened values (so the seam digests bind the right cells);
+   - full differential: segmented prove/verify at --segments 1/2/4
+     agrees with the monolithic accept verdict, the proof file is
+     canonical (parse . render = id) and deterministic, and seam or
+     splice tampering flips the verdict to rejected. *)
+
+module T = Zkml_tensor.Tensor
+module Fx = Zkml_fixed.Fixed
+module G = Zkml_nn.Graph
+module Q = Zkml_nn.Quant_exec
+module Zoo = Zkml_models.Zoo
+module Seg = Zkml_compiler.Segment
+module Spec = Zkml_compiler.Layout_spec
+module Err = Zkml_util.Err
+module B = Zkml_serve.Backends
+module SPF = Zkml_serve.Seg_proof
+
+let cache_dir =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "zkml-test-segments-%d" (Unix.getpid ()))
+
+let () = Unix.putenv "ZKML_CACHE_DIR" cache_dir
+
+(* default sample inputs: the same ones the monolithic pipeline (and
+   every bench table) proves, so they are in-range for every model's
+   lookup tables *)
+let qinputs (m : Zoo.model) =
+  List.map (T.map (Fx.quantize m.Zoo.cfg)) (Zoo.sample_inputs m)
+
+(* ------------------------------------------------------------------ *)
+(* Executor equivalence across the cut *)
+
+let check_exec_equivalence (m : Zoo.model) segments =
+  let cfg = m.Zoo.cfg in
+  let exec = Q.run cfg m.Zoo.graph ~inputs:(qinputs m) in
+  let plan = Seg.plan ~spec:Spec.default ~ncols:8 ~cfg ~segments m.Zoo.graph in
+  let n = Array.length plan.Seg.p_segments in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: 1 <= %d <= %d" m.Zoo.name n segments)
+    true
+    (1 <= n && n <= segments);
+  Array.iter
+    (fun (s : Seg.seg) ->
+      let inputs = List.map (fun id -> exec.Q.values.(id)) s.Seg.sg_imports in
+      let sexec = Q.run cfg s.Seg.sg_graph ~inputs in
+      List.iteri
+        (fun i full ->
+          let local = List.nth (G.outputs s.Seg.sg_graph) i in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s segs=%d export node %d" m.Zoo.name segments
+               full)
+            true
+            (T.equal Int.equal exec.Q.values.(full) sexec.Q.values.(local)))
+        s.Seg.sg_exports)
+    plan.Seg.p_segments
+
+let test_exec_equivalence () =
+  List.iter
+    (fun m ->
+      List.iter (fun segs -> check_exec_equivalence m segs) [ 1; 2; 4 ])
+    (Zoo.all ())
+
+(* segment counts beyond the compute-node count clamp instead of
+   failing; max_segments is the hard ceiling *)
+let test_clamping () =
+  let m = Zoo.mnist () in
+  let plan =
+    Seg.plan ~spec:Spec.default ~ncols:8 ~cfg:m.Zoo.cfg ~segments:1000
+      m.Zoo.graph
+  in
+  Alcotest.(check bool)
+    "clamped to max_segments" true
+    (Array.length plan.Seg.p_segments <= Seg.max_segments)
+
+(* ------------------------------------------------------------------ *)
+(* Seam slices of the instance columns carry the monolithic values *)
+
+let check_instance_slices (m : Zoo.model) segments =
+  let cfg = m.Zoo.cfg in
+  let spec = Spec.default and ncols = 8 in
+  let exec = Q.run cfg m.Zoo.graph ~inputs:(qinputs m) in
+  let plan = Seg.plan ~spec ~ncols ~cfg ~segments m.Zoo.graph in
+  let insts =
+    Array.map
+      (fun (s : Seg.seg) ->
+        let w =
+          B.Pipe_kzg.witness_ints ~spec ~ncols ~k:s.Seg.sg_k ~cfg
+            s.Seg.sg_graph
+            (List.map (fun id -> exec.Q.values.(id)) s.Seg.sg_imports)
+        in
+        w.B.Pipe_kzg.w_instance_ints)
+      plan.Seg.p_segments
+  in
+  Array.iter
+    (fun (sm : Seg.seam) ->
+      let mono = T.data exec.Q.values.(sm.Seg.sm_node) in
+      let slice_at (si, off) =
+        match Seg.slice_copy insts.(si) ~off ~numel:sm.Seg.sm_numel with
+        | Some s -> s
+        | None ->
+            Alcotest.failf "%s segs=%d seam node %d: slice out of bounds"
+              m.Zoo.name segments sm.Seg.sm_node
+      in
+      let src = slice_at sm.Seg.sm_src in
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s segs=%d seam node %d src" m.Zoo.name segments
+           sm.Seg.sm_node)
+        mono src;
+      List.iter
+        (fun dst ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s segs=%d seam node %d dst" m.Zoo.name segments
+               sm.Seg.sm_node)
+            src (slice_at dst))
+        sm.Seg.sm_dsts)
+    plan.Seg.p_seams
+
+let test_instance_slices () =
+  List.iter
+    (fun m ->
+      List.iter (fun segs -> check_instance_slices m segs) [ 2; 4 ])
+    [ Zoo.mnist (); Zoo.dlrm () ]
+
+(* ------------------------------------------------------------------ *)
+(* Full prove/verify differential *)
+
+let kzg_keys : (string, _) Hashtbl.t = Hashtbl.create 16
+let ipa_keys : (string, _) Hashtbl.t = Hashtbl.create 16
+
+let verdict_of m sp = SPF.verdict ~kzg_keys ~ipa_keys m sp
+
+let prove_and_parse (m : Zoo.model) backend seed ~segments =
+  let p = SPF.prove m backend seed ~segments in
+  match SPF.of_string p.SPF.p_text with
+  | Ok sp -> (p, sp)
+  | Error e ->
+      Alcotest.failf "%s: re-parse of honest segmented proof failed: %s"
+        m.Zoo.name (Err.to_string e)
+
+let check_prove (m : Zoo.model) backend segments =
+  let p, sp = prove_and_parse m backend 1234 ~segments in
+  Alcotest.(check string)
+    (Printf.sprintf "%s segs=%d canonical" m.Zoo.name segments)
+    p.SPF.p_text (SPF.render sp);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s segs=%d peak <= mono rows" m.Zoo.name segments)
+    true
+    (p.SPF.p_peak_rows <= p.SPF.p_mono_rows);
+  (match verdict_of m sp with
+  | `Accepted -> ()
+  | `Rejected ->
+      Alcotest.failf "%s segs=%d: honest proof rejected" m.Zoo.name segments
+  | `Malformed e ->
+      Alcotest.failf "%s segs=%d: honest proof malformed: %s" m.Zoo.name
+        segments (Err.to_string e));
+  (* same seed, same bytes: the whole pipeline is deterministic *)
+  let p2 = SPF.prove m backend 1234 ~segments in
+  Alcotest.(check string)
+    (Printf.sprintf "%s segs=%d deterministic" m.Zoo.name segments)
+    p.SPF.p_text p2.SPF.p_text;
+  sp
+
+let expect_rejected name m sp =
+  match verdict_of m sp with
+  | `Rejected -> ()
+  | `Accepted -> Alcotest.failf "%s: tampered proof ACCEPTED" name
+  | `Malformed e ->
+      Alcotest.failf "%s: expected rejected, got malformed: %s" name
+        (Err.to_string e)
+
+let test_differential_mnist () =
+  let m = Zoo.mnist () in
+  List.iter (fun segs -> ignore (check_prove m B.Kzg segs)) [ 1; 2; 4 ]
+
+let test_differential_mnist_ipa () =
+  ignore (check_prove (Zoo.mnist ()) B.Ipa 2)
+
+let test_differential_dlrm () =
+  ignore (check_prove (Zoo.dlrm ()) B.Kzg 2)
+
+let test_differential_resnet18 () =
+  ignore (check_prove (Zoo.resnet18 ()) B.Kzg 4)
+
+(* seam-digest tamper: flip one bit of a committed seam digest *)
+let test_tamper_seam_digest () =
+  let m = Zoo.mnist () in
+  let _, sp = prove_and_parse m B.Kzg 1234 ~segments:4 in
+  Alcotest.(check bool) "has seams" true (Array.length sp.SPF.sp_seams > 0);
+  let seams = Array.copy sp.SPF.sp_seams in
+  let b = Bytes.of_string seams.(0) in
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+  seams.(0) <- Bytes.to_string b;
+  expect_rejected "seam digest flip" m { sp with SPF.sp_seams = seams }
+
+(* seam-value tamper: bump an instance int inside a seam slice *)
+let test_tamper_seam_value () =
+  let m = Zoo.mnist () in
+  let _, sp = prove_and_parse m B.Kzg 1234 ~segments:4 in
+  let plan =
+    Seg.plan ~spec:sp.SPF.sp_spec ~ncols:sp.SPF.sp_ncols ~cfg:sp.SPF.sp_cfg
+      ~segments:(Array.length sp.SPF.sp_groups) m.Zoo.graph
+  in
+  Alcotest.(check bool) "has seams" true (Array.length plan.Seg.p_seams > 0);
+  let si, off = plan.Seg.p_seams.(0).Seg.sm_src in
+  let groups = Array.copy sp.SPF.sp_groups in
+  let inst = Array.copy groups.(si).SPF.sg_instance in
+  inst.(off) <- inst.(off) + 1;
+  groups.(si) <- { (groups.(si)) with SPF.sg_instance = inst };
+  expect_rejected "seam value bump" m { sp with SPF.sp_groups = groups }
+
+(* splice: segment proofs from two honest runs over different inputs.
+   Every individual segment proof is honest for its own instance, so
+   only the seam checks can (and must) catch the mix. *)
+let test_splice_two_honest_runs () =
+  let m = Zoo.mnist () in
+  let _, sp_a = prove_and_parse m B.Kzg 1234 ~segments:4 in
+  let _, sp_b = prove_and_parse m B.Kzg 999 ~segments:4 in
+  let groups = Array.copy sp_a.SPF.sp_groups in
+  groups.(0) <- sp_b.SPF.sp_groups.(0);
+  expect_rejected "spliced segments" m { sp_a with SPF.sp_groups = groups }
+
+(* dropped / duplicated segment: group count no longer matches the
+   deterministic plan for this model -> malformed, never accepted *)
+let test_dropped_and_duplicated_segment () =
+  let m = Zoo.mnist () in
+  let _, sp = prove_and_parse m B.Kzg 1234 ~segments:4 in
+  let n = Array.length sp.SPF.sp_groups in
+  Alcotest.(check bool) "multi-segment" true (n > 1);
+  let check name groups =
+    match verdict_of m { sp with SPF.sp_groups = groups } with
+    | `Accepted -> Alcotest.failf "%s: ACCEPTED" name
+    | `Rejected | `Malformed _ -> ()
+  in
+  check "dropped segment" (Array.sub sp.SPF.sp_groups 0 (n - 1));
+  check "duplicated segment"
+    (Array.append sp.SPF.sp_groups [| sp.SPF.sp_groups.(n - 1) |])
+
+let () =
+  Alcotest.run "segments"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "exec_equivalence_all_models" `Quick
+            test_exec_equivalence;
+          Alcotest.test_case "segment_count_clamps" `Quick test_clamping;
+          Alcotest.test_case "instance_slices" `Quick test_instance_slices;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "mnist_kzg_1_2_4" `Quick test_differential_mnist;
+          Alcotest.test_case "mnist_ipa_2" `Quick test_differential_mnist_ipa;
+          Alcotest.test_case "dlrm_kzg_2" `Quick test_differential_dlrm;
+          Alcotest.test_case "resnet18_kzg_4" `Slow
+            test_differential_resnet18;
+        ] );
+      ( "tamper",
+        [
+          Alcotest.test_case "seam_digest_flip" `Quick
+            test_tamper_seam_digest;
+          Alcotest.test_case "seam_value_bump" `Quick test_tamper_seam_value;
+          Alcotest.test_case "splice_two_honest_runs" `Quick
+            test_splice_two_honest_runs;
+          Alcotest.test_case "dropped_duplicated_segment" `Quick
+            test_dropped_and_duplicated_segment;
+        ] );
+    ]

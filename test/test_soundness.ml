@@ -276,6 +276,90 @@ let mutate_kzg names () =
 let mutate_ipa names () =
   List.iter (fun n -> Mut_ipa.run ipa_params (Zoo.by_name n)) names
 
+(* --- split-and-aggregate mutants (PR 10) --------------------------- *)
+
+(* Same discipline for the segmented proving path: prove mnist honestly
+   at 4 segments, then hand the aggregate verdict classifier mutants
+   that every per-segment proof alone cannot expose — a tampered seam
+   digest, a bumped boundary value, segments spliced from two honest
+   runs over different inputs (each segment proof is individually
+   honest, so only the seam binding can catch the mix), and a dropped /
+   duplicated segment. Zero accepted mutants. *)
+
+module SPF = Zkml_serve.Seg_proof
+module SB = Zkml_serve.Backends
+
+let segmented_mutants () =
+  let m = Zoo.mnist () in
+  let kzg_keys = Hashtbl.create 8 and ipa_keys = Hashtbl.create 8 in
+  let parse text =
+    match SPF.of_string text with
+    | Ok sp -> sp
+    | Error e ->
+        Alcotest.failf "segmented honest proof unparseable: %s"
+          (Zkml_util.Err.to_string e)
+  in
+  let honest = parse (SPF.prove m SB.Kzg 1234 ~segments:4).SPF.p_text in
+  let other = parse (SPF.prove m SB.Kzg 4321 ~segments:4).SPF.p_text in
+  Alcotest.(check bool)
+    "mnist-seg honest accepted" true
+    (SPF.verdict ~kzg_keys ~ipa_keys m honest = `Accepted);
+  let nseg = Array.length honest.SPF.sp_groups in
+  Alcotest.(check bool) "mnist-seg is multi-segment" true (nseg > 1);
+  Alcotest.(check bool)
+    "mnist-seg has seams" true
+    (Array.length honest.SPF.sp_seams > 0);
+  let mutants =
+    [
+      ( "seam-digest-flip",
+        let seams = Array.copy honest.SPF.sp_seams in
+        let b = Bytes.of_string seams.(0) in
+        Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+        seams.(0) <- Bytes.to_string b;
+        { honest with SPF.sp_seams = seams } );
+      ( "boundary-value-bump",
+        let groups = Array.copy honest.SPF.sp_groups in
+        let g = groups.(nseg - 1) in
+        let inst = Array.copy g.SPF.sg_instance in
+        inst.(0) <- inst.(0) + 1;
+        groups.(nseg - 1) <- { g with SPF.sg_instance = inst };
+        { honest with SPF.sp_groups = groups } );
+      ( "splice-honest-runs",
+        let groups = Array.copy honest.SPF.sp_groups in
+        groups.(0) <- other.SPF.sp_groups.(0);
+        { honest with SPF.sp_groups = groups } );
+      ( "proof-byte-flip",
+        let groups = Array.copy honest.SPF.sp_groups in
+        let g = groups.(0) in
+        let b = Bytes.of_string g.SPF.sg_proof in
+        let pos = Bytes.length b / 2 in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x20));
+        groups.(0) <- { g with SPF.sg_proof = Bytes.to_string b };
+        { honest with SPF.sp_groups = groups } );
+      ( "dropped-segment",
+        { honest with SPF.sp_groups = Array.sub honest.SPF.sp_groups 0 (nseg - 1) } );
+      ( "duplicated-segment",
+        {
+          honest with
+          SPF.sp_groups =
+            Array.append honest.SPF.sp_groups
+              [| honest.SPF.sp_groups.(nseg - 1) |];
+        } );
+    ]
+  in
+  List.iter
+    (fun (what, sp) ->
+      let name = "mnist-seg/" ^ what in
+      let outcome =
+        match SPF.verdict ~kzg_keys ~ipa_keys m sp with
+        | `Accepted -> Accepted
+        | `Rejected -> Rejected
+        | `Malformed e -> Refused (Zkml_util.Err.to_string e)
+      in
+      check_sound name outcome;
+      Printf.printf "  %-28s %s\n%!" name (outcome_label outcome))
+    mutants
+
 let () =
   Alcotest.run "soundness"
     [
@@ -287,4 +371,6 @@ let () =
           Alcotest.test_case "kzg_big" `Slow
             (mutate_kzg [ "resnet18"; "mobilenet"; "vgg16"; "diffusion" ]);
         ] );
+      ( "segmented",
+        [ Alcotest.test_case "mnist_kzg_4seg" `Quick segmented_mutants ] );
     ]
